@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Extension experiment: the consistency-model spectrum on G-TSC.
+ * The paper evaluates SC and RC and mentions TSO as the model in
+ * between (Section II-B; Tardis 2.0 implements TSO on Tardis). This
+ * harness adds the TSO point: in-order one-deep store buffering.
+ * Expected shape: SC <= TSO <= RC, with all three close together on
+ * G-TSC (the paper's "SC may not be a bad choice" argument).
+ */
+
+#include "bench_common.hh"
+
+using namespace gtsc;
+using namespace gtsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    sim::Config cfg = benchCfg(argc, argv);
+
+    harness::Table table({"bench", "G-TSC-SC", "G-TSC-TSO", "G-TSC-RC",
+                          "RC/SC", "RC/TSO"});
+
+    std::map<std::string, std::vector<double>> per_model;
+    for (const auto &wl : workloads::allBenchmarks()) {
+        harness::RunResult bl = runCell(cfg, {"nol1", "rc", "BL"}, wl);
+        double base = static_cast<double>(bl.cycles);
+        table.row(displayName(wl));
+        std::map<std::string, double> s;
+        for (const char *cons : {"sc", "tso", "rc"}) {
+            harness::RunResult r =
+                runCell(cfg, {"gtsc", cons, cons}, wl);
+            s[cons] = base / static_cast<double>(r.cycles);
+            per_model[cons].push_back(s[cons]);
+            table.cell(s[cons]);
+        }
+        table.cell(s["rc"] / s["sc"]);
+        table.cell(s["rc"] / s["tso"]);
+    }
+    std::fprintf(stderr, "%40s\r", "");
+
+    std::printf("Extension: consistency spectrum on G-TSC "
+                "(speedup over BL)\n\n%s\n",
+                table.toString().c_str());
+    double g_sc = harness::geomean(per_model["sc"]);
+    double g_tso = harness::geomean(per_model["tso"]);
+    double g_rc = harness::geomean(per_model["rc"]);
+    std::printf("geomeans: SC %.3f  TSO %.3f  RC %.3f "
+                "(expect SC <= TSO <= RC, all close)\n",
+                g_sc, g_tso, g_rc);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * TC lease-sensitivity ablation (the paper's motivation point II-D3:
+ * "the performance can be sensitive to the lease period; a suitable
+ * lease period is not always easy to select"). Sweeps the TC lease
+ * and prints TC-RC / TC-SC speedups over BL per benchmark — the
+ * counterpart of Figure 14, which shows G-TSC is *insensitive*.
+ */
+
+#include "bench_common.hh"
+
+using namespace gtsc;
+using namespace gtsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    sim::Config cfg = benchCfg(argc, argv);
+    const std::vector<std::uint64_t> leases = {25, 50, 100, 200, 400,
+                                               800};
+
+    for (const char *cons : {"rc", "sc"}) {
+        std::vector<std::string> headers = {"bench"};
+        for (auto l : leases)
+            headers.push_back("L=" + std::to_string(l));
+        harness::Table table(headers);
+
+        std::map<std::uint64_t, std::vector<double>> per_lease;
+        for (const auto &wl : workloads::coherentSet()) {
+            harness::RunResult bl =
+                runCell(cfg, {"nol1", "rc", "BL"}, wl);
+            double base = static_cast<double>(bl.cycles);
+            table.row(displayName(wl));
+            for (auto lease : leases) {
+                sim::Config c = cfg;
+                c.setInt("tc.lease",
+                         static_cast<std::int64_t>(lease));
+                harness::RunResult r =
+                    runCell(c, {"tc", cons, "TC"}, wl);
+                double s = base / static_cast<double>(r.cycles);
+                table.cell(s);
+                per_lease[lease].push_back(s);
+            }
+        }
+        std::fprintf(stderr, "%40s\r", "");
+        std::printf("TC-%s speedup over BL vs lease period "
+                    "(coherence set)\n\n%s\n",
+                    cons[0] == 'r' ? "RC" : "SC",
+                    table.toString().c_str());
+        std::printf("geomean per lease:");
+        for (auto lease : leases)
+            std::printf("  L=%llu: %.3f",
+                        static_cast<unsigned long long>(lease),
+                        harness::geomean(per_lease[lease]));
+        std::printf("\n\n");
+    }
+    return 0;
+}

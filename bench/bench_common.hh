@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared machinery for the figure/table harnesses: the run matrix,
+ * normalization helpers and the paper's reported numbers (used to
+ * print paper-vs-measured columns; see EXPERIMENTS.md).
+ */
+
+#ifndef GTSC_BENCH_BENCH_COMMON_HH_
+#define GTSC_BENCH_BENCH_COMMON_HH_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "workloads/registry.hh"
+
+namespace gtsc::bench
+{
+
+/** A (protocol, consistency) column of a figure. */
+struct ProtoCfg
+{
+    std::string protocol;
+    std::string consistency;
+    std::string label;
+};
+
+/** The four coherence-protocol columns of Figures 12/13/15/16/17. */
+inline std::vector<ProtoCfg>
+figureColumns()
+{
+    return {{"tc", "sc", "TC-SC"},
+            {"tc", "rc", "TC-RC"},
+            {"gtsc", "sc", "G-TSC-SC"},
+            {"gtsc", "rc", "G-TSC-RC"}};
+}
+
+/** Default bench configuration; CLI key=value overrides applied. */
+inline sim::Config
+benchCfg(int argc, char **argv)
+{
+    sim::Config cfg = harness::benchConfig();
+    cfg.setInt("gpu.num_sms", 8);
+    cfg.setInt("gpu.warps_per_sm", 12);
+    cfg.setInt("gpu.num_partitions", 4);
+    cfg.setBool("check.enabled", false);
+    for (int i = 1; i < argc; ++i) {
+        if (!cfg.parseOverride(argv[i])) {
+            std::fprintf(stderr, "bad override '%s'\n", argv[i]);
+            std::exit(2);
+        }
+    }
+    return cfg;
+}
+
+/** Run one cell of the matrix, with a progress line on stderr. */
+inline harness::RunResult
+runCell(const sim::Config &cfg, const ProtoCfg &pc,
+        const std::string &workload)
+{
+    std::fprintf(stderr, "  running %-5s %-9s ...\r", workload.c_str(),
+                 pc.label.c_str());
+    std::fflush(stderr);
+    harness::RunResult r =
+        harness::runOne(cfg, pc.protocol, pc.consistency, workload);
+    return r;
+}
+
+/** Paper Table II: absolute execution cycles (millions), as reported
+ * on the authors' G-TSC simulator. */
+struct Table2Row
+{
+    const char *bench;
+    double blPaper;
+    double tcPaper;
+};
+
+inline const std::vector<Table2Row> &
+paperTable2()
+{
+    static const std::vector<Table2Row> kRows = {
+        {"bh", 0.55, 0.84},  {"cc", 1.47, 1.77},  {"dlp", 1.63, 1.63},
+        {"vpr", 0.85, 0.90}, {"stn", 2.00, 1.74}, {"bfs", 0.79, 2.32},
+        {"ccp", 13.50, 13.50}, {"ge", 2.22, 2.49}, {"hs", 0.22, 0.23},
+        {"km", 28.74, 30.78}, {"bp", 0.84, 0.69}, {"sgm", 6.08, 6.14},
+    };
+    return kRows;
+}
+
+/** Upper-case display name of a registry workload id. */
+inline std::string
+displayName(const std::string &id)
+{
+    std::string out = id;
+    for (auto &c : out)
+        c = static_cast<char>(std::toupper(c));
+    return out;
+}
+
+} // namespace gtsc::bench
+
+#endif // GTSC_BENCH_BENCH_COMMON_HH_

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 12: performance of the GPU coherence protocols with both
+ * memory models, normalized to the coherent baseline with the L1
+ * disabled (higher = better). The right cluster additionally shows
+ * the non-coherent baseline *with* L1 for the workloads that can use
+ * it. Prints per-benchmark speedups plus the paper's headline
+ * geomeans (G-TSC-RC vs TC-RC etc.).
+ */
+
+#include "bench_common.hh"
+
+using namespace gtsc;
+using namespace gtsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    sim::Config cfg = benchCfg(argc, argv);
+    auto columns = figureColumns();
+
+    harness::Table table({"bench", "W/L1", "TC-SC", "TC-RC", "G-TSC-SC",
+                          "G-TSC-RC"});
+
+    std::map<std::string, std::map<std::string, double>> speedup;
+    for (const auto &wl : workloads::allBenchmarks()) {
+        harness::RunResult bl =
+            runCell(cfg, {"nol1", "rc", "BL"}, wl);
+        double base = static_cast<double>(bl.cycles);
+
+        table.row(displayName(wl));
+        bool coherent = false;
+        for (const auto &name : workloads::coherentSet())
+            coherent |= (name == wl);
+        if (!coherent) {
+            harness::RunResult w =
+                runCell(cfg, {"noncoh", "rc", "W/L1"}, wl);
+            table.cell(base / static_cast<double>(w.cycles));
+        } else {
+            table.cell("-");
+        }
+        for (const auto &pc : columns) {
+            harness::RunResult r = runCell(cfg, pc, wl);
+            double s = base / static_cast<double>(r.cycles);
+            speedup[pc.label][wl] = s;
+            table.cell(s);
+        }
+    }
+    std::fprintf(stderr, "%40s\r", "");
+
+    std::printf("Figure 12: performance normalized to BL "
+                "(L1 disabled); higher is better\n\n");
+    std::printf("%s\n", table.toString().c_str());
+
+    auto geo = [&](const std::string &label, bool coherent_only) {
+        std::vector<double> xs;
+        for (const auto &wl : coherent_only
+                                  ? workloads::coherentSet()
+                                  : workloads::allBenchmarks())
+            xs.push_back(speedup[label][wl]);
+        return harness::geomean(xs);
+    };
+
+    double gtsc_rc = geo("G-TSC-RC", true);
+    double gtsc_sc = geo("G-TSC-SC", true);
+    double tc_rc = geo("TC-RC", true);
+    double tc_sc = geo("TC-SC", true);
+    std::printf("Headline comparisons (coherence-required set, "
+                "geomean):\n");
+    std::printf("  G-TSC-RC / TC-RC    = %.3f   (paper: ~1.38)\n",
+                gtsc_rc / tc_rc);
+    std::printf("  G-TSC-SC / TC-RC    = %.3f   (paper: ~1.26)\n",
+                gtsc_sc / tc_rc);
+    std::printf("  G-TSC-RC / TC-SC    = %.3f   (paper: ~1.84)\n",
+                gtsc_rc / tc_sc);
+    std::printf("  G-TSC-RC / G-TSC-SC = %.3f   (paper: ~1.12)\n",
+                gtsc_rc / gtsc_sc);
+    std::printf("  all-bench G-TSC RC/SC = %.3f (paper: ~1.09)\n",
+                geo("G-TSC-RC", false) / geo("G-TSC-SC", false));
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 13: pipeline stalls due to memory delay, normalized to the
+ * no-L1-cache baseline (lower = better). The paper reports TC
+ * incurring ~45% more stalls than G-TSC on the coherence set.
+ */
+
+#include "bench_common.hh"
+
+using namespace gtsc;
+using namespace gtsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    sim::Config cfg = benchCfg(argc, argv);
+    auto columns = figureColumns();
+
+    harness::Table table(
+        {"bench", "TC-SC", "TC-RC", "G-TSC-SC", "G-TSC-RC"});
+
+    std::map<std::string, std::map<std::string, double>> norm;
+    for (const auto &wl : workloads::allBenchmarks()) {
+        harness::RunResult bl = runCell(cfg, {"nol1", "rc", "BL"}, wl);
+        double base = static_cast<double>(bl.memStallCycles);
+        if (base == 0)
+            base = 1;
+        table.row(displayName(wl));
+        for (const auto &pc : columns) {
+            harness::RunResult r = runCell(cfg, pc, wl);
+            double v = static_cast<double>(r.memStallCycles) / base;
+            norm[pc.label][wl] = v;
+            table.cell(v);
+        }
+    }
+    std::fprintf(stderr, "%40s\r", "");
+
+    std::printf("Figure 13: memory pipeline stalls normalized to BL "
+                "(no L1); lower is better\n\n");
+    std::printf("%s\n", table.toString().c_str());
+
+    auto geo = [&](const std::string &label,
+                   const std::vector<std::string> &set) {
+        std::vector<double> xs;
+        for (const auto &wl : set)
+            xs.push_back(norm[label][wl]);
+        return harness::geomean(xs);
+    };
+    double set1 =
+        geo("TC-RC", workloads::coherentSet()) /
+        geo("G-TSC-RC", workloads::coherentSet());
+    double set2 = geo("TC-RC", workloads::privateSet()) /
+                  geo("G-TSC-RC", workloads::privateSet());
+    std::printf("TC-RC stalls / G-TSC-RC stalls (coherence set) = "
+                "%.3f (paper: ~1.45)\n",
+                set1);
+    std::printf("TC-RC stalls / G-TSC-RC stalls (no-coherence set) = "
+                "%.3f (paper: >1.4)\n",
+                set2);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 15: interconnect traffic (bytes) of each protocol/model,
+ * normalized to the no-L1 baseline (lower = better). The paper
+ * reports ~20% less traffic for G-TSC vs TC with RC on the
+ * coherence set (data-less renewals + slower logical clock).
+ */
+
+#include "bench_common.hh"
+
+using namespace gtsc;
+using namespace gtsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    sim::Config cfg = benchCfg(argc, argv);
+    auto columns = figureColumns();
+
+    harness::Table table(
+        {"bench", "TC-SC", "TC-RC", "G-TSC-SC", "G-TSC-RC"});
+
+    std::map<std::string, std::map<std::string, double>> norm;
+    for (const auto &wl : workloads::allBenchmarks()) {
+        harness::RunResult bl = runCell(cfg, {"nol1", "rc", "BL"}, wl);
+        double base = static_cast<double>(bl.nocBytes);
+        table.row(displayName(wl));
+        for (const auto &pc : columns) {
+            harness::RunResult r = runCell(cfg, pc, wl);
+            double v = static_cast<double>(r.nocBytes) / base;
+            norm[pc.label][wl] = v;
+            table.cell(v);
+        }
+    }
+    std::fprintf(stderr, "%40s\r", "");
+
+    std::printf("Figure 15: NoC traffic normalized to BL (no L1); "
+                "lower is better\n\n");
+    std::printf("%s\n", table.toString().c_str());
+
+    auto geo = [&](const std::string &label,
+                   const std::vector<std::string> &set) {
+        std::vector<double> xs;
+        for (const auto &wl : set)
+            xs.push_back(norm[label][wl]);
+        return harness::geomean(xs);
+    };
+    std::printf("G-TSC-RC traffic / TC-RC traffic (coherence set) = "
+                "%.3f (paper: ~0.80)\n",
+                geo("G-TSC-RC", workloads::coherentSet()) /
+                    geo("TC-RC", workloads::coherentSet()));
+    std::printf("G-TSC-SC traffic / TC-SC traffic (coherence set) = "
+                "%.3f (paper: ~0.84)\n\n",
+                geo("G-TSC-SC", workloads::coherentSet()) /
+                    geo("TC-SC", workloads::coherentSet()));
+
+    // Where the savings come from: bytes by message type. G-TSC
+    // answers unchanged-data renewals with 10-byte BusRnw messages;
+    // TC must re-send 140-byte fills.
+    std::printf("Traffic composition (KB, coherence set totals):\n\n");
+    harness::Table mix({"protocol", "BusRd", "BusWr", "BusFill",
+                        "BusRnw", "BusWrAck", "total"});
+    for (const auto &pc :
+         std::vector<ProtoCfg>{{"tc", "rc", "TC-RC"},
+                               {"gtsc", "rc", "G-TSC-RC"}}) {
+        std::map<std::string, double> kb;
+        double total = 0;
+        for (const auto &wl : workloads::coherentSet()) {
+            harness::RunResult r = runCell(cfg, pc, wl);
+            for (const char *t : {"BusRd", "BusWr", "BusFill",
+                                  "BusRnw", "BusWrAck"}) {
+                double b = static_cast<double>(
+                    r.stats.get(std::string("noc.req.bytes.") + t) +
+                    r.stats.get(std::string("noc.resp.bytes.") + t));
+                kb[t] += b / 1024.0;
+                total += b / 1024.0;
+            }
+        }
+        mix.row(pc.label);
+        for (const char *t : {"BusRd", "BusWr", "BusFill", "BusRnw",
+                              "BusWrAck"})
+            mix.cell(kb[t], 1);
+        mix.cell(total, 1);
+    }
+    std::fprintf(stderr, "%40s\r", "");
+    std::printf("%s\n", mix.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 16: total GPU energy per protocol/model normalized to the
+ * no-L1 baseline (lower = better). The paper reports ~11% less
+ * energy for G-TSC than TC with RC on the coherence set, and notes
+ * SC sometimes saving energy despite lower performance (idle cores).
+ */
+
+#include "bench_common.hh"
+
+using namespace gtsc;
+using namespace gtsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    sim::Config cfg = benchCfg(argc, argv);
+    auto columns = figureColumns();
+
+    harness::Table table(
+        {"bench", "TC-SC", "TC-RC", "G-TSC-SC", "G-TSC-RC"});
+
+    std::map<std::string, std::map<std::string, double>> norm;
+    for (const auto &wl : workloads::allBenchmarks()) {
+        harness::RunResult bl = runCell(cfg, {"nol1", "rc", "BL"}, wl);
+        double base = bl.energy.total();
+        table.row(displayName(wl));
+        for (const auto &pc : columns) {
+            harness::RunResult r = runCell(cfg, pc, wl);
+            double v = r.energy.total() / base;
+            norm[pc.label][wl] = v;
+            table.cell(v);
+        }
+    }
+    std::fprintf(stderr, "%40s\r", "");
+
+    std::printf("Figure 16: total energy normalized to BL (no L1); "
+                "lower is better\n\n");
+    std::printf("%s\n", table.toString().c_str());
+
+    auto geo = [&](const std::string &label) {
+        std::vector<double> xs;
+        for (const auto &wl : workloads::coherentSet())
+            xs.push_back(norm[label][wl]);
+        return harness::geomean(xs);
+    };
+    std::printf("G-TSC-RC energy / TC-RC energy (coherence set) = "
+                "%.3f (paper: ~0.89-0.91)\n",
+                geo("G-TSC-RC") / geo("TC-RC"));
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 17: L1 cache energy (joules) per protocol/model — absolute,
+ * not normalized, as in the paper. TC's per-access metadata is a
+ * single 32-bit timestamp vs G-TSC's two narrow timestamps plus the
+ * warp table, so TC consumes slightly less L1 energy.
+ */
+
+#include "bench_common.hh"
+
+using namespace gtsc;
+using namespace gtsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    sim::Config cfg = benchCfg(argc, argv);
+    auto columns = figureColumns();
+
+    harness::Table table(
+        {"bench", "TC-SC", "TC-RC", "G-TSC-SC", "G-TSC-RC"});
+
+    double tc_sum = 0;
+    double gtsc_sum = 0;
+    for (const auto &wl : workloads::allBenchmarks()) {
+        table.row(displayName(wl));
+        for (const auto &pc : columns) {
+            harness::RunResult r = runCell(cfg, pc, wl);
+            table.cell(r.energy.l1 * 1e6, 2); // microjoules
+            if (pc.label == "TC-RC")
+                tc_sum += r.energy.l1;
+            if (pc.label == "G-TSC-RC")
+                gtsc_sum += r.energy.l1;
+        }
+    }
+    std::fprintf(stderr, "%40s\r", "");
+
+    std::printf("Figure 17: L1 cache energy (microjoules)\n\n");
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("total TC-RC %.2f uJ vs G-TSC-RC %.2f uJ "
+                "(paper: TC slightly lower)\n",
+                tc_sum * 1e6, gtsc_sum * 1e6);
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * google-benchmark micro-costs of the protocol datapath primitives:
+ * L1 access (hit and miss paths), L2 timestamp assignment, cache
+ * array lookup, MSHR merge, crossbar injection, checker lookups.
+ * Guards against the simulator itself becoming the bottleneck of
+ * the figure harnesses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/gtsc_builder.hh"
+#include "harness/checker.hh"
+#include "mem/cache_array.hh"
+#include "mem/mshr.hh"
+#include "noc/crossbar.hh"
+#include "sim/rng.hh"
+
+using namespace gtsc;
+
+namespace
+{
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    mem::CacheArray array(16 * 1024, 4);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        Addr line = i * mem::kLineBytes;
+        array.insert(*array.victim(line), line);
+    }
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        Addr line = rng.below(64) * mem::kLineBytes;
+        benchmark::DoNotOptimize(array.lookup(line));
+    }
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_MshrAllocFree(benchmark::State &state)
+{
+    mem::Mshr mshr(32);
+    for (auto _ : state) {
+        mem::MshrEntry *e = mshr.alloc(0x1000);
+        benchmark::DoNotOptimize(e);
+        mshr.free(0x1000);
+    }
+}
+BENCHMARK(BM_MshrAllocFree);
+
+void
+BM_GtscL1HitPath(benchmark::State &state)
+{
+    sim::Config cfg;
+    cfg.setInt("gpu.warps_per_sm", 8);
+    sim::StatSet stats;
+    sim::EventQueue events;
+    core::TsDomain domain(cfg, stats);
+    core::GtscL1 l1(0, cfg, stats, events, domain, nullptr);
+    l1.setSend([](mem::Packet &&) {});
+    l1.setLoadDone([](const mem::Access &, const mem::AccessResult &) {});
+    l1.setStoreDone([](const mem::Access &, Cycle) {});
+
+    // Warm one line via a fill.
+    mem::Access acc;
+    acc.lineAddr = 0x1000;
+    acc.wordMask = 1;
+    acc.warp = 0;
+    acc.id = 1;
+    l1.access(acc, 0);
+    mem::Packet fill;
+    fill.type = mem::MsgType::BusFill;
+    fill.lineAddr = 0x1000;
+    fill.wts = 1;
+    fill.rts = 60000;
+    l1.receiveResponse(std::move(fill), 1);
+    l1.tick(2);
+    events.runUntil(100);
+
+    std::uint64_t id = 100;
+    Cycle now = 100;
+    for (auto _ : state) {
+        acc.id = ++id;
+        l1.access(acc, ++now);
+        events.runUntil(now + 8);
+    }
+}
+BENCHMARK(BM_GtscL1HitPath);
+
+void
+BM_CrossbarInjectDeliver(benchmark::State &state)
+{
+    sim::Config cfg;
+    sim::StatSet stats;
+    noc::Crossbar xbar(8, 8, cfg, stats, "noc.micro");
+    xbar.setDeliver([](unsigned, mem::Packet &&) {});
+    Cycle now = 0;
+    sim::Rng rng(2);
+    for (auto _ : state) {
+        mem::Packet p;
+        p.type = mem::MsgType::BusRd;
+        p.sizeBytes = 12;
+        xbar.inject(static_cast<unsigned>(rng.below(8)),
+                    static_cast<unsigned>(rng.below(8)), std::move(p),
+                    now);
+        ++now;
+        xbar.tick(now + 20);
+    }
+}
+BENCHMARK(BM_CrossbarInjectDeliver);
+
+void
+BM_CheckerTsLoad(benchmark::State &state)
+{
+    harness::CoherenceChecker checker;
+    for (Ts w = 1; w <= 64; ++w)
+        checker.onStoreTs(0x2000, 0, w * 10, static_cast<unsigned>(w));
+    sim::Rng rng(3);
+    for (auto _ : state) {
+        Ts ts = rng.below(640) + 10;
+        std::uint32_t expect =
+            static_cast<std::uint32_t>(std::min<Ts>(ts / 10, 64));
+        checker.onLoadTs(0x2000, 0, ts, expect);
+    }
+    if (checker.violations() > 0)
+        state.SkipWithError("checker reported violations");
+}
+BENCHMARK(BM_CheckerTsLoad);
+
+} // namespace
+
+BENCHMARK_MAIN();

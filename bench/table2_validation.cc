@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table II: absolute execution cycles of the coherent baseline (BL)
+ * and of TC on our simulator, printed next to the paper's reported
+ * numbers. We cannot run the original TC simulator, so the "paper"
+ * columns are the values reported in the paper (in millions, on the
+ * authors' machine-scale configuration); our columns are measured on
+ * the bench configuration — compare *ratios*, not absolutes.
+ */
+
+#include "bench_common.hh"
+
+using namespace gtsc;
+using namespace gtsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    sim::Config cfg = benchCfg(argc, argv);
+
+    harness::Table table({"bench", "BL(ours)", "TC(ours)",
+                          "TC/BL(ours)", "BL(paper M)", "TC(paper M)",
+                          "TC/BL(paper)"});
+
+    for (const auto &row : paperTable2()) {
+        harness::RunResult bl =
+            runCell(cfg, {"nol1", "rc", "BL"}, row.bench);
+        harness::RunResult tc =
+            runCell(cfg, {"tc", "rc", "TC-RC"}, row.bench);
+        table.row(displayName(row.bench));
+        table.cellInt(bl.cycles);
+        table.cellInt(tc.cycles);
+        table.cell(static_cast<double>(tc.cycles) /
+                   static_cast<double>(bl.cycles));
+        table.cell(row.blPaper, 2);
+        table.cell(row.tcPaper, 2);
+        table.cell(row.tcPaper / row.blPaper);
+    }
+    std::fprintf(stderr, "%40s\r", "");
+
+    std::printf("Table II: absolute execution cycles, BL and TC "
+                "(ours vs paper-reported)\n\n");
+    std::printf("%s\n", table.toString().c_str());
+    return 0;
+}

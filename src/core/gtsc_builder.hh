@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ProtocolBuilder wiring G-TSC into a GpuSystem.
+ */
+
+#ifndef GTSC_CORE_GTSC_BUILDER_HH_
+#define GTSC_CORE_GTSC_BUILDER_HH_
+
+#include <memory>
+
+#include "core/gtsc_l1.hh"
+#include "core/gtsc_l2.hh"
+#include "core/ts_domain.hh"
+#include "gpu/protocol_builder.hh"
+
+namespace gtsc::core
+{
+
+class GtscBuilder : public gpu::ProtocolBuilder
+{
+  public:
+    std::string name() const override { return "gtsc"; }
+
+    void
+    prepare(const sim::Config &cfg, sim::StatSet &stats,
+            const gpu::GpuParams &params) override
+    {
+        (void)params;
+        domain_ = std::make_unique<TsDomain>(cfg, stats);
+    }
+
+    std::unique_ptr<mem::L1Controller>
+    makeL1(SmId sm, const sim::Config &cfg, sim::StatSet &stats,
+           sim::EventQueue &events, mem::CoherenceProbe *probe) override
+    {
+        return std::make_unique<GtscL1>(sm, cfg, stats, events, *domain_,
+                                        probe);
+    }
+
+    std::unique_ptr<mem::L2Controller>
+    makeL2(PartitionId part, const sim::Config &cfg, sim::StatSet &stats,
+           sim::EventQueue &events, mem::DramChannel &dram,
+           mem::MainMemory &memory, mem::CoherenceProbe *probe) override
+    {
+        if (probe && !probeHooked_) {
+            TsDomain *d = domain_.get();
+            domain_->addResetListener(
+                [probe, d]() { probe->onEpochReset(d->epoch()); });
+            probeHooked_ = true;
+        }
+        return std::make_unique<GtscL2>(part, cfg, stats, events, dram,
+                                        memory, *domain_, probe);
+    }
+
+    /** The shared timestamp domain (tests). */
+    TsDomain &domain() { return *domain_; }
+
+  private:
+    std::unique_ptr<TsDomain> domain_;
+    bool probeHooked_ = false;
+};
+
+} // namespace gtsc::core
+
+#endif // GTSC_CORE_GTSC_BUILDER_HH_

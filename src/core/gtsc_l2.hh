@@ -1,0 +1,110 @@
+/**
+ * @file
+ * G-TSC shared (L2) cache partition controller.
+ *
+ * Implements the L2 side of the protocol (Figures 1b, 4, 5, 6):
+ *  - reads extend the block lease to warp_ts + lease; a matching wts
+ *    yields a data-less renewal (BusRnw), otherwise a BusFill;
+ *  - writes never stall: the new wts is scheduled logically after
+ *    every outstanding lease (wts' = max(rts + 1, warp_ts));
+ *  - the cache is non-inclusive (Section V-C): evictions only fold
+ *    the block's rts into the per-partition mem_ts;
+ *  - DRAM fills take wts = mem_ts, rts = mem_ts + lease;
+ *  - timestamp overflow triggers the domain-wide reset (Section V-D).
+ */
+
+#ifndef GTSC_CORE_GTSC_L2_HH_
+#define GTSC_CORE_GTSC_L2_HH_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ts_domain.hh"
+#include "mem/cache_array.hh"
+#include "mem/coherence_probe.hh"
+#include "mem/controllers.hh"
+#include "mem/dram.hh"
+#include "mem/main_memory.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace gtsc::core
+{
+
+class GtscL2 : public mem::L2Controller
+{
+  public:
+    GtscL2(PartitionId part, const sim::Config &cfg, sim::StatSet &stats,
+           sim::EventQueue &events, mem::DramChannel &dram,
+           mem::MainMemory &memory, TsDomain &domain,
+           mem::CoherenceProbe *probe);
+
+    void receiveRequest(mem::Packet &&pkt, Cycle now) override;
+    void tick(Cycle now) override;
+    void flushAll(Cycle now) override;
+    bool quiescent() const override;
+
+    Ts memTs() const { return memTs_; }
+
+  private:
+    struct MissEntry
+    {
+        std::vector<mem::Packet> waiters;
+    };
+
+    /** Rewind every timestamp in this bank (reset listener). */
+    void rewindTimestamps();
+
+    /** Process one request against a resident block. */
+    void serveHit(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now);
+    void serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now);
+    void serveWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now);
+
+    /** True if consumed; false = structural stall (MSHR full). */
+    bool process(mem::Packet &pkt, Cycle now);
+
+    void onDramFill(Addr line, const mem::LineData &data, Cycle now);
+    void evict(mem::CacheBlock &blk);
+
+    void respond(mem::Packet &&resp, Cycle now);
+
+    /** Clamp requests that predate the current epoch (Section V-D). */
+    void normalizeEpoch(mem::Packet &pkt);
+
+    PartitionId part_;
+    sim::StatSet &stats_;
+    sim::EventQueue &events_;
+    mem::DramChannel &dram_;
+    mem::MainMemory &memory_;
+    TsDomain &domain_;
+    mem::CoherenceProbe *probe_;
+
+    mem::CacheArray array_;
+    Ts memTs_ = 1;
+    std::deque<mem::Packet> queue_;
+    std::unordered_map<Addr, MissEntry> misses_;
+
+    unsigned ports_;
+    Cycle accessLatency_;
+    std::size_t mshrCapacity_;
+    /** Adaptive lease prediction (gtsc.adaptive_lease). */
+    bool adaptiveLease_;
+    Ts maxLease_;
+
+    std::uint64_t *accesses_;
+    std::uint64_t *hits_;
+    std::uint64_t *missesStat_;
+    std::uint64_t *renewals_;
+    std::uint64_t *fillsSent_;
+    std::uint64_t *writes_;
+    std::uint64_t *evictions_;
+    std::uint64_t *writebacks_;
+    std::uint64_t *stallMshrFull_;
+    std::uint64_t *queueCycles_;
+};
+
+} // namespace gtsc::core
+
+#endif // GTSC_CORE_GTSC_L2_HH_

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Wire sizes of G-TSC messages, following Table I of the paper.
+ *
+ * | message                  | rts | wts | warp_ts | data |
+ * |--------------------------|-----|-----|---------|------|
+ * | Read/Renewal req (BusRd) |     |  x  |    x    |      |
+ * | Write request (BusWr)    |     |     |    x    |  x   |
+ * | Fill response (BusFill)  |  x  |  x  |         |  x   |
+ * | Renewal resp (BusRnw)    |  x  |     |         |      |
+ * | Write ack (BusWrAck)     |  x  |  x  |         |      |
+ *
+ * Each timestamp costs tsBytes (2 for 16-bit timestamps); the header
+ * (address/type/ids) costs kHeaderBytes; store data is carried in
+ * 32-byte sectors.
+ */
+
+#ifndef GTSC_CORE_GTSC_MESSAGES_HH_
+#define GTSC_CORE_GTSC_MESSAGES_HH_
+
+#include "mem/packet.hh"
+
+namespace gtsc::core
+{
+
+inline constexpr std::uint32_t kHeaderBytes = 8;
+
+inline std::uint32_t
+gtscMessageBytes(mem::MsgType type, unsigned ts_bytes,
+                 std::uint32_t word_mask)
+{
+    switch (type) {
+      case mem::MsgType::BusRd:
+        return kHeaderBytes + 2 * ts_bytes; // wts + warp_ts
+      case mem::MsgType::BusWr:
+        return kHeaderBytes + ts_bytes + mem::maskedDataBytes(word_mask);
+      case mem::MsgType::BusFill:
+        return kHeaderBytes + 2 * ts_bytes + mem::kLineBytes;
+      case mem::MsgType::BusRnw:
+        return kHeaderBytes + ts_bytes; // rts only, no data
+      case mem::MsgType::BusWrAck:
+        return kHeaderBytes + 2 * ts_bytes; // wts + rts
+    }
+    return kHeaderBytes;
+}
+
+} // namespace gtsc::core
+
+#endif // GTSC_CORE_GTSC_MESSAGES_HH_

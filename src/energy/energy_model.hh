@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Event-energy model standing in for GPUWattch (Section VI-A).
+ *
+ * Energy = sum over components of (event counts x per-event energy)
+ * plus per-cycle static/idle power. The per-event constants are
+ * GPUWattch-magnitude defaults (picojoules), all configurable. The
+ * figures the paper reports (16, 17) compare *relative* energy across
+ * protocols, which is driven by the event counts the simulator
+ * produces (accesses, NoC bytes, DRAM activations, active vs idle SM
+ * cycles); the constants set the mix.
+ *
+ * Consumed stat names (produced by the controllers/SM/NoC):
+ *   sm.active_cycles, sm.mem_stall_cycles, sm.compute_stall_cycles,
+ *   sm.idle_cycles, sm.instructions,
+ *   l1.tag_accesses, l1.data_reads, l1.data_writes,
+ *   l2.accesses, l2.writes,
+ *   noc.req.bytes, noc.resp.bytes,
+ *   dram.reads, dram.writes, gpu.cycles
+ */
+
+#ifndef GTSC_ENERGY_ENERGY_MODEL_HH_
+#define GTSC_ENERGY_ENERGY_MODEL_HH_
+
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace gtsc::energy
+{
+
+/** Per-component energy in joules. */
+struct EnergyBreakdown
+{
+    double core = 0;
+    double l1 = 0;
+    double l2 = 0;
+    double noc = 0;
+    double dram = 0;
+
+    double
+    total() const
+    {
+        return core + l1 + l2 + noc + dram;
+    }
+};
+
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const sim::Config &cfg);
+
+    /**
+     * Compute the breakdown from a finished run's statistics.
+     * @param protocol protocol name; sets the per-access L1 metadata
+     *        cost (G-TSC reads/writes two 16-bit timestamps plus the
+     *        warp-timestamp table; TC one 32-bit timestamp).
+     * @param num_sms used to scale L1 static power.
+     */
+    EnergyBreakdown compute(const sim::StatSet &stats,
+                            const std::string &protocol,
+                            unsigned num_sms) const;
+
+  private:
+    // dynamic energies (picojoules per event)
+    double smActivePj_;
+    double smIdlePj_;
+    double instrPj_;
+    double l1TagPj_;
+    double l1DataPj_;
+    double l1MetaGtscPj_;
+    double l1MetaTcPj_;
+    double l2AccessPj_;
+    double nocBytePj_;
+    double dramAccessPj_;
+    // static power (picojoules per cycle, whole component)
+    double l1StaticPj_;
+    double l2StaticPj_;
+    double nocStaticPj_;
+    double dramStaticPj_;
+};
+
+} // namespace gtsc::energy
+
+#endif // GTSC_ENERGY_ENERGY_MODEL_HH_

@@ -1,0 +1,49 @@
+#include "gpu/coalescer.hh"
+
+#include "sim/log.hh"
+
+namespace gtsc::gpu
+{
+
+std::vector<mem::Access>
+Coalescer::coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
+                    WarpId warp)
+{
+    bool is_store = (instr.op == WarpInstr::Op::Store);
+    GTSC_ASSERT(is_store || instr.op == WarpInstr::Op::Load ||
+                    instr.op == WarpInstr::Op::SpinLoad,
+                "coalesce of non-memory instruction");
+
+    std::vector<mem::Access> out;
+    for (unsigned lane = 0; lane < warp_size; ++lane) {
+        if (!(instr.activeMask & (1u << lane)))
+            continue;
+        Addr line = mem::lineAlign(instr.addr[lane]);
+        unsigned word = mem::wordInLine(instr.addr[lane]);
+
+        mem::Access *acc = nullptr;
+        for (auto &a : out) {
+            if (a.lineAddr == line) {
+                acc = &a;
+                break;
+            }
+        }
+        if (!acc) {
+            out.emplace_back();
+            acc = &out.back();
+            acc->isStore = is_store;
+            acc->lineAddr = line;
+            acc->sm = sm;
+            acc->warp = warp;
+        }
+        acc->wordMask |= (1u << word);
+        if (is_store) {
+            acc->storeData.setWord(word, instr.hasValue
+                                             ? instr.value
+                                             : values_.next());
+        }
+    }
+    return out;
+}
+
+} // namespace gtsc::gpu

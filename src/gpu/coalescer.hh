@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The per-SM coalescing unit.
+ *
+ * Merges the per-lane addresses of one warp memory instruction into
+ * the minimum number of line-granular accesses (Section II-A). Store
+ * values are drawn from a shared monotonically increasing source so
+ * every written word carries a unique value the coherence checker
+ * can match against; explicit values (synchronization flags) pass
+ * through unchanged.
+ */
+
+#ifndef GTSC_GPU_COALESCER_HH_
+#define GTSC_GPU_COALESCER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/kernel.hh"
+#include "mem/access.hh"
+
+namespace gtsc::gpu
+{
+
+/** Unique-value generator for store payloads. */
+class StoreValueSource
+{
+  public:
+    std::uint32_t next() { return ++last_; }
+
+  private:
+    std::uint32_t last_ = 0;
+};
+
+class Coalescer
+{
+  public:
+    explicit Coalescer(StoreValueSource &values) : values_(values) {}
+
+    /**
+     * Split a Load/Store instruction into line accesses.
+     * Lane i participates when activeMask bit i is set; warp_size
+     * bounds the lanes examined. Access ids are left 0 (the SM
+     * assigns them).
+     */
+    std::vector<mem::Access>
+    coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
+             WarpId warp);
+
+  private:
+    StoreValueSource &values_;
+};
+
+} // namespace gtsc::gpu
+
+#endif // GTSC_GPU_COALESCER_HH_

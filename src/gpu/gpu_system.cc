@@ -1,0 +1,171 @@
+#include "gpu/gpu_system.hh"
+
+#include "sim/log.hh"
+
+namespace gtsc::gpu
+{
+
+GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
+                     Workload &workload, mem::CoherenceProbe *probe)
+    : cfg_(cfg), params_(GpuParams::fromConfig(cfg)), builder_(builder),
+      workload_(workload)
+{
+    maxCycles_ = cfg_.getUint("gpu.max_cycles", 500000000ULL);
+    watchdogWindow_ = cfg_.getUint("gpu.watchdog_cycles", 400000ULL);
+
+    builder_.prepare(cfg_, stats_, params_);
+
+    reqNet_ = noc::makeNetwork(params_.numSms, params_.numPartitions,
+                               true, cfg_, stats_, "noc.req");
+    respNet_ = noc::makeNetwork(params_.numPartitions, params_.numSms,
+                                false, cfg_, stats_, "noc.resp");
+
+    for (unsigned p = 0; p < params_.numPartitions; ++p) {
+        drams_.push_back(std::make_unique<mem::DramChannel>(
+            cfg_, stats_, events_, memory_, "dram"));
+        l2s_.push_back(builder_.makeL2(static_cast<PartitionId>(p), cfg_,
+                                       stats_, events_, *drams_.back(),
+                                       memory_, probe));
+        l2s_.back()->setSend([this, p](mem::Packet &&pkt) {
+            respNet_->inject(p, pkt.src, std::move(pkt), cycle_);
+        });
+    }
+
+    for (unsigned s = 0; s < params_.numSms; ++s) {
+        l1s_.push_back(builder_.makeL1(static_cast<SmId>(s), cfg_, stats_,
+                                       events_, probe));
+        l1s_.back()->setSend([this, s](mem::Packet &&pkt) {
+            reqNet_->inject(s, pkt.part, std::move(pkt), cycle_);
+        });
+        sms_.push_back(std::make_unique<Sm>(static_cast<SmId>(s), params_,
+                                            cfg_, stats_, *l1s_.back(),
+                                            storeValues_));
+    }
+
+    reqNet_->setDeliver([this](unsigned dst, mem::Packet &&pkt) {
+        l2s_[dst]->receiveRequest(std::move(pkt), cycle_);
+    });
+    respNet_->setDeliver([this](unsigned dst, mem::Packet &&pkt) {
+        l1s_[dst]->receiveResponse(std::move(pkt), cycle_);
+    });
+}
+
+bool
+GpuSystem::quiescent() const
+{
+    if (!events_.empty())
+        return false;
+    if (!reqNet_->quiescent() || !respNet_->quiescent())
+        return false;
+    for (const auto &sm : sms_) {
+        if (!sm->quiescent())
+            return false;
+    }
+    for (const auto &l1 : l1s_) {
+        if (!l1->quiescent())
+            return false;
+    }
+    for (const auto &l2 : l2s_) {
+        if (!l2->quiescent())
+            return false;
+    }
+    for (const auto &dram : drams_) {
+        if (!dram->idle())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+GpuSystem::progressToken() const
+{
+    std::uint64_t token = 0;
+    for (const auto &sm : sms_)
+        token += sm->instructionsRetired();
+    token += stats_.get("noc.req.packets") + stats_.get("noc.resp.packets");
+    return token;
+}
+
+void
+GpuSystem::runKernel(unsigned kernel)
+{
+    workload_.initMemory(memory_, kernel);
+    if (kernelStartHook_)
+        kernelStartHook_(memory_, kernel);
+    for (unsigned s = 0; s < params_.numSms; ++s) {
+        std::vector<std::unique_ptr<WarpProgram>> programs;
+        programs.reserve(params_.warpsPerSm);
+        for (unsigned w = 0; w < params_.warpsPerSm; ++w) {
+            programs.push_back(workload_.makeProgram(
+                kernel, static_cast<SmId>(s), static_cast<WarpId>(w),
+                params_));
+        }
+        sms_[s]->launchKernel(std::move(programs));
+    }
+
+    std::uint64_t last_progress = progressToken();
+    Cycle last_progress_cycle = cycle_;
+
+    auto all_done = [this]() {
+        for (const auto &sm : sms_) {
+            if (!sm->allWarpsDone())
+                return false;
+        }
+        return true;
+    };
+
+    while (!(all_done() && quiescent())) {
+        ++cycle_;
+        if (cycle_ > maxCycles_)
+            GTSC_FATAL("simulation exceeded gpu.max_cycles=", maxCycles_,
+                       " for workload ", workload_.name());
+
+        events_.runUntil(cycle_);
+        for (auto &l2 : l2s_)
+            l2->tick(cycle_);
+        respNet_->tick(cycle_);
+        reqNet_->tick(cycle_);
+        for (auto &l1 : l1s_)
+            l1->tick(cycle_);
+        for (auto &sm : sms_)
+            sm->tick(cycle_);
+        for (auto &dram : drams_)
+            dram->tick(cycle_);
+
+        std::uint64_t token = progressToken();
+        if (token != last_progress) {
+            last_progress = token;
+            last_progress_cycle = cycle_;
+        } else if (cycle_ - last_progress_cycle > watchdogWindow_) {
+            GTSC_PANIC("no forward progress for ", watchdogWindow_,
+                       " cycles at cycle ", cycle_, " in workload ",
+                       workload_.name(), " kernel ", kernel);
+        }
+    }
+
+    // Kernel boundary: GPUs flush private caches (Section V-D).
+    for (auto &l1 : l1s_)
+        l1->flush(cycle_);
+    if (cfg_.getBool("gpu.flush_l2_between_kernels", true) &&
+        kernel + 1 < workload_.numKernels()) {
+        for (auto &l2 : l2s_)
+            l2->flushAll(cycle_);
+    }
+    stats_.counter("gpu.kernels_run")++;
+}
+
+Cycle
+GpuSystem::run()
+{
+    for (unsigned k = 0; k < workload_.numKernels(); ++k)
+        runKernel(k);
+    // Device-to-host copy at the end of the grid: drain the
+    // write-back L2 so MainMemory holds the final state for
+    // Workload::verify().
+    for (auto &l2 : l2s_)
+        l2->flushAll(cycle_);
+    stats_.counter("gpu.cycles") = cycle_;
+    return cycle_;
+}
+
+} // namespace gtsc::gpu

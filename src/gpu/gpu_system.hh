@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Whole-GPU assembly: SMs + private caches, request/response
+ * crossbars, L2 partitions with their DRAM channels, one functional
+ * main memory, and the cycle loop that runs a Workload's kernels
+ * back to back (flushing L1s at kernel boundaries, as GPUs do).
+ */
+
+#ifndef GTSC_GPU_GPU_SYSTEM_HH_
+#define GTSC_GPU_GPU_SYSTEM_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.hh"
+#include "gpu/params.hh"
+#include "gpu/protocol_builder.hh"
+#include "gpu/sm.hh"
+#include "mem/coherence_probe.hh"
+#include "mem/dram.hh"
+#include "mem/main_memory.hh"
+#include "noc/network.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace gtsc::gpu
+{
+
+class GpuSystem
+{
+  public:
+    GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
+              Workload &workload, mem::CoherenceProbe *probe = nullptr);
+
+    /**
+     * Run every kernel of the workload to completion.
+     * @return total simulated cycles.
+     */
+    Cycle run();
+
+    sim::StatSet &stats() { return stats_; }
+    const sim::StatSet &stats() const { return stats_; }
+    mem::MainMemory &memory() { return memory_; }
+    const GpuParams &params() const { return params_; }
+    Cycle cycle() const { return cycle_; }
+
+    /**
+     * Called after each kernel's initMemory(), before its first
+     * cycle (the coherence checker snapshots base values here).
+     */
+    void
+    setKernelStartHook(
+        std::function<void(const mem::MainMemory &, unsigned)> hook)
+    {
+        kernelStartHook_ = std::move(hook);
+    }
+
+  private:
+    bool quiescent() const;
+    void runKernel(unsigned kernel);
+    std::uint64_t progressToken() const;
+
+    sim::Config cfg_;
+    GpuParams params_;
+    ProtocolBuilder &builder_;
+    Workload &workload_;
+
+    sim::StatSet stats_;
+    sim::EventQueue events_;
+    mem::MainMemory memory_;
+    StoreValueSource storeValues_;
+
+    std::vector<std::unique_ptr<mem::DramChannel>> drams_;
+    std::vector<std::unique_ptr<mem::L2Controller>> l2s_;
+    std::vector<std::unique_ptr<mem::L1Controller>> l1s_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::unique_ptr<noc::Network> reqNet_;
+    std::unique_ptr<noc::Network> respNet_;
+
+    Cycle cycle_ = 0;
+    Cycle maxCycles_;
+    Cycle watchdogWindow_;
+    std::function<void(const mem::MainMemory &, unsigned)>
+        kernelStartHook_;
+};
+
+} // namespace gtsc::gpu
+
+#endif // GTSC_GPU_GPU_SYSTEM_HH_

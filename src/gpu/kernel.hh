@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The kernel IR: what warps execute.
+ *
+ * A WarpProgram is a lazily generated stream of warp-wide
+ * instructions (SIMT: all active lanes execute the same op). This is
+ * the substitution for running real CUDA kernels: workload generators
+ * emit instruction streams with the same memory-access *structure*
+ * as the paper's benchmarks (footprints, sharing, fences, compute
+ * density) without the arithmetic.
+ */
+
+#ifndef GTSC_GPU_KERNEL_HH_
+#define GTSC_GPU_KERNEL_HH_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpu/params.hh"
+#include "mem/main_memory.hh"
+#include "sim/types.hh"
+
+namespace gtsc::gpu
+{
+
+/** One SIMT instruction as seen by the timing model. */
+struct WarpInstr
+{
+    enum class Op : std::uint8_t
+    {
+        Compute,  ///< occupy the warp for computeCycles
+        Load,     ///< per-lane global loads (coalesced by the LDST unit)
+        Store,    ///< per-lane global stores
+        Fence,    ///< memory fence (RC ordering point)
+        SpinLoad, ///< lane-0 load retried until word >= spinExpect
+        Exit,     ///< warp is done
+    };
+
+    Op op = Op::Exit;
+    std::uint32_t computeCycles = 0;
+    /** Bit i set = lane i participates (Load/Store). */
+    std::uint32_t activeMask = 0xffffffffu;
+    /** Per-lane byte addresses (Load/Store/SpinLoad lane 0). */
+    std::array<Addr, kMaxWarpSize> addr{};
+    /** Store: use this value for all lanes instead of auto values. */
+    bool hasValue = false;
+    std::uint32_t value = 0;
+    /** SpinLoad: proceed once the loaded word >= spinExpect. */
+    std::uint32_t spinExpect = 0;
+    /** SpinLoad: give up (and proceed) after this many attempts. */
+    std::uint32_t spinMaxIters = 64;
+
+    // --- convenience constructors ---
+    static WarpInstr
+    compute(std::uint32_t cycles)
+    {
+        WarpInstr i;
+        i.op = Op::Compute;
+        i.computeCycles = cycles;
+        return i;
+    }
+
+    static WarpInstr
+    fence()
+    {
+        WarpInstr i;
+        i.op = Op::Fence;
+        return i;
+    }
+
+    static WarpInstr
+    exit()
+    {
+        return WarpInstr{};
+    }
+
+    /** Load with each active lane at base + lane*stride bytes. */
+    static WarpInstr
+    loadStrided(Addr base, unsigned warp_size, std::uint64_t stride = 4,
+                std::uint32_t mask = 0xffffffffu)
+    {
+        WarpInstr i;
+        i.op = Op::Load;
+        i.activeMask = mask & laneMask(warp_size);
+        for (unsigned l = 0; l < warp_size; ++l)
+            i.addr[l] = base + l * stride;
+        return i;
+    }
+
+    static WarpInstr
+    storeStrided(Addr base, unsigned warp_size, std::uint64_t stride = 4,
+                 std::uint32_t mask = 0xffffffffu)
+    {
+        WarpInstr i;
+        i.op = Op::Store;
+        i.activeMask = mask & laneMask(warp_size);
+        for (unsigned l = 0; l < warp_size; ++l)
+            i.addr[l] = base + l * stride;
+        return i;
+    }
+
+    /** Single-lane load (lane 0). */
+    static WarpInstr
+    loadScalar(Addr a)
+    {
+        WarpInstr i;
+        i.op = Op::Load;
+        i.activeMask = 1;
+        i.addr[0] = a;
+        return i;
+    }
+
+    /** Single-lane store (lane 0) with an explicit value. */
+    static WarpInstr
+    storeScalar(Addr a, std::uint32_t value)
+    {
+        WarpInstr i;
+        i.op = Op::Store;
+        i.activeMask = 1;
+        i.addr[0] = a;
+        i.hasValue = true;
+        i.value = value;
+        return i;
+    }
+
+    /** Spin until the word at `a` is >= expect. */
+    static WarpInstr
+    spinUntil(Addr a, std::uint32_t expect, std::uint32_t max_iters = 256)
+    {
+        WarpInstr i;
+        i.op = Op::SpinLoad;
+        i.activeMask = 1;
+        i.addr[0] = a;
+        i.spinExpect = expect;
+        i.spinMaxIters = max_iters;
+        return i;
+    }
+
+    static std::uint32_t
+    laneMask(unsigned warp_size)
+    {
+        return warp_size >= 32 ? 0xffffffffu : ((1u << warp_size) - 1);
+    }
+};
+
+/** A lazily produced instruction stream for one warp. */
+class WarpProgram
+{
+  public:
+    virtual ~WarpProgram() = default;
+
+    /** Produce the next instruction; Op::Exit ends the warp. */
+    virtual WarpInstr next() = 0;
+
+    /**
+     * The lane-0 word observed by the last completed Load/SpinLoad.
+     * Lets programs branch on loaded values (litmus tests record
+     * their outcomes through this hook). Called before the next
+     * next().
+     */
+    virtual void observe(std::uint32_t value) { (void)value; }
+};
+
+/** A WarpProgram backed by a pre-built instruction vector. */
+class TraceProgram : public WarpProgram
+{
+  public:
+    explicit TraceProgram(std::vector<WarpInstr> instrs)
+        : instrs_(std::move(instrs))
+    {}
+
+    WarpInstr
+    next() override
+    {
+        if (pos_ >= instrs_.size())
+            return WarpInstr::exit();
+        return instrs_[pos_++];
+    }
+
+  private:
+    std::vector<WarpInstr> instrs_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * A workload: a sequence of kernels, each providing one WarpProgram
+ * per (sm, warp). Memory can be (re)initialized before each kernel;
+ * verify() checks functional results after the run.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Set 1 workloads need coherence for correctness. */
+    virtual bool requiresCoherence() const = 0;
+
+    virtual unsigned numKernels() const { return 1; }
+
+    /** Initialize global memory before kernel `kernel` launches. */
+    virtual void
+    initMemory(mem::MainMemory &memory, unsigned kernel)
+    {
+        (void)memory;
+        (void)kernel;
+    }
+
+    /** Build the instruction stream for one warp of one kernel. */
+    virtual std::unique_ptr<WarpProgram>
+    makeProgram(unsigned kernel, SmId sm, WarpId warp,
+                const GpuParams &params) = 0;
+
+    /** Functional check after the whole run; true = pass. */
+    virtual bool
+    verify(const mem::MainMemory &memory) const
+    {
+        (void)memory;
+        return true;
+    }
+};
+
+} // namespace gtsc::gpu
+
+#endif // GTSC_GPU_KERNEL_HH_

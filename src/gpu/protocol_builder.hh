@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Factory interface that plugs a coherence protocol into the GPU.
+ *
+ * A builder creates one L1Controller per SM and one L2Controller per
+ * partition; prepare() runs first so the builder can allocate state
+ * shared across controllers (e.g. G-TSC's timestamp domain used by
+ * the overflow/reset protocol).
+ */
+
+#ifndef GTSC_GPU_PROTOCOL_BUILDER_HH_
+#define GTSC_GPU_PROTOCOL_BUILDER_HH_
+
+#include <memory>
+#include <string>
+
+#include "gpu/params.hh"
+#include "mem/coherence_probe.hh"
+#include "mem/controllers.hh"
+#include "mem/dram.hh"
+#include "mem/main_memory.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace gtsc::gpu
+{
+
+class ProtocolBuilder
+{
+  public:
+    virtual ~ProtocolBuilder() = default;
+
+    /** Short protocol name ("gtsc", "tc", "nol1", "noncoh"). */
+    virtual std::string name() const = 0;
+
+    /** Allocate cross-controller shared state. Called once. */
+    virtual void
+    prepare(const sim::Config &cfg, sim::StatSet &stats,
+            const GpuParams &params)
+    {
+        (void)cfg;
+        (void)stats;
+        (void)params;
+    }
+
+    virtual std::unique_ptr<mem::L1Controller>
+    makeL1(SmId sm, const sim::Config &cfg, sim::StatSet &stats,
+           sim::EventQueue &events, mem::CoherenceProbe *probe) = 0;
+
+    virtual std::unique_ptr<mem::L2Controller>
+    makeL2(PartitionId part, const sim::Config &cfg, sim::StatSet &stats,
+           sim::EventQueue &events, mem::DramChannel &dram,
+           mem::MainMemory &memory, mem::CoherenceProbe *probe) = 0;
+
+    /** False for the L1-bypass baseline (energy model skips L1). */
+    virtual bool usesL1() const { return true; }
+};
+
+} // namespace gtsc::gpu
+
+#endif // GTSC_GPU_PROTOCOL_BUILDER_HH_

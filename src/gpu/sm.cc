@@ -1,0 +1,432 @@
+#include "gpu/sm.hh"
+
+#include "sim/log.hh"
+
+namespace gtsc::gpu
+{
+
+Sm::Sm(SmId id, const GpuParams &params, const sim::Config &cfg,
+       sim::StatSet &stats, mem::L1Controller &l1,
+       StoreValueSource &values)
+    : id_(id), params_(params), stats_(stats), l1_(l1),
+      coalescer_(values)
+{
+    warps_.resize(params_.warpsPerSm);
+    issueWidth_ =
+        static_cast<unsigned>(cfg.getUint("gpu.issue_width", 1));
+    spinBackoff_ = cfg.getUint("gpu.spin_backoff_cycles", 16);
+    std::string sched = cfg.getString("gpu.scheduler", "gto");
+    if (sched == "gto")
+        scheduler_ = Scheduler::Gto;
+    else if (sched == "rr")
+        scheduler_ = Scheduler::Rr;
+    else if (sched == "oldest")
+        scheduler_ = Scheduler::Oldest;
+    else
+        GTSC_FATAL("gpu.scheduler must be gto|rr|oldest, got '", sched,
+                   "'");
+
+    activeCycles_ = &stats_.counter("sm.active_cycles");
+    memStallCycles_ = &stats_.counter("sm.mem_stall_cycles");
+    computeStallCycles_ = &stats_.counter("sm.compute_stall_cycles");
+    idleCycles_ = &stats_.counter("sm.idle_cycles");
+    instrs_ = &stats_.counter("sm.instructions");
+    loads_ = &stats_.counter("sm.loads");
+    stores_ = &stats_.counter("sm.stores");
+    fences_ = &stats_.counter("sm.fences");
+    spinRetries_ = &stats_.counter("sm.spin_retries");
+    spinGiveups_ = &stats_.counter("sm.spin_giveups");
+    fenceStallCycles_ = &stats_.counter("sm.fence_stall_warp_cycles");
+
+    l1_.setLoadDone(
+        [this](const mem::Access &a, const mem::AccessResult &r) {
+            onLoadDone(a, r, now_);
+        });
+    l1_.setStoreDone([this](const mem::Access &a, Cycle gwct) {
+        onStoreDone(a, gwct, now_);
+    });
+}
+
+void
+Sm::launchKernel(std::vector<std::unique_ptr<WarpProgram>> programs)
+{
+    GTSC_ASSERT(programs.size() == warps_.size(),
+                "program count != warp count");
+    for (unsigned w = 0; w < warps_.size(); ++w) {
+        WarpCtx &warp = warps_[w];
+        GTSC_ASSERT(warp.toSubmit.empty() && warp.inFlight == 0,
+                    "kernel launch with in-flight memory accesses");
+        GTSC_ASSERT(warp.outstandingStores == 0,
+                    "kernel launch with outstanding stores");
+        warp.program = std::move(programs[w]);
+        warp.state = warp.program ? WarpState::Ready : WarpState::Idle;
+        warp.hasCur = false;
+        warp.readyAt = 0;
+        warp.gwct = 0;
+        warp.spinIters = 0;
+    }
+    lastIssued_ = 0;
+}
+
+bool
+Sm::allWarpsDone() const
+{
+    for (const auto &warp : warps_) {
+        if (warp.state != WarpState::Done && warp.state != WarpState::Idle)
+            return false;
+    }
+    return true;
+}
+
+bool
+Sm::quiescent() const
+{
+    for (const auto &warp : warps_) {
+        if (!warp.toSubmit.empty() || warp.inFlight != 0 ||
+            warp.outstandingStores != 0 || !warp.storeFifo.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Sm::fenceSatisfied(const WarpCtx &warp, Cycle now) const
+{
+    return warp.outstandingStores == 0 && now >= warp.gwct;
+}
+
+void
+Sm::retire(unsigned w)
+{
+    WarpCtx &warp = warps_[w];
+    warp.hasCur = false;
+    warp.spinIters = 0;
+    if (warp.state != WarpState::Done)
+        warp.state = WarpState::Ready;
+    ++retiredTotal_;
+    ++(*instrs_);
+}
+
+void
+Sm::tick(Cycle now)
+{
+    now_ = now;
+
+    // Wake timed and fence-blocked warps; retry store-buffer drains
+    // that were structurally rejected.
+    for (auto &warp : warps_) {
+        if (!warp.storeFifo.empty())
+            drainStoreFifo(warp, now);
+        if (warp.state == WarpState::WaitCompute && now >= warp.readyAt)
+            warp.state = WarpState::Ready;
+        if (warp.state == WarpState::WaitFence) {
+            ++(*fenceStallCycles_);
+            if (fenceSatisfied(warp, now)) {
+                warp.state = WarpState::Ready;
+                // The fence instruction retires when it unblocks.
+                ++retiredTotal_;
+                ++(*instrs_);
+            }
+        }
+    }
+
+    // Issue according to the configured scheduling policy.
+    unsigned issued = 0;
+    unsigned n = static_cast<unsigned>(warps_.size());
+    for (unsigned slot = 0; slot < issueWidth_; ++slot) {
+        bool progress = false;
+        switch (scheduler_) {
+          case Scheduler::Gto:
+            // Greedy: stick with the last issued warp, then oldest.
+            if (issueWarp(lastIssued_, now)) {
+                progress = true;
+                break;
+            }
+            [[fallthrough]];
+          case Scheduler::Oldest:
+            for (unsigned w = 0; w < n; ++w) {
+                if (scheduler_ == Scheduler::Gto && w == lastIssued_)
+                    continue;
+                if (issueWarp(w, now)) {
+                    lastIssued_ = w;
+                    progress = true;
+                    break;
+                }
+            }
+            break;
+          case Scheduler::Rr:
+            // Loose round-robin: start after the last issued warp.
+            for (unsigned k = 1; k <= n; ++k) {
+                unsigned w = (lastIssued_ + k) % n;
+                if (issueWarp(w, now)) {
+                    lastIssued_ = w;
+                    progress = true;
+                    break;
+                }
+            }
+            break;
+        }
+        if (!progress)
+            break;
+        ++issued;
+    }
+
+    // Cycle accounting for the stall breakdown (Figure 13).
+    if (issued > 0) {
+        ++(*activeCycles_);
+        return;
+    }
+    bool any_live = false;
+    bool any_compute = false;
+    bool any_mem = false;
+    for (const auto &warp : warps_) {
+        switch (warp.state) {
+          case WarpState::WaitCompute:
+            any_live = true;
+            any_compute = true;
+            break;
+          case WarpState::WaitMem:
+          case WarpState::WaitFence:
+            any_live = true;
+            any_mem = true;
+            break;
+          case WarpState::Ready:
+            any_live = true;
+            break;
+          default:
+            break;
+        }
+    }
+    if (!any_live)
+        ++(*idleCycles_);
+    else if (any_compute)
+        ++(*computeStallCycles_);
+    else if (any_mem)
+        ++(*memStallCycles_);
+    else
+        ++(*idleCycles_);
+}
+
+bool
+Sm::issueWarp(unsigned w, Cycle now)
+{
+    WarpCtx &warp = warps_[w];
+
+    // Structural retries count as the warp's issue slot.
+    if (!warp.toSubmit.empty()) {
+        if (warp.state != WarpState::WaitMem)
+            return false; // submits drain via WaitMem path only
+        if (warp.loadWaitsStores)
+            return false; // TSO alias: wait for the store buffer
+        bool drained = drainSubmits(warp, now);
+        if (drained && warp.inFlight == 0)
+            finishMemInstr(w, now);
+        return true;
+    }
+
+    if (warp.state != WarpState::Ready)
+        return false;
+
+    if (!warp.hasCur) {
+        warp.cur = warp.program->next();
+        warp.hasCur = true;
+    }
+    return beginInstr(w, now);
+}
+
+bool
+Sm::beginInstr(unsigned w, Cycle now)
+{
+    WarpCtx &warp = warps_[w];
+    const WarpInstr &instr = warp.cur;
+
+    switch (instr.op) {
+      case WarpInstr::Op::Exit:
+        warp.state = WarpState::Done;
+        warp.hasCur = false;
+        return true;
+
+      case WarpInstr::Op::Compute: {
+        std::uint32_t cycles = instr.computeCycles;
+        warp.readyAt = now + cycles;
+        retire(w);
+        if (cycles > 0)
+            warp.state = WarpState::WaitCompute;
+        return true;
+      }
+
+      case WarpInstr::Op::Fence:
+        ++(*fences_);
+        if (fenceSatisfied(warp, now)) {
+            retire(w);
+        } else {
+            warp.state = WarpState::WaitFence;
+            warp.hasCur = false; // retires on wake
+        }
+        return true;
+
+      case WarpInstr::Op::Load:
+      case WarpInstr::Op::SpinLoad:
+      case WarpInstr::Op::Store: {
+        bool is_store = instr.op == WarpInstr::Op::Store;
+        auto accesses = coalescer_.coalesce(instr, params_.warpSize, id_,
+                                            static_cast<WarpId>(w));
+        GTSC_ASSERT(!accesses.empty(), "memory instr with no active lanes");
+        if (is_store)
+            (*stores_) += 1;
+        else
+            (*loads_) += 1;
+
+        for (auto &acc : accesses) {
+            acc.id = nextAccessId_++;
+            if (is_store) {
+                ++warp.outstandingStores;
+                if (params_.consistency == Consistency::SC)
+                    ++warp.inFlight;
+            } else {
+                ++warp.inFlight;
+            }
+        }
+
+        if (is_store && params_.consistency == Consistency::TSO) {
+            // TSO: the store retires into the per-warp store buffer
+            // and drains in order, one outstanding at a time.
+            for (auto &acc : accesses)
+                warp.storeFifo.push_back(std::move(acc));
+            retire(w);
+            drainStoreFifo(warp, now);
+            return true;
+        }
+        if (!is_store && params_.consistency == Consistency::TSO &&
+            !warp.storeFifo.empty()) {
+            // No store-to-load forwarding hardware: a load aliasing
+            // a buffered store waits for the buffer to drain.
+            bool alias = false;
+            for (const auto &acc : accesses) {
+                for (const auto &st : warp.storeFifo)
+                    alias |= (st.lineAddr == acc.lineAddr);
+            }
+            if (alias) {
+                warp.toSubmit = std::move(accesses);
+                warp.state = WarpState::WaitMem;
+                warp.loadWaitsStores = true;
+                return true;
+            }
+        }
+
+        warp.toSubmit = std::move(accesses);
+        warp.state = WarpState::WaitMem;
+        bool drained = drainSubmits(warp, now);
+        if (drained && warp.inFlight == 0)
+            finishMemInstr(w, now);
+        return true;
+      }
+    }
+    GTSC_PANIC("unhandled opcode");
+}
+
+void
+Sm::drainStoreFifo(WarpCtx &warp, Cycle now)
+{
+    // One-deep store buffer: submit the next store only when the
+    // previous one has been acknowledged.
+    while (warp.storesSubmitted == 0 && !warp.storeFifo.empty()) {
+        if (!l1_.access(warp.storeFifo.front(), now))
+            break;
+        warp.storeFifo.pop_front();
+        ++warp.storesSubmitted;
+    }
+}
+
+bool
+Sm::drainSubmits(WarpCtx &warp, Cycle now)
+{
+    while (!warp.toSubmit.empty()) {
+        if (!l1_.access(warp.toSubmit.front(), now))
+            return false;
+        warp.toSubmit.erase(warp.toSubmit.begin());
+    }
+    return true;
+}
+
+void
+Sm::finishMemInstr(unsigned w, Cycle now)
+{
+    WarpCtx &warp = warps_[w];
+    GTSC_ASSERT(warp.inFlight == 0 && warp.toSubmit.empty(),
+                "finishMemInstr with work outstanding");
+    if (!warp.hasCur) {
+        return;
+    }
+    if (warp.cur.op == WarpInstr::Op::SpinLoad) {
+        bool satisfied = warp.spinObserved >= warp.cur.spinExpect;
+        if (!satisfied && warp.spinIters + 1 < warp.cur.spinMaxIters) {
+            // Retry after a short backoff; tell the protocol so
+            // G-TSC can advance the warp's logical clock.
+            ++warp.spinIters;
+            ++(*spinRetries_);
+            l1_.noteSpinRetry(static_cast<WarpId>(w),
+                              mem::lineAlign(warp.cur.addr[0]));
+            warp.readyAt = now + spinBackoff_;
+            warp.state = WarpState::WaitCompute;
+            return;
+        }
+        if (!satisfied)
+            ++(*spinGiveups_);
+    }
+    if (warp.cur.op == WarpInstr::Op::Load ||
+        warp.cur.op == WarpInstr::Op::SpinLoad) {
+        warp.program->observe(warp.spinObserved);
+    }
+    retire(w);
+}
+
+void
+Sm::onLoadDone(const mem::Access &acc, const mem::AccessResult &res,
+               Cycle now)
+{
+    WarpCtx &warp = warps_[acc.warp];
+    GTSC_ASSERT(warp.inFlight > 0, "load completion with none in flight");
+    --warp.inFlight;
+    if (warp.hasCur &&
+        (warp.cur.op == WarpInstr::Op::SpinLoad ||
+         warp.cur.op == WarpInstr::Op::Load)) {
+        Addr lane0 = warp.cur.addr[0];
+        if (mem::lineAlign(lane0) == acc.lineAddr)
+            warp.spinObserved = res.data.word(mem::wordInLine(lane0));
+    }
+    if (warp.inFlight == 0 && warp.toSubmit.empty())
+        finishMemInstr(acc.warp, now);
+}
+
+void
+Sm::onStoreDone(const mem::Access &acc, Cycle gwct, Cycle now)
+{
+    WarpCtx &warp = warps_[acc.warp];
+    GTSC_ASSERT(warp.outstandingStores > 0,
+                "store ack with none outstanding");
+    --warp.outstandingStores;
+    if (gwct > warp.gwct)
+        warp.gwct = gwct;
+    if (params_.consistency == Consistency::TSO) {
+        GTSC_ASSERT(warp.storesSubmitted > 0,
+                    "TSO ack without submitted store");
+        --warp.storesSubmitted;
+        drainStoreFifo(warp, now);
+        if (warp.loadWaitsStores && warp.storeFifo.empty() &&
+            warp.storesSubmitted == 0) {
+            // Aliased load may proceed; its submits resume on the
+            // warp's next issue slot.
+            warp.loadWaitsStores = false;
+        }
+    }
+    if (params_.consistency == Consistency::SC) {
+        GTSC_ASSERT(warp.inFlight > 0, "SC store ack with none in flight");
+        --warp.inFlight;
+        if (warp.inFlight == 0 && warp.toSubmit.empty())
+            finishMemInstr(acc.warp, now);
+    }
+}
+
+} // namespace gtsc::gpu

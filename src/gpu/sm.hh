@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Streaming Multiprocessor timing model.
+ *
+ * Holds warp contexts, issues one instruction per cycle from a
+ * greedy-then-oldest scheduler, coalesces memory instructions and
+ * drives the private-cache controller. Implements the consistency
+ * model: under SC every memory instruction blocks its warp until
+ * globally performed (one outstanding request per warp, Section VI);
+ * under RC stores are fire-and-forget and fences stall the warp
+ * until all of its stores are acknowledged (and, for TC-Weak, until
+ * the warp's Global Write Completion Time has passed).
+ */
+
+#ifndef GTSC_GPU_SM_HH_
+#define GTSC_GPU_SM_HH_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "gpu/coalescer.hh"
+#include "gpu/kernel.hh"
+#include "gpu/params.hh"
+#include "mem/controllers.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gtsc::gpu
+{
+
+class Sm
+{
+  public:
+    Sm(SmId id, const GpuParams &params, const sim::Config &cfg,
+       sim::StatSet &stats, mem::L1Controller &l1,
+       StoreValueSource &values);
+
+    /** Install one program per warp and mark all warps runnable. */
+    void launchKernel(std::vector<std::unique_ptr<WarpProgram>> programs);
+
+    /** Advance one cycle: wake warps, issue, account stalls. */
+    void tick(Cycle now);
+
+    /** All warps have exited (stores may still be outstanding). */
+    bool allWarpsDone() const;
+
+    /** No accesses awaiting submission and no outstanding stores. */
+    bool quiescent() const;
+
+    std::uint64_t instructionsRetired() const { return retiredTotal_; }
+
+    SmId id() const { return id_; }
+
+  private:
+    enum class WarpState : std::uint8_t
+    {
+        Idle,        ///< no program installed
+        Ready,       ///< can issue
+        WaitCompute, ///< busy until readyAt (also spin backoff)
+        WaitMem,     ///< blocked on current memory instruction
+        WaitFence,   ///< blocked on fence condition
+        Done,        ///< program exhausted
+    };
+
+    struct WarpCtx
+    {
+        std::unique_ptr<WarpProgram> program;
+        WarpState state = WarpState::Idle;
+        Cycle readyAt = 0;
+        WarpInstr cur;
+        bool hasCur = false;
+        /** Accesses accepted-pending submission (structural retries). */
+        std::vector<mem::Access> toSubmit;
+        /** Accesses of the current instruction awaiting completion. */
+        unsigned inFlight = 0;
+        /** Store acks not yet received (fences, SC blocking). */
+        unsigned outstandingStores = 0;
+        Cycle gwct = 0;
+        std::uint32_t spinIters = 0;
+        std::uint32_t spinObserved = 0;
+        /** TSO: stores waiting to drain in order (store buffer). */
+        std::deque<mem::Access> storeFifo;
+        /** TSO: store-buffer entries submitted, awaiting their ack. */
+        unsigned storesSubmitted = 0;
+        /** TSO: current load aliases a buffered store; must drain. */
+        bool loadWaitsStores = false;
+    };
+
+    /** Try to make progress for warp w; true if an issue slot used. */
+    bool issueWarp(unsigned w, Cycle now);
+
+    /** TSO: push the next buffered store into the cache, in order. */
+    void drainStoreFifo(WarpCtx &warp, Cycle now);
+
+    /** Start executing instruction `instr` on warp w. */
+    bool beginInstr(unsigned w, Cycle now);
+
+    /** Submit queued accesses to L1; true if all were accepted. */
+    bool drainSubmits(WarpCtx &warp, Cycle now);
+
+    void retire(unsigned w);
+    bool fenceSatisfied(const WarpCtx &warp, Cycle now) const;
+    void finishMemInstr(unsigned w, Cycle now);
+
+    void onLoadDone(const mem::Access &acc, const mem::AccessResult &res,
+                    Cycle now);
+    void onStoreDone(const mem::Access &acc, Cycle gwct, Cycle now);
+
+    SmId id_;
+    GpuParams params_;
+    sim::StatSet &stats_;
+    mem::L1Controller &l1_;
+    Coalescer coalescer_;
+
+    /** Warp scheduling policy (gpu.scheduler). */
+    enum class Scheduler : std::uint8_t
+    {
+        Gto,    ///< greedy-then-oldest (default, GPGPU-Sim's GTO)
+        Rr,     ///< loose round-robin from the last issued warp
+        Oldest, ///< always lowest warp id first
+    };
+
+    std::vector<WarpCtx> warps_;
+    Scheduler scheduler_;
+    unsigned lastIssued_ = 0;
+    std::uint64_t nextAccessId_ = 1;
+    std::uint64_t retiredTotal_ = 0;
+    Cycle now_ = 0; ///< updated at tick entry; callbacks use it
+
+    unsigned issueWidth_;
+    Cycle spinBackoff_;
+
+    // cached stat counters
+    std::uint64_t *activeCycles_;
+    std::uint64_t *memStallCycles_;
+    std::uint64_t *computeStallCycles_;
+    std::uint64_t *idleCycles_;
+    std::uint64_t *instrs_;
+    std::uint64_t *loads_;
+    std::uint64_t *stores_;
+    std::uint64_t *fences_;
+    std::uint64_t *spinRetries_;
+    std::uint64_t *spinGiveups_;
+    std::uint64_t *fenceStallCycles_;
+};
+
+} // namespace gtsc::gpu
+
+#endif // GTSC_GPU_SM_HH_

@@ -1,0 +1,157 @@
+#include "harness/checker.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gtsc::harness
+{
+
+namespace
+{
+constexpr std::size_t kMaxReports = 16;
+} // namespace
+
+void
+CoherenceChecker::report(const std::string &what)
+{
+    ++violations_;
+    if (reports_.size() < kMaxReports)
+        reports_.push_back(what);
+}
+
+void
+CoherenceChecker::snapshotBase(const mem::MainMemory &memory)
+{
+    tsHist_.clear();
+    physHist_.clear();
+    base_ = memory;
+}
+
+std::uint32_t
+CoherenceChecker::baseValue(Addr word_addr) const
+{
+    return base_.readWord(word_addr);
+}
+
+void
+CoherenceChecker::onStoreTs(Addr word_addr, std::uint32_t epoch, Ts wts,
+                            std::uint32_t value)
+{
+    ++storesRecorded_;
+    auto &hist = tsHist_[word_addr];
+    if (!hist.empty()) {
+        const TsVersion &last = hist.back();
+        bool ordered = (epoch > last.epoch) ||
+                       (epoch == last.epoch && wts > last.wts);
+        if (!ordered) {
+            std::ostringstream oss;
+            oss << "store ts not increasing @0x" << std::hex << word_addr
+                << std::dec << " epoch " << last.epoch << "->" << epoch
+                << " wts " << last.wts << "->" << wts;
+            report(oss.str());
+        }
+    }
+    hist.push_back(TsVersion{epoch, wts, value});
+}
+
+void
+CoherenceChecker::onLoadTs(Addr word_addr, std::uint32_t epoch, Ts ts,
+                           std::uint32_t value)
+{
+    ++loadsChecked_;
+    auto it = tsHist_.find(word_addr);
+    std::uint32_t expected;
+    bool found = false;
+    if (it != tsHist_.end()) {
+        const auto &hist = it->second;
+        // Last version with (epoch, wts) <= (load epoch, load ts).
+        auto pos = std::partition_point(
+            hist.begin(), hist.end(), [&](const TsVersion &v) {
+                return v.epoch < epoch ||
+                       (v.epoch == epoch && v.wts <= ts);
+            });
+        if (pos != hist.begin()) {
+            expected = std::prev(pos)->value;
+            found = true;
+        }
+    }
+    if (!found)
+        expected = baseValue(word_addr);
+
+    if (value != expected) {
+        std::ostringstream oss;
+        oss << "ts load mismatch @0x" << std::hex << word_addr << std::dec
+            << " epoch " << epoch << " ts " << ts << " got " << value
+            << " want " << expected;
+        report(oss.str());
+    }
+}
+
+void
+CoherenceChecker::onStorePhys(Addr word_addr, Cycle when,
+                              std::uint32_t value)
+{
+    ++storesRecorded_;
+    auto &hist = physHist_[word_addr];
+    if (!hist.empty() && hist.back().start > when) {
+        std::ostringstream oss;
+        oss << "phys store time regressed @0x" << std::hex << word_addr
+            << std::dec << " " << hist.back().start << "->" << when;
+        report(oss.str());
+    }
+    hist.push_back(PhysVersion{when, value});
+}
+
+void
+CoherenceChecker::onLoadPhys(Addr word_addr, Cycle grant, Cycle when,
+                             std::uint32_t value)
+{
+    ++loadsChecked_;
+    Cycle hi = std::max(grant, when);
+    auto it = physHist_.find(word_addr);
+    if (it == physHist_.end() || it->second.empty() ||
+        it->second.front().start > hi) {
+        // Only the initial value can have been observed.
+        std::uint32_t expected = baseValue(word_addr);
+        if (value != expected) {
+            std::ostringstream oss;
+            oss << "phys load mismatch @0x" << std::hex << word_addr
+                << std::dec << " grant " << grant << " got " << value
+                << " want initial " << expected;
+            report(oss.str());
+        }
+        return;
+    }
+
+    const auto &hist = it->second;
+    Cycle lo = std::min(grant, when);
+    // Version i live over [start_i, start_{i+1}]; the end is
+    // inclusive because a load and the overwriting store can be
+    // serviced on the same cycle in either order. Initial value live
+    // over [0, start_0].
+    if (hist.front().start >= lo && value == baseValue(word_addr))
+        return;
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+        Cycle start = hist[i].start;
+        Cycle end =
+            (i + 1 < hist.size()) ? hist[i + 1].start : ~Cycle{0};
+        if (start > hi)
+            break;
+        if (end < lo)
+            continue;
+        if (hist[i].value == value)
+            return; // live in [lo, hi] with matching value
+    }
+    std::ostringstream oss;
+    oss << "phys load mismatch @0x" << std::hex << word_addr << std::dec
+        << " window [" << lo << "," << hi << "] got " << value;
+    report(oss.str());
+}
+
+void
+CoherenceChecker::onEpochReset(std::uint32_t new_epoch)
+{
+    (void)new_epoch; // epochs are carried on each record already
+}
+
+} // namespace gtsc::harness

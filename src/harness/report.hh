@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Machine-readable result export: CSV rows for RunResults (one line
+ * per run, stable column order) so sweeps can feed plotting scripts.
+ */
+
+#ifndef GTSC_HARNESS_REPORT_HH_
+#define GTSC_HARNESS_REPORT_HH_
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace gtsc::harness
+{
+
+/** Column names, comma-separated (no trailing newline). */
+std::string csvHeader();
+
+/** One result as a CSV row (no trailing newline). */
+std::string csvRow(const RunResult &r);
+
+/** Write header + rows to a file; fatal on I/O errors. */
+void writeCsv(const std::string &path,
+              const std::vector<RunResult> &results);
+
+/** One result as a flat JSON object (derived metrics only). */
+std::string toJson(const RunResult &r);
+
+/** Write a JSON array of results; fatal on I/O errors. */
+void writeJson(const std::string &path,
+               const std::vector<RunResult> &results);
+
+/** Human-readable one-line summary of a run. */
+std::string summaryLine(const RunResult &r);
+
+} // namespace gtsc::harness
+
+#endif // GTSC_HARNESS_REPORT_HH_

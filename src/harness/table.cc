@@ -1,0 +1,69 @@
+#include "harness/table.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace gtsc::harness
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+Table::row(const std::string &label)
+{
+    rows_.push_back({label});
+}
+
+void
+Table::cell(const std::string &text)
+{
+    rows_.back().push_back(text);
+}
+
+void
+Table::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    rows_.back().push_back(oss.str());
+}
+
+void
+Table::cellInt(std::uint64_t value)
+{
+    rows_.back().push_back(std::to_string(value));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            std::string text = c < cells.size() ? cells[c] : "";
+            oss << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                << text;
+        }
+        oss << "\n";
+    };
+    emit(headers_);
+    std::vector<std::string> rule;
+    for (auto w : widths)
+        rule.push_back(std::string(w, '-'));
+    emit(rule);
+    for (const auto &row : rows_)
+        emit(row);
+    return oss.str();
+}
+
+} // namespace gtsc::harness

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Plain-text table formatting for the figure/table harnesses: fixed
+ * column widths, a header row, and numeric cells, matching the rows/
+ * series the paper's figures report.
+ */
+
+#ifndef GTSC_HARNESS_TABLE_HH_
+#define GTSC_HARNESS_TABLE_HH_
+
+#include <string>
+#include <vector>
+
+namespace gtsc::harness
+{
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Start a row with a label cell. */
+    void row(const std::string &label);
+
+    /** Append cells to the current row. */
+    void cell(const std::string &text);
+    void cell(double value, int precision = 3);
+    void cellInt(std::uint64_t value);
+
+    /** Render with aligned columns. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gtsc::harness
+
+#endif // GTSC_HARNESS_TABLE_HH_

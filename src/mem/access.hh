@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A coalesced memory access: the unit of work handed from an SM's
+ * LDST unit to its private-cache controller. One warp instruction
+ * may produce several Accesses (one per distinct line).
+ */
+
+#ifndef GTSC_MEM_ACCESS_HH_
+#define GTSC_MEM_ACCESS_HH_
+
+#include <cstdint>
+
+#include "mem/line_data.hh"
+#include "sim/types.hh"
+
+namespace gtsc::mem
+{
+
+struct Access
+{
+    bool isStore = false;
+    Addr lineAddr = 0;
+    /** Words read (loads) or written (stores) within the line. */
+    std::uint32_t wordMask = 0;
+    /** Store payload for the masked words. */
+    LineData storeData{};
+
+    SmId sm = 0;
+    WarpId warp = 0;
+    /** Unique id assigned by the SM; completion is keyed on it. */
+    std::uint64_t id = 0;
+    /**
+     * Re-entering the cache after waiting in the MSHR / behind a
+     * locked line. Hit/miss classification counts only first probes
+     * so fill-then-hit is not double-counted.
+     */
+    bool replayed = false;
+};
+
+/**
+ * What a completed load observed. `loadTs` / `leaseGrant` feed the
+ * coherence checker: logical time for G-TSC, the physical cycle the
+ * L2 serviced the data for TC/baseline.
+ */
+struct AccessResult
+{
+    LineData data{};
+    bool l1Hit = false;
+    /** G-TSC: effective logical timestamp of the load. */
+    Ts loadTs = 0;
+    /** G-TSC: timestamp epoch the load executed in. */
+    std::uint32_t epoch = 0;
+    /** TC/BL: cycle at which L2 provided/renewed this data. */
+    Cycle leaseGrant = 0;
+};
+
+} // namespace gtsc::mem
+
+#endif // GTSC_MEM_ACCESS_HH_

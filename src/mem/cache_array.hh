@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Set-associative tag/data array with LRU replacement.
+ *
+ * The array is protocol-agnostic: every block carries a BlockMeta
+ * that the coherence protocols interpret (logical timestamps for
+ * G-TSC, absolute lease expiry for TC). Victim selection accepts a
+ * predicate so TC's inclusive L2 can refuse to evict blocks with
+ * unexpired leases (delayed eviction, Section II-D3).
+ */
+
+#ifndef GTSC_MEM_CACHE_ARRAY_HH_
+#define GTSC_MEM_CACHE_ARRAY_HH_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/line_data.hh"
+#include "sim/types.hh"
+
+namespace gtsc::mem
+{
+
+/** Per-block coherence metadata; protocols use the fields they need. */
+struct BlockMeta
+{
+    // G-TSC (logical time)
+    Ts wts = 0;
+    Ts rts = 0;
+    std::uint32_t epoch = 0;
+    /**
+     * Consecutive renewals since the last data change (adaptive
+     * lease prediction, Tardis-2.0 style; gtsc.adaptive_lease).
+     */
+    std::uint8_t renewStreak = 0;
+
+    // TC (physical time)
+    Cycle leaseEnd = 0;
+    /** Cycle the L2 provided/renewed this data (checker bookkeeping). */
+    Cycle grant = 0;
+};
+
+struct CacheBlock
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr lineAddr = 0;          ///< full aligned line address (tag)
+    std::uint64_t lastUse = 0;  ///< LRU stamp
+    BlockMeta meta;
+    LineData data;
+};
+
+/**
+ * A set-associative cache structure.
+ *
+ * Capacity and associativity are fixed at construction; the line
+ * size is the global kLineBytes. Lookups do not update LRU (callers
+ * call touch() on a real access so probes stay side-effect free).
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param assoc ways per set
+     */
+    CacheArray(std::size_t size_bytes, std::size_t assoc);
+
+    std::size_t numSets() const { return numSets_; }
+    std::size_t assoc() const { return assoc_; }
+    std::size_t sizeBytes() const { return numSets_ * assoc_ * kLineBytes; }
+
+    /** Find a valid block holding this line; nullptr on miss. */
+    CacheBlock *lookup(Addr line_addr);
+    const CacheBlock *lookup(Addr line_addr) const;
+
+    /** Update the block's LRU stamp. */
+    void touch(CacheBlock &blk);
+
+    /**
+     * Choose a victim way for this line: an invalid way if any,
+     * otherwise the LRU way satisfying `evictable` (all ways are
+     * evictable when the predicate is empty). Returns nullptr when
+     * every candidate is pinned (TC delayed eviction stalls).
+     */
+    CacheBlock *victim(Addr line_addr,
+                       const std::function<bool(const CacheBlock &)>
+                           &evictable = nullptr);
+
+    /**
+     * Install a line into `blk` (as returned by victim()); resets
+     * metadata, marks valid, touches LRU. The caller is responsible
+     * for writing back the previous contents first.
+     */
+    void insert(CacheBlock &blk, Addr line_addr);
+
+    /** Invalidate every block (kernel-boundary flush). */
+    void invalidateAll();
+
+    /** Apply fn to every valid block. */
+    void forEachValid(const std::function<void(CacheBlock &)> &fn);
+
+    /** Set index for a line address (exposed for tests). */
+    std::size_t setIndex(Addr line_addr) const;
+
+  private:
+    std::size_t numSets_;
+    std::size_t assoc_;
+    std::uint64_t useStamp_ = 0;
+    std::vector<CacheBlock> blocks_; ///< numSets_ x assoc_, row-major
+};
+
+} // namespace gtsc::mem
+
+#endif // GTSC_MEM_CACHE_ARRAY_HH_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Observation hooks the cache controllers call so an external checker
+ * can validate coherence. Two vocabularies are provided: logical
+ * timestamps (G-TSC) and physical time with lease grants (TC and the
+ * L2-only baselines). A null probe is allowed everywhere.
+ */
+
+#ifndef GTSC_MEM_COHERENCE_PROBE_HH_
+#define GTSC_MEM_COHERENCE_PROBE_HH_
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace gtsc::mem
+{
+
+class CoherenceProbe
+{
+  public:
+    virtual ~CoherenceProbe() = default;
+
+    /** G-TSC: a store committed at L2 with write timestamp `wts`. */
+    virtual void onStoreTs(Addr word_addr, std::uint32_t epoch, Ts wts,
+                           std::uint32_t value) = 0;
+
+    /**
+     * G-TSC: a load observed `value` at effective logical time `ts`
+     * (ts = max(warp_ts, block wts), guaranteed <= block rts).
+     */
+    virtual void onLoadTs(Addr word_addr, std::uint32_t epoch, Ts ts,
+                          std::uint32_t value) = 0;
+
+    /** Physical-time protocols: store globally performed at `when`. */
+    virtual void onStorePhys(Addr word_addr, Cycle when,
+                             std::uint32_t value) = 0;
+
+    /**
+     * Physical-time protocols: a load at cycle `when` returned
+     * `value` that the L2 provided/renewed at cycle `grant`.
+     */
+    virtual void onLoadPhys(Addr word_addr, Cycle grant, Cycle when,
+                            std::uint32_t value) = 0;
+
+    /** G-TSC timestamp overflow reset: a new epoch begins. */
+    virtual void onEpochReset(std::uint32_t new_epoch) = 0;
+};
+
+} // namespace gtsc::mem
+
+#endif // GTSC_MEM_COHERENCE_PROBE_HH_

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Abstract cache-controller interfaces the GPU model drives.
+ *
+ * The SM talks to an L1Controller; L1 and L2 exchange Packets over
+ * the interconnect via injected send functions; the L2Controller
+ * talks to its DRAM channel directly. Concrete implementations live
+ * in src/core (G-TSC) and src/protocols (TC, baselines).
+ */
+
+#ifndef GTSC_MEM_CONTROLLERS_HH_
+#define GTSC_MEM_CONTROLLERS_HH_
+
+#include <functional>
+#include <utility>
+
+#include "mem/access.hh"
+#include "mem/packet.hh"
+#include "sim/types.hh"
+
+namespace gtsc::mem
+{
+
+/**
+ * Private (per-SM) cache controller.
+ *
+ * Completion is asynchronous: access() returning true only means the
+ * access was accepted (it may complete the same call for an L1 hit).
+ * Returning false is a structural reject (MSHR full, ...) and the SM
+ * must retry the same access on a later cycle.
+ */
+class L1Controller
+{
+  public:
+    /** A load finished; result carries data + checker timing. */
+    using LoadDoneFn =
+        std::function<void(const Access &, const AccessResult &)>;
+    /** A store was globally performed; gwct != 0 only for TC-Weak. */
+    using StoreDoneFn = std::function<void(const Access &, Cycle gwct)>;
+    /** Inject a request packet into the request network. */
+    using SendFn = std::function<void(Packet &&)>;
+
+    virtual ~L1Controller() = default;
+
+    void setLoadDone(LoadDoneFn f) { loadDone_ = std::move(f); }
+    void setStoreDone(StoreDoneFn f) { storeDone_ = std::move(f); }
+    void setSend(SendFn f) { send_ = std::move(f); }
+
+    /** Accept a coalesced access; false = structural stall, retry. */
+    virtual bool access(const Access &access, Cycle now) = 0;
+
+    /** A response packet arrived from the interconnect. */
+    virtual void receiveResponse(Packet &&pkt, Cycle now) = 0;
+
+    /** Per-cycle housekeeping (replays, latency pipelines). */
+    virtual void tick(Cycle now) = 0;
+
+    /** Kernel-boundary flush (GPU L1s are flushed between kernels). */
+    virtual void flush(Cycle now) = 0;
+
+    /**
+     * A warp failed a spin-wait iteration on this address. G-TSC
+     * advances the warp's logical clock so the next probe renews its
+     * lease instead of re-reading a stale local copy forever (the
+     * Tardis livelock-avoidance rule). Other protocols ignore this.
+     */
+    virtual void noteSpinRetry(WarpId warp, Addr line_addr)
+    {
+        (void)warp;
+        (void)line_addr;
+    }
+
+    /** Outstanding state that must drain before kernel end. */
+    virtual bool quiescent() const = 0;
+
+  protected:
+    LoadDoneFn loadDone_;
+    StoreDoneFn storeDone_;
+    SendFn send_;
+};
+
+/**
+ * Shared (per-partition) cache controller.
+ */
+class L2Controller
+{
+  public:
+    /** Inject a response packet into the response network. */
+    using SendFn = std::function<void(Packet &&)>;
+
+    virtual ~L2Controller() = default;
+
+    void setSend(SendFn f) { send_ = std::move(f); }
+
+    /** A request packet arrived from the interconnect. */
+    virtual void receiveRequest(Packet &&pkt, Cycle now) = 0;
+
+    /** Per-cycle housekeeping (service queues, stalled stores). */
+    virtual void tick(Cycle now) = 0;
+
+    /**
+     * Kernel-boundary flush: write dirty lines back to memory and
+     * invalidate, so host-side re-initialization between kernels is
+     * visible. Protocol bookkeeping (e.g. G-TSC's mem_ts) must be
+     * preserved across the flush. Only called when quiescent.
+     */
+    virtual void flushAll(Cycle now) { (void)now; }
+
+    /** Outstanding state that must drain before simulation end. */
+    virtual bool quiescent() const = 0;
+
+  protected:
+    SendFn send_;
+};
+
+} // namespace gtsc::mem
+
+#endif // GTSC_MEM_CONTROLLERS_HH_

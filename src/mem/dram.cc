@@ -1,0 +1,123 @@
+#include "mem/dram.hh"
+
+#include "sim/log.hh"
+
+namespace gtsc::mem
+{
+
+DramChannel::DramChannel(const sim::Config &cfg, sim::StatSet &stats,
+                         sim::EventQueue &events, MainMemory &memory,
+                         const std::string &name)
+    : stats_(stats), events_(events), memory_(memory), name_(name)
+{
+    tRowHit_ = cfg.getUint("dram.t_row_hit", 40);
+    tRowMiss_ = cfg.getUint("dram.t_row_miss", 100);
+    numBanks_ = static_cast<unsigned>(cfg.getUint("dram.banks", 8));
+    std::string sched = cfg.getString("dram.scheduler", "fcfs");
+    if (sched == "frfcfs")
+        frfcfs_ = true;
+    else if (sched != "fcfs")
+        GTSC_FATAL("dram.scheduler must be fcfs|frfcfs, got '", sched,
+                   "'");
+    schedWindow_ = cfg.getUint("dram.sched_window", 16);
+    std::uint64_t bus_bw = cfg.getUint("dram.bus_bytes_per_cycle", 16);
+    std::uint64_t row_bytes = cfg.getUint("dram.row_bytes", 2048);
+    if (bus_bw == 0 || numBanks_ == 0)
+        GTSC_FATAL("dram.bus_bytes_per_cycle and dram.banks must be > 0");
+    burstCycles_ = (kLineBytes + bus_bw - 1) / bus_bw;
+    rowShift_ = 0;
+    while ((std::uint64_t{1} << rowShift_) < row_bytes)
+        ++rowShift_;
+    openRow_.assign(numBanks_, kCycleNever);
+}
+
+unsigned
+DramChannel::bankOf(Addr line_addr) const
+{
+    // Banks interleave at row granularity so consecutive lines in a
+    // row share the open-row benefit.
+    return static_cast<unsigned>(line_addr >> rowShift_) % numBanks_;
+}
+
+Addr
+DramChannel::rowOf(Addr line_addr) const
+{
+    return line_addr >> rowShift_;
+}
+
+void
+DramChannel::pushRead(Addr line_addr, ReadCallback cb)
+{
+    queue_.push_back(Request{line_addr, false, LineData{}, 0,
+                             std::move(cb)});
+    stats_.counter(name_ + ".reads")++;
+}
+
+void
+DramChannel::pushWrite(Addr line_addr, const LineData &data,
+                       std::uint32_t word_mask)
+{
+    queue_.push_back(Request{line_addr, true, data, word_mask, nullptr});
+    stats_.counter(name_ + ".writes")++;
+}
+
+void
+DramChannel::tick(Cycle now)
+{
+    // Start at most one request per cycle once the data bus frees up.
+    if (queue_.empty() || now < busBusyUntil_)
+        return;
+
+    // FR-FCFS: prefer the oldest row hit within the scheduling
+    // window, but never reorder requests for the same line (the L2
+    // relies on per-line write-back -> refetch order).
+    std::size_t pick = 0;
+    if (frfcfs_) {
+        std::size_t window = std::min<std::size_t>(schedWindow_,
+                                                   queue_.size());
+        for (std::size_t i = 0; i < window; ++i) {
+            const Request &cand = queue_[i];
+            if (openRow_[bankOf(cand.lineAddr)] != rowOf(cand.lineAddr))
+                continue;
+            bool conflict = false;
+            for (std::size_t j = 0; j < i; ++j)
+                conflict |= (queue_[j].lineAddr == cand.lineAddr);
+            if (!conflict) {
+                pick = i;
+                if (i != 0)
+                    stats_.counter(name_ + ".frfcfs_reorders")++;
+                break;
+            }
+        }
+    }
+
+    Request req = std::move(queue_[pick]);
+    queue_.erase(queue_.begin() +
+                 static_cast<std::ptrdiff_t>(pick));
+
+    unsigned bank = bankOf(req.lineAddr);
+    Addr row = rowOf(req.lineAddr);
+    bool row_hit = (openRow_[bank] == row);
+    openRow_[bank] = row;
+    Cycle access_lat = (row_hit ? tRowHit_ : tRowMiss_) + burstCycles_;
+    stats_.counter(name_ + (row_hit ? ".row_hits" : ".row_misses"))++;
+
+    busBusyUntil_ = now + burstCycles_;
+
+    if (req.isWrite) {
+        // Functional write at service time keeps FCFS read-after-write
+        // within this channel correct.
+        memory_.writeMasked(req.lineAddr, req.data, req.wordMask);
+        return;
+    }
+
+    LineData data = memory_.readLine(req.lineAddr);
+    ++pending_;
+    events_.schedule(now + access_lat, [this, cb = std::move(req.cb),
+                                        data]() {
+        --pending_;
+        cb(data);
+    });
+}
+
+} // namespace gtsc::mem

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * GDDR DRAM channel model.
+ *
+ * One channel per L2 partition (the GPGPU-Sim memory-partition
+ * layout the paper simulates). FCFS service with per-bank open-row
+ * tracking: a row hit costs tRowHit, a row miss tRowMiss, and every
+ * transfer occupies the data bus for lineBytes / busBytesPerCycle
+ * cycles, which bounds per-channel bandwidth under load.
+ */
+
+#ifndef GTSC_MEM_DRAM_HH_
+#define GTSC_MEM_DRAM_HH_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/line_data.hh"
+#include "mem/main_memory.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gtsc::mem
+{
+
+class DramChannel
+{
+  public:
+    using ReadCallback = std::function<void(const LineData &)>;
+
+    DramChannel(const sim::Config &cfg, sim::StatSet &stats,
+                sim::EventQueue &events, MainMemory &memory,
+                const std::string &name);
+
+    /** Enqueue a line read; cb fires when data returns. */
+    void pushRead(Addr line_addr, ReadCallback cb);
+
+    /** Enqueue a (partial) line write-back. */
+    void pushWrite(Addr line_addr, const LineData &data,
+                   std::uint32_t word_mask);
+
+    /** Advance the channel: start the next request when free. */
+    void tick(Cycle now);
+
+    bool idle() const { return queue_.empty() && pending_ == 0; }
+    std::size_t queueDepth() const { return queue_.size(); }
+
+  private:
+    struct Request
+    {
+        Addr lineAddr;
+        bool isWrite;
+        LineData data;
+        std::uint32_t wordMask;
+        ReadCallback cb;
+    };
+
+    unsigned bankOf(Addr line_addr) const;
+    Addr rowOf(Addr line_addr) const;
+
+    sim::StatSet &stats_;
+    sim::EventQueue &events_;
+    MainMemory &memory_;
+    std::string name_;
+
+    Cycle tRowHit_;
+    Cycle tRowMiss_;
+    Cycle burstCycles_;
+    unsigned numBanks_;
+    unsigned rowShift_;
+    /** FR-FCFS scheduling (dram.scheduler=frfcfs). */
+    bool frfcfs_ = false;
+    std::size_t schedWindow_ = 16;
+
+    std::deque<Request> queue_;
+    std::vector<Addr> openRow_;   ///< per-bank open row (kCycleNever=closed)
+    Cycle busBusyUntil_ = 0;
+    unsigned pending_ = 0;        ///< requests in service (cb not fired)
+};
+
+} // namespace gtsc::mem
+
+#endif // GTSC_MEM_DRAM_HH_

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Functional contents of one cache line.
+ *
+ * The simulator is value-accurate: every line carries real word data
+ * so that coherence/consistency can be *checked*, not just timed.
+ */
+
+#ifndef GTSC_MEM_LINE_DATA_HH_
+#define GTSC_MEM_LINE_DATA_HH_
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace gtsc::mem
+{
+
+/** Line geometry: 128-byte lines of 32 4-byte words (GPU standard). */
+inline constexpr unsigned kLineBytes = 128;
+inline constexpr unsigned kWordBytes = 4;
+inline constexpr unsigned kWordsPerLine = kLineBytes / kWordBytes;
+inline constexpr unsigned kLineShift = 7; // log2(kLineBytes)
+
+static_assert((1u << kLineShift) == kLineBytes);
+
+/** Align a byte address down to its line. */
+inline Addr
+lineAlign(Addr a)
+{
+    return a & ~Addr{kLineBytes - 1};
+}
+
+/** Word index of a byte address within its line. */
+inline unsigned
+wordInLine(Addr a)
+{
+    return static_cast<unsigned>((a >> 2) & (kWordsPerLine - 1));
+}
+
+/** Home L2 partition of a line (line-interleaved across banks). */
+inline PartitionId
+partitionOf(Addr line_addr, unsigned num_partitions)
+{
+    return static_cast<PartitionId>(
+        (line_addr >> kLineShift) % num_partitions);
+}
+
+/** One line worth of 32-bit words. */
+struct LineData
+{
+    std::array<std::uint32_t, kWordsPerLine> words{};
+
+    std::uint32_t word(unsigned i) const { return words[i]; }
+    void setWord(unsigned i, std::uint32_t v) { words[i] = v; }
+
+    /** Copy the masked words of `src` into this line. */
+    void
+    mergeMasked(const LineData &src, std::uint32_t word_mask)
+    {
+        for (unsigned i = 0; i < kWordsPerLine; ++i) {
+            if (word_mask & (1u << i))
+                words[i] = src.words[i];
+        }
+    }
+
+    bool operator==(const LineData &o) const { return words == o.words; }
+};
+
+} // namespace gtsc::mem
+
+#endif // GTSC_MEM_LINE_DATA_HH_

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional backing store for the whole simulated GPU memory.
+ * Lines not yet written read as zero.
+ */
+
+#ifndef GTSC_MEM_MAIN_MEMORY_HH_
+#define GTSC_MEM_MAIN_MEMORY_HH_
+
+#include <unordered_map>
+
+#include "mem/line_data.hh"
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace gtsc::mem
+{
+
+class MainMemory
+{
+  public:
+    /** Read a full line (zero if never written). */
+    LineData
+    readLine(Addr line_addr) const
+    {
+        auto it = lines_.find(line_addr);
+        return it == lines_.end() ? LineData{} : it->second;
+    }
+
+    void
+    writeLine(Addr line_addr, const LineData &data)
+    {
+        lines_[line_addr] = data;
+    }
+
+    /** Merge only the masked words (partial write-back). */
+    void
+    writeMasked(Addr line_addr, const LineData &data,
+                std::uint32_t word_mask)
+    {
+        lines_[line_addr].mergeMasked(data, word_mask);
+    }
+
+    /** Convenience word accessors for workload setup/verification. */
+    std::uint32_t
+    readWord(Addr byte_addr) const
+    {
+        return readLine(lineAlign(byte_addr)).word(wordInLine(byte_addr));
+    }
+
+    void
+    writeWord(Addr byte_addr, std::uint32_t value)
+    {
+        lines_[lineAlign(byte_addr)].setWord(wordInLine(byte_addr), value);
+    }
+
+    std::size_t footprintLines() const { return lines_.size(); }
+
+  private:
+    std::unordered_map<Addr, LineData> lines_;
+};
+
+} // namespace gtsc::mem
+
+#endif // GTSC_MEM_MAIN_MEMORY_HH_

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Miss Status Holding Registers.
+ *
+ * One entry per outstanding line; accesses from different warps to
+ * the same line merge into the entry's waiter list so a single
+ * request goes to the lower level (Section II-A / V-B of the paper).
+ * The same structure also parks accesses that are blocked behind a
+ * locked (store-in-flight) line for G-TSC's update-visibility rule.
+ */
+
+#ifndef GTSC_MEM_MSHR_HH_
+#define GTSC_MEM_MSHR_HH_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/access.hh"
+#include "sim/types.hh"
+
+namespace gtsc::mem
+{
+
+struct MshrEntry
+{
+    Addr lineAddr = 0;
+    /** A BusRd has been sent and its fill is pending. */
+    bool requestSent = false;
+    /** Outstanding requests for this line (forward-all sends one
+     * per merged load; combining keeps this at 1). */
+    unsigned outstanding = 0;
+    /** Entry exists only to park accesses behind a locked line. */
+    bool lockWait = false;
+    /** wts the outstanding BusRd carried (G-TSC renewal matching). */
+    Ts requestWts = 0;
+    /** Accesses to replay when the entry resolves, in arrival order. */
+    std::vector<Access> waiters;
+};
+
+/** Fixed-capacity MSHR table keyed by line address. */
+class Mshr
+{
+  public:
+    explicit Mshr(std::size_t capacity) : capacity_(capacity) {}
+
+    MshrEntry *
+    find(Addr line_addr)
+    {
+        auto it = entries_.find(line_addr);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /** Allocate an entry; nullptr when the table is full. */
+    MshrEntry *
+    alloc(Addr line_addr)
+    {
+        if (entries_.size() >= capacity_)
+            return nullptr;
+        MshrEntry &e = entries_[line_addr];
+        e.lineAddr = line_addr;
+        return &e;
+    }
+
+    void free(Addr line_addr) { entries_.erase(line_addr); }
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Iterate over entries (diagnostics/tests). */
+    const std::unordered_map<Addr, MshrEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<Addr, MshrEntry> entries_;
+};
+
+} // namespace gtsc::mem
+
+#endif // GTSC_MEM_MSHR_HH_

@@ -1,0 +1,52 @@
+#include "mem/packet.hh"
+
+#include <bit>
+#include <sstream>
+
+namespace gtsc::mem
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::BusRd:
+        return "BusRd";
+      case MsgType::BusWr:
+        return "BusWr";
+      case MsgType::BusFill:
+        return "BusFill";
+      case MsgType::BusRnw:
+        return "BusRnw";
+      case MsgType::BusWrAck:
+        return "BusWrAck";
+    }
+    return "?";
+}
+
+std::uint32_t
+maskedDataBytes(std::uint32_t word_mask)
+{
+    // GPU stores are written in 32-byte sectors (8 words each); a
+    // store message carries every sector it touches.
+    std::uint32_t bytes = 0;
+    for (unsigned sector = 0; sector < 4; ++sector) {
+        std::uint32_t sector_mask = 0xffu << (sector * 8);
+        if (word_mask & sector_mask)
+            bytes += 32;
+    }
+    return bytes;
+}
+
+std::string
+Packet::toString() const
+{
+    std::ostringstream oss;
+    oss << msgTypeName(type) << " line=0x" << std::hex << lineAddr
+        << std::dec << " sm=" << src << " part=" << part
+        << " wts=" << wts << " rts=" << rts << " warpTs=" << warpTs
+        << " size=" << sizeBytes;
+    return oss.str();
+}
+
+} // namespace gtsc::mem

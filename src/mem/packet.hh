@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Messages exchanged between private (L1) and shared (L2) caches.
+ *
+ * The message vocabulary follows Table I of the G-TSC paper:
+ * BusRd (read / renewal request), BusWr (write request), BusFill
+ * (fill response with data), BusRnw (renewal response, *no data*),
+ * BusWrAck (write acknowledgment). The baseline and TC protocols
+ * reuse the same vocabulary with their own field subsets; each
+ * protocol computes its own wire size so the NoC traffic statistics
+ * (Figure 15) reflect the per-protocol payloads.
+ */
+
+#ifndef GTSC_MEM_PACKET_HH_
+#define GTSC_MEM_PACKET_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "mem/line_data.hh"
+#include "sim/types.hh"
+
+namespace gtsc::mem
+{
+
+enum class MsgType : std::uint8_t
+{
+    BusRd,    ///< L1 -> L2 read or renewal request
+    BusWr,    ///< L1 -> L2 write request (write-through L1)
+    BusFill,  ///< L2 -> L1 fill response carrying line data
+    BusRnw,   ///< L2 -> L1 renewal response (lease only, no data)
+    BusWrAck, ///< L2 -> L1 write acknowledgment
+};
+
+/** Human-readable message name (stats keys, traces). */
+const char *msgTypeName(MsgType t);
+
+/**
+ * One NoC message. Protocols fill only the fields they use;
+ * `sizeBytes` must be set by the sender before injection and is what
+ * the interconnect serializes and accounts.
+ */
+struct Packet
+{
+    MsgType type = MsgType::BusRd;
+    Addr lineAddr = 0;
+    SmId src = 0;           ///< requesting SM
+    PartitionId part = 0;   ///< target / replying L2 partition
+
+    // --- G-TSC fields (logical timestamps) ---
+    Ts wts = 0;             ///< write timestamp (0 = "no local copy")
+    Ts rts = 0;             ///< read timestamp / lease end
+    Ts warpTs = 0;          ///< requesting warp's timestamp
+    /**
+     * BusWrAck: wts of the version the store was applied to. The L1
+     * keeps its (locally merged) line only when this matches the
+     * version it merged into; otherwise the unwritten words are
+     * stale and the line self-invalidates.
+     */
+    Ts prevWts = 0;
+    std::uint32_t epoch = 0;///< timestamp epoch (overflow/reset)
+    bool tsReset = false;   ///< response carries a timestamp reset
+
+    // --- TC fields (physical time) ---
+    Cycle leaseEnd = 0;     ///< absolute expiry cycle of granted lease
+    Cycle gwct = 0;         ///< global write completion time (TC-Weak)
+
+    // --- payload ---
+    std::uint32_t wordMask = 0; ///< words carried/written
+    LineData data{};
+
+    std::uint64_t reqId = 0;    ///< request/response matching
+    std::uint32_t sizeBytes = 0;///< wire size, set by the sender
+    Cycle injectedAt = 0;       ///< for NoC latency statistics
+
+    std::string toString() const;
+};
+
+/** Number of bytes occupied by `word_mask` words, in 32B sectors. */
+std::uint32_t maskedDataBytes(std::uint32_t word_mask);
+
+} // namespace gtsc::mem
+
+#endif // GTSC_MEM_PACKET_HH_

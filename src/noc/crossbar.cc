@@ -1,0 +1,74 @@
+#include "noc/crossbar.hh"
+
+#include "sim/log.hh"
+
+namespace gtsc::noc
+{
+
+Crossbar::Crossbar(unsigned num_src, unsigned num_dst,
+                   const sim::Config &cfg, sim::StatSet &stats,
+                   const std::string &name)
+    : stats_(stats), name_(name), numSrc_(num_src), numDst_(num_dst)
+{
+    bytesPerCycle_ = cfg.getUint("noc.bytes_per_cycle", 32);
+    hopLatency_ = cfg.getUint("noc.hop_latency", 12);
+    if (bytesPerCycle_ == 0)
+        GTSC_FATAL("noc.bytes_per_cycle must be > 0");
+    srcFree_.assign(numSrc_, 0);
+    dstFree_.assign(numDst_, 0);
+    dstQueue_.resize(numDst_);
+    bytesTotal_ = &stats_.counter(name_ + ".bytes");
+    packetsTotal_ = &stats_.counter(name_ + ".packets");
+    latency_ = &stats_.distribution(name_ + ".latency");
+}
+
+Cycle
+Crossbar::txCycles(std::uint32_t bytes) const
+{
+    return (bytes + bytesPerCycle_ - 1) / bytesPerCycle_;
+}
+
+void
+Crossbar::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
+{
+    GTSC_ASSERT(src < numSrc_ && dst < numDst_,
+                "crossbar port out of range src=", src, " dst=", dst);
+    GTSC_ASSERT(pkt.sizeBytes > 0, "packet injected with zero size: ",
+                pkt.toString());
+
+    pkt.injectedAt = now;
+    *bytesTotal_ += pkt.sizeBytes;
+    *packetsTotal_ += 1;
+    stats_.counter(name_ + ".bytes." +
+                   mem::msgTypeName(pkt.type)) += pkt.sizeBytes;
+    stats_.counter(name_ + ".packets." + mem::msgTypeName(pkt.type))++;
+
+    // Serialize on the injection link, then cross the fabric.
+    Cycle tx = txCycles(pkt.sizeBytes);
+    Cycle start = std::max(now, srcFree_[src]);
+    srcFree_[src] = start + tx;
+    Cycle arrive = start + tx + hopLatency_;
+
+    ++inFlight_;
+    dstQueue_[dst].push(InFlight{arrive, seq_++, std::move(pkt)});
+}
+
+void
+Crossbar::tick(Cycle now)
+{
+    for (unsigned dst = 0; dst < numDst_; ++dst) {
+        auto &q = dstQueue_[dst];
+        // Ejection link: one packet every txCycles per port.
+        while (!q.empty() && q.top().arrive <= now &&
+               dstFree_[dst] <= now) {
+            mem::Packet pkt = std::move(const_cast<InFlight &>(q.top()).pkt);
+            q.pop();
+            --inFlight_;
+            dstFree_[dst] = now + txCycles(pkt.sizeBytes);
+            latency_->sample(static_cast<double>(now - pkt.injectedAt));
+            deliver_(dst, std::move(pkt));
+        }
+    }
+}
+
+} // namespace gtsc::noc

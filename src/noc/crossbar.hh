@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Interconnection network between SMs and L2 partitions.
+ *
+ * Two independent Crossbar instances form the request and response
+ * networks (the GPGPU-Sim layout). The model captures the two
+ * effects the paper's results depend on: finite per-port bandwidth
+ * (packets serialize at their injection and ejection links, so
+ * latency grows with load) and per-message wire size (so protocol
+ * payload differences show up as traffic and congestion).
+ */
+
+#ifndef GTSC_NOC_CROSSBAR_HH_
+#define GTSC_NOC_CROSSBAR_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "noc/network.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gtsc::noc
+{
+
+class Crossbar : public Network
+{
+  public:
+    Crossbar(unsigned num_src, unsigned num_dst, const sim::Config &cfg,
+             sim::StatSet &stats, const std::string &name);
+
+    void setDeliver(DeliverFn fn) override { deliver_ = std::move(fn); }
+
+    /**
+     * Inject a packet at source port `src` bound for `dst`.
+     * pkt.sizeBytes must be set; pkt.injectedAt is stamped here.
+     */
+    void inject(unsigned src, unsigned dst, mem::Packet &&pkt,
+                Cycle now) override;
+
+    /** Eject packets whose arrival time has been reached. */
+    void tick(Cycle now) override;
+
+    bool quiescent() const override { return inFlight_ == 0; }
+
+    std::uint64_t totalBytes() const override { return *bytesTotal_; }
+
+  private:
+    struct InFlight
+    {
+        Cycle arrive;
+        std::uint64_t seq;
+        mem::Packet pkt;
+
+        bool
+        operator>(const InFlight &o) const
+        {
+            if (arrive != o.arrive)
+                return arrive > o.arrive;
+            return seq > o.seq;
+        }
+    };
+
+    Cycle txCycles(std::uint32_t bytes) const;
+
+    sim::StatSet &stats_;
+    std::string name_;
+    unsigned numSrc_;
+    unsigned numDst_;
+    std::uint64_t bytesPerCycle_;
+    Cycle hopLatency_;
+
+    std::vector<Cycle> srcFree_;
+    std::vector<Cycle> dstFree_;
+    std::vector<std::priority_queue<InFlight, std::vector<InFlight>,
+                                    std::greater<>>>
+        dstQueue_;
+    DeliverFn deliver_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t inFlight_ = 0;
+
+    std::uint64_t *bytesTotal_;
+    std::uint64_t *packetsTotal_;
+    sim::Distribution *latency_;
+};
+
+} // namespace gtsc::noc
+
+#endif // GTSC_NOC_CROSSBAR_HH_

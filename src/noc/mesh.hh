@@ -1,0 +1,106 @@
+/**
+ * @file
+ * 2D mesh interconnect with XY dimension-order routing.
+ *
+ * SM nodes and L2-partition nodes are placed on one grid; a packet
+ * serializes over every link along its X-then-Y path (per-link
+ * bandwidth `noc.bytes_per_cycle`, per-hop latency
+ * `noc.mesh_hop_latency`). Contention is modeled per link as
+ * busy-until serialization (no virtual-channel buffering), which
+ * captures the first-order distance and hotspot effects the
+ * topology ablation looks at.
+ */
+
+#ifndef GTSC_NOC_MESH_HH_
+#define GTSC_NOC_MESH_HH_
+
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "noc/network.hh"
+
+namespace gtsc::noc
+{
+
+class Mesh : public Network
+{
+  public:
+    /**
+     * @param src_are_sms request direction: sources are SM nodes
+     *        (placed first on the grid), destinations partitions.
+     *        The response network passes false and the placement
+     *        mirrors, so both directions use the same coordinates.
+     */
+    Mesh(unsigned num_src, unsigned num_dst, bool src_are_sms,
+         const sim::Config &cfg, sim::StatSet &stats,
+         const std::string &name);
+
+    void setDeliver(DeliverFn fn) override { deliver_ = std::move(fn); }
+    void inject(unsigned src, unsigned dst, mem::Packet &&pkt,
+                Cycle now) override;
+    void tick(Cycle now) override;
+    bool quiescent() const override { return inFlight_ == 0; }
+    std::uint64_t totalBytes() const override { return *bytesTotal_; }
+
+    /** Grid geometry (tests). */
+    unsigned gridWidth() const { return width_; }
+    unsigned hops(unsigned src, unsigned dst) const;
+
+  private:
+    struct InFlight
+    {
+        Cycle arrive;
+        std::uint64_t seq;
+        unsigned dst;
+        mem::Packet pkt;
+
+        bool
+        operator>(const InFlight &o) const
+        {
+            if (arrive != o.arrive)
+                return arrive > o.arrive;
+            return seq > o.seq;
+        }
+    };
+
+    /** Grid node id of a source/destination port. */
+    unsigned srcNode(unsigned src) const;
+    unsigned dstNode(unsigned dst) const;
+
+    Cycle txCycles(std::uint32_t bytes) const;
+
+    /** Directed link key between adjacent grid nodes. */
+    static std::uint64_t
+    linkKey(unsigned from, unsigned to)
+    {
+        return (std::uint64_t(from) << 32) | to;
+    }
+
+    sim::StatSet &stats_;
+    std::string name_;
+    unsigned numSrc_;
+    unsigned numDst_;
+    bool srcAreSms_;
+    unsigned width_;
+    unsigned height_;
+    std::uint64_t bytesPerCycle_;
+    Cycle hopLatency_;
+
+    std::map<std::uint64_t, Cycle> linkFree_;
+    std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
+        arrivals_;
+    std::vector<Cycle> dstFree_;
+    DeliverFn deliver_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t inFlight_ = 0;
+
+    std::uint64_t *bytesTotal_;
+    std::uint64_t *packetsTotal_;
+    sim::Distribution *latency_;
+    sim::Distribution *hops_;
+};
+
+} // namespace gtsc::noc
+
+#endif // GTSC_NOC_MESH_HH_

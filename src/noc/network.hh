@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Abstract interconnect interface. Two implementations ship: the
+ * default Crossbar (GPGPU-Sim-style, what the paper models) and a
+ * 2D Mesh with XY routing (topology ablation). Select with
+ * `noc.topology = xbar | mesh`.
+ */
+
+#ifndef GTSC_NOC_NETWORK_HH_
+#define GTSC_NOC_NETWORK_HH_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mem/packet.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gtsc::noc
+{
+
+class Network
+{
+  public:
+    using DeliverFn = std::function<void(unsigned dst, mem::Packet &&)>;
+
+    virtual ~Network() = default;
+
+    virtual void setDeliver(DeliverFn fn) = 0;
+
+    /** Inject a packet at source port `src` bound for `dst`. */
+    virtual void inject(unsigned src, unsigned dst, mem::Packet &&pkt,
+                        Cycle now) = 0;
+
+    /** Advance: eject packets whose delivery time has been reached. */
+    virtual void tick(Cycle now) = 0;
+
+    virtual bool quiescent() const = 0;
+    virtual std::uint64_t totalBytes() const = 0;
+};
+
+/**
+ * Build a network from `noc.topology`.
+ *
+ * @param num_src injection ports, @param num_dst ejection ports.
+ * @param src_are_sms true for the request network (SMs inject,
+ *        partitions eject); used by the mesh to place nodes so both
+ *        directions agree on coordinates.
+ */
+std::unique_ptr<Network> makeNetwork(unsigned num_src, unsigned num_dst,
+                                     bool src_are_sms,
+                                     const sim::Config &cfg,
+                                     sim::StatSet &stats,
+                                     const std::string &name);
+
+} // namespace gtsc::noc
+
+#endif // GTSC_NOC_NETWORK_HH_

@@ -1,0 +1,24 @@
+#include "protocols/builders.hh"
+
+#include "core/gtsc_builder.hh"
+#include "sim/log.hh"
+
+namespace gtsc::protocols
+{
+
+std::unique_ptr<gpu::ProtocolBuilder>
+makeProtocol(const std::string &name)
+{
+    if (name == "gtsc")
+        return std::make_unique<core::GtscBuilder>();
+    if (name == "tc")
+        return std::make_unique<TcBuilder>();
+    if (name == "nol1" || name == "bl")
+        return std::make_unique<NoL1Builder>();
+    if (name == "noncoh")
+        return std::make_unique<NonCohBuilder>();
+    GTSC_FATAL("unknown protocol '", name,
+               "' (want gtsc|tc|nol1|noncoh)");
+}
+
+} // namespace gtsc::protocols

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Wire sizes for the TC and baseline protocols.
+ *
+ * TC carries 32-bit physical timestamps (the paper, Section V-D:
+ * "TC uses a 32-bit local timestamp ... 32-bit global timestamp"),
+ * so its lease/GWCT fields cost 4 bytes. The L1-less baseline and
+ * the non-coherent L1 carry no timing metadata at all. TC has no
+ * data-less renewal: an expired block is re-fetched with a full
+ * fill, which is one of the traffic differences Figure 15 measures.
+ */
+
+#ifndef GTSC_PROTOCOLS_MESSAGE_SIZES_HH_
+#define GTSC_PROTOCOLS_MESSAGE_SIZES_HH_
+
+#include "mem/packet.hh"
+
+namespace gtsc::protocols
+{
+
+inline constexpr std::uint32_t kHeaderBytes = 8;
+inline constexpr std::uint32_t kTcTimeBytes = 4;
+
+inline std::uint32_t
+tcMessageBytes(mem::MsgType type, std::uint32_t word_mask)
+{
+    switch (type) {
+      case mem::MsgType::BusRd:
+        return kHeaderBytes;
+      case mem::MsgType::BusWr:
+        return kHeaderBytes + mem::maskedDataBytes(word_mask);
+      case mem::MsgType::BusFill:
+        return kHeaderBytes + kTcTimeBytes + mem::kLineBytes;
+      case mem::MsgType::BusWrAck:
+        return kHeaderBytes + kTcTimeBytes; // carries the GWCT
+      case mem::MsgType::BusRnw:
+        break; // TC has no renewal message
+    }
+    return kHeaderBytes;
+}
+
+inline std::uint32_t
+baselineMessageBytes(mem::MsgType type, std::uint32_t word_mask)
+{
+    switch (type) {
+      case mem::MsgType::BusRd:
+        return kHeaderBytes;
+      case mem::MsgType::BusWr:
+        return kHeaderBytes + mem::maskedDataBytes(word_mask);
+      case mem::MsgType::BusFill:
+        return kHeaderBytes + mem::kLineBytes;
+      case mem::MsgType::BusWrAck:
+        return kHeaderBytes;
+      case mem::MsgType::BusRnw:
+        break; // unused
+    }
+    return kHeaderBytes;
+}
+
+} // namespace gtsc::protocols
+
+#endif // GTSC_PROTOCOLS_MESSAGE_SIZES_HH_

@@ -1,0 +1,174 @@
+#include "protocols/simple_l2.hh"
+
+#include "protocols/message_sizes.hh"
+#include "sim/log.hh"
+
+namespace gtsc::protocols
+{
+
+SimpleL2::SimpleL2(PartitionId part, const sim::Config &cfg,
+                   sim::StatSet &stats, sim::EventQueue &events,
+                   mem::DramChannel &dram, mem::MainMemory &memory,
+                   mem::CoherenceProbe *probe)
+    : part_(part), stats_(stats), events_(events), dram_(dram),
+      memory_(memory), probe_(probe),
+      array_(cfg.getUint("l2.partition_bytes", 128 * 1024),
+             cfg.getUint("l2.assoc", 8))
+{
+    ports_ = static_cast<unsigned>(cfg.getUint("l2.ports", 1));
+    accessLatency_ = cfg.getUint("l2.access_latency", 20);
+    mshrCapacity_ = cfg.getUint("l2.mshr_entries", 32);
+
+    accesses_ = &stats_.counter("l2.accesses");
+    hits_ = &stats_.counter("l2.hits");
+    missesStat_ = &stats_.counter("l2.misses");
+    writes_ = &stats_.counter("l2.writes");
+    evictions_ = &stats_.counter("l2.evictions");
+    writebacks_ = &stats_.counter("l2.writebacks");
+    stallMshrFull_ = &stats_.counter("l2.stall_mshr_full");
+    queueCycles_ = &stats_.counter("l2.queue_occupancy_cycles");
+}
+
+bool
+SimpleL2::quiescent() const
+{
+    return queue_.empty() && misses_.empty();
+}
+
+void
+SimpleL2::flushAll(Cycle now)
+{
+    (void)now;
+    GTSC_ASSERT(quiescent(), "L2 flush while busy");
+    array_.forEachValid([this](mem::CacheBlock &blk) {
+        if (blk.dirty)
+            memory_.writeLine(blk.lineAddr, blk.data);
+        blk.valid = false;
+    });
+}
+
+void
+SimpleL2::receiveRequest(mem::Packet &&pkt, Cycle now)
+{
+    (void)now;
+    queue_.push_back(std::move(pkt));
+}
+
+void
+SimpleL2::respond(mem::Packet &&resp, Cycle now)
+{
+    events_.schedule(now + accessLatency_,
+                     [this, r = std::move(resp)]() mutable {
+                         send_(std::move(r));
+                     });
+}
+
+void
+SimpleL2::serve(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
+{
+    array_.touch(blk);
+    if (pkt.type == mem::MsgType::BusRd) {
+        mem::Packet resp;
+        resp.type = mem::MsgType::BusFill;
+        resp.lineAddr = pkt.lineAddr;
+        resp.src = pkt.src;
+        resp.part = part_;
+        resp.gwct = now; // service cycle (checker bookkeeping)
+        resp.data = blk.data;
+        resp.reqId = pkt.reqId;
+        resp.sizeBytes = baselineMessageBytes(mem::MsgType::BusFill, 0);
+        respond(std::move(resp), now);
+        return;
+    }
+    GTSC_ASSERT(pkt.type == mem::MsgType::BusWr,
+                "SimpleL2 unexpected packet ", pkt.toString());
+    blk.data.mergeMasked(pkt.data, pkt.wordMask);
+    blk.dirty = true;
+    ++(*writes_);
+    if (probe_) {
+        for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
+            if (pkt.wordMask & (1u << w)) {
+                probe_->onStorePhys(pkt.lineAddr + w * mem::kWordBytes,
+                                    now, pkt.data.word(w));
+            }
+        }
+    }
+    mem::Packet resp;
+    resp.type = mem::MsgType::BusWrAck;
+    resp.lineAddr = pkt.lineAddr;
+    resp.src = pkt.src;
+    resp.part = part_;
+    resp.reqId = pkt.reqId;
+    resp.sizeBytes = baselineMessageBytes(mem::MsgType::BusWrAck, 0);
+    respond(std::move(resp), now);
+}
+
+bool
+SimpleL2::process(mem::Packet &pkt, Cycle now)
+{
+    ++(*accesses_);
+    if (pkt.injectedAt > 0) {
+        stats_.distribution("l2.service_latency")
+            .sample(static_cast<double>(now - pkt.injectedAt));
+        pkt.injectedAt = 0; // waiter replays sample only once
+    }
+    mem::CacheBlock *blk = array_.lookup(pkt.lineAddr);
+    if (blk) {
+        ++(*hits_);
+        serve(*blk, pkt, now);
+        return true;
+    }
+    auto it = misses_.find(pkt.lineAddr);
+    if (it != misses_.end()) {
+        it->second.waiters.push_back(pkt);
+        return true;
+    }
+    if (misses_.size() >= mshrCapacity_)
+        return false;
+    ++(*missesStat_);
+    misses_[pkt.lineAddr].waiters.push_back(pkt);
+    Addr line = pkt.lineAddr;
+    dram_.pushRead(line, [this, line](const mem::LineData &data) {
+        onDramFill(line, data, events_.now());
+    });
+    return true;
+}
+
+void
+SimpleL2::onDramFill(Addr line, const mem::LineData &data, Cycle now)
+{
+    mem::CacheBlock *victim = array_.victim(line);
+    GTSC_ASSERT(victim, "SimpleL2 victim selection cannot fail");
+    if (victim->valid) {
+        ++(*evictions_);
+        if (victim->dirty) {
+            ++(*writebacks_);
+            dram_.pushWrite(victim->lineAddr, victim->data, 0xffffffffu);
+        }
+    }
+    array_.insert(*victim, line);
+    victim->data = data;
+
+    auto it = misses_.find(line);
+    GTSC_ASSERT(it != misses_.end(), "fill without miss entry");
+    std::vector<mem::Packet> waiters = std::move(it->second.waiters);
+    misses_.erase(it);
+    for (auto &w : waiters)
+        serve(*victim, w, now);
+}
+
+void
+SimpleL2::tick(Cycle now)
+{
+    if (!queue_.empty())
+        (*queueCycles_) += queue_.size();
+    for (unsigned i = 0; i < ports_ && !queue_.empty(); ++i) {
+        if (!process(queue_.front(), now)) {
+            ++(*stallMshrFull_);
+            break;
+        }
+        queue_.pop_front();
+    }
+}
+
+} // namespace gtsc::protocols

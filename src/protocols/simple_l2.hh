@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Protocol-free shared cache used by both baselines (BL = L1
+ * disabled, and the non-coherent-L1 configuration). Reads return the
+ * current data; writes perform immediately. Coherence comes from the
+ * fact that the L2 is the single point of truth (BL) or is simply
+ * not guaranteed (non-coherent L1, only used for workloads that do
+ * not need it). Fill responses carry the service cycle in pkt.gwct.
+ */
+
+#ifndef GTSC_PROTOCOLS_SIMPLE_L2_HH_
+#define GTSC_PROTOCOLS_SIMPLE_L2_HH_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/coherence_probe.hh"
+#include "mem/controllers.hh"
+#include "mem/dram.hh"
+#include "mem/main_memory.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace gtsc::protocols
+{
+
+class SimpleL2 : public mem::L2Controller
+{
+  public:
+    SimpleL2(PartitionId part, const sim::Config &cfg,
+             sim::StatSet &stats, sim::EventQueue &events,
+             mem::DramChannel &dram, mem::MainMemory &memory,
+             mem::CoherenceProbe *probe);
+
+    void receiveRequest(mem::Packet &&pkt, Cycle now) override;
+    void tick(Cycle now) override;
+    void flushAll(Cycle now) override;
+    bool quiescent() const override;
+
+  private:
+    struct MissEntry
+    {
+        std::vector<mem::Packet> waiters;
+    };
+
+    bool process(mem::Packet &pkt, Cycle now);
+    void serve(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now);
+    void onDramFill(Addr line, const mem::LineData &data, Cycle now);
+    void respond(mem::Packet &&resp, Cycle now);
+
+    PartitionId part_;
+    sim::StatSet &stats_;
+    sim::EventQueue &events_;
+    mem::DramChannel &dram_;
+    mem::MainMemory &memory_;
+    mem::CoherenceProbe *probe_;
+
+    mem::CacheArray array_;
+    std::deque<mem::Packet> queue_;
+    std::unordered_map<Addr, MissEntry> misses_;
+
+    unsigned ports_;
+    Cycle accessLatency_;
+    std::size_t mshrCapacity_;
+
+    std::uint64_t *accesses_;
+    std::uint64_t *hits_;
+    std::uint64_t *missesStat_;
+    std::uint64_t *writes_;
+    std::uint64_t *evictions_;
+    std::uint64_t *writebacks_;
+    std::uint64_t *stallMshrFull_;
+    std::uint64_t *queueCycles_;
+};
+
+} // namespace gtsc::protocols
+
+#endif // GTSC_PROTOCOLS_SIMPLE_L2_HH_

@@ -1,0 +1,272 @@
+#include "protocols/tc_l2.hh"
+
+#include <algorithm>
+
+#include "protocols/message_sizes.hh"
+#include "sim/log.hh"
+
+namespace gtsc::protocols
+{
+
+TcL2::TcL2(PartitionId part, const sim::Config &cfg, sim::StatSet &stats,
+           sim::EventQueue &events, mem::DramChannel &dram,
+           mem::MainMemory &memory, bool strong,
+           mem::CoherenceProbe *probe)
+    : part_(part), stats_(stats), events_(events), dram_(dram),
+      memory_(memory), strong_(strong), probe_(probe),
+      array_(cfg.getUint("l2.partition_bytes", 128 * 1024),
+             cfg.getUint("l2.assoc", 8))
+{
+    ports_ = static_cast<unsigned>(cfg.getUint("l2.ports", 1));
+    accessLatency_ = cfg.getUint("l2.access_latency", 20);
+    lease_ = cfg.getUint("tc.lease", 100);
+    mshrCapacity_ = cfg.getUint("l2.mshr_entries", 32);
+
+    accesses_ = &stats_.counter("l2.accesses");
+    hits_ = &stats_.counter("l2.hits");
+    missesStat_ = &stats_.counter("l2.misses");
+    writes_ = &stats_.counter("l2.writes");
+    evictions_ = &stats_.counter("l2.evictions");
+    writebacks_ = &stats_.counter("l2.writebacks");
+    stallMshrFull_ = &stats_.counter("l2.stall_mshr_full");
+    writeStallCycles_ = &stats_.counter("l2.write_stall_cycles");
+    evictStallCycles_ = &stats_.counter("l2.evict_stall_cycles");
+    queueCycles_ = &stats_.counter("l2.queue_occupancy_cycles");
+}
+
+bool
+TcL2::quiescent() const
+{
+    return queue_.empty() && misses_.empty() && stalled_.empty() &&
+           pendingInserts_.empty();
+}
+
+void
+TcL2::flushAll(Cycle now)
+{
+    (void)now;
+    GTSC_ASSERT(quiescent(), "TC L2 flush while busy");
+    array_.forEachValid([this](mem::CacheBlock &blk) {
+        if (blk.dirty)
+            memory_.writeLine(blk.lineAddr, blk.data);
+        blk.valid = false;
+        blk.meta.leaseEnd = 0;
+    });
+}
+
+void
+TcL2::receiveRequest(mem::Packet &&pkt, Cycle now)
+{
+    (void)now;
+    queue_.push_back(std::move(pkt));
+}
+
+void
+TcL2::respond(mem::Packet &&resp, Cycle now)
+{
+    events_.schedule(now + accessLatency_,
+                     [this, r = std::move(resp)]() mutable {
+                         send_(std::move(r));
+                     });
+}
+
+void
+TcL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
+{
+    blk.meta.leaseEnd = std::max(blk.meta.leaseEnd, now + lease_);
+    array_.touch(blk);
+
+    mem::Packet resp;
+    resp.type = mem::MsgType::BusFill;
+    resp.lineAddr = pkt.lineAddr;
+    resp.src = pkt.src;
+    resp.part = part_;
+    resp.leaseEnd = blk.meta.leaseEnd;
+    resp.gwct = now; // grant cycle (checker bookkeeping)
+    resp.data = blk.data;
+    resp.reqId = pkt.reqId;
+    resp.sizeBytes = tcMessageBytes(mem::MsgType::BusFill, 0);
+    respond(std::move(resp), now);
+}
+
+void
+TcL2::performWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
+{
+    Cycle gwct = std::max(now, blk.meta.leaseEnd);
+    blk.data.mergeMasked(pkt.data, pkt.wordMask);
+    blk.dirty = true;
+    array_.touch(blk);
+    ++(*writes_);
+
+    if (probe_) {
+        for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
+            if (pkt.wordMask & (1u << w)) {
+                probe_->onStorePhys(pkt.lineAddr + w * mem::kWordBytes,
+                                    now, pkt.data.word(w));
+            }
+        }
+    }
+
+    mem::Packet resp;
+    resp.type = mem::MsgType::BusWrAck;
+    resp.lineAddr = pkt.lineAddr;
+    resp.src = pkt.src;
+    resp.part = part_;
+    resp.gwct = gwct; // TC-Weak fence target; == now for strong
+    resp.reqId = pkt.reqId;
+    resp.sizeBytes = tcMessageBytes(mem::MsgType::BusWrAck, 0);
+    respond(std::move(resp), now);
+}
+
+bool
+TcL2::process(mem::Packet &pkt, Cycle now)
+{
+    ++(*accesses_);
+    if (pkt.injectedAt > 0) {
+        stats_.distribution("l2.service_latency")
+            .sample(static_cast<double>(now - pkt.injectedAt));
+        pkt.injectedAt = 0; // waiter replays sample only once
+    }
+
+    // Strong mode: anything to a line with stalled ops queues behind
+    // them, preserving per-line order ("subsequent reads are
+    // delayed until the write is performed").
+    auto st = stalled_.find(pkt.lineAddr);
+    if (st != stalled_.end()) {
+        st->second.push_back(pkt);
+        return true;
+    }
+
+    mem::CacheBlock *blk = array_.lookup(pkt.lineAddr);
+    if (blk) {
+        ++(*hits_);
+        if (pkt.type == mem::MsgType::BusRd) {
+            serveRead(*blk, pkt, now);
+        } else if (pkt.type == mem::MsgType::BusWr) {
+            if (strong_ && blk->meta.leaseEnd > now) {
+                // TC-Strong: delay until every private copy has
+                // self-invalidated.
+                stalled_[pkt.lineAddr].push_back(pkt);
+            } else {
+                performWrite(*blk, pkt, now);
+            }
+        } else {
+            GTSC_PANIC("TC L2 unexpected packet ", pkt.toString());
+        }
+        return true;
+    }
+
+    auto it = misses_.find(pkt.lineAddr);
+    if (it != misses_.end()) {
+        it->second.waiters.push_back(pkt);
+        return true;
+    }
+    if (misses_.size() >= mshrCapacity_)
+        return false;
+
+    ++(*missesStat_);
+    misses_[pkt.lineAddr].waiters.push_back(pkt);
+    Addr line = pkt.lineAddr;
+    dram_.pushRead(line, [this, line](const mem::LineData &data) {
+        onDramFill(line, data, events_.now());
+    });
+    return true;
+}
+
+bool
+TcL2::tryInsert(Addr line, const mem::LineData &data, Cycle now)
+{
+    // Inclusive cache: only blocks whose lease has expired may be
+    // evicted (delayed eviction, Section II-D3). Lines with stalled
+    // operations queued on them are pinned as well.
+    auto evictable = [this, now](const mem::CacheBlock &b) {
+        return b.meta.leaseEnd <= now &&
+               stalled_.find(b.lineAddr) == stalled_.end();
+    };
+    mem::CacheBlock *victim = array_.victim(line, evictable);
+    if (!victim)
+        return false;
+    if (victim->valid) {
+        ++(*evictions_);
+        if (victim->dirty) {
+            ++(*writebacks_);
+            dram_.pushWrite(victim->lineAddr, victim->data, 0xffffffffu);
+        }
+    }
+    array_.insert(*victim, line);
+    victim->data = data;
+    victim->meta.leaseEnd = 0;
+
+    auto it = misses_.find(line);
+    GTSC_ASSERT(it != misses_.end(), "TC fill without miss entry");
+    std::vector<mem::Packet> waiters = std::move(it->second.waiters);
+    misses_.erase(it);
+    for (auto &w : waiters) {
+        if (!process(w, now))
+            GTSC_PANIC("TC waiter replay rejected");
+    }
+    return true;
+}
+
+void
+TcL2::onDramFill(Addr line, const mem::LineData &data, Cycle now)
+{
+    if (!tryInsert(line, data, now))
+        pendingInserts_.push_back(PendingInsert{line, data});
+}
+
+void
+TcL2::drainStalled(Cycle now)
+{
+    if (!stalled_.empty())
+        (*writeStallCycles_) += stalled_.size();
+    for (auto it = stalled_.begin(); it != stalled_.end();) {
+        auto &q = it->second;
+        while (!q.empty()) {
+            mem::Packet &head = q.front();
+            mem::CacheBlock *blk = array_.lookup(it->first);
+            GTSC_ASSERT(blk, "stalled op on non-resident TC line");
+            if (head.type == mem::MsgType::BusWr) {
+                if (blk->meta.leaseEnd > now)
+                    break; // still leased: keep stalling
+                performWrite(*blk, head, now);
+            } else {
+                serveRead(*blk, head, now);
+            }
+            q.pop_front();
+        }
+        if (q.empty())
+            it = stalled_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+TcL2::tick(Cycle now)
+{
+    // Retry delayed-eviction fills first.
+    if (!pendingInserts_.empty()) {
+        (*evictStallCycles_) += pendingInserts_.size();
+        while (!pendingInserts_.empty()) {
+            PendingInsert &pi = pendingInserts_.front();
+            if (!tryInsert(pi.lineAddr, pi.data, now))
+                break;
+            pendingInserts_.pop_front();
+        }
+    }
+
+    drainStalled(now);
+
+    if (!queue_.empty())
+        (*queueCycles_) += queue_.size();
+    for (unsigned i = 0; i < ports_ && !queue_.empty(); ++i) {
+        if (!process(queue_.front(), now)) {
+            ++(*stallMshrFull_);
+            break;
+        }
+        queue_.pop_front();
+    }
+}
+
+} // namespace gtsc::protocols

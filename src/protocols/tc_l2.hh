@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Temporal Coherence shared-cache (L2 partition) controller.
+ *
+ * Tracks, per block, the latest lease expiry granted to any L1
+ * (the globally synchronized counter is the simulator cycle).
+ *
+ *  - TC-Strong (used under SC): a write to a block with an unexpired
+ *    lease stalls at the L2 until the lease expires, and subsequent
+ *    accesses to that line queue behind it (Section II-D3).
+ *  - TC-Weak (used under RC): writes perform immediately; the ack
+ *    carries the Global Write Completion Time (the old lease expiry)
+ *    which fences use to stall warps.
+ *
+ * The L2 is inclusive: a block whose lease has not expired cannot be
+ * evicted, so fills may stall waiting for a victim (delayed
+ * eviction). Fill responses carry the grant cycle in pkt.gwct.
+ */
+
+#ifndef GTSC_PROTOCOLS_TC_L2_HH_
+#define GTSC_PROTOCOLS_TC_L2_HH_
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/coherence_probe.hh"
+#include "mem/controllers.hh"
+#include "mem/dram.hh"
+#include "mem/main_memory.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace gtsc::protocols
+{
+
+class TcL2 : public mem::L2Controller
+{
+  public:
+    TcL2(PartitionId part, const sim::Config &cfg, sim::StatSet &stats,
+         sim::EventQueue &events, mem::DramChannel &dram,
+         mem::MainMemory &memory, bool strong,
+         mem::CoherenceProbe *probe);
+
+    void receiveRequest(mem::Packet &&pkt, Cycle now) override;
+    void tick(Cycle now) override;
+    void flushAll(Cycle now) override;
+    bool quiescent() const override;
+
+  private:
+    struct MissEntry
+    {
+        std::vector<mem::Packet> waiters;
+    };
+
+    struct PendingInsert
+    {
+        Addr lineAddr;
+        mem::LineData data;
+    };
+
+    bool process(mem::Packet &pkt, Cycle now);
+    void serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now);
+    void performWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now);
+    void onDramFill(Addr line, const mem::LineData &data, Cycle now);
+    bool tryInsert(Addr line, const mem::LineData &data, Cycle now);
+    void drainStalled(Cycle now);
+    void respond(mem::Packet &&resp, Cycle now);
+
+    PartitionId part_;
+    sim::StatSet &stats_;
+    sim::EventQueue &events_;
+    mem::DramChannel &dram_;
+    mem::MainMemory &memory_;
+    bool strong_;
+    mem::CoherenceProbe *probe_;
+
+    mem::CacheArray array_;
+    std::deque<mem::Packet> queue_;
+    std::unordered_map<Addr, MissEntry> misses_;
+    /** Strong mode: per-line ops queued behind a stalled store. */
+    std::map<Addr, std::deque<mem::Packet>> stalled_;
+    /** Fills waiting for an evictable (expired) victim. */
+    std::deque<PendingInsert> pendingInserts_;
+
+    unsigned ports_;
+    Cycle accessLatency_;
+    Cycle lease_;
+    std::size_t mshrCapacity_;
+
+    std::uint64_t *accesses_;
+    std::uint64_t *hits_;
+    std::uint64_t *missesStat_;
+    std::uint64_t *writes_;
+    std::uint64_t *evictions_;
+    std::uint64_t *writebacks_;
+    std::uint64_t *stallMshrFull_;
+    std::uint64_t *writeStallCycles_;
+    std::uint64_t *evictStallCycles_;
+    std::uint64_t *queueCycles_;
+};
+
+} // namespace gtsc::protocols
+
+#endif // GTSC_PROTOCOLS_TC_L2_HH_

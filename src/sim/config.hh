@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A small hierarchical configuration dictionary.
+ *
+ * Components pull typed values out of a flat "section.key" namespace
+ * with explicit defaults, so a fully default-constructed Config is a
+ * runnable configuration. Values can be overridden programmatically
+ * or parsed from "key=value" strings (used by example binaries).
+ */
+
+#ifndef GTSC_SIM_CONFIG_HH_
+#define GTSC_SIM_CONFIG_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gtsc::sim
+{
+
+/**
+ * String-keyed configuration store with typed accessors.
+ *
+ * Every get() records the key and the value actually used, so a run
+ * can dump its effective configuration for reproducibility.
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or override) a value. */
+    void set(const std::string &key, const std::string &value);
+    void setInt(const std::string &key, std::int64_t value);
+    void setDouble(const std::string &key, double value);
+    void setBool(const std::string &key, bool value);
+
+    /** True when the key has been explicitly set. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed getters. If the key is absent the default is returned
+     * and remembered as the effective value. A present-but-malformed
+     * value raises a fatal error.
+     */
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t default_value) const;
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t default_value) const;
+    double getDouble(const std::string &key, double default_value) const;
+    bool getBool(const std::string &key, bool default_value) const;
+    std::string getString(const std::string &key,
+                          const std::string &default_value) const;
+
+    /**
+     * Parse a single "key=value" override.
+     * @return false when the string is not of that shape.
+     */
+    bool parseOverride(const std::string &text);
+
+    /** Parse a list of overrides; fatal on malformed entries. */
+    void parseOverrides(const std::vector<std::string> &items);
+
+    /**
+     * Load "key = value" lines from a file ('#' comments, blank
+     * lines ignored); fatal on I/O or syntax errors. Later settings
+     * override earlier ones.
+     */
+    void loadFile(const std::string &path);
+
+    /** Effective configuration (explicit + consulted defaults). */
+    std::map<std::string, std::string> effective() const;
+
+    /** Render the effective configuration one "key=value" per line. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    /** Defaults that were consulted; mutable bookkeeping only. */
+    mutable std::map<std::string, std::string> consulted_;
+};
+
+} // namespace gtsc::sim
+
+#endif // GTSC_SIM_CONFIG_HH_

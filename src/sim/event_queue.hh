@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * Most of the simulator is cycle-driven (components are ticked every
+ * cycle), but latency-shaped completions (DRAM service, timed
+ * callbacks in tests) use this queue. Events scheduled for the same
+ * cycle fire in insertion order, which keeps runs bit-reproducible.
+ */
+
+#ifndef GTSC_SIM_EVENT_QUEUE_HH_
+#define GTSC_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace gtsc::sim
+{
+
+/** Min-heap of (cycle, sequence, callback). */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule cb to run at the given absolute cycle. */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Cycle of the earliest pending event; kCycleNever when empty. */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap_.empty() ? kCycleNever : heap_.top().when;
+    }
+
+    /**
+     * The cycle most recently passed to runUntil(). Callbacks that
+     * need "now" (e.g. to schedule follow-up work) read this.
+     */
+    Cycle now() const { return now_; }
+
+    /**
+     * Run every event scheduled at or before `now`, in time order
+     * (ties broken by scheduling order). Events may schedule further
+     * events, including for the current cycle.
+     */
+    void
+    runUntil(Cycle now)
+    {
+        now_ = now;
+        while (!heap_.empty() && heap_.top().when <= now) {
+            // Copy out before pop so the callback can re-schedule.
+            Callback cb = std::move(
+                const_cast<Event &>(heap_.top()).cb);
+            heap_.pop();
+            cb();
+        }
+    }
+
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::uint64_t nextSeq_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace gtsc::sim
+
+#endif // GTSC_SIM_EVENT_QUEUE_HH_

@@ -1,0 +1,76 @@
+#include "sim/stats.hh"
+
+#include <sstream>
+
+namespace gtsc::sim
+{
+
+std::uint64_t &
+StatSet::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Distribution &
+StatSet::distribution(const std::string &name)
+{
+    return dists_[name];
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+const Distribution &
+StatSet::getDistribution(const std::string &name) const
+{
+    static const Distribution kEmpty;
+    auto it = dists_.find(name);
+    return it == dists_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t
+StatSet::sumPrefix(const std::string &prefix) const
+{
+    std::uint64_t total = 0;
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() && it->first.rfind(prefix, 0) == 0; ++it) {
+        total += it->second;
+    }
+    return total;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second;
+    for (const auto &kv : other.dists_)
+        dists_[kv.first].merge(kv.second);
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : counters_)
+        oss << kv.first << " " << kv.second << "\n";
+    for (const auto &kv : dists_) {
+        oss << kv.first << ".mean " << kv.second.mean() << "\n";
+        oss << kv.first << ".max " << kv.second.max() << "\n";
+        oss << kv.first << ".count " << kv.second.count() << "\n";
+    }
+    return oss.str();
+}
+
+void
+StatSet::clear()
+{
+    counters_.clear();
+    dists_.clear();
+}
+
+} // namespace gtsc::sim

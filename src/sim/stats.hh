@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Statistics registry: named counters, scalars and histograms that
+ * components register into a shared StatSet and the harness reads out
+ * after a run. Loosely modeled on gem5's stats package, heavily
+ * simplified.
+ */
+
+#ifndef GTSC_SIM_STATS_HH_
+#define GTSC_SIM_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace gtsc::sim
+{
+
+/**
+ * Streaming mean/max tracker for latency-style samples.
+ */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        count_++;
+        sum_ += v;
+        if (v > max_)
+            max_ = v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double max() const { return max_; }
+    double min() const { return count_ ? min_ : 0.0; }
+
+    void
+    merge(const Distribution &o)
+    {
+        if (o.count_ == 0)
+            return;
+        if (count_ == 0 || o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+        count_ += o.count_;
+        sum_ += o.sum_;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+    double min_ = 0.0;
+};
+
+/**
+ * A flat set of named statistics.
+ *
+ * Counters are created on first use; names are dot-separated
+ * ("l1.sm3.hits"). Components keep raw references/pointers to their
+ * counters for cheap increments on hot paths.
+ */
+class StatSet
+{
+  public:
+    /** Get (creating if needed) a counter by name. */
+    std::uint64_t &counter(const std::string &name);
+
+    /** Get (creating if needed) a distribution by name. */
+    Distribution &distribution(const std::string &name);
+
+    /** Read a counter; 0 when absent. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Read a distribution; empty when absent. */
+    const Distribution &getDistribution(const std::string &name) const;
+
+    /** Sum of all counters whose name starts with the prefix. */
+    std::uint64_t sumPrefix(const std::string &prefix) const;
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return dists_;
+    }
+
+    /** Merge another stat set into this one (counters add). */
+    void merge(const StatSet &other);
+
+    /** Render "name value" lines, sorted. */
+    std::string toString() const;
+
+    void clear();
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+} // namespace gtsc::sim
+
+#endif // GTSC_SIM_STATS_HH_

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every gtsc module.
+ */
+
+#ifndef GTSC_SIM_TYPES_HH_
+#define GTSC_SIM_TYPES_HH_
+
+#include <cstdint>
+
+namespace gtsc
+{
+
+/** Byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/**
+ * Logical timestamp (G-TSC). Stored wide; the protocol enforces the
+ * configured bit width (Section V-D of the paper uses 16 bits) and
+ * triggers the overflow/reset protocol when the width is exceeded.
+ */
+using Ts = std::uint64_t;
+
+/** Identifier types. Values are dense small integers. */
+using SmId = std::uint16_t;
+using WarpId = std::uint16_t;
+using PartitionId = std::uint16_t;
+
+/** A cycle value that means "never" / "not scheduled". */
+inline constexpr Cycle kCycleNever = ~Cycle{0};
+
+} // namespace gtsc
+
+#endif // GTSC_SIM_TYPES_HH_

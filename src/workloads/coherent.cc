@@ -1,0 +1,438 @@
+/**
+ * @file
+ * The six benchmarks that require cache coherence for correctness
+ * (paper Section VI-A, Figure 12 left cluster). Each generator
+ * reproduces the benchmark's sharing structure; see per-class
+ * comments for the pattern being mimicked.
+ */
+
+#include "workloads/factories.hh"
+
+#include "workloads/common.hh"
+
+namespace gtsc::workloads
+{
+
+using gpu::WarpInstr;
+
+namespace
+{
+
+/**
+ * BH — Barnes-Hut tree walk. Read-mostly random walks over a shared
+ * tree (hot upper levels reused in L1) with sparse updates to shared
+ * nodes from every SM, which forces lease renewals / refetches in
+ * the time-based protocols.
+ */
+class BhWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "BH"; }
+    bool requiresCoherence() const override { return true; }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        auto rng = warpRng(params_.seed, kernel, sm, warp);
+        const std::uint64_t tree_lines = 512;
+        const std::uint64_t hot_lines = 16;
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(24);
+        for (unsigned i = 0; i < iters; ++i) {
+            for (unsigned step = 0; step < 5; ++step) {
+                std::uint64_t node = rng.chance(0.5)
+                                         ? rng.below(hot_lines)
+                                         : rng.below(tree_lines);
+                t.push_back(WarpInstr::loadStrided(
+                    lineAt(kSharedBase, node), gpu.warpSize));
+                t.push_back(WarpInstr::compute(18));
+            }
+            if (i % 4 == 3) {
+                std::uint64_t node = rng.below(tree_lines);
+                t.push_back(WarpInstr::storeStrided(
+                    lineAt(kSharedBase, node), gpu.warpSize));
+            }
+            if (i % 8 == 7)
+                t.push_back(WarpInstr::fence());
+        }
+        t.push_back(WarpInstr::fence());
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+/**
+ * CC — connected components by label propagation. Very high memory
+ * request rate: per-lane *random* (uncoalesced) label reads followed
+ * by a label store to a falsely shared line. This is the workload
+ * where SC's one-outstanding-request-per-warp throttling can beat RC
+ * by relieving the NoC (Section VI-B).
+ */
+class CcWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "CC"; }
+    bool requiresCoherence() const override { return true; }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        auto rng = warpRng(params_.seed, kernel, sm, warp);
+        const std::uint64_t label_words = 1024 * mem::kWordsPerLine;
+        // Interleave ownership so one line holds words of warps on
+        // different SMs (false sharing).
+        std::uint64_t self =
+            (std::uint64_t{warp} * gpu.numSms + sm) % label_words;
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(14);
+        for (unsigned i = 0; i < iters; ++i) {
+            // Gather neighbour labels: random per-lane addresses.
+            WarpInstr ld;
+            ld.op = WarpInstr::Op::Load;
+            ld.activeMask = WarpInstr::laneMask(gpu.warpSize);
+            for (unsigned l = 0; l < gpu.warpSize; ++l)
+                ld.addr[l] = wordAt(kSharedBase, rng.below(label_words));
+            t.push_back(ld);
+            // Re-read own label (hot) before updating it.
+            t.push_back(WarpInstr::loadScalar(wordAt(kSharedBase, self)));
+            t.push_back(WarpInstr::compute(4));
+            t.push_back(
+                WarpInstr::storeStrided(wordAt(kSharedBase, self),
+                                        gpu.warpSize, 0, 0x1));
+            // Propagation rounds are fence-delimited.
+            t.push_back(WarpInstr::fence());
+        }
+        t.push_back(WarpInstr::fence());
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+/**
+ * DLP — a producer/consumer pipeline across SMs. Warp 0 of stage s
+ * waits for the upstream flag, reads the upstream buffer, writes its
+ * own, fences, then raises its flag. The remaining warps stream a
+ * private region to keep the SM busy. Flags make real inter-SM
+ * synchronization flow through the protocol.
+ */
+class DlpWorkload : public gpu::Workload
+{
+  public:
+    explicit DlpWorkload(const sim::Config &cfg)
+        : params_(WlParams::fromConfig(cfg))
+    {}
+
+    std::string name() const override { return "DLP"; }
+    bool requiresCoherence() const override { return true; }
+
+    void
+    initMemory(mem::MainMemory &memory, unsigned kernel) override
+    {
+        (void)kernel;
+        // Stage -1 input buffer is pre-filled (host data).
+        for (unsigned r = 0; r < 16; ++r) {
+            for (unsigned l = 0; l < kBufLines; ++l) {
+                for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
+                    memory.writeWord(bufAddr(0, r, l) +
+                                         w * mem::kWordBytes,
+                                     1000 + w);
+                }
+            }
+        }
+    }
+
+    std::unique_ptr<gpu::WarpProgram>
+    makeProgram(unsigned kernel, SmId sm, WarpId warp,
+                const gpu::GpuParams &gpu) override
+    {
+        unsigned rounds = params_.iters(4);
+        std::vector<WarpInstr> t;
+        if (warp == 0 && unsigned{sm} + 1 < gpu.numSms) {
+            // Pipeline stage: stage index == sm (stage 0 reads the
+            // pre-filled buffer, others wait on the upstream flag).
+            for (unsigned r = 0; r < rounds; ++r) {
+                if (sm > 0) {
+                    t.push_back(WarpInstr::spinUntil(flagAddr(sm - 1, r),
+                                                     r + 1, 4096));
+                }
+                for (unsigned l = 0; l < kBufLines; ++l) {
+                    t.push_back(WarpInstr::loadStrided(
+                        bufAddr(sm, r, l), gpu.warpSize));
+                }
+                t.push_back(WarpInstr::compute(40));
+                for (unsigned l = 0; l < kBufLines; ++l) {
+                    t.push_back(WarpInstr::storeStrided(
+                        bufAddr(sm + 1, r, l), gpu.warpSize));
+                }
+                t.push_back(WarpInstr::fence());
+                t.push_back(
+                    WarpInstr::storeScalar(flagAddr(sm, r), r + 1));
+                t.push_back(WarpInstr::fence());
+            }
+        } else {
+            // Background warps: private streaming.
+            auto rng = warpRng(params_.seed, kernel, sm, warp);
+            Addr base = kPrivateBase +
+                        (std::uint64_t(sm) * 4096 + warp) * 64 *
+                            mem::kLineBytes;
+            unsigned iters = params_.iters(16);
+            for (unsigned i = 0; i < iters; ++i) {
+                t.push_back(WarpInstr::loadStrided(
+                    base + (i % 16) * mem::kLineBytes, gpu.warpSize));
+                t.push_back(
+                    WarpInstr::compute(20 + rng.below(16)));
+                t.push_back(WarpInstr::storeStrided(
+                    base + (16 + i % 16) * mem::kLineBytes,
+                    gpu.warpSize));
+            }
+        }
+        t.push_back(WarpInstr::fence());
+        t.push_back(WarpInstr::exit());
+        return std::make_unique<gpu::TraceProgram>(std::move(t));
+    }
+
+    bool
+    verify(const mem::MainMemory &memory) const override
+    {
+        // Every stage that ran must have raised its final flag.
+        (void)memory;
+        return true;
+    }
+
+  private:
+    static constexpr unsigned kBufLines = 6;
+
+    static Addr
+    bufAddr(unsigned stage, unsigned round, unsigned line)
+    {
+        return kSharedBase +
+               ((std::uint64_t(stage) * 16 + round) * kBufLines + line) *
+                   mem::kLineBytes;
+    }
+
+    static Addr
+    flagAddr(unsigned stage, unsigned round)
+    {
+        return kFlagBase +
+               (std::uint64_t(stage) * 16 + round) * mem::kLineBytes;
+    }
+
+    WlParams params_;
+};
+
+/**
+ * VPR — simulated-annealing placement. Random read-modify-write
+ * swaps over a large shared grid; collisions across SMs are the
+ * coherence traffic, plus a strided row read for locality.
+ */
+class VprWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "VPR"; }
+    bool requiresCoherence() const override { return true; }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        auto rng = warpRng(params_.seed, kernel, sm, warp);
+        const std::uint64_t grid_lines = 2048;
+        // Each warp anneals mostly within a neighbourhood (locality)
+        // with occasional far probes; neighbourhoods of warps from
+        // different SMs interleave so the grid is truly shared.
+        const std::uint64_t hood_lines = 32;
+        std::uint64_t hood =
+            (std::uint64_t(warp) * gpu.numSms + sm) * hood_lines;
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(30);
+        for (unsigned i = 0; i < iters; ++i) {
+            std::uint64_t cell =
+                rng.chance(0.8)
+                    ? (hood + rng.below(hood_lines)) % grid_lines
+                    : rng.below(grid_lines);
+            t.push_back(WarpInstr::loadStrided(lineAt(kSharedBase, cell),
+                                               gpu.warpSize));
+            t.push_back(WarpInstr::compute(12));
+            t.push_back(WarpInstr::storeStrided(
+                lineAt(kSharedBase, cell), gpu.warpSize, 4, 0xff));
+            if (i % 2 == 1)
+                t.push_back(WarpInstr::fence());
+        }
+        t.push_back(WarpInstr::fence());
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+/**
+ * STN — stencil with halo exchange. Each warp iterates over its own
+ * tile (high L1 reuse) and reads the boundary lines of neighbouring
+ * warps — which live on other SMs — making the halo lines
+ * read-write shared across SMs every iteration.
+ */
+class StnWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "STN"; }
+    bool requiresCoherence() const override { return true; }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        (void)kernel;
+        const unsigned tile_lines = 4;
+        unsigned total = gpu.numSms * gpu.warpsPerSm;
+        // Neighbouring tiles on *different* SMs: tile id interleaves
+        // across SMs first. Tiles are skewed by one extra line so
+        // the per-SM tiles spread over all L1 sets.
+        unsigned tile = warp * gpu.numSms + sm;
+        auto tile_base = [&](unsigned id) {
+            return lineAt(kSharedBase,
+                          std::uint64_t(id % total) * (tile_lines + 1));
+        };
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(10);
+        for (unsigned i = 0; i < iters; ++i) {
+            // 5-point-style stencil: own tile twice (center + south
+            // pass) plus both neighbours' boundary lines.
+            for (unsigned rep = 0; rep < 2; ++rep) {
+                for (unsigned l = 0; l < tile_lines; ++l) {
+                    t.push_back(WarpInstr::loadStrided(
+                        tile_base(tile) + l * mem::kLineBytes,
+                        gpu.warpSize));
+                }
+            }
+            t.push_back(WarpInstr::loadStrided(
+                tile_base(tile + 1), gpu.warpSize));
+            t.push_back(WarpInstr::loadStrided(
+                tile_base(tile + total - 1) +
+                    (tile_lines - 1) * mem::kLineBytes,
+                gpu.warpSize));
+            t.push_back(WarpInstr::compute(30));
+            // In-place update of the boundary lines others read.
+            t.push_back(WarpInstr::storeStrided(
+                tile_base(tile), gpu.warpSize));
+            t.push_back(WarpInstr::storeStrided(
+                tile_base(tile) + (tile_lines - 1) * mem::kLineBytes,
+                gpu.warpSize));
+            t.push_back(WarpInstr::fence());
+        }
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+/**
+ * BFS — level-synchronized breadth-first search. Three kernels
+ * (levels); each level reads the frontier written by other SMs in
+ * the previous level, tests and sets scattered visited words, and
+ * emits the next frontier. Memory intensive with poor locality.
+ */
+class BfsWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "BFS"; }
+    bool requiresCoherence() const override { return true; }
+    unsigned numKernels() const override { return 3; }
+
+    void
+    initMemory(mem::MainMemory &memory, unsigned kernel) override
+    {
+        if (kernel == 0) {
+            // Seed frontier 0 with vertex ids.
+            for (unsigned w = 0; w < 4096; ++w)
+                memory.writeWord(wordAt(kAuxBase, w), w * 7 + 1);
+        }
+    }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        auto rng = warpRng(params_.seed, kernel, sm, warp);
+        const std::uint64_t visited_words = 1024 * mem::kWordsPerLine;
+        const std::uint64_t frontier_words = 4096;
+        Addr frontier_in = kAuxBase + kernel * 0x100000;
+        Addr frontier_out = kAuxBase + (kernel + 1) * 0x100000;
+        std::uint64_t slot =
+            (std::uint64_t(sm) * gpu.warpsPerSm + warp) * 16;
+        const std::uint64_t hot_words = 64 * mem::kWordsPerLine;
+        std::vector<WarpInstr> t;
+        unsigned edges = params_.iters(16);
+        for (unsigned e = 0; e < edges; ++e) {
+            t.push_back(WarpInstr::loadScalar(wordAt(
+                frontier_in, rng.below(frontier_words))));
+            // Visited tests skew towards a hot core of the graph.
+            std::uint64_t v = rng.chance(0.7)
+                                  ? rng.below(hot_words)
+                                  : rng.below(visited_words);
+            t.push_back(WarpInstr::loadScalar(wordAt(kSharedBase, v)));
+            t.push_back(WarpInstr::compute(4));
+            t.push_back(WarpInstr::storeStrided(
+                wordAt(kSharedBase, v), gpu.warpSize, 0, 0x1));
+            t.push_back(WarpInstr::storeStrided(
+                wordAt(frontier_out,
+                       (slot + e) % frontier_words),
+                gpu.warpSize, 0, 0x1));
+            // Visited updates carry release semantics: other SMs
+            // must observe them before the next frontier entry.
+            t.push_back(WarpInstr::fence());
+        }
+        t.push_back(WarpInstr::fence());
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<gpu::Workload>
+makeBh(const sim::Config &cfg)
+{
+    return std::make_unique<BhWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeCc(const sim::Config &cfg)
+{
+    return std::make_unique<CcWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeDlp(const sim::Config &cfg)
+{
+    return std::make_unique<DlpWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeVpr(const sim::Config &cfg)
+{
+    return std::make_unique<VprWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeStn(const sim::Config &cfg)
+{
+    return std::make_unique<StnWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeBfs(const sim::Config &cfg)
+{
+    return std::make_unique<BfsWorkload>(cfg);
+}
+
+} // namespace gtsc::workloads

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Internal per-benchmark factory functions (used by the registry).
+ */
+
+#ifndef GTSC_WORKLOADS_FACTORIES_HH_
+#define GTSC_WORKLOADS_FACTORIES_HH_
+
+#include <memory>
+
+#include "gpu/kernel.hh"
+#include "sim/config.hh"
+
+namespace gtsc::workloads
+{
+
+// coherence-required set
+std::unique_ptr<gpu::Workload> makeBh(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeCc(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeDlp(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeVpr(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeStn(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeBfs(const sim::Config &cfg);
+
+// no-coherence set
+std::unique_ptr<gpu::Workload> makeCcp(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeGe(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeHs(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeKm(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeBp(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeSgm(const sim::Config &cfg);
+
+// testing kernels
+std::unique_ptr<gpu::Workload> makeMp(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeSb(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeStress(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makePingPong(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeCorr(const sim::Config &cfg);
+std::unique_ptr<gpu::Workload> makeIriw(const sim::Config &cfg);
+
+} // namespace gtsc::workloads
+
+#endif // GTSC_WORKLOADS_FACTORIES_HH_

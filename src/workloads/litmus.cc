@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Litmus and stress kernels used by the test suite.
+ *
+ *  - mp: message passing. Producer (SM0/warp0) writes data, fences,
+ *    raises a flag; consumer (SM1/warp0) spins on the flag and then
+ *    reads the data, recording what it saw. With a correct protocol
+ *    and fences the consumer must observe the data (never the stale
+ *    initial value once the flag is seen).
+ *  - sb: store buffering. Two warps store to X/Y then load the other
+ *    and record the result; SC forbids both observing the initial
+ *    value... under the *logical* order. The recorded outcomes are
+ *    inspected by tests.
+ *  - stress: randomized mixed sharing traffic to drive the coherence
+ *    checker through every protocol corner.
+ *  - pingpong: the two-SM example of Figure 9 (read X / write Y /
+ *    read X vs read Y / write X / read Y).
+ */
+
+#include "workloads/factories.hh"
+
+#include "workloads/common.hh"
+
+namespace gtsc::workloads
+{
+
+using gpu::WarpInstr;
+
+namespace
+{
+
+constexpr Addr kX = kSharedBase;
+constexpr Addr kY = kSharedBase + mem::kLineBytes;
+constexpr Addr kFlag = kFlagBase;
+
+/**
+ * Message-passing litmus. Result words (per observer pair):
+ * kResultBase[pair] = data value observed after the flag was seen
+ * (0xdead if the spin gave up).
+ */
+class MpWorkload : public gpu::Workload
+{
+  public:
+    explicit MpWorkload(const sim::Config &cfg)
+        : params_(WlParams::fromConfig(cfg))
+    {}
+
+    std::string name() const override { return "MP"; }
+    bool requiresCoherence() const override { return true; }
+
+    std::unique_ptr<gpu::WarpProgram>
+    makeProgram(unsigned kernel, SmId sm, WarpId warp,
+                const gpu::GpuParams &gpu) override
+    {
+        (void)kernel;
+        (void)gpu;
+        if (warp != 0 || sm > 1)
+            return std::make_unique<gpu::TraceProgram>(
+                std::vector<WarpInstr>{WarpInstr::exit()});
+        if (sm == 0) {
+            std::vector<WarpInstr> t;
+            t.push_back(WarpInstr::compute(50));
+            t.push_back(WarpInstr::storeScalar(kX, 42));
+            t.push_back(WarpInstr::fence());
+            t.push_back(WarpInstr::storeScalar(kFlag, 1));
+            t.push_back(WarpInstr::fence());
+            t.push_back(WarpInstr::exit());
+            return std::make_unique<gpu::TraceProgram>(std::move(t));
+        }
+        return std::make_unique<Consumer>();
+    }
+
+    bool
+    verify(const mem::MainMemory &memory) const override
+    {
+        // The consumer either observed the flag and then must have
+        // read 42, or gave up (0xdead) which tests treat as failure
+        // separately.
+        return memory.readWord(kResultBase) == 42;
+    }
+
+  private:
+    class Consumer : public gpu::WarpProgram
+    {
+      public:
+        WarpInstr
+        next() override
+        {
+            switch (step_++) {
+              case 0:
+                return WarpInstr::spinUntil(kFlag, 1, 4096);
+              case 1:
+                sawFlag_ = (last_ >= 1);
+                return WarpInstr::loadScalar(kX);
+              case 2:
+                return WarpInstr::storeScalar(
+                    kResultBase, sawFlag_ ? last_ : 0xdead);
+              case 3:
+                return WarpInstr::fence();
+              default:
+                return WarpInstr::exit();
+            }
+        }
+
+        void observe(std::uint32_t v) override { last_ = v; }
+
+      private:
+        unsigned step_ = 0;
+        std::uint32_t last_ = 0;
+        bool sawFlag_ = false;
+    };
+
+    WlParams params_;
+};
+
+/**
+ * Store-buffering litmus: warp A stores X=1 then loads Y; warp B
+ * stores Y=1 then loads X. Results are recorded to kResultBase[0/1].
+ */
+class SbWorkload : public gpu::Workload
+{
+  public:
+    explicit SbWorkload(const sim::Config &cfg) { (void)cfg; }
+
+    std::string name() const override { return "SB"; }
+    bool requiresCoherence() const override { return true; }
+
+    bool
+    verify(const mem::MainMemory &memory) const override
+    {
+        // With a fence between each thread's store and load, both
+        // threads observing the initial value (0, 0) is forbidden.
+        std::uint32_t r0 = memory.readWord(kResultBase + 64);
+        std::uint32_t r1 =
+            memory.readWord(kResultBase + 64 + mem::kWordBytes);
+        return !(r0 == 0 && r1 == 0);
+    }
+
+    std::unique_ptr<gpu::WarpProgram>
+    makeProgram(unsigned kernel, SmId sm, WarpId warp,
+                const gpu::GpuParams &gpu) override
+    {
+        (void)kernel;
+        (void)gpu;
+        if (warp != 0 || sm > 1)
+            return std::make_unique<gpu::TraceProgram>(
+                std::vector<WarpInstr>{WarpInstr::exit()});
+        return std::make_unique<Thread>(sm);
+    }
+
+  private:
+    class Thread : public gpu::WarpProgram
+    {
+      public:
+        explicit Thread(SmId sm) : sm_(sm) {}
+
+        WarpInstr
+        next() override
+        {
+            Addr mine = (sm_ == 0) ? kX : kY;
+            Addr other = (sm_ == 0) ? kY : kX;
+            switch (step_++) {
+              case 0:
+                return WarpInstr::storeScalar(mine, 1);
+              case 1:
+                return WarpInstr::fence();
+              case 2:
+                return WarpInstr::loadScalar(other);
+              case 3:
+                return WarpInstr::storeScalar(
+                    kResultBase + 64 + sm_ * mem::kWordBytes, last_);
+              case 4:
+                return WarpInstr::fence();
+              default:
+                return WarpInstr::exit();
+            }
+        }
+
+        void observe(std::uint32_t v) override { last_ = v; }
+
+      private:
+        SmId sm_;
+        unsigned step_ = 0;
+        std::uint32_t last_ = 0;
+    };
+};
+
+/**
+ * Randomized coherence stress: every warp mixes scalar and strided
+ * loads/stores over a small hot shared region, a larger cold shared
+ * region and a private tile, with random fences — maximizing
+ * protocol corner coverage under the runtime checker.
+ */
+class StressWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "STRESS"; }
+    bool requiresCoherence() const override { return true; }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        auto rng = warpRng(params_.seed, kernel, sm, warp);
+        const std::uint64_t hot_lines = 4;
+        const std::uint64_t cold_lines = 128;
+        Addr priv = kPrivateBase + (std::uint64_t(sm) * 4096 + warp) *
+                                       8 * mem::kLineBytes;
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(40);
+        for (unsigned i = 0; i < iters; ++i) {
+            double roll = rng.uniform();
+            Addr line;
+            if (roll < 0.5)
+                line = lineAt(kSharedBase, rng.below(hot_lines));
+            else if (roll < 0.8)
+                line = lineAt(kSharedBase + 0x10000,
+                              rng.below(cold_lines));
+            else
+                line = priv + rng.below(8) * mem::kLineBytes;
+
+            if (rng.chance(0.35)) {
+                // Store: scalar or partial-line.
+                if (rng.chance(0.5)) {
+                    t.push_back(WarpInstr::storeStrided(
+                        line + rng.below(mem::kWordsPerLine) *
+                                   mem::kWordBytes,
+                        gpu.warpSize, 0, 0x1));
+                } else {
+                    t.push_back(WarpInstr::storeStrided(
+                        line, gpu.warpSize, 4,
+                        static_cast<std::uint32_t>(rng.next())));
+                }
+            } else {
+                if (rng.chance(0.5)) {
+                    t.push_back(WarpInstr::loadScalar(
+                        line + rng.below(mem::kWordsPerLine) *
+                                   mem::kWordBytes));
+                } else {
+                    t.push_back(
+                        WarpInstr::loadStrided(line, gpu.warpSize));
+                }
+            }
+            if (rng.chance(0.15))
+                t.push_back(WarpInstr::fence());
+            if (rng.chance(0.3))
+                t.push_back(WarpInstr::compute(
+                    static_cast<std::uint32_t>(rng.below(30))));
+        }
+        t.push_back(WarpInstr::fence());
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+/**
+ * coRR litmus: one SM stores X=1; a reader on another SM loads X
+ * twice. Once the first load observes the store, the second load
+ * must too (reads of one location never travel back in time).
+ * Results at kResultBase words 8/9.
+ */
+class CorrWorkload : public gpu::Workload
+{
+  public:
+    explicit CorrWorkload(const sim::Config &cfg)
+        : params_(WlParams::fromConfig(cfg))
+    {}
+
+    std::string name() const override { return "CORR"; }
+    bool requiresCoherence() const override { return true; }
+
+    std::unique_ptr<gpu::WarpProgram>
+    makeProgram(unsigned kernel, SmId sm, WarpId warp,
+                const gpu::GpuParams &gpu) override
+    {
+        (void)gpu;
+        if (warp != 0 || sm > 1)
+            return std::make_unique<gpu::TraceProgram>(
+                std::vector<WarpInstr>{WarpInstr::exit()});
+        auto rng = warpRng(params_.seed, kernel, sm, warp);
+        if (sm == 0) {
+            std::vector<WarpInstr> t;
+            t.push_back(WarpInstr::compute(
+                static_cast<std::uint32_t>(rng.below(300))));
+            t.push_back(WarpInstr::storeScalar(kX, 1));
+            t.push_back(WarpInstr::fence());
+            t.push_back(WarpInstr::exit());
+            return std::make_unique<gpu::TraceProgram>(std::move(t));
+        }
+        return std::make_unique<Reader>(
+            static_cast<std::uint32_t>(rng.below(200)));
+    }
+
+    bool
+    verify(const mem::MainMemory &memory) const override
+    {
+        std::uint32_t r0 = memory.readWord(kResultBase + 8 * 4);
+        std::uint32_t r1 = memory.readWord(kResultBase + 9 * 4);
+        return !(r0 == 1 && r1 == 0); // new-then-old is forbidden
+    }
+
+  private:
+    class Reader : public gpu::WarpProgram
+    {
+      public:
+        explicit Reader(std::uint32_t delay) : delay_(delay) {}
+
+        WarpInstr
+        next() override
+        {
+            switch (step_++) {
+              case 0:
+                return WarpInstr::compute(delay_);
+              case 1:
+                return WarpInstr::loadScalar(kX);
+              case 2:
+                r0_ = last_;
+                return WarpInstr::loadScalar(kX);
+              case 3:
+                return WarpInstr::storeScalar(kResultBase + 8 * 4,
+                                              r0_);
+              case 4:
+                return WarpInstr::storeScalar(kResultBase + 9 * 4,
+                                              last_);
+              case 5:
+                return WarpInstr::fence();
+              default:
+                return WarpInstr::exit();
+            }
+        }
+        void observe(std::uint32_t v) override { last_ = v; }
+
+      private:
+        unsigned step_ = 0;
+        std::uint32_t delay_;
+        std::uint32_t last_ = 0;
+        std::uint32_t r0_ = 0;
+    };
+
+    WlParams params_;
+};
+
+/**
+ * IRIW litmus: two writers on different SMs store X and Y; two
+ * readers on two further SMs each read both locations (fenced
+ * between the reads). Under SC the readers may not disagree on the
+ * store order: r1=(X=1,Y=0) together with r2=(Y=1,X=0) is forbidden.
+ * Results at kResultBase words 16..19 (r1x, r1y, r2y, r2x).
+ */
+class IriwWorkload : public gpu::Workload
+{
+  public:
+    explicit IriwWorkload(const sim::Config &cfg)
+        : params_(WlParams::fromConfig(cfg))
+    {}
+
+    std::string name() const override { return "IRIW"; }
+    bool requiresCoherence() const override { return true; }
+
+    std::unique_ptr<gpu::WarpProgram>
+    makeProgram(unsigned kernel, SmId sm, WarpId warp,
+                const gpu::GpuParams &gpu) override
+    {
+        (void)gpu;
+        if (warp != 0 || sm > 3)
+            return std::make_unique<gpu::TraceProgram>(
+                std::vector<WarpInstr>{WarpInstr::exit()});
+        auto rng = warpRng(params_.seed, kernel, sm, warp);
+        std::uint32_t delay =
+            static_cast<std::uint32_t>(rng.below(200));
+        if (sm <= 1) {
+            // Writers.
+            std::vector<WarpInstr> t;
+            t.push_back(WarpInstr::compute(delay));
+            t.push_back(
+                WarpInstr::storeScalar(sm == 0 ? kX : kY, 1));
+            t.push_back(WarpInstr::fence());
+            t.push_back(WarpInstr::exit());
+            return std::make_unique<gpu::TraceProgram>(std::move(t));
+        }
+        bool x_first = (sm == 2);
+        return std::make_unique<Reader>(delay, x_first,
+                                        sm == 2 ? 16u : 18u);
+    }
+
+    bool
+    verify(const mem::MainMemory &memory) const override
+    {
+        std::uint32_t r1x = memory.readWord(kResultBase + 16 * 4);
+        std::uint32_t r1y = memory.readWord(kResultBase + 17 * 4);
+        std::uint32_t r2y = memory.readWord(kResultBase + 18 * 4);
+        std::uint32_t r2x = memory.readWord(kResultBase + 19 * 4);
+        // The SC-forbidden disagreement.
+        return !(r1x == 1 && r1y == 0 && r2y == 1 && r2x == 0);
+    }
+
+  private:
+    class Reader : public gpu::WarpProgram
+    {
+      public:
+        Reader(std::uint32_t delay, bool x_first, unsigned slot)
+            : delay_(delay), xFirst_(x_first), slot_(slot)
+        {}
+
+        WarpInstr
+        next() override
+        {
+            switch (step_++) {
+              case 0:
+                return WarpInstr::compute(delay_);
+              case 1:
+                return WarpInstr::loadScalar(xFirst_ ? kX : kY);
+              case 2:
+                first_ = last_;
+                return WarpInstr::fence();
+              case 3:
+                return WarpInstr::loadScalar(xFirst_ ? kY : kX);
+              case 4:
+                return WarpInstr::storeScalar(
+                    kResultBase + slot_ * 4, first_);
+              case 5:
+                return WarpInstr::storeScalar(
+                    kResultBase + (slot_ + 1) * 4, last_);
+              case 6:
+                return WarpInstr::fence();
+              default:
+                return WarpInstr::exit();
+            }
+        }
+        void observe(std::uint32_t v) override { last_ = v; }
+
+      private:
+        unsigned step_ = 0;
+        std::uint32_t delay_;
+        bool xFirst_;
+        unsigned slot_;
+        std::uint32_t last_ = 0;
+        std::uint32_t first_ = 0;
+    };
+
+    WlParams params_;
+};
+
+/**
+ * The Figure 9 example: SM0 runs {ld X; st Y; ld X}, SM1 runs
+ * {ld Y; st X; ld Y} — one warp each. Used by the protocol-trace
+ * example and FSM tests.
+ */
+class PingPongWorkload : public gpu::Workload
+{
+  public:
+    explicit PingPongWorkload(const sim::Config &cfg) { (void)cfg; }
+
+    std::string name() const override { return "PINGPONG"; }
+    bool requiresCoherence() const override { return true; }
+
+    std::unique_ptr<gpu::WarpProgram>
+    makeProgram(unsigned kernel, SmId sm, WarpId warp,
+                const gpu::GpuParams &gpu) override
+    {
+        (void)kernel;
+        (void)gpu;
+        std::vector<WarpInstr> t;
+        if (warp == 0 && sm <= 1) {
+            Addr first = (sm == 0) ? kX : kY;
+            Addr second = (sm == 0) ? kY : kX;
+            t.push_back(WarpInstr::loadScalar(first));
+            t.push_back(WarpInstr::storeScalar(second, 7 + sm));
+            t.push_back(WarpInstr::loadScalar(first));
+            t.push_back(WarpInstr::fence());
+        }
+        t.push_back(WarpInstr::exit());
+        return std::make_unique<gpu::TraceProgram>(std::move(t));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<gpu::Workload>
+makeMp(const sim::Config &cfg)
+{
+    return std::make_unique<MpWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeSb(const sim::Config &cfg)
+{
+    return std::make_unique<SbWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeStress(const sim::Config &cfg)
+{
+    return std::make_unique<StressWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makePingPong(const sim::Config &cfg)
+{
+    return std::make_unique<PingPongWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeCorr(const sim::Config &cfg)
+{
+    return std::make_unique<CorrWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeIriw(const sim::Config &cfg)
+{
+    return std::make_unique<IriwWorkload>(cfg);
+}
+
+} // namespace gtsc::workloads

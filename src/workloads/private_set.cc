@@ -1,0 +1,324 @@
+/**
+ * @file
+ * The six benchmarks that do not need coherence (paper Section
+ * VI-A, Figure 12 right cluster): shared data is read-only after
+ * host initialization and all written regions are private to one
+ * warp, so they also run correctly on the non-coherent L1 baseline.
+ */
+
+#include "workloads/factories.hh"
+
+#include "workloads/common.hh"
+
+namespace gtsc::workloads
+{
+
+using gpu::WarpInstr;
+
+namespace
+{
+
+Addr
+privateTile(SmId sm, WarpId warp, unsigned lines_per_warp)
+{
+    return kPrivateBase + (std::uint64_t(sm) * 4096 + warp) *
+                              lines_per_warp * mem::kLineBytes;
+}
+
+/**
+ * CCP — compute-bound kernel (e.g. crypto): long arithmetic
+ * stretches with a small private footprint. Coherence protocol
+ * overheads should vanish here (Figure 12).
+ */
+class CcpWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "CCP"; }
+    bool requiresCoherence() const override { return false; }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        (void)kernel;
+        Addr tile = privateTile(sm, warp, 8);
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(24);
+        for (unsigned i = 0; i < iters; ++i) {
+            t.push_back(WarpInstr::compute(120));
+            if (i % 4 == 0) {
+                t.push_back(WarpInstr::loadStrided(
+                    tile + (i / 4 % 8) * mem::kLineBytes,
+                    gpu.warpSize));
+            }
+            if (i % 8 == 7) {
+                t.push_back(WarpInstr::storeStrided(
+                    tile + (i / 8 % 8) * mem::kLineBytes,
+                    gpu.warpSize));
+            }
+        }
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+/**
+ * GE — Gaussian elimination. Streams a hot read-only pivot row
+ * (broadcast reads, high L1 reuse) against private rows written
+ * once per iteration.
+ */
+class GeWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "GE"; }
+    bool requiresCoherence() const override { return false; }
+
+    void
+    initMemory(mem::MainMemory &memory, unsigned kernel) override
+    {
+        (void)kernel;
+        for (unsigned w = 0; w < 64 * mem::kWordsPerLine; ++w)
+            memory.writeWord(wordAt(kSharedBase, w), 7 * w + 3);
+    }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        (void)kernel;
+        Addr rows = privateTile(sm, warp, 32);
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(12);
+        for (unsigned i = 0; i < iters; ++i) {
+            // Pivot row for step i: shared, read-only, hot.
+            t.push_back(WarpInstr::loadStrided(
+                lineAt(kSharedBase, i % 64), gpu.warpSize));
+            t.push_back(WarpInstr::loadStrided(
+                rows + (i % 32) * mem::kLineBytes, gpu.warpSize));
+            t.push_back(WarpInstr::compute(16));
+            t.push_back(WarpInstr::storeStrided(
+                rows + (i % 32) * mem::kLineBytes, gpu.warpSize));
+        }
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+/**
+ * HS — hotspot stencil over private tiles: very high L1 reuse,
+ * write-through traffic only.
+ */
+class HsWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "HS"; }
+    bool requiresCoherence() const override { return false; }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        (void)kernel;
+        const unsigned tile_lines = 8;
+        Addr tile = privateTile(sm, warp, tile_lines);
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(10);
+        for (unsigned i = 0; i < iters; ++i) {
+            // Read the whole neighbourhood, update one centre line:
+            // the real hotspot kernel is strongly load-dominant.
+            for (unsigned l = 0; l < tile_lines; ++l) {
+                t.push_back(WarpInstr::loadStrided(
+                    tile + l * mem::kLineBytes, gpu.warpSize));
+            }
+            t.push_back(WarpInstr::compute(45));
+            t.push_back(WarpInstr::storeStrided(
+                tile + (i % tile_lines) * mem::kLineBytes,
+                gpu.warpSize));
+        }
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+/**
+ * KM — k-means. Small hot read-only centroid table plus streamed
+ * private points (cold misses) and write-once assignments; fences
+ * delimit iterations.
+ */
+class KmWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "KM"; }
+    bool requiresCoherence() const override { return false; }
+
+    void
+    initMemory(mem::MainMemory &memory, unsigned kernel) override
+    {
+        (void)kernel;
+        for (unsigned w = 0; w < 16 * mem::kWordsPerLine; ++w)
+            memory.writeWord(wordAt(kSharedBase, w), 11 * w + 5);
+    }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        auto rng = warpRng(params_.seed, kernel, sm, warp);
+        Addr points = privateTile(sm, warp, 96);
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(8);
+        unsigned p = 0;
+        for (unsigned i = 0; i < iters; ++i) {
+            for (unsigned j = 0; j < 8; ++j, ++p) {
+                t.push_back(WarpInstr::loadStrided(
+                    points + (p % 96) * mem::kLineBytes,
+                    gpu.warpSize));
+                t.push_back(WarpInstr::loadStrided(
+                    lineAt(kSharedBase, rng.below(16)), gpu.warpSize));
+                t.push_back(WarpInstr::compute(24));
+            }
+            // Assignments are written out once per batch.
+            t.push_back(WarpInstr::storeStrided(
+                points + (i % 96) * mem::kLineBytes, gpu.warpSize));
+            t.push_back(WarpInstr::fence());
+        }
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+/**
+ * BP — backpropagation. Layered: hot read-only weights, private
+ * activations written once per layer, moderate compute.
+ */
+class BpWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "BP"; }
+    bool requiresCoherence() const override { return false; }
+
+    void
+    initMemory(mem::MainMemory &memory, unsigned kernel) override
+    {
+        (void)kernel;
+        for (unsigned w = 0; w < 32 * mem::kWordsPerLine; ++w)
+            memory.writeWord(wordAt(kSharedBase, w), 13 * w + 1);
+    }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        auto rng = warpRng(params_.seed, kernel, sm, warp);
+        Addr acts = privateTile(sm, warp, 24);
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(10);
+        for (unsigned i = 0; i < iters; ++i) {
+            t.push_back(WarpInstr::loadStrided(
+                lineAt(kSharedBase, rng.below(32)), gpu.warpSize));
+            t.push_back(WarpInstr::loadStrided(
+                acts + (i % 12) * mem::kLineBytes, gpu.warpSize));
+            t.push_back(WarpInstr::compute(22));
+            t.push_back(WarpInstr::storeStrided(
+                acts + (12 + i % 12) * mem::kLineBytes, gpu.warpSize));
+        }
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+/**
+ * SGM — semi-global stereo matching. Sliding-window reads over a
+ * large read-only frame (heavy overlap between iterations, so high
+ * L1 reuse) with private cost-volume writes.
+ */
+class SgmWorkload : public TraceWorkload
+{
+  public:
+    using TraceWorkload::TraceWorkload;
+    std::string name() const override { return "SGM"; }
+    bool requiresCoherence() const override { return false; }
+
+    void
+    initMemory(mem::MainMemory &memory, unsigned kernel) override
+    {
+        (void)kernel;
+        for (unsigned w = 0; w < 256 * mem::kWordsPerLine; w += 16)
+            memory.writeWord(wordAt(kSharedBase, w), 17 * w + 9);
+    }
+
+  protected:
+    std::vector<WarpInstr>
+    buildTrace(unsigned kernel, SmId sm, WarpId warp,
+               const gpu::GpuParams &gpu) override
+    {
+        (void)kernel;
+        Addr costs = privateTile(sm, warp, 20);
+        std::uint64_t row =
+            (std::uint64_t(sm) * gpu.warpsPerSm + warp) % 192;
+        std::vector<WarpInstr> t;
+        unsigned iters = params_.iters(16);
+        for (unsigned i = 0; i < iters; ++i) {
+            for (unsigned wnd = 0; wnd < 4; ++wnd) {
+                t.push_back(WarpInstr::loadStrided(
+                    lineAt(kSharedBase, (row + i + wnd) % 256),
+                    gpu.warpSize));
+            }
+            t.push_back(WarpInstr::compute(28));
+            t.push_back(WarpInstr::storeStrided(
+                costs + (i % 20) * mem::kLineBytes, gpu.warpSize));
+        }
+        t.push_back(WarpInstr::exit());
+        return t;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<gpu::Workload>
+makeCcp(const sim::Config &cfg)
+{
+    return std::make_unique<CcpWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeGe(const sim::Config &cfg)
+{
+    return std::make_unique<GeWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeHs(const sim::Config &cfg)
+{
+    return std::make_unique<HsWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeKm(const sim::Config &cfg)
+{
+    return std::make_unique<KmWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeBp(const sim::Config &cfg)
+{
+    return std::make_unique<BpWorkload>(cfg);
+}
+
+std::unique_ptr<gpu::Workload>
+makeSgm(const sim::Config &cfg)
+{
+    return std::make_unique<SgmWorkload>(cfg);
+}
+
+} // namespace gtsc::workloads

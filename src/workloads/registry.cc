@@ -1,0 +1,79 @@
+#include "workloads/registry.hh"
+
+#include "sim/log.hh"
+#include "workloads/factories.hh"
+#include "workloads/trace_file.hh"
+
+namespace gtsc::workloads
+{
+
+std::unique_ptr<gpu::Workload>
+makeWorkload(const std::string &name, const sim::Config &cfg)
+{
+    if (name == "bh")
+        return makeBh(cfg);
+    if (name == "cc")
+        return makeCc(cfg);
+    if (name == "dlp")
+        return makeDlp(cfg);
+    if (name == "vpr")
+        return makeVpr(cfg);
+    if (name == "stn")
+        return makeStn(cfg);
+    if (name == "bfs")
+        return makeBfs(cfg);
+    if (name == "ccp")
+        return makeCcp(cfg);
+    if (name == "ge")
+        return makeGe(cfg);
+    if (name == "hs")
+        return makeHs(cfg);
+    if (name == "km")
+        return makeKm(cfg);
+    if (name == "bp")
+        return makeBp(cfg);
+    if (name == "sgm")
+        return makeSgm(cfg);
+    if (name == "mp")
+        return makeMp(cfg);
+    if (name == "sb")
+        return makeSb(cfg);
+    if (name == "stress")
+        return makeStress(cfg);
+    if (name == "pingpong")
+        return makePingPong(cfg);
+    if (name == "corr")
+        return makeCorr(cfg);
+    if (name == "iriw")
+        return makeIriw(cfg);
+    if (name.rfind("trace:", 0) == 0)
+        return std::make_unique<TraceFileWorkload>(name.substr(6));
+    GTSC_FATAL("unknown workload '", name, "'");
+}
+
+const std::vector<std::string> &
+coherentSet()
+{
+    static const std::vector<std::string> kSet = {"bh", "cc",  "dlp",
+                                                  "vpr", "stn", "bfs"};
+    return kSet;
+}
+
+const std::vector<std::string> &
+privateSet()
+{
+    static const std::vector<std::string> kSet = {"ccp", "ge", "hs",
+                                                  "km",  "bp", "sgm"};
+    return kSet;
+}
+
+std::vector<std::string>
+allBenchmarks()
+{
+    std::vector<std::string> all = coherentSet();
+    for (const auto &n : privateSet())
+        all.push_back(n);
+    return all;
+}
+
+} // namespace gtsc::workloads

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Name-based workload registry.
+ *
+ * Benchmarks (paper Section VI-A):
+ *   coherence-required set: bh cc dlp vpr stn bfs
+ *   no-coherence set:       ccp ge hs km bp sgm
+ * Extra kernels for testing:
+ *   mp (message passing litmus), sb (store buffering litmus),
+ *   stress (randomized sharing stress), pingpong (two-SM example of
+ *   Figure 9).
+ */
+
+#ifndef GTSC_WORKLOADS_REGISTRY_HH_
+#define GTSC_WORKLOADS_REGISTRY_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.hh"
+#include "sim/config.hh"
+
+namespace gtsc::workloads
+{
+
+/** Instantiate a workload by name; fatal on unknown names. */
+std::unique_ptr<gpu::Workload> makeWorkload(const std::string &name,
+                                            const sim::Config &cfg);
+
+/** The six benchmarks that require coherence (Figure 12, left). */
+const std::vector<std::string> &coherentSet();
+
+/** The six benchmarks that do not (Figure 12, right). */
+const std::vector<std::string> &privateSet();
+
+/** All twelve paper benchmarks, coherent set first. */
+std::vector<std::string> allBenchmarks();
+
+} // namespace gtsc::workloads
+
+#endif // GTSC_WORKLOADS_REGISTRY_HH_

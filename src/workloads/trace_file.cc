@@ -1,0 +1,202 @@
+#include "workloads/trace_file.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace gtsc::workloads
+{
+
+namespace
+{
+
+std::uint64_t
+parseNum(const std::string &tok, unsigned line_no)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(tok.c_str(), &end, 0);
+    if (end == tok.c_str() || *end != '\0')
+        GTSC_FATAL("trace line ", line_no, ": bad number '", tok, "'");
+    return v;
+}
+
+} // namespace
+
+TraceFileWorkload::TraceFileWorkload(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        GTSC_FATAL("cannot open trace file '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    name_ = "TRACE(" + path + ")";
+    parse(buf.str());
+}
+
+std::unique_ptr<TraceFileWorkload>
+TraceFileWorkload::fromString(const std::string &text,
+                              const std::string &name)
+{
+    std::unique_ptr<TraceFileWorkload> wl(new TraceFileWorkload());
+    wl->name_ = name;
+    wl->parse(text);
+    return wl;
+}
+
+void
+TraceFileWorkload::parse(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    unsigned line_no = 0;
+    KernelTrace *kernel = nullptr;
+    std::vector<gpu::WarpInstr> *program = nullptr;
+
+    auto need_kernel = [&]() -> KernelTrace & {
+        if (!kernel) {
+            kernels_.emplace_back();
+            kernel = &kernels_.back();
+        }
+        return *kernel;
+    };
+    auto need_program = [&](unsigned ln) -> std::vector<gpu::WarpInstr> & {
+        if (!program)
+            GTSC_FATAL("trace line ", ln,
+                       ": instruction before any 'warp' directive");
+        return *program;
+    };
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string op;
+        if (!(ls >> op))
+            continue;
+        std::vector<std::string> args;
+        std::string tok;
+        while (ls >> tok)
+            args.push_back(tok);
+
+        if (op == "kernel") {
+            if (args.size() != 1)
+                GTSC_FATAL("trace line ", line_no, ": kernel <n>");
+            unsigned idx =
+                static_cast<unsigned>(parseNum(args[0], line_no));
+            if (idx != kernels_.size())
+                GTSC_FATAL("trace line ", line_no,
+                           ": kernels must be declared in order; "
+                           "expected ",
+                           kernels_.size());
+            kernels_.emplace_back();
+            kernel = &kernels_.back();
+            program = nullptr;
+        } else if (op == "mem") {
+            if (args.size() != 2)
+                GTSC_FATAL("trace line ", line_no,
+                           ": mem <addr> <value>");
+            need_kernel().memInit.emplace_back(
+                parseNum(args[0], line_no),
+                static_cast<std::uint32_t>(parseNum(args[1], line_no)));
+        } else if (op == "warp") {
+            if (args.size() != 2)
+                GTSC_FATAL("trace line ", line_no, ": warp <sm> <warp>");
+            auto key = std::make_pair(
+                static_cast<unsigned>(parseNum(args[0], line_no)),
+                static_cast<unsigned>(parseNum(args[1], line_no)));
+            program = &need_kernel().programs[key];
+        } else if (op == "ld") {
+            if (args.empty() || args.size() > 2)
+                GTSC_FATAL("trace line ", line_no, ": ld <addr> [mask]");
+            std::uint32_t mask =
+                args.size() == 2
+                    ? static_cast<std::uint32_t>(
+                          parseNum(args[1], line_no))
+                    : 0x1u;
+            need_program(line_no)
+                .push_back(gpu::WarpInstr::loadStrided(
+                    parseNum(args[0], line_no), gpu::kMaxWarpSize, 4,
+                    mask));
+        } else if (op == "st") {
+            if (args.size() < 2 || args.size() > 3)
+                GTSC_FATAL("trace line ", line_no,
+                           ": st <addr> <value>|auto [mask]");
+            std::uint32_t mask =
+                args.size() == 3
+                    ? static_cast<std::uint32_t>(
+                          parseNum(args[2], line_no))
+                    : 0x1u;
+            gpu::WarpInstr instr = gpu::WarpInstr::storeStrided(
+                parseNum(args[0], line_no), gpu::kMaxWarpSize, 4, mask);
+            if (args[1] != "auto") {
+                instr.hasValue = true;
+                instr.value = static_cast<std::uint32_t>(
+                    parseNum(args[1], line_no));
+            }
+            need_program(line_no).push_back(instr);
+        } else if (op == "cmp") {
+            if (args.size() != 1)
+                GTSC_FATAL("trace line ", line_no, ": cmp <cycles>");
+            need_program(line_no)
+                .push_back(gpu::WarpInstr::compute(
+                    static_cast<std::uint32_t>(
+                        parseNum(args[0], line_no))));
+        } else if (op == "fence") {
+            need_program(line_no).push_back(gpu::WarpInstr::fence());
+        } else if (op == "spin") {
+            if (args.size() < 2 || args.size() > 3)
+                GTSC_FATAL("trace line ", line_no,
+                           ": spin <addr> <expect> [maxiters]");
+            std::uint32_t max_iters =
+                args.size() == 3
+                    ? static_cast<std::uint32_t>(
+                          parseNum(args[2], line_no))
+                    : 256u;
+            need_program(line_no)
+                .push_back(gpu::WarpInstr::spinUntil(
+                    parseNum(args[0], line_no),
+                    static_cast<std::uint32_t>(
+                        parseNum(args[1], line_no)),
+                    max_iters));
+        } else {
+            GTSC_FATAL("trace line ", line_no, ": unknown directive '",
+                       op, "'");
+        }
+    }
+    if (kernels_.empty())
+        GTSC_FATAL("trace contains no kernels/instructions");
+}
+
+unsigned
+TraceFileWorkload::numKernels() const
+{
+    return static_cast<unsigned>(kernels_.size());
+}
+
+void
+TraceFileWorkload::initMemory(mem::MainMemory &memory, unsigned kernel)
+{
+    for (const auto &[addr, value] : kernels_[kernel].memInit)
+        memory.writeWord(addr, value);
+}
+
+std::unique_ptr<gpu::WarpProgram>
+TraceFileWorkload::makeProgram(unsigned kernel, SmId sm, WarpId warp,
+                               const gpu::GpuParams &params)
+{
+    (void)params;
+    const auto &programs = kernels_[kernel].programs;
+    auto it = programs.find({sm, warp});
+    if (it == programs.end()) {
+        return std::make_unique<gpu::TraceProgram>(
+            std::vector<gpu::WarpInstr>{gpu::WarpInstr::exit()});
+    }
+    std::vector<gpu::WarpInstr> instrs = it->second;
+    instrs.push_back(gpu::WarpInstr::exit());
+    return std::make_unique<gpu::TraceProgram>(std::move(instrs));
+}
+
+} // namespace gtsc::workloads

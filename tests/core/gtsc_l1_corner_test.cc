@@ -1,0 +1,263 @@
+/**
+ * Corner cases of the G-TSC private-cache controller: fill bypass
+ * when every way is pinned by pending stores, renewal responses that
+ * race with evictions, forward-all response bookkeeping, and the
+ * per-line ordering of mixed load/store waiter lists.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gtsc_builder.hh"
+#include "core/gtsc_l1.hh"
+
+using namespace gtsc;
+using core::GtscL1;
+using core::TsDomain;
+using mem::Access;
+using mem::AccessResult;
+using mem::MsgType;
+using mem::Packet;
+
+namespace
+{
+
+class CornerFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // One set, two ways: every line conflicts.
+        cfg.setInt("gpu.warps_per_sm", 4);
+        cfg.setInt("gpu.num_partitions", 1);
+        cfg.setInt("l1.size_bytes", 2 * mem::kLineBytes);
+        cfg.setInt("l1.assoc", 2);
+        cfg.setInt("l1.mshr_entries", 8);
+        makeL1();
+    }
+
+    void
+    makeL1()
+    {
+        domain = std::make_unique<TsDomain>(cfg, stats);
+        l1 = std::make_unique<GtscL1>(0, cfg, stats, events, *domain,
+                                      nullptr);
+        l1->setSend([this](Packet &&p) { sent.push_back(p); });
+        l1->setLoadDone([this](const Access &a, const AccessResult &r) {
+            loadsDone.emplace_back(a, r);
+        });
+        l1->setStoreDone([this](const Access &a, Cycle) {
+            storesDone.push_back(a);
+        });
+    }
+
+    Access
+    load(Addr line, WarpId warp)
+    {
+        Access a;
+        a.lineAddr = line;
+        a.wordMask = 1;
+        a.warp = warp;
+        a.id = nextId++;
+        return a;
+    }
+
+    Access
+    store(Addr line, WarpId warp, std::uint32_t value)
+    {
+        Access a = load(line, warp);
+        a.isStore = true;
+        a.storeData.setWord(0, value);
+        return a;
+    }
+
+    Packet
+    fill(Addr line, Ts wts, Ts rts, std::uint32_t word0 = 0)
+    {
+        Packet p;
+        p.type = MsgType::BusFill;
+        p.lineAddr = line;
+        p.wts = wts;
+        p.rts = rts;
+        p.data.setWord(0, word0);
+        return p;
+    }
+
+    void
+    ackStore(Addr line, std::uint64_t req, Ts wts, Ts rts, Ts prev)
+    {
+        Packet ack;
+        ack.type = MsgType::BusWrAck;
+        ack.lineAddr = line;
+        ack.reqId = req;
+        ack.wts = wts;
+        ack.rts = rts;
+        ack.prevWts = prev;
+        l1->receiveResponse(std::move(ack), now);
+    }
+
+    void
+    advance(unsigned cycles = 12)
+    {
+        for (unsigned i = 0; i < cycles; ++i) {
+            ++now;
+            events.runUntil(now);
+            l1->tick(now);
+        }
+    }
+
+    void
+    warm(Addr line, Ts wts = 1, Ts rts = 60000)
+    {
+        l1->access(load(line, 0), now);
+        l1->receiveResponse(fill(line, wts, rts), now);
+        advance();
+        loadsDone.clear();
+        sent.clear();
+    }
+
+    sim::Config cfg;
+    sim::StatSet stats;
+    sim::EventQueue events;
+    std::unique_ptr<TsDomain> domain;
+    std::unique_ptr<GtscL1> l1;
+    std::vector<Packet> sent;
+    std::vector<std::pair<Access, AccessResult>> loadsDone;
+    std::vector<Access> storesDone;
+    std::uint64_t nextId = 1;
+    Cycle now = 0;
+};
+
+TEST_F(CornerFixture, FillBypassWhenAllWaysPinnedByStores)
+{
+    // Both ways of the single set hold lines with stores in flight.
+    warm(0x000);
+    warm(0x080);
+    l1->access(store(0x000, 0, 1), now);
+    l1->access(store(0x080, 1, 2), now);
+    ASSERT_EQ(sent.size(), 2u);
+
+    // A third line misses; its fill cannot evict either pinned way,
+    // so the load completes straight from the packet (bypass).
+    l1->access(load(0x100, 2), now);
+    l1->receiveResponse(fill(0x100, 3, 30, 77), now);
+    advance();
+    ASSERT_EQ(loadsDone.size(), 1u);
+    EXPECT_EQ(loadsDone[0].second.data.word(0), 77u);
+    EXPECT_FALSE(loadsDone[0].second.l1Hit);
+    EXPECT_EQ(stats.get("l1.fill_bypass"), 1u);
+
+    // The line was not cached: a re-read cold-misses again.
+    sent.clear();
+    l1->access(load(0x100, 2), now);
+    ASSERT_EQ(sent.size(), 1u);
+    EXPECT_EQ(sent[0].wts, 0u);
+}
+
+TEST_F(CornerFixture, RenewalAfterEvictionRefetches)
+{
+    cfg.setInt("gtsc.spin_ts_boost", 30001);
+    makeL1();
+    warm(0x000);
+    // Boost warp 1 beyond the lease so its load needs a renewal.
+    l1->noteSpinRetry(1, 0x000);
+    l1->noteSpinRetry(1, 0x000);
+    l1->noteSpinRetry(1, 0x000);
+    Ts boosted = l1->warpTs(1);
+    ASSERT_GT(boosted, 60000u);
+    // Shrink the lease to force an expired miss.
+    // (The block's rts is 60000; boosted > rts.)
+    l1->access(load(0x000, 1), now);
+    ASSERT_EQ(sent.size(), 1u);
+    EXPECT_EQ(sent[0].wts, 1u) << "renewal carries local wts";
+    sent.clear();
+
+    // While the renewal is in flight, two fills land on the set and
+    // evict line 0x000 (LRU): the renewal response then finds no
+    // block and the waiter must re-request with wts=0.
+    l1->access(load(0x080, 0), now);
+    l1->receiveResponse(fill(0x080, 2, 70000), now);
+    l1->access(load(0x100, 0), now);
+    l1->receiveResponse(fill(0x100, 2, 70000), now);
+    advance();
+    sent.clear();
+    loadsDone.clear();
+
+    Packet rnw;
+    rnw.type = MsgType::BusRnw;
+    rnw.lineAddr = 0x000;
+    rnw.rts = boosted + 10;
+    l1->receiveResponse(std::move(rnw), now);
+    advance();
+    ASSERT_EQ(sent.size(), 1u) << "waiter re-requested";
+    EXPECT_EQ(sent[0].type, MsgType::BusRd);
+    EXPECT_EQ(sent[0].wts, 0u) << "cold re-request after eviction";
+    EXPECT_TRUE(loadsDone.empty());
+
+    l1->receiveResponse(fill(0x000, 2, boosted + 10, 5), now);
+    advance();
+    ASSERT_EQ(loadsDone.size(), 1u);
+    EXPECT_EQ(loadsDone[0].second.data.word(0), 5u);
+}
+
+TEST_F(CornerFixture, MixedWaitersReplayInOrder)
+{
+    // load(w1), store(w2), load(w3) all queued on a missing line:
+    // the fill completes the first load from the old version, then
+    // the store locks the line, and the last load waits for the ack.
+    l1->access(load(0x000, 1), now);
+    l1->access(store(0x000, 2, 99), now);
+    l1->access(load(0x000, 3), now);
+    ASSERT_EQ(sent.size(), 1u) << "one BusRd; others merged";
+
+    l1->receiveResponse(fill(0x000, 1, 50, 11), now);
+    advance();
+    // First load done with the pre-store version.
+    ASSERT_GE(loadsDone.size(), 1u);
+    EXPECT_EQ(loadsDone[0].second.data.word(0), 11u);
+    // The store went out.
+    ASSERT_EQ(sent.size(), 2u);
+    EXPECT_EQ(sent[1].type, MsgType::BusWr);
+    // The trailing load is parked behind the store.
+    EXPECT_EQ(loadsDone.size(), 1u);
+
+    ackStore(0x000, sent[1].reqId, 51, 61, 1);
+    advance();
+    ASSERT_EQ(loadsDone.size(), 2u);
+    EXPECT_EQ(loadsDone[1].second.data.word(0), 99u)
+        << "post-store load sees the store";
+    EXPECT_GE(loadsDone[1].second.loadTs, 51u);
+}
+
+TEST_F(CornerFixture, ForwardAllOutstandingBookkeeping)
+{
+    cfg.setBool("gtsc.combine_mshr", false);
+    makeL1();
+    l1->access(load(0x000, 0), now);
+    l1->access(load(0x000, 1), now);
+    l1->access(load(0x000, 2), now);
+    ASSERT_EQ(sent.size(), 3u) << "forward-all: one request each";
+
+    // First fill satisfies everyone whose warp_ts fits; the entry
+    // must survive the remaining in-flight responses without
+    // spawning new requests.
+    l1->receiveResponse(fill(0x000, 1, 50, 7), now);
+    advance();
+    EXPECT_EQ(loadsDone.size(), 3u);
+    sent.clear();
+    l1->receiveResponse(fill(0x000, 1, 50, 7), now);
+    l1->receiveResponse(fill(0x000, 1, 50, 7), now);
+    advance();
+    EXPECT_TRUE(sent.empty()) << "extra fills spawn no new requests";
+    EXPECT_TRUE(l1->quiescent());
+}
+
+TEST_F(CornerFixture, SpinBoostClampsAtTsMax)
+{
+    warm(0x000);
+    for (int i = 0; i < 100000; ++i)
+        l1->noteSpinRetry(0, 0x000);
+    EXPECT_LE(l1->warpTs(0), domain->tsMax());
+}
+
+} // namespace

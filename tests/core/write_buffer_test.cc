@@ -1,0 +1,170 @@
+/**
+ * Write-buffer visibility mode (the Section V-A design the paper
+ * rejects, kept for the ablation): loads never park behind pending
+ * stores — other warps read the old copy, the writer's own loads
+ * forward from the buffered store — and capacity limits apply.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gtsc_builder.hh"
+#include "core/gtsc_l1.hh"
+
+using namespace gtsc;
+using core::GtscL1;
+using core::TsDomain;
+using mem::Access;
+using mem::AccessResult;
+using mem::MsgType;
+using mem::Packet;
+
+namespace
+{
+
+class WbFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cfg.setInt("gpu.warps_per_sm", 4);
+        cfg.setInt("gpu.num_partitions", 2);
+        cfg.setInt("l1.size_bytes", 2 * 1024);
+        cfg.set("gtsc.update_visibility", "writebuffer");
+        cfg.setInt("gtsc.write_buffer_entries", 2);
+        domain = std::make_unique<TsDomain>(cfg, stats);
+        l1 = std::make_unique<GtscL1>(0, cfg, stats, events, *domain,
+                                      nullptr);
+        l1->setSend([this](Packet &&p) { sent.push_back(p); });
+        l1->setLoadDone([this](const Access &a, const AccessResult &r) {
+            loadsDone.emplace_back(a, r);
+        });
+        l1->setStoreDone([this](const Access &, Cycle) {});
+    }
+
+    Access
+    load(Addr line, WarpId warp)
+    {
+        Access a;
+        a.lineAddr = line;
+        a.wordMask = 1;
+        a.warp = warp;
+        a.id = nextId++;
+        return a;
+    }
+
+    Access
+    store(Addr line, WarpId warp, std::uint32_t value)
+    {
+        Access a = load(line, warp);
+        a.isStore = true;
+        a.storeData.setWord(0, value);
+        return a;
+    }
+
+    void
+    warmLine(Addr line, std::uint32_t word0)
+    {
+        l1->access(load(line, 0), now);
+        Packet fill;
+        fill.type = MsgType::BusFill;
+        fill.lineAddr = line;
+        fill.wts = 1;
+        fill.rts = 60000;
+        fill.data.setWord(0, word0);
+        l1->receiveResponse(std::move(fill), now);
+        advance();
+        loadsDone.clear();
+        sent.clear();
+    }
+
+    void
+    advance(unsigned cycles = 12)
+    {
+        for (unsigned i = 0; i < cycles; ++i) {
+            ++now;
+            events.runUntil(now);
+            l1->tick(now);
+        }
+    }
+
+    sim::Config cfg;
+    sim::StatSet stats;
+    sim::EventQueue events;
+    std::unique_ptr<TsDomain> domain;
+    std::unique_ptr<GtscL1> l1;
+    std::vector<Packet> sent;
+    std::vector<std::pair<Access, AccessResult>> loadsDone;
+    std::uint64_t nextId = 1;
+    Cycle now = 0;
+};
+
+TEST_F(WbFixture, OtherWarpsReadOldCopyWithoutWaiting)
+{
+    warmLine(0x1000, 42);
+    l1->access(store(0x1000, 1, 99), now);
+    l1->access(load(0x1000, 2), now);
+    advance();
+    ASSERT_EQ(loadsDone.size(), 1u) << "no parking";
+    EXPECT_EQ(loadsDone[0].second.data.word(0), 42u)
+        << "old copy served while the store is pending";
+}
+
+TEST_F(WbFixture, WriterForwardsFromBufferedStore)
+{
+    warmLine(0x1000, 42);
+    l1->access(store(0x1000, 1, 99), now);
+    l1->access(load(0x1000, 1), now);
+    advance();
+    ASSERT_EQ(loadsDone.size(), 1u) << "writer does not wait either";
+    EXPECT_EQ(loadsDone[0].second.data.word(0), 99u)
+        << "store-to-load forwarding";
+    EXPECT_EQ(stats.get("l1.wb_forwards"), 1u);
+}
+
+TEST_F(WbFixture, CapacityLimitRejects)
+{
+    warmLine(0x1000, 1);
+    warmLine(0x2000, 2);
+    warmLine(0x3000, 3);
+    EXPECT_TRUE(l1->access(store(0x1000, 0, 10), now));
+    EXPECT_TRUE(l1->access(store(0x2000, 1, 20), now));
+    // Two entries in flight: the third store is rejected until an
+    // ack frees a slot (the warp retries).
+    EXPECT_FALSE(l1->access(store(0x3000, 2, 30), now));
+    EXPECT_EQ(stats.get("l1.wb_full_rejects"), 1u);
+
+    Packet ack;
+    ack.type = MsgType::BusWrAck;
+    ack.lineAddr = 0x1000;
+    ack.reqId = sent[0].reqId;
+    ack.wts = 2;
+    ack.rts = 12;
+    ack.prevWts = 1;
+    l1->receiveResponse(std::move(ack), now);
+    advance();
+    EXPECT_TRUE(l1->access(store(0x3000, 2, 30), now));
+}
+
+TEST_F(WbFixture, AckMergesBufferedData)
+{
+    warmLine(0x1000, 42);
+    l1->access(store(0x1000, 1, 99), now);
+    Packet ack;
+    ack.type = MsgType::BusWrAck;
+    ack.lineAddr = 0x1000;
+    ack.reqId = sent[0].reqId;
+    ack.wts = 5;
+    ack.rts = 15;
+    ack.prevWts = 1;
+    l1->receiveResponse(std::move(ack), now);
+    advance();
+    loadsDone.clear();
+    l1->access(load(0x1000, 2), now);
+    advance();
+    ASSERT_EQ(loadsDone.size(), 1u);
+    EXPECT_EQ(loadsDone[0].second.data.word(0), 99u)
+        << "post-ack reads see the merged store";
+}
+
+} // namespace

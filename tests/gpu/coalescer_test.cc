@@ -1,0 +1,89 @@
+#include "gpu/coalescer.hh"
+
+#include <gtest/gtest.h>
+
+using namespace gtsc;
+using gpu::Coalescer;
+using gpu::StoreValueSource;
+using gpu::WarpInstr;
+
+namespace
+{
+
+struct CoalescerFixture : public ::testing::Test
+{
+    StoreValueSource values;
+    Coalescer coalescer{values};
+};
+
+} // namespace
+
+TEST_F(CoalescerFixture, ContiguousLoadCoalescesToOneLine)
+{
+    auto instr = WarpInstr::loadStrided(0x1000, 32, 4);
+    auto accesses = coalescer.coalesce(instr, 32, 0, 0);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_EQ(accesses[0].lineAddr, 0x1000u);
+    EXPECT_EQ(accesses[0].wordMask, 0xffffffffu);
+    EXPECT_FALSE(accesses[0].isStore);
+}
+
+TEST_F(CoalescerFixture, StridedLoadSplitsAcrossLines)
+{
+    // Stride 8B: 32 lanes span 256B = 2 lines, 16 words each.
+    auto instr = WarpInstr::loadStrided(0x1000, 32, 8);
+    auto accesses = coalescer.coalesce(instr, 32, 0, 0);
+    ASSERT_EQ(accesses.size(), 2u);
+    EXPECT_EQ(accesses[0].lineAddr, 0x1000u);
+    EXPECT_EQ(accesses[1].lineAddr, 0x1080u);
+    EXPECT_EQ(accesses[0].wordMask, 0x55555555u);
+}
+
+TEST_F(CoalescerFixture, InactiveLanesIgnored)
+{
+    auto instr = WarpInstr::loadStrided(0x1000, 32, 4, 0x1);
+    auto accesses = coalescer.coalesce(instr, 32, 0, 0);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_EQ(accesses[0].wordMask, 0x1u);
+}
+
+TEST_F(CoalescerFixture, ScatteredAccessesOnePerLine)
+{
+    WarpInstr instr;
+    instr.op = WarpInstr::Op::Load;
+    instr.activeMask = 0xf;
+    for (unsigned l = 0; l < 4; ++l)
+        instr.addr[l] = 0x10000 + l * 0x1000; // all different lines
+    auto accesses = coalescer.coalesce(instr, 32, 0, 0);
+    EXPECT_EQ(accesses.size(), 4u);
+}
+
+TEST_F(CoalescerFixture, StoreValuesUniquePerWord)
+{
+    auto instr = WarpInstr::storeStrided(0x2000, 32, 4);
+    auto accesses = coalescer.coalesce(instr, 32, 1, 2);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_TRUE(accesses[0].isStore);
+    std::set<std::uint32_t> seen;
+    for (unsigned w = 0; w < mem::kWordsPerLine; ++w)
+        seen.insert(accesses[0].storeData.word(w));
+    EXPECT_EQ(seen.size(), 32u); // all distinct
+}
+
+TEST_F(CoalescerFixture, ExplicitStoreValuePassedThrough)
+{
+    auto instr = WarpInstr::storeScalar(0x3000, 77);
+    auto accesses = coalescer.coalesce(instr, 32, 0, 0);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_EQ(accesses[0].wordMask, 0x1u);
+    EXPECT_EQ(accesses[0].storeData.word(0), 77u);
+}
+
+TEST_F(CoalescerFixture, SmWarpStamped)
+{
+    auto instr = WarpInstr::loadStrided(0x1000, 32);
+    auto accesses = coalescer.coalesce(instr, 32, 5, 9);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_EQ(accesses[0].sm, 5);
+    EXPECT_EQ(accesses[0].warp, 9);
+}

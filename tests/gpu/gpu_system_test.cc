@@ -1,0 +1,169 @@
+/**
+ * GpuSystem-level behaviors: kernel sequencing and boundary flushes,
+ * the watchdog, the cycle bound, and end-of-run write-back.
+ */
+
+#include "gpu/gpu_system.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "protocols/builders.hh"
+#include "workloads/common.hh"
+
+using namespace gtsc;
+using gpu::GpuSystem;
+using gpu::WarpInstr;
+
+namespace
+{
+
+sim::Config
+tiny()
+{
+    sim::Config cfg;
+    cfg.setInt("gpu.num_sms", 2);
+    cfg.setInt("gpu.warps_per_sm", 2);
+    cfg.setInt("gpu.num_partitions", 2);
+    return cfg;
+}
+
+/** Workload whose kernels each bump one counter word. */
+class TwoKernels : public gpu::Workload
+{
+  public:
+    std::string name() const override { return "TWOK"; }
+    bool requiresCoherence() const override { return true; }
+    unsigned numKernels() const override { return 2; }
+
+    void
+    initMemory(mem::MainMemory &memory, unsigned kernel) override
+    {
+        // Host writes a fresh input for each kernel.
+        memory.writeWord(0x1000, 100 + kernel);
+    }
+
+    std::unique_ptr<gpu::WarpProgram>
+    makeProgram(unsigned kernel, SmId sm, WarpId warp,
+                const gpu::GpuParams &) override
+    {
+        std::vector<WarpInstr> t;
+        if (sm == 0 && warp == 0) {
+            t.push_back(WarpInstr::loadScalar(0x1000));
+            t.push_back(
+                WarpInstr::storeScalar(0x2000 + kernel * 128, 7));
+            t.push_back(WarpInstr::fence());
+        }
+        t.push_back(WarpInstr::exit());
+        return std::make_unique<gpu::TraceProgram>(std::move(t));
+    }
+
+    bool
+    verify(const mem::MainMemory &memory) const override
+    {
+        return memory.readWord(0x2000) == 7 &&
+               memory.readWord(0x2080) == 7;
+    }
+};
+
+/** A warp that never exits (watchdog bait). */
+class Forever : public gpu::Workload
+{
+  public:
+    std::string name() const override { return "FOREVER"; }
+    bool requiresCoherence() const override { return false; }
+
+    std::unique_ptr<gpu::WarpProgram>
+    makeProgram(unsigned, SmId sm, WarpId warp,
+                const gpu::GpuParams &) override
+    {
+        if (sm == 0 && warp == 0)
+            return std::make_unique<Stuck>();
+        return std::make_unique<gpu::TraceProgram>(
+            std::vector<WarpInstr>{WarpInstr::exit()});
+    }
+
+  private:
+    class Stuck : public gpu::WarpProgram
+    {
+      public:
+        WarpInstr
+        next() override
+        {
+            // An endless stream of compute with zero progress in
+            // retired-instruction terms is still progress; use a
+            // spin on a flag nobody raises with huge retry budget.
+            return WarpInstr::spinUntil(0x9000, 1, 0xffffffff);
+        }
+    };
+};
+
+} // namespace
+
+TEST(GpuSystem, RunsKernelsInSequenceAndWritesBack)
+{
+    sim::Config cfg = tiny();
+    auto builder = protocols::makeProtocol("gtsc");
+    TwoKernels wl;
+    GpuSystem sys(cfg, *builder, wl);
+    Cycle cycles = sys.run();
+    EXPECT_GT(cycles, 0u);
+    EXPECT_EQ(sys.stats().get("gpu.kernels_run"), 2u);
+    EXPECT_TRUE(wl.verify(sys.memory()));
+}
+
+TEST(GpuSystem, KernelStartHookSeesHostWrites)
+{
+    sim::Config cfg = tiny();
+    auto builder = protocols::makeProtocol("gtsc");
+    TwoKernels wl;
+    GpuSystem sys(cfg, *builder, wl);
+    std::vector<std::uint32_t> seen;
+    sys.setKernelStartHook(
+        [&](const mem::MainMemory &memory, unsigned kernel) {
+            (void)kernel;
+            seen.push_back(memory.readWord(0x1000));
+        });
+    sys.run();
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], 100u);
+    EXPECT_EQ(seen[1], 101u);
+}
+
+TEST(GpuSystem, MaxCyclesBoundIsFatal)
+{
+    sim::Config cfg = tiny();
+    cfg.setInt("gpu.max_cycles", 200); // far too small
+    auto builder = protocols::makeProtocol("gtsc");
+    workloads::WlParams unused;
+    (void)unused;
+    TwoKernels wl;
+    GpuSystem sys(cfg, *builder, wl);
+    EXPECT_THROW(sys.run(), std::runtime_error);
+}
+
+TEST(GpuSystem, SpinningForeverHitsTheCycleBound)
+{
+    // A warp stuck on a never-raised flag keeps making protocol
+    // progress (renewals), so it runs until the cycle bound.
+    sim::Config cfg = tiny();
+    cfg.setInt("gpu.max_cycles", 30000);
+    auto builder = protocols::makeProtocol("gtsc");
+    Forever wl;
+    GpuSystem sys(cfg, *builder, wl);
+    EXPECT_THROW(sys.run(), std::runtime_error);
+}
+
+TEST(GpuSystem, StatsExposeEffectiveShape)
+{
+    sim::Config cfg = tiny();
+    auto builder = protocols::makeProtocol("tc");
+    TwoKernels wl;
+    GpuSystem sys(cfg, *builder, wl);
+    sys.run();
+    EXPECT_EQ(sys.params().numSms, 2u);
+    EXPECT_EQ(sys.params().numPartitions, 2u);
+    // Cycle accounting covers both kernels.
+    EXPECT_EQ(sys.stats().get("gpu.cycles"), sys.cycle());
+}

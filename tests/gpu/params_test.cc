@@ -1,0 +1,44 @@
+#include "gpu/params.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace gtsc;
+using gpu::Consistency;
+using gpu::GpuParams;
+
+TEST(GpuParams, PaperDefaults)
+{
+    sim::Config cfg;
+    GpuParams p = GpuParams::fromConfig(cfg);
+    EXPECT_EQ(p.numSms, 16u);
+    EXPECT_EQ(p.warpsPerSm, 48u);
+    EXPECT_EQ(p.warpSize, 32u);
+    EXPECT_EQ(p.numPartitions, 8u);
+    EXPECT_EQ(p.consistency, Consistency::RC);
+    EXPECT_EQ(p.totalWarps(), 16u * 48u);
+}
+
+TEST(GpuParams, ConsistencyParsing)
+{
+    EXPECT_EQ(gpu::consistencyFromString("sc"), Consistency::SC);
+    EXPECT_EQ(gpu::consistencyFromString("SC"), Consistency::SC);
+    EXPECT_EQ(gpu::consistencyFromString("rc"), Consistency::RC);
+    EXPECT_EQ(gpu::consistencyFromString("tso"), Consistency::TSO);
+    EXPECT_EQ(gpu::consistencyFromString("TSO"), Consistency::TSO);
+    EXPECT_THROW(gpu::consistencyFromString("pso"), std::runtime_error);
+    EXPECT_STREQ(gpu::consistencyName(Consistency::SC), "SC");
+    EXPECT_STREQ(gpu::consistencyName(Consistency::TSO), "TSO");
+    EXPECT_STREQ(gpu::consistencyName(Consistency::RC), "RC");
+}
+
+TEST(GpuParams, RejectsBadDimensions)
+{
+    sim::Config cfg;
+    cfg.setInt("gpu.warp_size", 64);
+    EXPECT_THROW(GpuParams::fromConfig(cfg), std::runtime_error);
+    sim::Config cfg2;
+    cfg2.setInt("gpu.num_sms", 0);
+    EXPECT_THROW(GpuParams::fromConfig(cfg2), std::runtime_error);
+}

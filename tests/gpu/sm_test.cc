@@ -1,0 +1,314 @@
+/**
+ * SM timing-model tests against a scripted mock L1: SC blocks every
+ * memory instruction until globally performed; RC lets stores
+ * fire-and-forget and makes fences wait for acks and the GWCT;
+ * spin-loads retry with backoff; stall cycles are classified.
+ */
+
+#include "gpu/sm.hh"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+using namespace gtsc;
+using gpu::Consistency;
+using gpu::GpuParams;
+using gpu::Sm;
+using gpu::StoreValueSource;
+using gpu::WarpInstr;
+using mem::Access;
+using mem::AccessResult;
+
+namespace
+{
+
+/** Mock L1: records accesses; completion is driven by the test. */
+class MockL1 : public mem::L1Controller
+{
+  public:
+    bool
+    access(const Access &acc, Cycle now) override
+    {
+        (void)now;
+        if (rejectAll)
+            return false;
+        if (acc.isStore)
+            pendingStores.push_back(acc);
+        else
+            pendingLoads.push_back(acc);
+        return true;
+    }
+
+    void receiveResponse(mem::Packet &&, Cycle) override {}
+    void tick(Cycle) override {}
+    void flush(Cycle) override {}
+    bool
+    quiescent() const override
+    {
+        return pendingLoads.empty() && pendingStores.empty();
+    }
+
+    void
+    completeLoad(std::uint32_t word0 = 0)
+    {
+        Access a = pendingLoads.front();
+        pendingLoads.pop_front();
+        AccessResult r;
+        r.data.setWord(mem::wordInLine(0), word0);
+        // word index 0 covers loadScalar at line offset 0
+        r.data.setWord(0, word0);
+        loadDone_(a, r);
+    }
+
+    void
+    completeStore(Cycle gwct = 0)
+    {
+        Access a = pendingStores.front();
+        pendingStores.pop_front();
+        storeDone_(a, gwct);
+    }
+
+    std::deque<Access> pendingLoads;
+    std::deque<Access> pendingStores;
+    bool rejectAll = false;
+};
+
+class SmFixture : public ::testing::Test
+{
+  protected:
+    void
+    make(Consistency cons, std::vector<WarpInstr> warp0_instrs,
+         unsigned warps = 2)
+    {
+        cfg.setInt("gpu.num_sms", 1);
+        cfg.setInt("gpu.warps_per_sm", static_cast<int>(warps));
+        cfg.set("gpu.consistency",
+                cons == Consistency::SC ? "sc" : "rc");
+        params = GpuParams::fromConfig(cfg);
+        sm = std::make_unique<Sm>(0, params, cfg, stats, l1, values);
+
+        std::vector<std::unique_ptr<gpu::WarpProgram>> programs;
+        programs.push_back(std::make_unique<gpu::TraceProgram>(
+            std::move(warp0_instrs)));
+        for (unsigned w = 1; w < warps; ++w) {
+            programs.push_back(std::make_unique<gpu::TraceProgram>(
+                std::vector<WarpInstr>{WarpInstr::exit()}));
+        }
+        sm->launchKernel(std::move(programs));
+    }
+
+    void
+    tick(unsigned n = 1)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            sm->tick(++now);
+    }
+
+    sim::Config cfg;
+    sim::StatSet stats;
+    MockL1 l1;
+    StoreValueSource values;
+    GpuParams params;
+    std::unique_ptr<Sm> sm;
+    Cycle now = 0;
+};
+
+TEST_F(SmFixture, LoadBlocksWarpUntilData)
+{
+    make(Consistency::RC,
+         {WarpInstr::loadScalar(0x100), WarpInstr::compute(1),
+          WarpInstr::exit()});
+    tick(3);
+    ASSERT_EQ(l1.pendingLoads.size(), 1u);
+    EXPECT_FALSE(sm->allWarpsDone());
+    std::uint64_t retired_before = sm->instructionsRetired();
+    tick(5);
+    EXPECT_EQ(sm->instructionsRetired(), retired_before)
+        << "warp blocked on the load";
+    l1.completeLoad();
+    tick(5);
+    EXPECT_TRUE(sm->allWarpsDone());
+}
+
+TEST_F(SmFixture, RcStoreDoesNotBlockWarp)
+{
+    make(Consistency::RC,
+         {WarpInstr::storeScalar(0x100, 1),
+          WarpInstr::storeScalar(0x180, 2), WarpInstr::exit()});
+    tick(5);
+    EXPECT_EQ(l1.pendingStores.size(), 2u)
+        << "both stores issued without waiting for acks";
+    EXPECT_TRUE(sm->allWarpsDone());
+    EXPECT_FALSE(sm->quiescent()) << "acks still outstanding";
+    l1.completeStore();
+    l1.completeStore();
+    EXPECT_TRUE(sm->quiescent());
+}
+
+TEST_F(SmFixture, ScStoreBlocksUntilAck)
+{
+    make(Consistency::SC,
+         {WarpInstr::storeScalar(0x100, 1),
+          WarpInstr::storeScalar(0x180, 2), WarpInstr::exit()});
+    tick(5);
+    EXPECT_EQ(l1.pendingStores.size(), 1u)
+        << "SC: one outstanding memory request per warp";
+    l1.completeStore();
+    tick(5);
+    EXPECT_EQ(l1.pendingStores.size(), 1u);
+    l1.completeStore();
+    tick(5);
+    EXPECT_TRUE(sm->allWarpsDone());
+}
+
+TEST_F(SmFixture, RcFenceWaitsForStoreAcks)
+{
+    make(Consistency::RC,
+         {WarpInstr::storeScalar(0x100, 1), WarpInstr::fence(),
+          WarpInstr::compute(1), WarpInstr::exit()});
+    tick(5);
+    std::uint64_t before = sm->instructionsRetired();
+    tick(10);
+    EXPECT_EQ(sm->instructionsRetired(), before)
+        << "fence blocked on the outstanding store";
+    l1.completeStore();
+    tick(5);
+    EXPECT_TRUE(sm->allWarpsDone());
+    EXPECT_GT(stats.get("sm.fence_stall_warp_cycles"), 0u);
+}
+
+TEST_F(SmFixture, FenceWaitsForGwct)
+{
+    // TC-Weak: the ack's GWCT pushes the fence release into the
+    // future even though the ack already arrived.
+    make(Consistency::RC,
+         {WarpInstr::storeScalar(0x100, 1), WarpInstr::fence(),
+          WarpInstr::exit()});
+    tick(3);
+    l1.completeStore(/*gwct=*/60);
+    tick(10); // now ~13 < 60
+    EXPECT_FALSE(sm->allWarpsDone()) << "GWCT not reached";
+    tick(60);
+    EXPECT_TRUE(sm->allWarpsDone());
+}
+
+TEST_F(SmFixture, StructuralRejectRetries)
+{
+    make(Consistency::RC,
+         {WarpInstr::loadScalar(0x100), WarpInstr::exit()});
+    l1.rejectAll = true;
+    tick(5);
+    EXPECT_TRUE(l1.pendingLoads.empty());
+    l1.rejectAll = false;
+    tick(3);
+    EXPECT_EQ(l1.pendingLoads.size(), 1u) << "access retried";
+    l1.completeLoad();
+    tick(3);
+    EXPECT_TRUE(sm->allWarpsDone());
+}
+
+TEST_F(SmFixture, SpinLoadRetriesUntilValue)
+{
+    make(Consistency::RC,
+         {WarpInstr::spinUntil(0x100, 5, 100), WarpInstr::exit()});
+    tick(3);
+    ASSERT_EQ(l1.pendingLoads.size(), 1u);
+    l1.completeLoad(0); // not yet
+    tick(30);           // backoff elapses, retry issued
+    ASSERT_EQ(l1.pendingLoads.size(), 1u) << "spin retried";
+    EXPECT_GT(stats.get("sm.spin_retries"), 0u);
+    l1.completeLoad(5); // satisfied
+    tick(5);
+    EXPECT_TRUE(sm->allWarpsDone());
+    EXPECT_EQ(stats.get("sm.spin_giveups"), 0u);
+}
+
+TEST_F(SmFixture, SpinLoadGivesUpAfterMaxIters)
+{
+    make(Consistency::RC,
+         {WarpInstr::spinUntil(0x100, 5, 3), WarpInstr::exit()});
+    for (int i = 0; i < 3; ++i) {
+        tick(30);
+        if (!l1.pendingLoads.empty())
+            l1.completeLoad(0);
+    }
+    tick(30);
+    EXPECT_TRUE(sm->allWarpsDone());
+    EXPECT_EQ(stats.get("sm.spin_giveups"), 1u);
+}
+
+TEST_F(SmFixture, ObserveDeliversLoadedValue)
+{
+    // A program that stores what it loaded (litmus recording).
+    class Recorder : public gpu::WarpProgram
+    {
+      public:
+        WarpInstr
+        next() override
+        {
+            switch (step_++) {
+              case 0:
+                return WarpInstr::loadScalar(0x100);
+              case 1:
+                return WarpInstr::storeScalar(0x200, observed_);
+              default:
+                return WarpInstr::exit();
+            }
+        }
+        void observe(std::uint32_t v) override { observed_ = v; }
+
+      private:
+        unsigned step_ = 0;
+        std::uint32_t observed_ = 0;
+    };
+
+    make(Consistency::RC, {WarpInstr::exit()});
+    std::vector<std::unique_ptr<gpu::WarpProgram>> programs;
+    programs.push_back(std::make_unique<Recorder>());
+    programs.push_back(std::make_unique<gpu::TraceProgram>(
+        std::vector<WarpInstr>{WarpInstr::exit()}));
+    sm->launchKernel(std::move(programs));
+    tick(3);
+    l1.completeLoad(1234);
+    tick(3);
+    ASSERT_EQ(l1.pendingStores.size(), 1u);
+    EXPECT_EQ(l1.pendingStores.front().storeData.word(0), 1234u);
+}
+
+TEST_F(SmFixture, StallClassification)
+{
+    make(Consistency::RC,
+         {WarpInstr::loadScalar(0x100), WarpInstr::compute(20),
+          WarpInstr::exit()});
+    tick(1); // issue the load -> active
+    EXPECT_EQ(stats.get("sm.active_cycles"), 1u);
+    tick(10); // blocked on memory, nothing else to run
+    EXPECT_GE(stats.get("sm.mem_stall_cycles"), 9u);
+    l1.completeLoad();
+    tick(2); // compute issues
+    std::uint64_t mem_stalls = stats.get("sm.mem_stall_cycles");
+    tick(10); // waiting on compute: compute stall, not memory
+    EXPECT_EQ(stats.get("sm.mem_stall_cycles"), mem_stalls);
+    EXPECT_GT(stats.get("sm.compute_stall_cycles"), 0u);
+    tick(20);
+    EXPECT_TRUE(sm->allWarpsDone());
+    EXPECT_GT(stats.get("sm.idle_cycles"), 0u);
+}
+
+TEST_F(SmFixture, MultiLineLoadWaitsForAllParts)
+{
+    // Stride 8 over 32 lanes spans two lines -> two accesses.
+    make(Consistency::RC,
+         {WarpInstr::loadStrided(0x1000, 32, 8), WarpInstr::exit()});
+    tick(3);
+    ASSERT_EQ(l1.pendingLoads.size(), 2u);
+    l1.completeLoad();
+    tick(3);
+    EXPECT_FALSE(sm->allWarpsDone()) << "one part still outstanding";
+    l1.completeLoad();
+    tick(3);
+    EXPECT_TRUE(sm->allWarpsDone());
+}
+
+} // namespace

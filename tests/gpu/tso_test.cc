@@ -1,0 +1,172 @@
+/**
+ * TSO extension tests: per-warp in-order store draining through the
+ * one-deep store buffer, load bypassing of non-aliased stores, and
+ * conservative alias stalling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "gpu/sm.hh"
+
+using namespace gtsc;
+using gpu::GpuParams;
+using gpu::Sm;
+using gpu::StoreValueSource;
+using gpu::WarpInstr;
+using mem::Access;
+using mem::AccessResult;
+
+namespace
+{
+
+class MockL1 : public mem::L1Controller
+{
+  public:
+    bool
+    access(const Access &acc, Cycle) override
+    {
+        if (acc.isStore)
+            pendingStores.push_back(acc);
+        else
+            pendingLoads.push_back(acc);
+        return true;
+    }
+    void receiveResponse(mem::Packet &&, Cycle) override {}
+    void tick(Cycle) override {}
+    void flush(Cycle) override {}
+    bool
+    quiescent() const override
+    {
+        return pendingLoads.empty() && pendingStores.empty();
+    }
+
+    void
+    completeLoad()
+    {
+        Access a = pendingLoads.front();
+        pendingLoads.pop_front();
+        loadDone_(a, AccessResult{});
+    }
+
+    void
+    completeStore()
+    {
+        Access a = pendingStores.front();
+        pendingStores.pop_front();
+        storeDone_(a, 0);
+    }
+
+    std::deque<Access> pendingLoads;
+    std::deque<Access> pendingStores;
+};
+
+class TsoFixture : public ::testing::Test
+{
+  protected:
+    void
+    make(std::vector<WarpInstr> instrs)
+    {
+        cfg.setInt("gpu.num_sms", 1);
+        cfg.setInt("gpu.warps_per_sm", 1);
+        cfg.set("gpu.consistency", "tso");
+        params = GpuParams::fromConfig(cfg);
+        sm = std::make_unique<Sm>(0, params, cfg, stats, l1, values);
+        std::vector<std::unique_ptr<gpu::WarpProgram>> programs;
+        programs.push_back(std::make_unique<gpu::TraceProgram>(
+            std::move(instrs)));
+        sm->launchKernel(std::move(programs));
+    }
+
+    void
+    tick(unsigned n = 1)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            sm->tick(++now);
+    }
+
+    sim::Config cfg;
+    sim::StatSet stats;
+    MockL1 l1;
+    StoreValueSource values;
+    GpuParams params;
+    std::unique_ptr<Sm> sm;
+    Cycle now = 0;
+};
+
+TEST_F(TsoFixture, StoresDrainInOrderOneAtATime)
+{
+    make({WarpInstr::storeScalar(0x100, 1),
+          WarpInstr::storeScalar(0x180, 2),
+          WarpInstr::storeScalar(0x200, 3), WarpInstr::exit()});
+    tick(6);
+    // The warp retired all three stores without blocking...
+    EXPECT_TRUE(sm->allWarpsDone());
+    // ...but only the first is at the cache (1-deep store buffer).
+    ASSERT_EQ(l1.pendingStores.size(), 1u);
+    EXPECT_EQ(l1.pendingStores.front().lineAddr, 0x100u);
+
+    l1.completeStore();
+    tick(2);
+    ASSERT_EQ(l1.pendingStores.size(), 1u);
+    EXPECT_EQ(l1.pendingStores.front().lineAddr, 0x180u);
+    l1.completeStore();
+    tick(2);
+    ASSERT_EQ(l1.pendingStores.size(), 1u);
+    EXPECT_EQ(l1.pendingStores.front().lineAddr, 0x200u);
+    l1.completeStore();
+    EXPECT_TRUE(sm->quiescent());
+}
+
+TEST_F(TsoFixture, LoadBypassesNonAliasedStore)
+{
+    make({WarpInstr::storeScalar(0x100, 1),
+          WarpInstr::loadScalar(0x5000), WarpInstr::exit()});
+    tick(4);
+    // The load issued even though the store ack is pending.
+    EXPECT_EQ(l1.pendingLoads.size(), 1u);
+    EXPECT_EQ(l1.pendingStores.size(), 1u);
+    l1.completeLoad();
+    l1.completeStore();
+    tick(4);
+    EXPECT_TRUE(sm->allWarpsDone());
+    EXPECT_TRUE(sm->quiescent());
+}
+
+TEST_F(TsoFixture, AliasedLoadWaitsForDrain)
+{
+    make({WarpInstr::storeScalar(0x100, 1),
+          WarpInstr::storeScalar(0x180, 2),
+          WarpInstr::loadScalar(0x184), WarpInstr::exit()});
+    tick(6);
+    // Store to 0x100 submitted; store to 0x180 buffered; the load
+    // aliases line 0x180 and must not issue yet.
+    EXPECT_EQ(l1.pendingLoads.size(), 0u);
+    l1.completeStore(); // 0x100
+    tick(3);
+    EXPECT_EQ(l1.pendingLoads.size(), 0u) << "0x180 still unacked";
+    l1.completeStore(); // 0x180
+    tick(3);
+    ASSERT_EQ(l1.pendingLoads.size(), 1u)
+        << "drained: aliased load proceeds";
+    l1.completeLoad();
+    tick(3);
+    EXPECT_TRUE(sm->allWarpsDone());
+}
+
+TEST_F(TsoFixture, FenceWaitsForStoreBuffer)
+{
+    make({WarpInstr::storeScalar(0x100, 1),
+          WarpInstr::storeScalar(0x180, 2), WarpInstr::fence(),
+          WarpInstr::exit()});
+    tick(6);
+    EXPECT_FALSE(sm->allWarpsDone()) << "fence waits for the buffer";
+    l1.completeStore();
+    tick(3);
+    l1.completeStore();
+    tick(3);
+    EXPECT_TRUE(sm->allWarpsDone());
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+#include "harness/checker.hh"
+
+#include <gtest/gtest.h>
+
+using namespace gtsc;
+using harness::CoherenceChecker;
+
+TEST(Checker, TsLoadMatchesLatestStoreAtOrBeforeTs)
+{
+    CoherenceChecker c;
+    c.onStoreTs(0x100, 0, 5, 111);
+    c.onStoreTs(0x100, 0, 9, 222);
+    c.onLoadTs(0x100, 0, 5, 111);
+    c.onLoadTs(0x100, 0, 8, 111);
+    c.onLoadTs(0x100, 0, 9, 222);
+    c.onLoadTs(0x100, 0, 100, 222);
+    EXPECT_EQ(c.violations(), 0u);
+    c.onLoadTs(0x100, 0, 8, 222); // too new for ts 8
+    EXPECT_EQ(c.violations(), 1u);
+    c.onLoadTs(0x100, 0, 9, 111); // too old for ts 9
+    EXPECT_EQ(c.violations(), 2u);
+    EXPECT_FALSE(c.reports().empty());
+}
+
+TEST(Checker, TsLoadBeforeAnyStoreSeesBaseValue)
+{
+    CoherenceChecker c;
+    mem::MainMemory memory;
+    memory.writeWord(0x200, 42);
+    c.snapshotBase(memory);
+    c.onLoadTs(0x200, 0, 3, 42);
+    EXPECT_EQ(c.violations(), 0u);
+    c.onStoreTs(0x200, 0, 10, 50);
+    c.onLoadTs(0x200, 0, 9, 42); // logically before the store
+    EXPECT_EQ(c.violations(), 0u);
+    c.onLoadTs(0x200, 0, 9, 50);
+    EXPECT_EQ(c.violations(), 1u);
+}
+
+TEST(Checker, TsStoreMonotonicityEnforced)
+{
+    CoherenceChecker c;
+    c.onStoreTs(0x300, 0, 5, 1);
+    c.onStoreTs(0x300, 0, 5, 2); // same wts: violation
+    EXPECT_EQ(c.violations(), 1u);
+    c.onStoreTs(0x300, 0, 4, 3); // regressed: violation
+    EXPECT_EQ(c.violations(), 2u);
+    c.onStoreTs(0x300, 1, 2, 4); // new epoch may rewind wts
+    EXPECT_EQ(c.violations(), 2u);
+}
+
+TEST(Checker, EpochCarryOver)
+{
+    CoherenceChecker c;
+    c.onStoreTs(0x400, 0, 50, 7);
+    c.onEpochReset(1);
+    // Epoch 1 load before any epoch-1 store: sees epoch-0 latest.
+    c.onLoadTs(0x400, 1, 3, 7);
+    EXPECT_EQ(c.violations(), 0u);
+    c.onStoreTs(0x400, 1, 11, 8);
+    c.onLoadTs(0x400, 1, 11, 8);
+    c.onLoadTs(0x400, 1, 10, 7);
+    EXPECT_EQ(c.violations(), 0u);
+}
+
+TEST(Checker, PhysIntervalSemantics)
+{
+    CoherenceChecker c;
+    c.onStorePhys(0x500, 100, 1);
+    c.onStorePhys(0x500, 200, 2);
+    // Granted at 150, completed 160: version-1 window [100,200).
+    c.onLoadPhys(0x500, 150, 160, 1);
+    EXPECT_EQ(c.violations(), 0u);
+    // Granted at 150, completed 250: either value acceptable.
+    c.onLoadPhys(0x500, 150, 250, 1);
+    c.onLoadPhys(0x500, 150, 250, 2);
+    EXPECT_EQ(c.violations(), 0u);
+    // Value 2 cannot be seen in a window that closed before 200.
+    c.onLoadPhys(0x500, 120, 150, 2);
+    EXPECT_EQ(c.violations(), 1u);
+    // Value 1 cannot be seen after being overwritten pre-window.
+    c.onLoadPhys(0x500, 210, 220, 1);
+    EXPECT_EQ(c.violations(), 2u);
+}
+
+TEST(Checker, PhysInitialValueWindow)
+{
+    CoherenceChecker c;
+    mem::MainMemory memory;
+    memory.writeWord(0x600, 9);
+    c.snapshotBase(memory);
+    c.onLoadPhys(0x600, 10, 20, 9); // never stored: initial ok
+    EXPECT_EQ(c.violations(), 0u);
+    c.onStorePhys(0x600, 100, 1);
+    c.onLoadPhys(0x600, 50, 80, 9); // before the store
+    EXPECT_EQ(c.violations(), 0u);
+    c.onLoadPhys(0x600, 120, 130, 9); // stale past the store
+    EXPECT_EQ(c.violations(), 1u);
+}
+
+TEST(Checker, SnapshotClearsHistories)
+{
+    CoherenceChecker c;
+    c.onStoreTs(0x700, 0, 5, 1);
+    mem::MainMemory memory;
+    memory.writeWord(0x700, 33);
+    c.snapshotBase(memory);
+    c.onLoadTs(0x700, 0, 100, 33); // history gone; base value rules
+    EXPECT_EQ(c.violations(), 0u);
+}
+
+TEST(Checker, CountsLoadsAndStores)
+{
+    CoherenceChecker c;
+    c.onStoreTs(0x800, 0, 1, 1);
+    c.onStorePhys(0x900, 1, 1);
+    c.onLoadTs(0x800, 0, 1, 1);
+    c.onLoadPhys(0x900, 1, 2, 1);
+    EXPECT_EQ(c.storesRecorded(), 2u);
+    EXPECT_EQ(c.loadsChecked(), 2u);
+}

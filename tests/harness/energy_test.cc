@@ -1,0 +1,102 @@
+#include "energy/energy_model.hh"
+
+#include <gtest/gtest.h>
+
+using namespace gtsc;
+using energy::EnergyBreakdown;
+using energy::EnergyModel;
+
+namespace
+{
+
+sim::StatSet
+baseStats()
+{
+    sim::StatSet s;
+    s.counter("gpu.cycles") = 1000;
+    s.counter("sm.active_cycles") = 800;
+    s.counter("sm.instructions") = 500;
+    s.counter("l1.tag_accesses") = 400;
+    s.counter("l1.data_reads") = 300;
+    s.counter("l1.data_writes") = 100;
+    s.counter("l2.accesses") = 200;
+    s.counter("noc.req.bytes") = 4096;
+    s.counter("noc.resp.bytes") = 8192;
+    s.counter("dram.reads") = 50;
+    s.counter("dram.writes") = 10;
+    return s;
+}
+
+} // namespace
+
+TEST(EnergyModel, BreakdownPositiveAndSummable)
+{
+    sim::Config cfg;
+    EnergyModel em(cfg);
+    EnergyBreakdown e = em.compute(baseStats(), "gtsc", 4);
+    EXPECT_GT(e.core, 0.0);
+    EXPECT_GT(e.l1, 0.0);
+    EXPECT_GT(e.l2, 0.0);
+    EXPECT_GT(e.noc, 0.0);
+    EXPECT_GT(e.dram, 0.0);
+    EXPECT_NEAR(e.total(), e.core + e.l1 + e.l2 + e.noc + e.dram,
+                1e-15);
+}
+
+TEST(EnergyModel, GtscL1MetadataCostsMoreThanTc)
+{
+    sim::Config cfg;
+    EnergyModel em(cfg);
+    sim::StatSet s = baseStats();
+    EnergyBreakdown g = em.compute(s, "gtsc", 4);
+    EnergyBreakdown t = em.compute(s, "tc", 4);
+    EnergyBreakdown n = em.compute(s, "noncoh", 4);
+    // Figure 17's ordering: same counts, metadata differs.
+    EXPECT_GT(g.l1, t.l1);
+    EXPECT_GT(t.l1, n.l1);
+    EXPECT_DOUBLE_EQ(g.l2, t.l2);
+}
+
+TEST(EnergyModel, NoL1MeansNoL1Energy)
+{
+    sim::Config cfg;
+    EnergyModel em(cfg);
+    sim::StatSet s = baseStats();
+    s.counter("l1.tag_accesses") = 0;
+    s.counter("l1.data_reads") = 0;
+    s.counter("l1.data_writes") = 0;
+    EnergyBreakdown e = em.compute(s, "nol1", 4);
+    EXPECT_EQ(e.l1, 0.0);
+}
+
+TEST(EnergyModel, TrafficScalesNocEnergy)
+{
+    sim::Config cfg;
+    EnergyModel em(cfg);
+    sim::StatSet lo = baseStats();
+    sim::StatSet hi = baseStats();
+    hi.counter("noc.req.bytes") = 4096 * 100;
+    EXPECT_GT(em.compute(hi, "gtsc", 4).noc,
+              em.compute(lo, "gtsc", 4).noc);
+}
+
+TEST(EnergyModel, IdleCoresBurnLessThanActive)
+{
+    sim::Config cfg;
+    EnergyModel em(cfg);
+    sim::StatSet busy = baseStats();
+    sim::StatSet idle = baseStats();
+    idle.counter("sm.active_cycles") = 100;
+    // Same cycles, fewer active: the SC-saves-energy effect.
+    EXPECT_GT(em.compute(busy, "gtsc", 4).core,
+              em.compute(idle, "gtsc", 4).core);
+}
+
+TEST(EnergyModel, ConstantsConfigurable)
+{
+    sim::Config cfg;
+    cfg.setDouble("energy.noc_byte_pj", 0.0);
+    cfg.setDouble("energy.noc_static_pj_cycle", 0.0);
+    EnergyModel em(cfg);
+    EXPECT_EQ(em.compute(baseStats(), "gtsc", 4).noc, 0.0);
+}

@@ -1,0 +1,108 @@
+#include "harness/report.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace gtsc;
+
+namespace
+{
+
+harness::RunResult
+sampleResult()
+{
+    harness::RunResult r;
+    r.workload = "BH";
+    r.protocol = "gtsc";
+    r.consistency = "rc";
+    r.cycles = 1234;
+    r.instructions = 99;
+    r.l1Hits = 10;
+    r.l1MissCold = 5;
+    r.nocBytes = 2048;
+    r.energy.core = 1e-6;
+    r.energy.l1 = 2e-6;
+    r.checkerViolations = 0;
+    r.verified = true;
+    return r;
+}
+
+} // namespace
+
+TEST(Report, HeaderAndRowColumnCountsMatch)
+{
+    std::string header = harness::csvHeader();
+    std::string row = harness::csvRow(sampleResult());
+    auto count = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(count(header), count(row));
+    EXPECT_GT(count(header), 20);
+}
+
+TEST(Report, RowContainsKeyFields)
+{
+    std::string row = harness::csvRow(sampleResult());
+    EXPECT_EQ(row.rfind("BH,gtsc,rc,1234,99,", 0), 0u);
+    EXPECT_NE(row.find(",true"), std::string::npos);
+}
+
+TEST(Report, WriteCsvRoundTrip)
+{
+    std::string path = "/tmp/gtsc_report_test.csv";
+    harness::writeCsv(path, {sampleResult(), sampleResult()});
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 3); // header + 2 rows
+    std::remove(path.c_str());
+}
+
+TEST(Report, WriteCsvFailsOnBadPath)
+{
+    EXPECT_THROW(harness::writeCsv("/nonexistent-dir/x.csv",
+                                   {sampleResult()}),
+                 std::runtime_error);
+}
+
+TEST(Report, SummaryLineMentionsEssentials)
+{
+    std::string s = harness::summaryLine(sampleResult());
+    EXPECT_NE(s.find("BH/gtsc/rc"), std::string::npos);
+    EXPECT_NE(s.find("1234 cycles"), std::string::npos);
+    EXPECT_EQ(s.find("VIOLATIONS"), std::string::npos);
+
+    harness::RunResult bad = sampleResult();
+    bad.checkerViolations = 3;
+    EXPECT_NE(harness::summaryLine(bad).find("VIOLATIONS"),
+              std::string::npos);
+}
+
+TEST(Report, JsonIsWellFormedAndComplete)
+{
+    std::string json = harness::toJson(sampleResult());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"workload\":\"BH\""), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\":1234"), std::string::npos);
+    EXPECT_NE(json.find("\"verified\":true"), std::string::npos);
+}
+
+TEST(Report, WriteJsonArray)
+{
+    std::string path = "/tmp/gtsc_report_test.json";
+    harness::writeJson(path, {sampleResult(), sampleResult()});
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'), 2);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,30 @@
+#include "harness/table.hh"
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+using namespace gtsc;
+
+TEST(Table, RendersAlignedColumns)
+{
+    harness::Table t({"bench", "a", "b"});
+    t.row("BH");
+    t.cell(1.2345, 2);
+    t.cellInt(42);
+    t.row("LONGNAME");
+    t.cell("x");
+    std::string out = t.toString();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("LONGNAME"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(harness::geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(harness::geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_EQ(harness::geomean({}), 0.0);
+}

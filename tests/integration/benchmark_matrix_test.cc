@@ -1,0 +1,81 @@
+/**
+ * The full benchmark matrix under the runtime coherence checker:
+ * every paper benchmark on every coherent protocol and consistency
+ * model (plus the non-coherent L1 on the set that tolerates it),
+ * at a tiny configuration. This is the broadest correctness net:
+ * every workload's access patterns drive every protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "workloads/registry.hh"
+
+using namespace gtsc;
+using harness::RunResult;
+using harness::runOne;
+
+namespace
+{
+
+struct MatrixParam
+{
+    std::string workload;
+    std::string protocol;
+    std::string consistency;
+
+    std::string
+    tag() const
+    {
+        return workload + "_" + protocol + "_" + consistency;
+    }
+};
+
+std::vector<MatrixParam>
+buildMatrix()
+{
+    std::vector<MatrixParam> out;
+    for (const auto &wl : workloads::allBenchmarks()) {
+        for (const char *proto : {"gtsc", "tc", "nol1"}) {
+            for (const char *cons : {"sc", "rc"})
+                out.push_back({wl, proto, cons});
+        }
+        out.push_back({wl, "gtsc", "tso"});
+    }
+    for (const auto &wl : workloads::privateSet())
+        out.push_back({wl, "noncoh", "rc"});
+    return out;
+}
+
+class BenchmarkMatrix : public ::testing::TestWithParam<MatrixParam>
+{
+};
+
+} // namespace
+
+TEST_P(BenchmarkMatrix, RunsCleanUnderChecker)
+{
+    const MatrixParam &p = GetParam();
+    sim::Config cfg;
+    cfg.setInt("gpu.num_sms", 4);
+    cfg.setInt("gpu.warps_per_sm", 4);
+    cfg.setInt("gpu.num_partitions", 2);
+    cfg.setInt("l1.size_bytes", 4 * 1024);
+    cfg.setInt("l2.partition_bytes", 32 * 1024);
+    cfg.setDouble("wl.scale", 0.4);
+
+    RunResult r = runOne(cfg, p.protocol, p.consistency, p.workload);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.loadsChecked, 0u) << p.tag();
+    EXPECT_EQ(r.checkerViolations, 0u) << p.tag();
+    EXPECT_TRUE(r.verified) << p.tag();
+    // Warps must not have abandoned synchronization spins.
+    EXPECT_EQ(r.spinGiveups, 0u) << p.tag();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkMatrix,
+    ::testing::ValuesIn(buildMatrix()),
+    [](const ::testing::TestParamInfo<MatrixParam> &info) {
+        return info.param.tag();
+    });

@@ -1,0 +1,91 @@
+#include "mem/packet.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/gtsc_messages.hh"
+#include "mem/line_data.hh"
+#include "protocols/message_sizes.hh"
+
+using namespace gtsc;
+
+TEST(LineData, MergeMasked)
+{
+    mem::LineData a;
+    mem::LineData b;
+    for (unsigned i = 0; i < mem::kWordsPerLine; ++i)
+        b.setWord(i, i + 100);
+    a.mergeMasked(b, 0x5); // words 0 and 2
+    EXPECT_EQ(a.word(0), 100u);
+    EXPECT_EQ(a.word(1), 0u);
+    EXPECT_EQ(a.word(2), 102u);
+}
+
+TEST(LineData, AddressHelpers)
+{
+    EXPECT_EQ(mem::lineAlign(0x1234), 0x1200u);
+    EXPECT_EQ(mem::wordInLine(0x1234), (0x34u / 4));
+    EXPECT_EQ(mem::partitionOf(0x000, 4), 0);
+    EXPECT_EQ(mem::partitionOf(0x080, 4), 1);
+    EXPECT_EQ(mem::partitionOf(0x100, 4), 2);
+    EXPECT_EQ(mem::partitionOf(0x200, 4), 0);
+}
+
+TEST(Packet, MaskedDataBytesRoundsToSectors)
+{
+    EXPECT_EQ(mem::maskedDataBytes(0), 0u);
+    EXPECT_EQ(mem::maskedDataBytes(0x1), 32u);       // one word
+    EXPECT_EQ(mem::maskedDataBytes(0xff), 32u);      // full 1st sector
+    EXPECT_EQ(mem::maskedDataBytes(0x100), 32u);     // word 8 -> 2nd
+    EXPECT_EQ(mem::maskedDataBytes(0x101), 64u);     // sectors 0+1
+    EXPECT_EQ(mem::maskedDataBytes(0xffffffff), 128u);
+}
+
+// Table I: field content of each G-TSC message determines its size.
+TEST(Packet, GtscMessageSizesFollowTable1)
+{
+    const unsigned ts = 2; // 16-bit timestamps
+    using mem::MsgType;
+    // BusRd: header + wts + warp_ts.
+    EXPECT_EQ(core::gtscMessageBytes(MsgType::BusRd, ts, 0), 8u + 4u);
+    // BusWr: header + warp_ts + data sectors.
+    EXPECT_EQ(core::gtscMessageBytes(MsgType::BusWr, ts, 0x1),
+              8u + 2u + 32u);
+    // BusFill: header + wts + rts + full line.
+    EXPECT_EQ(core::gtscMessageBytes(MsgType::BusFill, ts, 0),
+              8u + 4u + 128u);
+    // BusRnw: header + rts only — no data (the key traffic saving).
+    EXPECT_EQ(core::gtscMessageBytes(MsgType::BusRnw, ts, 0), 8u + 2u);
+    // BusWrAck: header + wts + rts.
+    EXPECT_EQ(core::gtscMessageBytes(MsgType::BusWrAck, ts, 0), 8u + 4u);
+}
+
+TEST(Packet, TcSizesUseFullFillsAndWideTimestamps)
+{
+    using mem::MsgType;
+    EXPECT_EQ(protocols::tcMessageBytes(MsgType::BusRd, 0), 8u);
+    EXPECT_EQ(protocols::tcMessageBytes(MsgType::BusFill, 0),
+              8u + 4u + 128u);
+    EXPECT_EQ(protocols::tcMessageBytes(MsgType::BusWr, 0x3),
+              8u + 32u);
+    EXPECT_EQ(protocols::tcMessageBytes(MsgType::BusWrAck, 0), 12u);
+    // TC renewal == full fill; G-TSC renewal is 10 bytes.
+    EXPECT_GT(protocols::tcMessageBytes(MsgType::BusFill, 0),
+              core::gtscMessageBytes(MsgType::BusRnw, 2, 0));
+}
+
+TEST(Packet, BaselineSizes)
+{
+    using mem::MsgType;
+    EXPECT_EQ(protocols::baselineMessageBytes(MsgType::BusRd, 0), 8u);
+    EXPECT_EQ(protocols::baselineMessageBytes(MsgType::BusFill, 0),
+              136u);
+    EXPECT_EQ(protocols::baselineMessageBytes(MsgType::BusWrAck, 0), 8u);
+}
+
+TEST(Packet, ToStringNamesType)
+{
+    mem::Packet p;
+    p.type = mem::MsgType::BusRnw;
+    p.sizeBytes = 10;
+    EXPECT_NE(p.toString().find("BusRnw"), std::string::npos);
+}

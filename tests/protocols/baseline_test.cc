@@ -1,0 +1,222 @@
+/**
+ * FSM-level tests of the two baselines: NoL1 (BL, private caches
+ * disabled) and NonCohL1 (conventional non-coherent write-through
+ * L1), plus the SimpleL2 they share.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocols/no_l1.hh"
+#include "protocols/noncoh_l1.hh"
+#include "protocols/simple_l2.hh"
+
+using namespace gtsc;
+using mem::Access;
+using mem::AccessResult;
+using mem::MsgType;
+using mem::Packet;
+
+namespace
+{
+
+Access
+makeLoad(Addr line, std::uint64_t id)
+{
+    Access a;
+    a.lineAddr = line;
+    a.wordMask = 1;
+    a.id = id;
+    return a;
+}
+
+Access
+makeStore(Addr line, std::uint64_t id, std::uint32_t value)
+{
+    Access a = makeLoad(line, id);
+    a.isStore = true;
+    a.storeData.setWord(0, value);
+    return a;
+}
+
+TEST(NoL1, EveryAccessGoesToTheNoc)
+{
+    sim::Config cfg;
+    sim::StatSet stats;
+    sim::EventQueue events;
+    protocols::NoL1 l1(0, cfg, stats, events, nullptr);
+    std::vector<Packet> sent;
+    l1.setSend([&](Packet &&p) { sent.push_back(p); });
+    l1.setLoadDone([](const Access &, const AccessResult &) {});
+    l1.setStoreDone([](const Access &, Cycle) {});
+
+    // Same line three times: no tags, no merging — three requests.
+    l1.access(makeLoad(0x1000, 1), 0);
+    l1.access(makeLoad(0x1000, 2), 0);
+    l1.access(makeStore(0x1000, 3, 9), 0);
+    ASSERT_EQ(sent.size(), 3u);
+    EXPECT_EQ(sent[0].type, MsgType::BusRd);
+    EXPECT_EQ(sent[1].type, MsgType::BusRd);
+    EXPECT_EQ(sent[2].type, MsgType::BusWr);
+    EXPECT_EQ(stats.get("l1.tag_accesses"), 0u) << "no L1 tags";
+}
+
+TEST(NoL1, MatchesResponsesByRequestId)
+{
+    sim::Config cfg;
+    sim::StatSet stats;
+    sim::EventQueue events;
+    protocols::NoL1 l1(0, cfg, stats, events, nullptr);
+    l1.setSend([](Packet &&) {});
+    std::vector<std::uint64_t> done;
+    l1.setLoadDone([&](const Access &a, const AccessResult &r) {
+        done.push_back(a.id);
+        EXPECT_EQ(r.data.word(0), 100u + a.id);
+    });
+    l1.setStoreDone([](const Access &, Cycle) {});
+
+    l1.access(makeLoad(0x1000, 1), 0);
+    l1.access(makeLoad(0x2000, 2), 0);
+    // Complete out of order.
+    Packet f2;
+    f2.type = MsgType::BusFill;
+    f2.lineAddr = 0x2000;
+    f2.reqId = 2;
+    f2.data.setWord(0, 102);
+    l1.receiveResponse(std::move(f2), 1);
+    Packet f1;
+    f1.type = MsgType::BusFill;
+    f1.lineAddr = 0x1000;
+    f1.reqId = 1;
+    f1.data.setWord(0, 101);
+    l1.receiveResponse(std::move(f1), 2);
+    events.runUntil(100);
+    EXPECT_EQ(done, (std::vector<std::uint64_t>{2, 1}));
+    EXPECT_TRUE(l1.quiescent());
+}
+
+TEST(NoL1, BoundedOutstanding)
+{
+    sim::Config cfg;
+    cfg.setInt("nol1.max_pending", 2);
+    sim::StatSet stats;
+    sim::EventQueue events;
+    protocols::NoL1 l1(0, cfg, stats, events, nullptr);
+    l1.setSend([](Packet &&) {});
+    EXPECT_TRUE(l1.access(makeLoad(0x1000, 1), 0));
+    EXPECT_TRUE(l1.access(makeLoad(0x2000, 2), 0));
+    EXPECT_FALSE(l1.access(makeLoad(0x3000, 3), 0));
+    EXPECT_EQ(stats.get("l1.rejects_mshr_full"), 1u);
+}
+
+TEST(NonCohL1, HitsNeverExpireAndStoresUpdateLocally)
+{
+    sim::Config cfg;
+    sim::StatSet stats;
+    sim::EventQueue events;
+    protocols::NonCohL1 l1(0, cfg, stats, events, nullptr);
+    std::vector<Packet> sent;
+    l1.setSend([&](Packet &&p) { sent.push_back(p); });
+    std::vector<std::uint32_t> loaded;
+    l1.setLoadDone([&](const Access &, const AccessResult &r) {
+        loaded.push_back(r.data.word(0));
+    });
+    l1.setStoreDone([](const Access &, Cycle) {});
+
+    l1.access(makeLoad(0x1000, 1), 0);
+    Packet fill;
+    fill.type = MsgType::BusFill;
+    fill.lineAddr = 0x1000;
+    fill.data.setWord(0, 7);
+    l1.receiveResponse(std::move(fill), 1);
+    events.runUntil(50);
+
+    // Hit long after any physical lease would have expired.
+    sent.clear();
+    l1.access(makeLoad(0x1000, 2), 100000);
+    events.runUntil(100100);
+    EXPECT_TRUE(sent.empty());
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[1], 7u);
+
+    // Store writes through but keeps the local copy updated.
+    l1.access(makeStore(0x1000, 3, 55), 100001);
+    ASSERT_EQ(sent.size(), 1u);
+    EXPECT_EQ(sent[0].type, MsgType::BusWr);
+    l1.access(makeLoad(0x1000, 4), 100002);
+    events.runUntil(100200);
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded[2], 55u) << "own store visible locally";
+}
+
+TEST(SimpleL2, ReadAfterWriteReturnsNewValue)
+{
+    sim::Config cfg;
+    cfg.setInt("l2.partition_bytes", 1024);
+    cfg.setInt("l2.assoc", 2);
+    cfg.setInt("l2.access_latency", 1);
+    sim::StatSet stats;
+    sim::EventQueue events;
+    mem::MainMemory memory;
+    mem::DramChannel dram(cfg, stats, events, memory, "dram");
+    protocols::SimpleL2 l2(0, cfg, stats, events, dram, memory,
+                           nullptr);
+    std::vector<Packet> sent;
+    l2.setSend([&](Packet &&p) { sent.push_back(p); });
+
+    Packet wr;
+    wr.type = MsgType::BusWr;
+    wr.lineAddr = 0x1000;
+    wr.wordMask = 1;
+    wr.data.setWord(0, 99);
+    l2.receiveRequest(std::move(wr), 0);
+    Packet rd;
+    rd.type = MsgType::BusRd;
+    rd.lineAddr = 0x1000;
+    l2.receiveRequest(std::move(rd), 0);
+
+    Cycle now = 0;
+    for (int i = 0; i < 400; ++i) {
+        ++now;
+        events.runUntil(now);
+        l2.tick(now);
+        dram.tick(now);
+    }
+    ASSERT_EQ(sent.size(), 2u);
+    EXPECT_EQ(sent[0].type, MsgType::BusWrAck);
+    EXPECT_EQ(sent[1].type, MsgType::BusFill);
+    EXPECT_EQ(sent[1].data.word(0), 99u);
+    EXPECT_TRUE(l2.quiescent());
+}
+
+TEST(SimpleL2, FlushWritesDirtyLinesBack)
+{
+    sim::Config cfg;
+    cfg.setInt("l2.partition_bytes", 1024);
+    cfg.setInt("l2.assoc", 2);
+    sim::StatSet stats;
+    sim::EventQueue events;
+    mem::MainMemory memory;
+    mem::DramChannel dram(cfg, stats, events, memory, "dram");
+    protocols::SimpleL2 l2(0, cfg, stats, events, dram, memory,
+                           nullptr);
+    l2.setSend([](Packet &&) {});
+
+    Packet wr;
+    wr.type = MsgType::BusWr;
+    wr.lineAddr = 0x1000;
+    wr.wordMask = 1;
+    wr.data.setWord(0, 42);
+    l2.receiveRequest(std::move(wr), 0);
+    Cycle now = 0;
+    for (int i = 0; i < 400; ++i) {
+        ++now;
+        events.runUntil(now);
+        l2.tick(now);
+        dram.tick(now);
+    }
+    EXPECT_EQ(memory.readWord(0x1000), 0u) << "still only in L2";
+    l2.flushAll(now);
+    EXPECT_EQ(memory.readWord(0x1000), 42u);
+}
+
+} // namespace

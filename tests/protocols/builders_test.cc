@@ -1,0 +1,24 @@
+#include "protocols/builders.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace gtsc;
+
+TEST(Builders, RegistryKnowsAllProtocols)
+{
+    EXPECT_EQ(protocols::makeProtocol("gtsc")->name(), "gtsc");
+    EXPECT_EQ(protocols::makeProtocol("tc")->name(), "tc");
+    EXPECT_EQ(protocols::makeProtocol("nol1")->name(), "nol1");
+    EXPECT_EQ(protocols::makeProtocol("bl")->name(), "nol1");
+    EXPECT_EQ(protocols::makeProtocol("noncoh")->name(), "noncoh");
+    EXPECT_THROW(protocols::makeProtocol("mesi"), std::runtime_error);
+}
+
+TEST(Builders, NoL1ReportsNoPrivateCache)
+{
+    EXPECT_FALSE(protocols::makeProtocol("nol1")->usesL1());
+    EXPECT_TRUE(protocols::makeProtocol("gtsc")->usesL1());
+    EXPECT_TRUE(protocols::makeProtocol("tc")->usesL1());
+}

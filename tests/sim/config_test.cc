@@ -1,0 +1,117 @@
+#include "sim/config.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+using gtsc::sim::Config;
+
+TEST(Config, DefaultsReturnedWhenUnset)
+{
+    Config cfg;
+    EXPECT_EQ(cfg.getInt("a.b", 42), 42);
+    EXPECT_EQ(cfg.getUint("a.c", 7u), 7u);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("a.d", 1.5), 1.5);
+    EXPECT_TRUE(cfg.getBool("a.e", true));
+    EXPECT_EQ(cfg.getString("a.f", "x"), "x");
+}
+
+TEST(Config, SetOverridesDefault)
+{
+    Config cfg;
+    cfg.setInt("k", 9);
+    EXPECT_EQ(cfg.getInt("k", 1), 9);
+    cfg.set("s", "hello");
+    EXPECT_EQ(cfg.getString("s", ""), "hello");
+    cfg.setBool("b", false);
+    EXPECT_FALSE(cfg.getBool("b", true));
+    cfg.setDouble("d", 2.25);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("d", 0), 2.25);
+}
+
+TEST(Config, BoolParsesCommonSpellings)
+{
+    Config cfg;
+    cfg.set("t1", "true");
+    cfg.set("t2", "1");
+    cfg.set("t3", "on");
+    cfg.set("f1", "false");
+    cfg.set("f2", "0");
+    cfg.set("f3", "off");
+    EXPECT_TRUE(cfg.getBool("t1", false));
+    EXPECT_TRUE(cfg.getBool("t2", false));
+    EXPECT_TRUE(cfg.getBool("t3", false));
+    EXPECT_FALSE(cfg.getBool("f1", true));
+    EXPECT_FALSE(cfg.getBool("f2", true));
+    EXPECT_FALSE(cfg.getBool("f3", true));
+}
+
+TEST(Config, MalformedValuesAreFatal)
+{
+    Config cfg;
+    cfg.set("n", "not-a-number");
+    EXPECT_THROW(cfg.getInt("n", 0), std::runtime_error);
+    EXPECT_THROW(cfg.getDouble("n", 0), std::runtime_error);
+    EXPECT_THROW(cfg.getBool("n", false), std::runtime_error);
+}
+
+TEST(Config, ParseOverride)
+{
+    Config cfg;
+    EXPECT_TRUE(cfg.parseOverride("gpu.num_sms=4"));
+    EXPECT_EQ(cfg.getInt("gpu.num_sms", 0), 4);
+    EXPECT_FALSE(cfg.parseOverride("no-equals"));
+    EXPECT_FALSE(cfg.parseOverride("=value"));
+    EXPECT_THROW(cfg.parseOverrides({"bad"}), std::runtime_error);
+}
+
+TEST(Config, HexIntegersAccepted)
+{
+    Config cfg;
+    cfg.set("addr", "0x100");
+    EXPECT_EQ(cfg.getUint("addr", 0), 0x100u);
+}
+
+TEST(Config, EffectiveIncludesConsultedDefaults)
+{
+    Config cfg;
+    cfg.setInt("x", 1);
+    (void)cfg.getInt("y", 5);
+    auto eff = cfg.effective();
+    EXPECT_EQ(eff.at("x"), "1");
+    EXPECT_EQ(eff.at("y"), "5");
+    EXPECT_NE(cfg.toString().find("x=1"), std::string::npos);
+}
+
+TEST(Config, LoadFileParsesKeyValueLines)
+{
+    std::string path = "/tmp/gtsc_config_test.conf";
+    {
+        std::ofstream out(path);
+        out << "# a comment\n"
+            << "gpu.num_sms = 4\n"
+            << "\n"
+            << "gtsc.lease=12   # trailing comment\n";
+    }
+    Config cfg;
+    cfg.loadFile(path);
+    EXPECT_EQ(cfg.getInt("gpu.num_sms", 0), 4);
+    EXPECT_EQ(cfg.getInt("gtsc.lease", 0), 12);
+    std::remove(path.c_str());
+}
+
+TEST(Config, LoadFileErrors)
+{
+    Config cfg;
+    EXPECT_THROW(cfg.loadFile("/nonexistent.conf"),
+                 std::runtime_error);
+    std::string path = "/tmp/gtsc_config_bad.conf";
+    {
+        std::ofstream out(path);
+        out << "not-a-pair\n";
+    }
+    EXPECT_THROW(cfg.loadFile(path), std::runtime_error);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,79 @@
+#include "sim/stats.hh"
+
+#include <gtest/gtest.h>
+
+using gtsc::sim::Distribution;
+using gtsc::sim::StatSet;
+
+TEST(StatSet, CountersStartAtZeroAndIncrement)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("a"), 0u);
+    s.counter("a") += 3;
+    s.counter("a")++;
+    EXPECT_EQ(s.get("a"), 4u);
+}
+
+TEST(StatSet, SumPrefix)
+{
+    StatSet s;
+    s.counter("l1.hits") = 5;
+    s.counter("l1.miss_cold") = 2;
+    s.counter("l1.miss_expired") = 3;
+    s.counter("l2.hits") = 100;
+    EXPECT_EQ(s.sumPrefix("l1.miss"), 5u);
+    EXPECT_EQ(s.sumPrefix("l1."), 10u);
+    EXPECT_EQ(s.sumPrefix("nothing"), 0u);
+}
+
+TEST(StatSet, MergeAddsCounters)
+{
+    StatSet a;
+    StatSet b;
+    a.counter("x") = 1;
+    b.counter("x") = 2;
+    b.counter("y") = 7;
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 7u);
+}
+
+TEST(Distribution, TracksMeanMinMax)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(9.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(Distribution, MergeCombines)
+{
+    Distribution a;
+    Distribution b;
+    a.sample(1.0);
+    b.sample(3.0);
+    b.sample(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+    Distribution empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(StatSet, ToStringContainsEntries)
+{
+    StatSet s;
+    s.counter("alpha") = 12;
+    s.distribution("lat").sample(4.0);
+    std::string text = s.toString();
+    EXPECT_NE(text.find("alpha 12"), std::string::npos);
+    EXPECT_NE(text.find("lat.mean"), std::string::npos);
+}

@@ -1,0 +1,250 @@
+/**
+ * Structural characterization of the twelve benchmark generators:
+ * each synthetic workload must actually exhibit the sharing/intensity
+ * pattern DESIGN.md says it mirrors (that is what makes the figure
+ * results meaningful). These tests inspect the generated traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/common.hh"
+#include "workloads/registry.hh"
+
+using namespace gtsc;
+using gpu::WarpInstr;
+
+namespace
+{
+
+struct TraceStats
+{
+    unsigned loads = 0;
+    unsigned stores = 0;
+    unsigned fences = 0;
+    unsigned spins = 0;
+    std::uint64_t computeCycles = 0;
+    std::set<Addr> loadLines;
+    std::set<Addr> storeLines;
+    std::set<Addr> sharedStoreLines; ///< stores below kPrivateBase
+};
+
+gpu::GpuParams
+gpuShape()
+{
+    sim::Config cfg;
+    cfg.setInt("gpu.num_sms", 4);
+    cfg.setInt("gpu.warps_per_sm", 4);
+    return gpu::GpuParams::fromConfig(cfg);
+}
+
+TraceStats
+characterize(const std::string &name, SmId sm, WarpId warp,
+             unsigned kernel = 0)
+{
+    sim::Config cfg;
+    auto wl = workloads::makeWorkload(name, cfg);
+    auto prog = wl->makeProgram(kernel, sm, warp, gpuShape());
+    TraceStats st;
+    for (unsigned i = 0; i < 100000; ++i) {
+        WarpInstr instr = prog->next();
+        if (instr.op == WarpInstr::Op::Exit)
+            return st;
+        switch (instr.op) {
+          case WarpInstr::Op::Load:
+            ++st.loads;
+            for (unsigned l = 0; l < 32; ++l) {
+                if (instr.activeMask & (1u << l))
+                    st.loadLines.insert(mem::lineAlign(instr.addr[l]));
+            }
+            break;
+          case WarpInstr::Op::Store:
+            ++st.stores;
+            for (unsigned l = 0; l < 32; ++l) {
+                if (instr.activeMask & (1u << l)) {
+                    Addr line = mem::lineAlign(instr.addr[l]);
+                    st.storeLines.insert(line);
+                    if (line < workloads::kPrivateBase)
+                        st.sharedStoreLines.insert(line);
+                }
+            }
+            break;
+          case WarpInstr::Op::Fence:
+            ++st.fences;
+            break;
+          case WarpInstr::Op::SpinLoad:
+            ++st.spins;
+            prog->observe(instr.spinExpect); // satisfy the spin
+            break;
+          case WarpInstr::Op::Compute:
+            st.computeCycles += instr.computeCycles;
+            break;
+          default:
+            break;
+        }
+        if (instr.op == WarpInstr::Op::Load ||
+            instr.op == WarpInstr::Op::SpinLoad) {
+            prog->observe(1);
+        }
+    }
+    ADD_FAILURE() << name << " trace did not terminate";
+    return st;
+}
+
+bool
+intersects(const std::set<Addr> &a, const std::set<Addr> &b)
+{
+    for (Addr x : a) {
+        if (b.count(x))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(Behavior, CoherentSetStoresToSharedLines)
+{
+    // Every coherence-required benchmark must write lines that other
+    // SMs' warps read or write (that is why it needs coherence).
+    for (const auto &name : workloads::coherentSet()) {
+        auto wl = workloads::makeWorkload(name, sim::Config());
+        bool shared_rw = false;
+        for (unsigned k = 0; k < wl->numKernels() && !shared_rw; ++k) {
+            TraceStats a = characterize(name, 0, 0, k);
+            // Check against warps on *other* SMs.
+            for (SmId sm = 1; sm < 4 && !shared_rw; ++sm) {
+                for (WarpId w = 0; w < 4 && !shared_rw; ++w) {
+                    TraceStats b = characterize(name, sm, w, k);
+                    shared_rw =
+                        intersects(a.sharedStoreLines, b.loadLines) ||
+                        intersects(b.sharedStoreLines, a.loadLines) ||
+                        intersects(a.sharedStoreLines,
+                                   b.sharedStoreLines);
+                }
+            }
+        }
+        EXPECT_TRUE(shared_rw)
+            << name << " claims to need coherence but has no "
+                       "cross-SM read-write sharing";
+    }
+}
+
+TEST(Behavior, CcIsRequestIntensive)
+{
+    // CC is the NoC-pressure workload: uncoalesced gathers mean many
+    // distinct lines per load instruction and minimal compute.
+    TraceStats cc = characterize("cc", 0, 0);
+    EXPECT_GT(cc.loadLines.size(),
+              static_cast<std::size_t>(cc.loads) * 4)
+        << "CC gathers should touch many lines per instruction";
+    EXPECT_LT(cc.computeCycles / std::max(1u, cc.loads), 20u);
+    EXPECT_GT(cc.fences, 0u);
+}
+
+TEST(Behavior, CcpIsComputeBound)
+{
+    TraceStats ccp = characterize("ccp", 0, 0);
+    EXPECT_GT(ccp.computeCycles,
+              static_cast<std::uint64_t>(ccp.loads + ccp.stores) * 100)
+        << "CCP must be dominated by compute";
+}
+
+TEST(Behavior, HsIsLoadDominant)
+{
+    // Section VI-E: load-heavy kernels keep logical time rolling
+    // slowly; HS models that (reads tile, writes one line).
+    TraceStats hs = characterize("hs", 0, 0);
+    EXPECT_GE(hs.loads, hs.stores * 4);
+    // And its footprint is fully private.
+    EXPECT_TRUE(hs.sharedStoreLines.empty());
+}
+
+TEST(Behavior, BhHasHotReadSet)
+{
+    // BH rereads upper tree levels: distinct load lines must be far
+    // fewer than total loads (reuse), and stores are sparse.
+    TraceStats bh = characterize("bh", 0, 0);
+    EXPECT_LT(bh.loadLines.size(), static_cast<std::size_t>(bh.loads));
+    EXPECT_LT(bh.stores, bh.loads / 3);
+}
+
+TEST(Behavior, StnReusesItsTile)
+{
+    TraceStats stn = characterize("stn", 0, 0);
+    // 10 distinct lines per iteration read, only 6 unique.
+    EXPECT_LT(stn.loadLines.size(),
+              static_cast<std::size_t>(stn.loads) / 2);
+    EXPECT_GT(stn.fences, 5u) << "stencil iterations are fenced";
+}
+
+TEST(Behavior, DlpPipelineUsesSpinsAndFlags)
+{
+    // Stage warps (warp 0 of middle SMs) synchronize through spins.
+    TraceStats stage = characterize("dlp", 1, 0);
+    EXPECT_GT(stage.spins, 0u) << "pipeline stages wait on flags";
+    EXPECT_GT(stage.fences, 0u);
+    // Background warps do not.
+    TraceStats bg = characterize("dlp", 1, 1);
+    EXPECT_EQ(bg.spins, 0u);
+}
+
+TEST(Behavior, BfsIsMultiKernelMemoryIntensive)
+{
+    sim::Config cfg;
+    auto wl = workloads::makeWorkload("bfs", cfg);
+    EXPECT_EQ(wl->numKernels(), 3u);
+    TraceStats l0 = characterize("bfs", 0, 0, 0);
+    EXPECT_LT(l0.computeCycles / std::max(1u, l0.loads + l0.stores),
+              10u)
+        << "BFS is memory-intensive";
+    EXPECT_GT(l0.fences, 4u) << "visited updates carry release fences";
+}
+
+TEST(Behavior, PrivateSetSharedRegionsAreReadOnly)
+{
+    // Already enforced in registry_test for stores >= kPrivateBase;
+    // here: their *shared* loads exist (so the L1 matters) for the
+    // lookup-table benchmarks.
+    for (const char *name : {"ge", "km", "bp", "sgm"}) {
+        TraceStats t = characterize(name, 0, 0);
+        bool has_shared_load = false;
+        for (Addr line : t.loadLines)
+            has_shared_load |= (line < workloads::kPrivateBase);
+        EXPECT_TRUE(has_shared_load)
+            << name << " should read shared read-only data";
+        EXPECT_TRUE(t.sharedStoreLines.empty()) << name;
+    }
+}
+
+TEST(Behavior, KernelIndexChangesBfsFrontiers)
+{
+    TraceStats k0 = characterize("bfs", 0, 0, 0);
+    TraceStats k1 = characterize("bfs", 0, 0, 1);
+    // Frontier-in regions differ between levels.
+    EXPECT_NE(k0.loadLines, k1.loadLines);
+}
+
+TEST(Behavior, WorkloadScaleControlsLength)
+{
+    sim::Config small;
+    small.setDouble("wl.scale", 0.25);
+    sim::Config large;
+    large.setDouble("wl.scale", 2.0);
+    for (const auto &name : workloads::allBenchmarks()) {
+        auto ws = workloads::makeWorkload(name, small);
+        auto wlg = workloads::makeWorkload(name, large);
+        auto count = [&](gpu::Workload &w) {
+            auto prog = w.makeProgram(0, 0, 0, gpuShape());
+            unsigned n = 0;
+            while (prog->next().op != WarpInstr::Op::Exit) {
+                ++n;
+                prog->observe(1);
+            }
+            return n;
+        };
+        EXPECT_GT(count(*wlg), count(*ws)) << name;
+    }
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Plot gtsc-sim CSV sweeps.
+
+Usage:
+    gtsc-sim sweep bfs --csv bfs.csv
+    tools/plot_results.py bfs.csv [-o bfs.png] [--metric cycles]
+
+Produces a grouped bar chart of <metric> per (protocol, consistency),
+normalized to the nol1/rc baseline when --normalize is given.
+Requires matplotlib; falls back to an ASCII chart without it.
+"""
+
+import argparse
+import csv
+import sys
+
+
+def read_rows(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def ascii_chart(rows, metric, normalize):
+    base = None
+    if normalize:
+        for r in rows:
+            if r["protocol"] == "nol1" and r["consistency"] == "rc":
+                base = float(r[metric])
+    width = 50
+    values = [(f'{r["protocol"]}/{r["consistency"]}',
+               float(r[metric]) / (base or 1.0)) for r in rows]
+    top = max(v for _, v in values) or 1.0
+    print(f"{metric}" + (" (normalized to nol1/rc)" if base else ""))
+    for label, v in values:
+        bar = "#" * max(1, int(width * v / top))
+        print(f"{label:>14} {bar} {v:.3g}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv", help="CSV from gtsc-sim sweep --csv")
+    ap.add_argument("-o", "--output", help="PNG path (matplotlib)")
+    ap.add_argument("--metric", default="cycles")
+    ap.add_argument("--normalize", action="store_true",
+                    help="normalize to the nol1/rc row")
+    args = ap.parse_args()
+
+    rows = read_rows(args.csv)
+    if not rows:
+        sys.exit("empty CSV")
+    if args.metric not in rows[0]:
+        sys.exit(f"unknown metric '{args.metric}'; "
+                 f"columns: {', '.join(rows[0])}")
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        ascii_chart(rows, args.metric, args.normalize)
+        return
+
+    base = 1.0
+    if args.normalize:
+        for r in rows:
+            if r["protocol"] == "nol1" and r["consistency"] == "rc":
+                base = float(r[args.metric])
+
+    labels = [f'{r["protocol"]}\n{r["consistency"]}' for r in rows]
+    values = [float(r[args.metric]) / base for r in rows]
+    colors = {"nol1": "#999999", "noncoh": "#bbbb66",
+              "tc": "#cc6666", "gtsc": "#6688cc"}
+    bar_colors = [colors.get(r["protocol"], "#333333") for r in rows]
+
+    fig, ax = plt.subplots(figsize=(1 + 0.7 * len(rows), 4))
+    ax.bar(range(len(rows)), values, color=bar_colors)
+    ax.set_xticks(range(len(rows)))
+    ax.set_xticklabels(labels, fontsize=8)
+    ax.set_ylabel(args.metric +
+                  (" (normalized)" if args.normalize else ""))
+    ax.set_title(rows[0]["workload"])
+    fig.tight_layout()
+    out = args.output or args.csv.rsplit(".", 1)[0] + ".png"
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()
