@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_lease.dir/ablation_adaptive_lease.cc.o"
+  "CMakeFiles/ablation_adaptive_lease.dir/ablation_adaptive_lease.cc.o.d"
+  "ablation_adaptive_lease"
+  "ablation_adaptive_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_expiry_misses.dir/ablation_expiry_misses.cc.o"
+  "CMakeFiles/ablation_expiry_misses.dir/ablation_expiry_misses.cc.o.d"
+  "ablation_expiry_misses"
+  "ablation_expiry_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_expiry_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_noc_topology.dir/ablation_noc_topology.cc.o"
+  "CMakeFiles/ablation_noc_topology.dir/ablation_noc_topology.cc.o.d"
+  "ablation_noc_topology"
+  "ablation_noc_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noc_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tc_lease.dir/ablation_tc_lease.cc.o"
+  "CMakeFiles/ablation_tc_lease.dir/ablation_tc_lease.cc.o.d"
+  "ablation_tc_lease"
+  "ablation_tc_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tc_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_visibility.dir/ablation_update_visibility.cc.o"
+  "CMakeFiles/ablation_update_visibility.dir/ablation_update_visibility.cc.o.d"
+  "ablation_update_visibility"
+  "ablation_update_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

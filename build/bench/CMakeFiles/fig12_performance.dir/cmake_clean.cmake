@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_performance.dir/fig12_performance.cc.o"
+  "CMakeFiles/fig12_performance.dir/fig12_performance.cc.o.d"
+  "fig12_performance"
+  "fig12_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

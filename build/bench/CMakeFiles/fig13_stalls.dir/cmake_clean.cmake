@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_stalls.dir/fig13_stalls.cc.o"
+  "CMakeFiles/fig13_stalls.dir/fig13_stalls.cc.o.d"
+  "fig13_stalls"
+  "fig13_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_l1_energy.dir/fig17_l1_energy.cc.o"
+  "CMakeFiles/fig17_l1_energy.dir/fig17_l1_energy.cc.o.d"
+  "fig17_l1_energy"
+  "fig17_l1_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_l1_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

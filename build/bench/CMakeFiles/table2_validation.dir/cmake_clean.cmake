@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_validation.dir/table2_validation.cc.o"
+  "CMakeFiles/table2_validation.dir/table2_validation.cc.o.d"
+  "table2_validation"
+  "table2_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_coherent.dir/bfs_coherent.cpp.o"
+  "CMakeFiles/bfs_coherent.dir/bfs_coherent.cpp.o.d"
+  "bfs_coherent"
+  "bfs_coherent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_coherent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

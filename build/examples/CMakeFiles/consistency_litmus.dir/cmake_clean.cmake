@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_litmus.dir/consistency_litmus.cpp.o"
+  "CMakeFiles/consistency_litmus.dir/consistency_litmus.cpp.o.d"
+  "consistency_litmus"
+  "consistency_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

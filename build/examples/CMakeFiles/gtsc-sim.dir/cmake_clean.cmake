@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtsc-sim.dir/gtsc_sim.cpp.o"
+  "CMakeFiles/gtsc-sim.dir/gtsc_sim.cpp.o.d"
+  "gtsc-sim"
+  "gtsc-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtsc-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtsc_core.dir/gtsc_l1.cc.o"
+  "CMakeFiles/gtsc_core.dir/gtsc_l1.cc.o.d"
+  "CMakeFiles/gtsc_core.dir/gtsc_l2.cc.o"
+  "CMakeFiles/gtsc_core.dir/gtsc_l2.cc.o.d"
+  "libgtsc_core.a"
+  "libgtsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

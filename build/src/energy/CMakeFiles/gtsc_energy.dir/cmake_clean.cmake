@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtsc_energy.dir/energy_model.cc.o"
+  "CMakeFiles/gtsc_energy.dir/energy_model.cc.o.d"
+  "libgtsc_energy.a"
+  "libgtsc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtsc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

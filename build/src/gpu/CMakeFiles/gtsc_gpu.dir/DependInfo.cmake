@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/coalescer.cc" "src/gpu/CMakeFiles/gtsc_gpu.dir/coalescer.cc.o" "gcc" "src/gpu/CMakeFiles/gtsc_gpu.dir/coalescer.cc.o.d"
+  "/root/repo/src/gpu/gpu_system.cc" "src/gpu/CMakeFiles/gtsc_gpu.dir/gpu_system.cc.o" "gcc" "src/gpu/CMakeFiles/gtsc_gpu.dir/gpu_system.cc.o.d"
+  "/root/repo/src/gpu/sm.cc" "src/gpu/CMakeFiles/gtsc_gpu.dir/sm.cc.o" "gcc" "src/gpu/CMakeFiles/gtsc_gpu.dir/sm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/gtsc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gtsc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gtsc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

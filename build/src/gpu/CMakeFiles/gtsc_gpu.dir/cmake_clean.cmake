@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtsc_gpu.dir/coalescer.cc.o"
+  "CMakeFiles/gtsc_gpu.dir/coalescer.cc.o.d"
+  "CMakeFiles/gtsc_gpu.dir/gpu_system.cc.o"
+  "CMakeFiles/gtsc_gpu.dir/gpu_system.cc.o.d"
+  "CMakeFiles/gtsc_gpu.dir/sm.cc.o"
+  "CMakeFiles/gtsc_gpu.dir/sm.cc.o.d"
+  "libgtsc_gpu.a"
+  "libgtsc_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtsc_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtsc_harness.dir/checker.cc.o"
+  "CMakeFiles/gtsc_harness.dir/checker.cc.o.d"
+  "CMakeFiles/gtsc_harness.dir/report.cc.o"
+  "CMakeFiles/gtsc_harness.dir/report.cc.o.d"
+  "CMakeFiles/gtsc_harness.dir/runner.cc.o"
+  "CMakeFiles/gtsc_harness.dir/runner.cc.o.d"
+  "CMakeFiles/gtsc_harness.dir/table.cc.o"
+  "CMakeFiles/gtsc_harness.dir/table.cc.o.d"
+  "libgtsc_harness.a"
+  "libgtsc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtsc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtsc_mem.dir/cache_array.cc.o"
+  "CMakeFiles/gtsc_mem.dir/cache_array.cc.o.d"
+  "CMakeFiles/gtsc_mem.dir/dram.cc.o"
+  "CMakeFiles/gtsc_mem.dir/dram.cc.o.d"
+  "CMakeFiles/gtsc_mem.dir/packet.cc.o"
+  "CMakeFiles/gtsc_mem.dir/packet.cc.o.d"
+  "libgtsc_mem.a"
+  "libgtsc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtsc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtsc_noc.dir/crossbar.cc.o"
+  "CMakeFiles/gtsc_noc.dir/crossbar.cc.o.d"
+  "CMakeFiles/gtsc_noc.dir/mesh.cc.o"
+  "CMakeFiles/gtsc_noc.dir/mesh.cc.o.d"
+  "libgtsc_noc.a"
+  "libgtsc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtsc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

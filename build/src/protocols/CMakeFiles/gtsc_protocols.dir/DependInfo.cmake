@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/builders.cc" "src/protocols/CMakeFiles/gtsc_protocols.dir/builders.cc.o" "gcc" "src/protocols/CMakeFiles/gtsc_protocols.dir/builders.cc.o.d"
+  "/root/repo/src/protocols/no_l1.cc" "src/protocols/CMakeFiles/gtsc_protocols.dir/no_l1.cc.o" "gcc" "src/protocols/CMakeFiles/gtsc_protocols.dir/no_l1.cc.o.d"
+  "/root/repo/src/protocols/noncoh_l1.cc" "src/protocols/CMakeFiles/gtsc_protocols.dir/noncoh_l1.cc.o" "gcc" "src/protocols/CMakeFiles/gtsc_protocols.dir/noncoh_l1.cc.o.d"
+  "/root/repo/src/protocols/simple_l2.cc" "src/protocols/CMakeFiles/gtsc_protocols.dir/simple_l2.cc.o" "gcc" "src/protocols/CMakeFiles/gtsc_protocols.dir/simple_l2.cc.o.d"
+  "/root/repo/src/protocols/tc_l1.cc" "src/protocols/CMakeFiles/gtsc_protocols.dir/tc_l1.cc.o" "gcc" "src/protocols/CMakeFiles/gtsc_protocols.dir/tc_l1.cc.o.d"
+  "/root/repo/src/protocols/tc_l2.cc" "src/protocols/CMakeFiles/gtsc_protocols.dir/tc_l2.cc.o" "gcc" "src/protocols/CMakeFiles/gtsc_protocols.dir/tc_l2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gtsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gtsc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gtsc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gtsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gtsc_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtsc_protocols.dir/builders.cc.o"
+  "CMakeFiles/gtsc_protocols.dir/builders.cc.o.d"
+  "CMakeFiles/gtsc_protocols.dir/no_l1.cc.o"
+  "CMakeFiles/gtsc_protocols.dir/no_l1.cc.o.d"
+  "CMakeFiles/gtsc_protocols.dir/noncoh_l1.cc.o"
+  "CMakeFiles/gtsc_protocols.dir/noncoh_l1.cc.o.d"
+  "CMakeFiles/gtsc_protocols.dir/simple_l2.cc.o"
+  "CMakeFiles/gtsc_protocols.dir/simple_l2.cc.o.d"
+  "CMakeFiles/gtsc_protocols.dir/tc_l1.cc.o"
+  "CMakeFiles/gtsc_protocols.dir/tc_l1.cc.o.d"
+  "CMakeFiles/gtsc_protocols.dir/tc_l2.cc.o"
+  "CMakeFiles/gtsc_protocols.dir/tc_l2.cc.o.d"
+  "libgtsc_protocols.a"
+  "libgtsc_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtsc_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtsc_sim.dir/config.cc.o"
+  "CMakeFiles/gtsc_sim.dir/config.cc.o.d"
+  "CMakeFiles/gtsc_sim.dir/log.cc.o"
+  "CMakeFiles/gtsc_sim.dir/log.cc.o.d"
+  "CMakeFiles/gtsc_sim.dir/stats.cc.o"
+  "CMakeFiles/gtsc_sim.dir/stats.cc.o.d"
+  "libgtsc_sim.a"
+  "libgtsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/coherent.cc" "src/workloads/CMakeFiles/gtsc_workloads.dir/coherent.cc.o" "gcc" "src/workloads/CMakeFiles/gtsc_workloads.dir/coherent.cc.o.d"
+  "/root/repo/src/workloads/litmus.cc" "src/workloads/CMakeFiles/gtsc_workloads.dir/litmus.cc.o" "gcc" "src/workloads/CMakeFiles/gtsc_workloads.dir/litmus.cc.o.d"
+  "/root/repo/src/workloads/private_set.cc" "src/workloads/CMakeFiles/gtsc_workloads.dir/private_set.cc.o" "gcc" "src/workloads/CMakeFiles/gtsc_workloads.dir/private_set.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/gtsc_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/gtsc_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/trace_file.cc" "src/workloads/CMakeFiles/gtsc_workloads.dir/trace_file.cc.o" "gcc" "src/workloads/CMakeFiles/gtsc_workloads.dir/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/gtsc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gtsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gtsc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gtsc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtsc_workloads.dir/coherent.cc.o"
+  "CMakeFiles/gtsc_workloads.dir/coherent.cc.o.d"
+  "CMakeFiles/gtsc_workloads.dir/litmus.cc.o"
+  "CMakeFiles/gtsc_workloads.dir/litmus.cc.o.d"
+  "CMakeFiles/gtsc_workloads.dir/private_set.cc.o"
+  "CMakeFiles/gtsc_workloads.dir/private_set.cc.o.d"
+  "CMakeFiles/gtsc_workloads.dir/registry.cc.o"
+  "CMakeFiles/gtsc_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/gtsc_workloads.dir/trace_file.cc.o"
+  "CMakeFiles/gtsc_workloads.dir/trace_file.cc.o.d"
+  "libgtsc_workloads.a"
+  "libgtsc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtsc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

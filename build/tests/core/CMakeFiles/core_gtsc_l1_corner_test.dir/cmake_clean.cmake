@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gtsc_l1_corner_test.dir/gtsc_l1_corner_test.cc.o"
+  "CMakeFiles/core_gtsc_l1_corner_test.dir/gtsc_l1_corner_test.cc.o.d"
+  "core_gtsc_l1_corner_test"
+  "core_gtsc_l1_corner_test.pdb"
+  "core_gtsc_l1_corner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gtsc_l1_corner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/gtsc_l1_test.cc" "tests/core/CMakeFiles/core_gtsc_l1_test.dir/gtsc_l1_test.cc.o" "gcc" "tests/core/CMakeFiles/core_gtsc_l1_test.dir/gtsc_l1_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gtsc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/gtsc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/gtsc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gtsc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gtsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gtsc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/gtsc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gtsc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gtsc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ts_domain_test.dir/ts_domain_test.cc.o"
+  "CMakeFiles/core_ts_domain_test.dir/ts_domain_test.cc.o.d"
+  "core_ts_domain_test"
+  "core_ts_domain_test.pdb"
+  "core_ts_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ts_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_write_buffer_test.dir/write_buffer_test.cc.o"
+  "CMakeFiles/core_write_buffer_test.dir/write_buffer_test.cc.o.d"
+  "core_write_buffer_test"
+  "core_write_buffer_test.pdb"
+  "core_write_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_write_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

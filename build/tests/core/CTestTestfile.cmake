@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_ts_domain_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_gtsc_l1_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_gtsc_l2_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_write_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_gtsc_l1_corner_test[1]_include.cmake")

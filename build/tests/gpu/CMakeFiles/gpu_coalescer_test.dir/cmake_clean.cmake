@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_coalescer_test.dir/coalescer_test.cc.o"
+  "CMakeFiles/gpu_coalescer_test.dir/coalescer_test.cc.o.d"
+  "gpu_coalescer_test"
+  "gpu_coalescer_test.pdb"
+  "gpu_coalescer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_coalescer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

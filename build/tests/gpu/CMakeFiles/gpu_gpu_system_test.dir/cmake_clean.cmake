@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_gpu_system_test.dir/gpu_system_test.cc.o"
+  "CMakeFiles/gpu_gpu_system_test.dir/gpu_system_test.cc.o.d"
+  "gpu_gpu_system_test"
+  "gpu_gpu_system_test.pdb"
+  "gpu_gpu_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_gpu_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

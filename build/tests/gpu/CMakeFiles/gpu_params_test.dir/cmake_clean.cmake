@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_params_test.dir/params_test.cc.o"
+  "CMakeFiles/gpu_params_test.dir/params_test.cc.o.d"
+  "gpu_params_test"
+  "gpu_params_test.pdb"
+  "gpu_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_scheduler_test.dir/scheduler_test.cc.o"
+  "CMakeFiles/gpu_scheduler_test.dir/scheduler_test.cc.o.d"
+  "gpu_scheduler_test"
+  "gpu_scheduler_test.pdb"
+  "gpu_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

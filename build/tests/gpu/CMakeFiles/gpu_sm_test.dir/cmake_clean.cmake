@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_sm_test.dir/sm_test.cc.o"
+  "CMakeFiles/gpu_sm_test.dir/sm_test.cc.o.d"
+  "gpu_sm_test"
+  "gpu_sm_test.pdb"
+  "gpu_sm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_sm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

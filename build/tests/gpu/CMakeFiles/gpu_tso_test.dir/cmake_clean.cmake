@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_tso_test.dir/tso_test.cc.o"
+  "CMakeFiles/gpu_tso_test.dir/tso_test.cc.o.d"
+  "gpu_tso_test"
+  "gpu_tso_test.pdb"
+  "gpu_tso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_tso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gpu
+# Build directory: /root/repo/build/tests/gpu
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gpu/gpu_coalescer_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu/gpu_params_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu/gpu_sm_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu/gpu_tso_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu/gpu_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu/gpu_gpu_system_test[1]_include.cmake")

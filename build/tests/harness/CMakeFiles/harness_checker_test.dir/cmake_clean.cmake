@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_checker_test.dir/checker_test.cc.o"
+  "CMakeFiles/harness_checker_test.dir/checker_test.cc.o.d"
+  "harness_checker_test"
+  "harness_checker_test.pdb"
+  "harness_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_energy_test.dir/energy_test.cc.o"
+  "CMakeFiles/harness_energy_test.dir/energy_test.cc.o.d"
+  "harness_energy_test"
+  "harness_energy_test.pdb"
+  "harness_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

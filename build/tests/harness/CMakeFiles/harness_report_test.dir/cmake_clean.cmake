@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_report_test.dir/report_test.cc.o"
+  "CMakeFiles/harness_report_test.dir/report_test.cc.o.d"
+  "harness_report_test"
+  "harness_report_test.pdb"
+  "harness_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_runner_test.dir/runner_test.cc.o"
+  "CMakeFiles/harness_runner_test.dir/runner_test.cc.o.d"
+  "harness_runner_test"
+  "harness_runner_test.pdb"
+  "harness_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

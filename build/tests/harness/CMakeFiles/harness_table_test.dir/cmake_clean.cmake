@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_table_test.dir/table_test.cc.o"
+  "CMakeFiles/harness_table_test.dir/table_test.cc.o.d"
+  "harness_table_test"
+  "harness_table_test.pdb"
+  "harness_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/harness
+# Build directory: /root/repo/build/tests/harness
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/harness/harness_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/harness/harness_table_test[1]_include.cmake")
+include("/root/repo/build/tests/harness/harness_report_test[1]_include.cmake")
+include("/root/repo/build/tests/harness/harness_energy_test[1]_include.cmake")
+include("/root/repo/build/tests/harness/harness_runner_test[1]_include.cmake")

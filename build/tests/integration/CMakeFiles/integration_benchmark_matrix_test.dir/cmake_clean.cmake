@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_benchmark_matrix_test.dir/benchmark_matrix_test.cc.o"
+  "CMakeFiles/integration_benchmark_matrix_test.dir/benchmark_matrix_test.cc.o.d"
+  "integration_benchmark_matrix_test"
+  "integration_benchmark_matrix_test.pdb"
+  "integration_benchmark_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_benchmark_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

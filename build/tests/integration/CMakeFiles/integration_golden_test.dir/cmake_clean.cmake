@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_golden_test.dir/golden_test.cc.o"
+  "CMakeFiles/integration_golden_test.dir/golden_test.cc.o.d"
+  "integration_golden_test"
+  "integration_golden_test.pdb"
+  "integration_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

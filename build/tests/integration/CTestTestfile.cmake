@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/integration_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/integration_consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/integration_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/integration_system_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/integration_benchmark_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/integration_golden_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_mshr_test.dir/mshr_test.cc.o"
+  "CMakeFiles/mem_mshr_test.dir/mshr_test.cc.o.d"
+  "mem_mshr_test"
+  "mem_mshr_test.pdb"
+  "mem_mshr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_mshr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

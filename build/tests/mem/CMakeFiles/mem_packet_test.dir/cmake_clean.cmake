@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_packet_test.dir/packet_test.cc.o"
+  "CMakeFiles/mem_packet_test.dir/packet_test.cc.o.d"
+  "mem_packet_test"
+  "mem_packet_test.pdb"
+  "mem_packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mem
+# Build directory: /root/repo/build/tests/mem
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mem/mem_cache_array_test[1]_include.cmake")
+include("/root/repo/build/tests/mem/mem_mshr_test[1]_include.cmake")
+include("/root/repo/build/tests/mem/mem_dram_test[1]_include.cmake")
+include("/root/repo/build/tests/mem/mem_packet_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_baseline_test.dir/baseline_test.cc.o"
+  "CMakeFiles/protocols_baseline_test.dir/baseline_test.cc.o.d"
+  "protocols_baseline_test"
+  "protocols_baseline_test.pdb"
+  "protocols_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

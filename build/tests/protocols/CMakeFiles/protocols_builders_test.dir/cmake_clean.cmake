@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_builders_test.dir/builders_test.cc.o"
+  "CMakeFiles/protocols_builders_test.dir/builders_test.cc.o.d"
+  "protocols_builders_test"
+  "protocols_builders_test.pdb"
+  "protocols_builders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_builders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_tc_test.dir/tc_test.cc.o"
+  "CMakeFiles/protocols_tc_test.dir/tc_test.cc.o.d"
+  "protocols_tc_test"
+  "protocols_tc_test.pdb"
+  "protocols_tc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_tc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/protocols
+# Build directory: /root/repo/build/tests/protocols
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/protocols/protocols_builders_test[1]_include.cmake")
+include("/root/repo/build/tests/protocols/protocols_tc_test[1]_include.cmake")
+include("/root/repo/build/tests/protocols/protocols_baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/protocols/protocols_tc_corner_test[1]_include.cmake")

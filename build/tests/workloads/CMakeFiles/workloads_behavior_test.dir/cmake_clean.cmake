@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_behavior_test.dir/behavior_test.cc.o"
+  "CMakeFiles/workloads_behavior_test.dir/behavior_test.cc.o.d"
+  "workloads_behavior_test"
+  "workloads_behavior_test.pdb"
+  "workloads_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_registry_test.dir/registry_test.cc.o"
+  "CMakeFiles/workloads_registry_test.dir/registry_test.cc.o.d"
+  "workloads_registry_test"
+  "workloads_registry_test.pdb"
+  "workloads_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_trace_file_test.dir/trace_file_test.cc.o"
+  "CMakeFiles/workloads_trace_file_test.dir/trace_file_test.cc.o.d"
+  "workloads_trace_file_test"
+  "workloads_trace_file_test.pdb"
+  "workloads_trace_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_trace_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
