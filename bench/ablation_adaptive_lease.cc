@@ -22,17 +22,25 @@ main(int argc, char **argv)
                           "fixed renewals", "adapt renewals",
                           "fixed resets", "adapt resets"});
 
+    auto adaptCfg = [&cfg](bool adaptive) {
+        sim::Config c = cfg;
+        c.setBool("gtsc.adaptive_lease", adaptive);
+        return c;
+    };
+
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::allBenchmarks()) {
+        sweep.plan(adaptCfg(false), {"gtsc", "rc", "fixed"}, wl);
+        sweep.plan(adaptCfg(true), {"gtsc", "rc", "adaptive"}, wl);
+    }
+
     std::vector<double> renewal_ratio;
     std::vector<double> cycle_ratio;
     for (const auto &wl : workloads::allBenchmarks()) {
-        sim::Config c1 = cfg;
-        c1.setBool("gtsc.adaptive_lease", false);
-        harness::RunResult fixed =
-            runCell(c1, {"gtsc", "rc", "fixed"}, wl);
-        sim::Config c2 = cfg;
-        c2.setBool("gtsc.adaptive_lease", true);
-        harness::RunResult adapt =
-            runCell(c2, {"gtsc", "rc", "adaptive"}, wl);
+        const harness::RunResult &fixed =
+            sweep.get(adaptCfg(false), {"gtsc", "rc", "fixed"}, wl);
+        const harness::RunResult &adapt =
+            sweep.get(adaptCfg(true), {"gtsc", "rc", "adaptive"}, wl);
         table.row(displayName(wl));
         table.cellInt(fixed.cycles);
         table.cellInt(adapt.cycles);

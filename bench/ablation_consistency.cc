@@ -21,15 +21,23 @@ main(int argc, char **argv)
     harness::Table table({"bench", "G-TSC-SC", "G-TSC-TSO", "G-TSC-RC",
                           "RC/SC", "RC/TSO"});
 
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::allBenchmarks()) {
+        sweep.plan({"nol1", "rc", "BL"}, wl);
+        for (const char *cons : {"sc", "tso", "rc"})
+            sweep.plan({"gtsc", cons, cons}, wl);
+    }
+
     std::map<std::string, std::vector<double>> per_model;
     for (const auto &wl : workloads::allBenchmarks()) {
-        harness::RunResult bl = runCell(cfg, {"nol1", "rc", "BL"}, wl);
+        const harness::RunResult &bl =
+            sweep.get({"nol1", "rc", "BL"}, wl);
         double base = static_cast<double>(bl.cycles);
         table.row(displayName(wl));
         std::map<std::string, double> s;
         for (const char *cons : {"sc", "tso", "rc"}) {
-            harness::RunResult r =
-                runCell(cfg, {"gtsc", cons, cons}, wl);
+            const harness::RunResult &r =
+                sweep.get({"gtsc", cons, cons}, wl);
             s[cons] = base / static_cast<double>(r.cycles);
             per_model[cons].push_back(s[cons]);
             table.cell(s[cons]);

@@ -19,11 +19,18 @@ main(int argc, char **argv)
     harness::Table table({"bench", "TC expiry", "G-TSC expiry",
                           "G-TSC/TC", "TC hit%", "G-TSC hit%"});
 
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::allBenchmarks()) {
+        sweep.plan({"tc", "rc", "TC"}, wl);
+        sweep.plan({"gtsc", "rc", "G-TSC"}, wl);
+    }
+
     std::vector<double> ratios;
     for (const auto &wl : workloads::allBenchmarks()) {
-        harness::RunResult tc = runCell(cfg, {"tc", "rc", "TC"}, wl);
-        harness::RunResult gt =
-            runCell(cfg, {"gtsc", "rc", "G-TSC"}, wl);
+        const harness::RunResult &tc =
+            sweep.get({"tc", "rc", "TC"}, wl);
+        const harness::RunResult &gt =
+            sweep.get({"gtsc", "rc", "G-TSC"}, wl);
         table.row(displayName(wl));
         table.cellInt(tc.l1MissExpired);
         table.cellInt(gt.l1MissExpired);

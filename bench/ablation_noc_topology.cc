@@ -20,18 +20,33 @@ main(int argc, char **argv)
     harness::Table table({"bench", "xbar TC-RC", "xbar G-TSC-RC",
                           "mesh TC-RC", "mesh G-TSC-RC"});
 
+    auto topoCfg = [&cfg](const char *topo) {
+        sim::Config c = cfg;
+        c.set("noc.topology", topo);
+        return c;
+    };
+
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::coherentSet()) {
+        for (const char *topo : {"xbar", "mesh"}) {
+            sweep.plan(topoCfg(topo), {"nol1", "rc", "BL"}, wl);
+            sweep.plan(topoCfg(topo), {"tc", "rc", "TC"}, wl);
+            sweep.plan(topoCfg(topo), {"gtsc", "rc", "G-TSC"}, wl);
+        }
+    }
+
     std::map<std::string, std::vector<double>> ratio;
     for (const auto &wl : workloads::coherentSet()) {
         table.row(displayName(wl));
         for (const char *topo : {"xbar", "mesh"}) {
-            sim::Config c = cfg;
-            c.set("noc.topology", topo);
-            harness::RunResult bl =
-                runCell(c, {"nol1", "rc", "BL"}, wl);
+            sim::Config c = topoCfg(topo);
+            const harness::RunResult &bl =
+                sweep.get(c, {"nol1", "rc", "BL"}, wl);
             double base = static_cast<double>(bl.cycles);
-            harness::RunResult tc = runCell(c, {"tc", "rc", "TC"}, wl);
-            harness::RunResult gt =
-                runCell(c, {"gtsc", "rc", "G-TSC"}, wl);
+            const harness::RunResult &tc =
+                sweep.get(c, {"tc", "rc", "TC"}, wl);
+            const harness::RunResult &gt =
+                sweep.get(c, {"gtsc", "rc", "G-TSC"}, wl);
             table.cell(base / static_cast<double>(tc.cycles));
             table.cell(base / static_cast<double>(gt.cycles));
             ratio[topo].push_back(static_cast<double>(tc.cycles) /

@@ -19,16 +19,24 @@ main(int argc, char **argv)
     harness::Table table({"bench", "combine(req)", "fwdall(req)",
                           "req increase", "combine(cyc)", "fwdall(cyc)"});
 
+    auto combineCfg = [&cfg](bool combine) {
+        sim::Config c = cfg;
+        c.setBool("gtsc.combine_mshr", combine);
+        return c;
+    };
+
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::coherentSet()) {
+        sweep.plan(combineCfg(true), {"gtsc", "rc", "combine"}, wl);
+        sweep.plan(combineCfg(false), {"gtsc", "rc", "fwdall"}, wl);
+    }
+
     std::vector<double> increases;
     for (const auto &wl : workloads::coherentSet()) {
-        sim::Config c1 = cfg;
-        c1.setBool("gtsc.combine_mshr", true);
-        harness::RunResult r1 =
-            runCell(c1, {"gtsc", "rc", "combine"}, wl);
-        sim::Config c2 = cfg;
-        c2.setBool("gtsc.combine_mshr", false);
-        harness::RunResult r2 =
-            runCell(c2, {"gtsc", "rc", "fwdall"}, wl);
+        const harness::RunResult &r1 =
+            sweep.get(combineCfg(true), {"gtsc", "rc", "combine"}, wl);
+        const harness::RunResult &r2 =
+            sweep.get(combineCfg(false), {"gtsc", "rc", "fwdall"}, wl);
 
         std::uint64_t req1 = r1.stats.get("noc.req.packets");
         std::uint64_t req2 = r2.stats.get("noc.req.packets");

@@ -21,14 +21,25 @@ main(int argc, char **argv)
     harness::Table table({"bench", "gto(cyc)", "rr(cyc)",
                           "oldest(cyc)", "gto hit%", "rr hit%"});
 
+    auto schedCfg = [&cfg](const char *sched) {
+        sim::Config c = cfg;
+        c.set("gpu.scheduler", sched);
+        return c;
+    };
+
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::allBenchmarks()) {
+        for (const char *sched : {"gto", "rr", "oldest"})
+            sweep.plan(schedCfg(sched), {"gtsc", "rc", sched}, wl);
+    }
+
     std::map<std::string, std::vector<double>> cycles;
     for (const auto &wl : workloads::allBenchmarks()) {
         table.row(displayName(wl));
         std::map<std::string, harness::RunResult> res;
         for (const char *sched : {"gto", "rr", "oldest"}) {
-            sim::Config c = cfg;
-            c.set("gpu.scheduler", sched);
-            res[sched] = runCell(c, {"gtsc", "rc", sched}, wl);
+            res[sched] =
+                sweep.get(schedCfg(sched), {"gtsc", "rc", sched}, wl);
             cycles[sched].push_back(
                 static_cast<double>(res[sched].cycles));
         }

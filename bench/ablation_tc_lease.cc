@@ -19,6 +19,21 @@ main(int argc, char **argv)
     const std::vector<std::uint64_t> leases = {25, 50, 100, 200, 400,
                                                800};
 
+    auto leaseCfg = [&cfg](std::uint64_t lease) {
+        sim::Config c = cfg;
+        c.setInt("tc.lease", static_cast<std::int64_t>(lease));
+        return c;
+    };
+
+    Sweep sweep(cfg);
+    for (const char *cons : {"rc", "sc"}) {
+        for (const auto &wl : workloads::coherentSet()) {
+            sweep.plan({"nol1", "rc", "BL"}, wl);
+            for (auto lease : leases)
+                sweep.plan(leaseCfg(lease), {"tc", cons, "TC"}, wl);
+        }
+    }
+
     for (const char *cons : {"rc", "sc"}) {
         std::vector<std::string> headers = {"bench"};
         for (auto l : leases)
@@ -27,16 +42,13 @@ main(int argc, char **argv)
 
         std::map<std::uint64_t, std::vector<double>> per_lease;
         for (const auto &wl : workloads::coherentSet()) {
-            harness::RunResult bl =
-                runCell(cfg, {"nol1", "rc", "BL"}, wl);
+            const harness::RunResult &bl =
+                sweep.get({"nol1", "rc", "BL"}, wl);
             double base = static_cast<double>(bl.cycles);
             table.row(displayName(wl));
             for (auto lease : leases) {
-                sim::Config c = cfg;
-                c.setInt("tc.lease",
-                         static_cast<std::int64_t>(lease));
-                harness::RunResult r =
-                    runCell(c, {"tc", cons, "TC"}, wl);
+                const harness::RunResult &r =
+                    sweep.get(leaseCfg(lease), {"tc", cons, "TC"}, wl);
                 double s = base / static_cast<double>(r.cycles);
                 table.cell(s);
                 per_lease[lease].push_back(s);

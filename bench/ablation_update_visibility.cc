@@ -21,21 +21,29 @@ main(int argc, char **argv)
                           "writebuf(cyc)", "block/dualcopy",
                           "block/writebuf"});
 
+    auto visCfg = [&cfg](const char *mode) {
+        sim::Config c = cfg;
+        c.set("gtsc.update_visibility", mode);
+        return c;
+    };
+
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::coherentSet()) {
+        sweep.plan(visCfg("block"), {"gtsc", "rc", "opt1"}, wl);
+        sweep.plan(visCfg("dualcopy"), {"gtsc", "rc", "opt2"}, wl);
+        sweep.plan(visCfg("writebuffer"), {"gtsc", "rc", "wbuf"}, wl);
+    }
+
     std::vector<double> r12;
     std::vector<double> r13;
     for (const auto &wl : workloads::coherentSet()) {
-        sim::Config c1 = cfg;
-        c1.set("gtsc.update_visibility", "block");
-        harness::RunResult r1 =
-            runCell(c1, {"gtsc", "rc", "opt1"}, wl);
-        sim::Config c2 = cfg;
-        c2.set("gtsc.update_visibility", "dualcopy");
-        harness::RunResult r2 =
-            runCell(c2, {"gtsc", "rc", "opt2"}, wl);
-        sim::Config c3 = cfg;
-        c3.set("gtsc.update_visibility", "writebuffer");
-        harness::RunResult r3 =
-            runCell(c3, {"gtsc", "rc", "wbuf"}, wl);
+        const harness::RunResult &r1 =
+            sweep.get(visCfg("block"), {"gtsc", "rc", "opt1"}, wl);
+        const harness::RunResult &r2 =
+            sweep.get(visCfg("dualcopy"), {"gtsc", "rc", "opt2"}, wl);
+        const harness::RunResult &r3 =
+            sweep.get(visCfg("writebuffer"), {"gtsc", "rc", "wbuf"},
+                      wl);
         table.row(displayName(wl));
         table.cellInt(r1.cycles);
         table.cellInt(r2.cycles);

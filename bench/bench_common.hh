@@ -1,6 +1,7 @@
 /**
  * @file
  * Shared machinery for the figure/table harnesses: the run matrix,
+ * the parallel sweep cache every driver runs its cells through,
  * normalization helpers and the paper's reported numbers (used to
  * print paper-vs-measured columns; see EXPERIMENTS.md).
  */
@@ -8,12 +9,16 @@
 #ifndef GTSC_BENCH_BENCH_COMMON_HH_
 #define GTSC_BENCH_BENCH_COMMON_HH_
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "workloads/registry.hh"
 
@@ -38,7 +43,22 @@ figureColumns()
             {"gtsc", "rc", "G-TSC-RC"}};
 }
 
-/** Default bench configuration; CLI key=value overrides applied. */
+/**
+ * Worker-count knob shared by every driver. Set by --jobs N /
+ * --jobs=N on the command line (benchCfg); 0 defers to the GTSC_JOBS
+ * environment variable and then the hardware thread count.
+ */
+inline unsigned &
+jobsFlag()
+{
+    static unsigned jobs = 0;
+    return jobs;
+}
+
+/**
+ * Default bench configuration; CLI key=value overrides applied and
+ * --jobs N / --jobs=N consumed into jobsFlag().
+ */
 inline sim::Config
 benchCfg(int argc, char **argv)
 {
@@ -48,7 +68,18 @@ benchCfg(int argc, char **argv)
     cfg.setInt("gpu.num_partitions", 4);
     cfg.setBool("check.enabled", false);
     for (int i = 1; i < argc; ++i) {
-        if (!cfg.parseOverride(argv[i])) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobsFlag() = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            continue;
+        }
+        if (arg.rfind("--jobs=", 0) == 0) {
+            jobsFlag() = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
+            continue;
+        }
+        if (!cfg.parseOverride(arg)) {
             std::fprintf(stderr, "bad override '%s'\n", argv[i]);
             std::exit(2);
         }
@@ -56,18 +87,104 @@ benchCfg(int argc, char **argv)
     return cfg;
 }
 
-/** Run one cell of the matrix, with a progress line on stderr. */
-inline harness::RunResult
-runCell(const sim::Config &cfg, const ProtoCfg &pc,
-        const std::string &workload)
+/**
+ * Plan/execute cache over SweepRunner.
+ *
+ * Drivers declare every cell they will need with plan() (mirroring
+ * their result loops), then read results back with get(): the first
+ * get() executes all planned cells in parallel. Cells are keyed by
+ * (explicit config, protocol, consistency, workload), so repeated
+ * plans of the same cell dedupe into one simulation and a get() of
+ * a never-planned cell still works (it runs serially and is
+ * cached). Per-run results are unchanged by parallelism — each cell
+ * is an isolated, deterministic simulation.
+ */
+class Sweep
 {
-    std::fprintf(stderr, "  running %-5s %-9s ...\r", workload.c_str(),
-                 pc.label.c_str());
-    std::fflush(stderr);
-    harness::RunResult r =
-        harness::runOne(cfg, pc.protocol, pc.consistency, workload);
-    return r;
-}
+  public:
+    explicit Sweep(const sim::Config &base) : base_(base) {}
+
+    void
+    plan(const ProtoCfg &pc, const std::string &workload)
+    {
+        plan(base_, pc, workload);
+    }
+
+    void
+    plan(const sim::Config &cfg, const ProtoCfg &pc,
+         const std::string &workload)
+    {
+        std::string k = key(cfg, pc, workload);
+        if (results_.count(k) || planned_.count(k))
+            return;
+        planned_.insert(k);
+        harness::RunSpec spec;
+        spec.config = cfg;
+        spec.protocol = pc.protocol;
+        spec.consistency = pc.consistency;
+        spec.workload = workload;
+        spec.label = workload + "/" + pc.label;
+        pending_.push_back(std::move(spec));
+        pendingKeys_.push_back(std::move(k));
+    }
+
+    const harness::RunResult &
+    get(const ProtoCfg &pc, const std::string &workload)
+    {
+        return get(base_, pc, workload);
+    }
+
+    const harness::RunResult &
+    get(const sim::Config &cfg, const ProtoCfg &pc,
+        const std::string &workload)
+    {
+        execute();
+        std::string k = key(cfg, pc, workload);
+        auto it = results_.find(k);
+        if (it != results_.end())
+            return it->second;
+        // Unplanned cell: run it serially (old runCell behaviour).
+        std::fprintf(stderr, "  running %-5s %-9s ...\r",
+                     workload.c_str(), pc.label.c_str());
+        std::fflush(stderr);
+        harness::RunResult r = harness::runOne(
+            cfg, pc.protocol, pc.consistency, workload);
+        return results_.emplace(k, std::move(r)).first->second;
+    }
+
+    /** Run everything planned so far (get() calls this lazily). */
+    void
+    execute()
+    {
+        if (pending_.empty())
+            return;
+        harness::SweepOptions opts;
+        opts.jobs = jobsFlag();
+        opts.progress = true;
+        harness::SweepRunner runner(opts);
+        std::vector<harness::RunResult> out = runner.run(pending_);
+        for (std::size_t i = 0; i < out.size(); ++i)
+            results_.emplace(pendingKeys_[i], std::move(out[i]));
+        pending_.clear();
+        pendingKeys_.clear();
+        planned_.clear();
+    }
+
+  private:
+    static std::string
+    key(const sim::Config &cfg, const ProtoCfg &pc,
+        const std::string &workload)
+    {
+        return pc.protocol + '\n' + pc.consistency + '\n' + workload +
+               '\n' + cfg.explicitString();
+    }
+
+    sim::Config base_;
+    std::vector<harness::RunSpec> pending_;
+    std::vector<std::string> pendingKeys_;
+    std::set<std::string> planned_;
+    std::map<std::string, harness::RunResult> results_;
+};
 
 /** Paper Table II: absolute execution cycles (millions), as reported
  * on the authors' G-TSC simulator. */

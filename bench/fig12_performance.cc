@@ -22,25 +22,38 @@ main(int argc, char **argv)
     harness::Table table({"bench", "W/L1", "TC-SC", "TC-RC", "G-TSC-SC",
                           "G-TSC-RC"});
 
+    auto coherent = [](const std::string &wl) {
+        for (const auto &name : workloads::coherentSet())
+            if (name == wl)
+                return true;
+        return false;
+    };
+
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::allBenchmarks()) {
+        sweep.plan({"nol1", "rc", "BL"}, wl);
+        if (!coherent(wl))
+            sweep.plan({"noncoh", "rc", "W/L1"}, wl);
+        for (const auto &pc : columns)
+            sweep.plan(pc, wl);
+    }
+
     std::map<std::string, std::map<std::string, double>> speedup;
     for (const auto &wl : workloads::allBenchmarks()) {
-        harness::RunResult bl =
-            runCell(cfg, {"nol1", "rc", "BL"}, wl);
+        const harness::RunResult &bl =
+            sweep.get({"nol1", "rc", "BL"}, wl);
         double base = static_cast<double>(bl.cycles);
 
         table.row(displayName(wl));
-        bool coherent = false;
-        for (const auto &name : workloads::coherentSet())
-            coherent |= (name == wl);
-        if (!coherent) {
-            harness::RunResult w =
-                runCell(cfg, {"noncoh", "rc", "W/L1"}, wl);
+        if (!coherent(wl)) {
+            const harness::RunResult &w =
+                sweep.get({"noncoh", "rc", "W/L1"}, wl);
             table.cell(base / static_cast<double>(w.cycles));
         } else {
             table.cell("-");
         }
         for (const auto &pc : columns) {
-            harness::RunResult r = runCell(cfg, pc, wl);
+            const harness::RunResult &r = sweep.get(pc, wl);
             double s = base / static_cast<double>(r.cycles);
             speedup[pc.label][wl] = s;
             table.cell(s);

@@ -19,18 +19,34 @@ main(int argc, char **argv)
     harness::Table table({"bench", "lease=8", "lease=12", "lease=16",
                           "lease=20", "max/min"});
 
+    auto leaseCfg = [&cfg](std::uint64_t lease) {
+        sim::Config c = cfg;
+        c.setInt("gtsc.lease", static_cast<std::int64_t>(lease));
+        return c;
+    };
+
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::allBenchmarks()) {
+        sweep.plan({"nol1", "rc", "BL"}, wl);
+        for (auto lease : leases)
+            sweep.plan(leaseCfg(lease), {"gtsc", "rc", "G-TSC-RC"}, wl);
+    }
+    for (const auto &wl : workloads::coherentSet()) {
+        for (std::uint64_t lease : {20ull, 4000ull, 12000ull})
+            sweep.plan(leaseCfg(lease), {"gtsc", "rc", "G-TSC-RC"}, wl);
+    }
+
     std::vector<double> spreads;
     for (const auto &wl : workloads::allBenchmarks()) {
-        harness::RunResult bl = runCell(cfg, {"nol1", "rc", "BL"}, wl);
+        const harness::RunResult &bl =
+            sweep.get({"nol1", "rc", "BL"}, wl);
         double base = static_cast<double>(bl.cycles);
         table.row(displayName(wl));
         double lo = 1e300;
         double hi = 0;
         for (auto lease : leases) {
-            sim::Config c = cfg;
-            c.setInt("gtsc.lease", static_cast<std::int64_t>(lease));
-            harness::RunResult r =
-                runCell(c, {"gtsc", "rc", "G-TSC-RC"}, wl);
+            const harness::RunResult &r = sweep.get(
+                leaseCfg(lease), {"gtsc", "rc", "G-TSC-RC"}, wl);
             double s = base / static_cast<double>(r.cycles);
             table.cell(s);
             lo = std::min(lo, s);
@@ -58,10 +74,8 @@ main(int argc, char **argv)
     harness::Table roll({"bench", "lease", "cycles", "ts_resets"});
     for (const auto &wl : workloads::coherentSet()) {
         for (std::uint64_t lease : {20ull, 4000ull, 12000ull}) {
-            sim::Config c = cfg;
-            c.setInt("gtsc.lease", static_cast<std::int64_t>(lease));
-            harness::RunResult r =
-                runCell(c, {"gtsc", "rc", "G-TSC-RC"}, wl);
+            const harness::RunResult &r = sweep.get(
+                leaseCfg(lease), {"gtsc", "rc", "G-TSC-RC"}, wl);
             roll.row(displayName(wl));
             roll.cellInt(lease);
             roll.cellInt(r.cycles);

@@ -20,13 +20,21 @@ main(int argc, char **argv)
     harness::Table table(
         {"bench", "TC-SC", "TC-RC", "G-TSC-SC", "G-TSC-RC"});
 
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::allBenchmarks()) {
+        sweep.plan({"nol1", "rc", "BL"}, wl);
+        for (const auto &pc : columns)
+            sweep.plan(pc, wl);
+    }
+
     std::map<std::string, std::map<std::string, double>> norm;
     for (const auto &wl : workloads::allBenchmarks()) {
-        harness::RunResult bl = runCell(cfg, {"nol1", "rc", "BL"}, wl);
+        const harness::RunResult &bl =
+            sweep.get({"nol1", "rc", "BL"}, wl);
         double base = static_cast<double>(bl.nocBytes);
         table.row(displayName(wl));
         for (const auto &pc : columns) {
-            harness::RunResult r = runCell(cfg, pc, wl);
+            const harness::RunResult &r = sweep.get(pc, wl);
             double v = static_cast<double>(r.nocBytes) / base;
             norm[pc.label][wl] = v;
             table.cell(v);
@@ -66,7 +74,9 @@ main(int argc, char **argv)
         std::map<std::string, double> kb;
         double total = 0;
         for (const auto &wl : workloads::coherentSet()) {
-            harness::RunResult r = runCell(cfg, pc, wl);
+            // Cells already simulated for the main table: the sweep
+            // cache hands the same results back without re-running.
+            const harness::RunResult &r = sweep.get(pc, wl);
             for (const char *t : {"BusRd", "BusWr", "BusFill",
                                   "BusRnw", "BusWrAck"}) {
                 double b = static_cast<double>(

@@ -20,13 +20,21 @@ main(int argc, char **argv)
     harness::Table table(
         {"bench", "TC-SC", "TC-RC", "G-TSC-SC", "G-TSC-RC"});
 
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::allBenchmarks()) {
+        sweep.plan({"nol1", "rc", "BL"}, wl);
+        for (const auto &pc : columns)
+            sweep.plan(pc, wl);
+    }
+
     std::map<std::string, std::map<std::string, double>> norm;
     for (const auto &wl : workloads::allBenchmarks()) {
-        harness::RunResult bl = runCell(cfg, {"nol1", "rc", "BL"}, wl);
+        const harness::RunResult &bl =
+            sweep.get({"nol1", "rc", "BL"}, wl);
         double base = bl.energy.total();
         table.row(displayName(wl));
         for (const auto &pc : columns) {
-            harness::RunResult r = runCell(cfg, pc, wl);
+            const harness::RunResult &r = sweep.get(pc, wl);
             double v = r.energy.total() / base;
             norm[pc.label][wl] = v;
             table.cell(v);

@@ -20,12 +20,18 @@ main(int argc, char **argv)
     harness::Table table(
         {"bench", "TC-SC", "TC-RC", "G-TSC-SC", "G-TSC-RC"});
 
+    Sweep sweep(cfg);
+    for (const auto &wl : workloads::allBenchmarks()) {
+        for (const auto &pc : columns)
+            sweep.plan(pc, wl);
+    }
+
     double tc_sum = 0;
     double gtsc_sum = 0;
     for (const auto &wl : workloads::allBenchmarks()) {
         table.row(displayName(wl));
         for (const auto &pc : columns) {
-            harness::RunResult r = runCell(cfg, pc, wl);
+            const harness::RunResult &r = sweep.get(pc, wl);
             table.cell(r.energy.l1 * 1e6, 2); // microjoules
             if (pc.label == "TC-RC")
                 tc_sum += r.energy.l1;

@@ -111,6 +111,46 @@ BM_CrossbarInjectDeliver(benchmark::State &state)
 BENCHMARK(BM_CrossbarInjectDeliver);
 
 void
+BM_EventQueueSmallCallback(benchmark::State &state)
+{
+    // Exercises the SmallCallback inline path: a capture this size
+    // must never heap-allocate per scheduled event.
+    sim::EventQueue events;
+    std::uint64_t sink = 0;
+    Cycle t = 0;
+    for (auto _ : state) {
+        ++t;
+        events.schedule(t, [&sink, t] { sink += t; });
+        events.runUntil(t);
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueSmallCallback);
+
+void
+BM_EventQueueLargeCallback(benchmark::State &state)
+{
+    // Captures past the inline buffer fall back to the heap; this is
+    // the cost floor the small-callback path is measured against.
+    sim::EventQueue events;
+    struct Payload
+    {
+        std::uint64_t words[20];
+    };
+    Payload payload{};
+    payload.words[0] = 1;
+    std::uint64_t sink = 0;
+    Cycle t = 0;
+    for (auto _ : state) {
+        ++t;
+        events.schedule(t, [&sink, payload] { sink += payload.words[0]; });
+        events.runUntil(t);
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueLargeCallback);
+
+void
 BM_CheckerTsLoad(benchmark::State &state)
 {
     harness::CoherenceChecker checker;

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Wall-clock scaling of the parallel sweep runner: the same fixed
+ * 16-cell matrix (4 workloads x the 4 figure columns) is executed at
+ * jobs = 1, 2, 4 and the hardware thread count, and the speedup over
+ * the serial run is reported. Per-run results are identical at every
+ * worker count (tests/harness/sweep_test.cc pins that); this harness
+ * only measures elapsed time. Emits a human table and a JSON blob.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sim/thread_pool.hh"
+
+using namespace gtsc;
+
+namespace
+{
+
+double
+runMatrixSeconds(const std::vector<harness::RunSpec> &specs,
+                 unsigned jobs)
+{
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    opts.progress = true;
+    harness::SweepRunner runner(opts);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<harness::RunResult> res = runner.run(specs);
+    auto t1 = std::chrono::steady_clock::now();
+    // Keep the results alive past the timer so the compiler cannot
+    // elide any part of the sweep.
+    std::uint64_t guard = 0;
+    for (const harness::RunResult &r : res)
+        guard += r.cycles;
+    if (guard == 0)
+        std::fprintf(stderr, "warning: matrix produced zero cycles\n");
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::Config cfg = bench::benchCfg(argc, argv);
+
+    const std::vector<std::string> workloads = {"bh", "cc", "vpr",
+                                                "bfs"};
+    std::vector<harness::RunSpec> specs;
+    for (const std::string &wl : workloads) {
+        for (const bench::ProtoCfg &pc : bench::figureColumns()) {
+            harness::RunSpec spec;
+            spec.config = cfg;
+            spec.protocol = pc.protocol;
+            spec.consistency = pc.consistency;
+            spec.workload = wl;
+            spec.label = wl + "/" + pc.label;
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    std::set<unsigned> jobSet = {1, 2, 4,
+                                 sim::ThreadPool::hardwareWorkers()};
+
+    std::printf("Sweep scaling: %zu-cell matrix, hardware threads = "
+                "%u\n\n",
+                specs.size(), sim::ThreadPool::hardwareWorkers());
+    std::printf("%-6s %12s %10s\n", "jobs", "seconds", "speedup");
+
+    double serial = 0.0;
+    std::vector<std::pair<unsigned, double>> rows;
+    for (unsigned jobs : jobSet) {
+        double secs = runMatrixSeconds(specs, jobs);
+        if (jobs == 1)
+            serial = secs;
+        rows.emplace_back(jobs, secs);
+        std::printf("%-6u %12.3f %10.2fx\n", jobs, secs,
+                    serial > 0.0 ? serial / secs : 0.0);
+        std::fflush(stdout);
+    }
+
+    std::printf("\n{\"bench\": \"sweep_scaling\", \"cells\": %zu, "
+                "\"hw_threads\": %u, \"runs\": [",
+                specs.size(), sim::ThreadPool::hardwareWorkers());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::printf("%s{\"jobs\": %u, \"seconds\": %.4f, "
+                    "\"speedup\": %.3f}",
+                    i ? ", " : "", rows[i].first, rows[i].second,
+                    serial > 0.0 ? serial / rows[i].second : 0.0);
+    }
+    std::printf("]}\n");
+    return 0;
+}

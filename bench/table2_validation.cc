@@ -22,11 +22,17 @@ main(int argc, char **argv)
                           "TC/BL(ours)", "BL(paper M)", "TC(paper M)",
                           "TC/BL(paper)"});
 
+    Sweep sweep(cfg);
     for (const auto &row : paperTable2()) {
-        harness::RunResult bl =
-            runCell(cfg, {"nol1", "rc", "BL"}, row.bench);
-        harness::RunResult tc =
-            runCell(cfg, {"tc", "rc", "TC-RC"}, row.bench);
+        sweep.plan({"nol1", "rc", "BL"}, row.bench);
+        sweep.plan({"tc", "rc", "TC-RC"}, row.bench);
+    }
+
+    for (const auto &row : paperTable2()) {
+        const harness::RunResult &bl =
+            sweep.get({"nol1", "rc", "BL"}, row.bench);
+        const harness::RunResult &tc =
+            sweep.get({"tc", "rc", "TC-RC"}, row.bench);
         table.row(displayName(row.bench));
         table.cellInt(bl.cycles);
         table.cellInt(tc.cycles);

@@ -50,6 +50,10 @@ GtscL1::GtscL1(SmId sm, const sim::Config &cfg, sim::StatSet &stats,
     dataWrites_ = &stats_.counter("l1.data_writes");
     rejects_ = &stats_.counter("l1.rejects_mshr_full");
     staleResponses_ = &stats_.counter("l1.stale_epoch_responses");
+    wbFullRejects_ = &stats_.counter("l1.wb_full_rejects");
+    replayHits_ = &stats_.counter("l1.replay_hits");
+    wbForwards_ = &stats_.counter("l1.wb_forwards");
+    storeBaseStale_ = &stats_.counter("l1.store_base_stale");
 }
 
 void
@@ -199,7 +203,7 @@ GtscL1::handleStore(const mem::Access &acc, mem::CacheBlock *blk,
     // instruction at full occupancy).
     if (visibility_ == Visibility::WriteBuffer &&
         pendingStores_.size() >= writeBufferEntries_) {
-        stats_.counter("l1.wb_full_rejects")++;
+        ++(*wbFullRejects_);
         return false;
     }
 
@@ -260,7 +264,7 @@ GtscL1::completeLoadHit(const mem::Access &acc,
                         const mem::Access *forward)
 {
     if (acc.replayed)
-        stats_.counter("l1.replay_hits")++;
+        ++(*replayHits_);
     else
         ++(*hits_);
     ++(*dataReads_);
@@ -277,7 +281,7 @@ GtscL1::completeLoadHit(const mem::Access &acc,
     if (forward) {
         forwarded_mask = forward->wordMask;
         res.data.mergeMasked(forward->storeData, forwarded_mask);
-        stats_.counter("l1.wb_forwards")++;
+        ++(*wbForwards_);
     }
 
     if (probe_) {
@@ -498,7 +502,7 @@ GtscL1::onWrAck(mem::Packet &pkt, Cycle now)
             blk->meta.epoch = pkt.epoch;
         } else {
             blk->valid = false;
-            stats_.counter("l1.store_base_stale")++;
+            ++(*storeBaseStale_);
         }
     }
     if (!stale)

@@ -163,6 +163,10 @@ class GtscL1 : public mem::L1Controller
     std::uint64_t *dataWrites_;
     std::uint64_t *rejects_;
     std::uint64_t *staleResponses_;
+    std::uint64_t *wbFullRejects_;
+    std::uint64_t *replayHits_;
+    std::uint64_t *wbForwards_;
+    std::uint64_t *storeBaseStale_;
 };
 
 } // namespace gtsc::core

@@ -37,6 +37,7 @@ GtscL2::GtscL2(PartitionId part, const sim::Config &cfg,
     writebacks_ = &stats_.counter("l2.writebacks");
     stallMshrFull_ = &stats_.counter("l2.stall_mshr_full");
     queueCycles_ = &stats_.counter("l2.queue_occupancy_cycles");
+    adaptiveExtensions_ = &stats_.counter("gtsc.adaptive_extensions");
 }
 
 bool
@@ -170,7 +171,7 @@ GtscL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
         lease = std::min(grown, maxLease_);
         if (is_renewal && blk.meta.renewStreak < 255) {
             ++blk.meta.renewStreak;
-            stats_.counter("gtsc.adaptive_extensions")++;
+            ++(*adaptiveExtensions_);
         }
     }
 

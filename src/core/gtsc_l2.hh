@@ -103,6 +103,7 @@ class GtscL2 : public mem::L2Controller
     std::uint64_t *writebacks_;
     std::uint64_t *stallMshrFull_;
     std::uint64_t *queueCycles_;
+    std::uint64_t *adaptiveExtensions_;
 };
 
 } // namespace gtsc::core

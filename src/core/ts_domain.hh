@@ -30,7 +30,7 @@ class TsDomain
 {
   public:
     TsDomain(const sim::Config &cfg, sim::StatSet &stats)
-        : stats_(stats)
+        : tsResets_(&stats.counter("gtsc.ts_resets"))
     {
         unsigned width =
             static_cast<unsigned>(cfg.getUint("gtsc.ts_bits", 16));
@@ -65,13 +65,13 @@ class TsDomain
     triggerReset()
     {
         ++epoch_;
-        stats_.counter("gtsc.ts_resets")++;
+        ++(*tsResets_);
         for (auto &fn : listeners_)
             fn();
     }
 
   private:
-    sim::StatSet &stats_;
+    std::uint64_t *tsResets_;
     Ts tsMax_ = 0;
     Ts lease_ = 0;
     unsigned tsBytes_ = 2;

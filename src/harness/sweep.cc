@@ -1,0 +1,100 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+#include "sim/thread_pool.hh"
+
+namespace gtsc::harness
+{
+
+std::string
+RunSpec::displayLabel() const
+{
+    if (!label.empty())
+        return label;
+    return workload + "/" + protocol + "-" + consistency;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts)
+{
+    jobs_ = opts_.jobs ? opts_.jobs : defaultJobs();
+}
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("GTSC_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return sim::ThreadPool::hardwareWorkers();
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    const std::size_t n = specs.size();
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMutex;
+
+    auto report = [&](const RunSpec &spec) {
+        if (!opts_.progress)
+            return;
+        std::size_t k = done.fetch_add(1) + 1;
+        std::lock_guard<std::mutex> lk(progressMutex);
+        std::fprintf(opts_.progressStream, "  sweep [%zu/%zu] %-28s\r",
+                     k, n, spec.displayLabel().c_str());
+        std::fflush(opts_.progressStream);
+    };
+
+    auto runSpec = [](const RunSpec &spec) {
+        return runOne(spec.config, spec.protocol, spec.consistency,
+                      spec.workload);
+    };
+
+    unsigned jobs =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            results[i] = runSpec(specs[i]);
+            report(specs[i]);
+        }
+        return results;
+    }
+
+    // One exception slot per run: workers never throw across the
+    // pool; the earliest failing cell rethrows below, matching what
+    // the serial loop would have surfaced first.
+    std::vector<std::exception_ptr> errors(n);
+    {
+        sim::ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([&, i] {
+                try {
+                    results[i] = runSpec(specs[i]);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+                report(specs[i]);
+            });
+        }
+        pool.wait();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    }
+    return results;
+}
+
+} // namespace gtsc::harness

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Parallel experiment-matrix runner.
+ *
+ * Every (workload, protocol, consistency, config) cell of a figure
+ * or ablation matrix is an independent, bit-reproducible simulation:
+ * runOne() builds its own GpuSystem, StatSet, RNGs and checker, and
+ * nothing in the simulator mutates shared state. SweepRunner exploits
+ * that: it fans RunSpecs out over a work-stealing thread pool and
+ * hands the RunResults back in submission order, so a sweep at
+ * jobs=N is bit-identical to the serial loop it replaces — only
+ * wall-clock changes (see tests/harness/sweep_test.cc).
+ */
+
+#ifndef GTSC_HARNESS_SWEEP_HH_
+#define GTSC_HARNESS_SWEEP_HH_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/config.hh"
+
+namespace gtsc::harness
+{
+
+/** One cell of an experiment matrix. */
+struct RunSpec
+{
+    sim::Config config;      ///< full per-run configuration
+    std::string protocol;    ///< gtsc|tc|nol1|noncoh
+    std::string consistency; ///< sc|tso|rc
+    std::string workload;    ///< registry name
+    std::string label;       ///< progress display ("" = derived)
+
+    std::string displayLabel() const;
+};
+
+struct SweepOptions
+{
+    /**
+     * Worker threads. 0 resolves through the GTSC_JOBS environment
+     * variable, falling back to the hardware thread count. 1 runs
+     * the sweep inline on the calling thread.
+     */
+    unsigned jobs = 0;
+
+    /** Emit "[k/n]" progress lines to `progressStream`. */
+    bool progress = false;
+    std::FILE *progressStream = stderr;
+};
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {});
+
+    /**
+     * Execute every spec (each via runOne on an isolated config and
+     * stat set) and return results in submission order, regardless
+     * of completion order. A failing run (fatal/panic) rethrows on
+     * the caller's thread after the pool drains, lowest index first.
+     */
+    std::vector<RunResult> run(const std::vector<RunSpec> &specs);
+
+    /** The worker count run() will use (options resolved). */
+    unsigned jobs() const { return jobs_; }
+
+    /** GTSC_JOBS environment override, else hardware threads. */
+    static unsigned defaultJobs();
+
+  private:
+    SweepOptions opts_;
+    unsigned jobs_;
+};
+
+} // namespace gtsc::harness
+
+#endif // GTSC_HARNESS_SWEEP_HH_

@@ -10,6 +10,11 @@ DramChannel::DramChannel(const sim::Config &cfg, sim::StatSet &stats,
                          const std::string &name)
     : stats_(stats), events_(events), memory_(memory), name_(name)
 {
+    reads_ = &stats_.counter(name_ + ".reads");
+    writes_ = &stats_.counter(name_ + ".writes");
+    rowHits_ = &stats_.counter(name_ + ".row_hits");
+    rowMisses_ = &stats_.counter(name_ + ".row_misses");
+    frfcfsReorders_ = &stats_.counter(name_ + ".frfcfs_reorders");
     tRowHit_ = cfg.getUint("dram.t_row_hit", 40);
     tRowMiss_ = cfg.getUint("dram.t_row_miss", 100);
     numBanks_ = static_cast<unsigned>(cfg.getUint("dram.banks", 8));
@@ -50,7 +55,7 @@ DramChannel::pushRead(Addr line_addr, ReadCallback cb)
 {
     queue_.push_back(Request{line_addr, false, LineData{}, 0,
                              std::move(cb)});
-    stats_.counter(name_ + ".reads")++;
+    ++(*reads_);
 }
 
 void
@@ -58,7 +63,7 @@ DramChannel::pushWrite(Addr line_addr, const LineData &data,
                        std::uint32_t word_mask)
 {
     queue_.push_back(Request{line_addr, true, data, word_mask, nullptr});
-    stats_.counter(name_ + ".writes")++;
+    ++(*writes_);
 }
 
 void
@@ -85,7 +90,7 @@ DramChannel::tick(Cycle now)
             if (!conflict) {
                 pick = i;
                 if (i != 0)
-                    stats_.counter(name_ + ".frfcfs_reorders")++;
+                    ++(*frfcfsReorders_);
                 break;
             }
         }
@@ -100,7 +105,7 @@ DramChannel::tick(Cycle now)
     bool row_hit = (openRow_[bank] == row);
     openRow_[bank] = row;
     Cycle access_lat = (row_hit ? tRowHit_ : tRowMiss_) + burstCycles_;
-    stats_.counter(name_ + (row_hit ? ".row_hits" : ".row_misses"))++;
+    ++(*(row_hit ? rowHits_ : rowMisses_));
 
     busBusyUntil_ = now + burstCycles_;
 

@@ -68,6 +68,13 @@ class DramChannel
     MainMemory &memory_;
     std::string name_;
 
+    // Counters cached at construction (service-loop hot path).
+    std::uint64_t *reads_;
+    std::uint64_t *writes_;
+    std::uint64_t *rowHits_;
+    std::uint64_t *rowMisses_;
+    std::uint64_t *frfcfsReorders_;
+
     Cycle tRowHit_;
     Cycle tRowMiss_;
     Cycle burstCycles_;

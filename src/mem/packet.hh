@@ -32,6 +32,9 @@ enum class MsgType : std::uint8_t
     BusWrAck, ///< L2 -> L1 write acknowledgment
 };
 
+/** Number of MsgType values (per-type stat arrays size on this). */
+inline constexpr unsigned kNumMsgTypes = 5;
+
 /** Human-readable message name (stats keys, traces). */
 const char *msgTypeName(MsgType t);
 

@@ -86,6 +86,10 @@ class Crossbar : public Network
 
     std::uint64_t *bytesTotal_;
     std::uint64_t *packetsTotal_;
+    /** Per-MsgType byte/packet counters, cached at construction so
+     * the inject hot path never rebuilds stat-name strings. */
+    std::uint64_t *bytesByType_[mem::kNumMsgTypes];
+    std::uint64_t *packetsByType_[mem::kNumMsgTypes];
     sim::Distribution *latency_;
 };
 

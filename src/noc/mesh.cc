@@ -29,6 +29,11 @@ Mesh::Mesh(unsigned num_src, unsigned num_dst, bool src_are_sms,
     dstFree_.assign(numDst_, 0);
     bytesTotal_ = &stats_.counter(name_ + ".bytes");
     packetsTotal_ = &stats_.counter(name_ + ".packets");
+    for (unsigned t = 0; t < mem::kNumMsgTypes; ++t) {
+        const char *tn = mem::msgTypeName(static_cast<mem::MsgType>(t));
+        bytesByType_[t] = &stats_.counter(name_ + ".bytes." + tn);
+        packetsByType_[t] = &stats_.counter(name_ + ".packets." + tn);
+    }
     latency_ = &stats_.distribution(name_ + ".latency");
     hops_ = &stats_.distribution(name_ + ".hops");
 }
@@ -77,9 +82,8 @@ Mesh::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
     pkt.injectedAt = now;
     *bytesTotal_ += pkt.sizeBytes;
     *packetsTotal_ += 1;
-    stats_.counter(name_ + ".bytes." +
-                   mem::msgTypeName(pkt.type)) += pkt.sizeBytes;
-    stats_.counter(name_ + ".packets." + mem::msgTypeName(pkt.type))++;
+    *bytesByType_[static_cast<unsigned>(pkt.type)] += pkt.sizeBytes;
+    *packetsByType_[static_cast<unsigned>(pkt.type)] += 1;
 
     // XY route: walk X first, then Y, serializing on each link.
     unsigned node = srcNode(src);

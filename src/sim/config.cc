@@ -185,4 +185,13 @@ Config::toString() const
     return oss.str();
 }
 
+std::string
+Config::explicitString() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : values_)
+        oss << kv.first << "=" << kv.second << "\n";
+    return oss.str();
+}
+
 } // namespace gtsc::sim

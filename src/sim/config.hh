@@ -75,6 +75,15 @@ class Config
     /** Render the effective configuration one "key=value" per line. */
     std::string toString() const;
 
+    /**
+     * Render only the explicitly-set values, one "key=value" per
+     * line, sorted by key. Unlike toString() this is independent of
+     * which getters have been consulted, so it is a stable
+     * fingerprint for "same configuration" comparisons (the sweep
+     * result cache keys on it).
+     */
+    std::string explicitString() const;
+
   private:
     std::map<std::string, std::string> values_;
     /** Defaults that were consulted; mutable bookkeeping only. */

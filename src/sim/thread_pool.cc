@@ -1,0 +1,109 @@
+#include "sim/thread_pool.hh"
+
+namespace gtsc::sim
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = 1;
+    queues_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(sleepMutex_);
+        stop_.store(true);
+    }
+    workCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    unsigned q = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+                 static_cast<unsigned>(queues_.size());
+    {
+        std::lock_guard<std::mutex> lk(queues_[q]->mutex);
+        queues_[q]->tasks.push_back(std::move(task));
+    }
+    pending_.fetch_add(1);
+    // Publish under the sleep mutex so a worker between its empty
+    // poll and its sleep cannot miss the wakeup.
+    {
+        std::lock_guard<std::mutex> lk(sleepMutex_);
+        queued_.fetch_add(1);
+    }
+    workCv_.notify_one();
+}
+
+bool
+ThreadPool::tryPop(unsigned self, Task &out)
+{
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    // Own deque first (front: oldest submitted), then steal from the
+    // back of the others, starting at the next neighbour.
+    for (unsigned k = 0; k < n; ++k) {
+        unsigned victim = (self + k) % n;
+        WorkerQueue &q = *queues_[victim];
+        std::lock_guard<std::mutex> lk(q.mutex);
+        if (q.tasks.empty())
+            continue;
+        if (victim == self) {
+            out = std::move(q.tasks.front());
+            q.tasks.pop_front();
+        } else {
+            out = std::move(q.tasks.back());
+            q.tasks.pop_back();
+        }
+        queued_.fetch_sub(1);
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        Task task;
+        if (tryPop(self, task)) {
+            task();
+            if (pending_.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lk(sleepMutex_);
+                doneCv_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(sleepMutex_);
+        workCv_.wait(lk, [this] {
+            return stop_.load() || queued_.load() > 0;
+        });
+        if (stop_.load() && queued_.load() == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(sleepMutex_);
+    doneCv_.wait(lk, [this] { return pending_.load() == 0; });
+}
+
+unsigned
+ThreadPool::hardwareWorkers()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace gtsc::sim

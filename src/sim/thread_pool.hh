@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A small work-stealing thread pool for embarrassingly parallel
+ * host-side work (the experiment sweep runner fans independent
+ * simulations out over it).
+ *
+ * Each worker owns a deque: submitted tasks are distributed
+ * round-robin, a worker services its own deque front-first and
+ * steals from the back of a victim's deque when it runs dry. The
+ * pool is deliberately simulation-agnostic; determinism is the
+ * *submitter's* job (every task must be self-contained), the pool
+ * only guarantees that every submitted task runs exactly once.
+ */
+
+#ifndef GTSC_SIM_THREAD_POOL_HH_
+#define GTSC_SIM_THREAD_POOL_HH_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gtsc::sim
+{
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** Spawn `workers` threads (clamped to >= 1). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Drains every submitted task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task. Safe from any thread, including from inside a
+     * running task.
+     */
+    void submit(Task task);
+
+    /** Block until every task submitted so far has finished. */
+    void wait();
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** std::thread::hardware_concurrency() with a floor of 1. */
+    static unsigned hardwareWorkers();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool tryPop(unsigned self, Task &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    std::mutex sleepMutex_;
+    std::condition_variable workCv_; ///< wakes idle workers
+    std::condition_variable doneCv_; ///< wakes wait()
+
+    std::atomic<std::size_t> queued_{0};  ///< tasks sitting in deques
+    std::atomic<std::size_t> pending_{0}; ///< queued + running tasks
+    std::atomic<bool> stop_{false};
+    std::atomic<unsigned> nextQueue_{0};
+};
+
+} // namespace gtsc::sim
+
+#endif // GTSC_SIM_THREAD_POOL_HH_

@@ -68,6 +68,25 @@ TEST(Distribution, MergeCombines)
     EXPECT_EQ(a.count(), 3u);
 }
 
+TEST(StatSet, CounterReferencesStableAcrossInserts)
+{
+    // Components cache &counter(name) at construction and bump the
+    // pointer on hot paths; later registrations must not move it.
+    StatSet s;
+    std::uint64_t *a = &s.counter("a");
+    std::uint64_t *lat = reinterpret_cast<std::uint64_t *>(
+        &s.distribution("lat"));
+    for (int i = 0; i < 1000; ++i)
+        s.counter("filler." + std::to_string(i)) = 1;
+    for (int i = 0; i < 100; ++i)
+        s.distribution("dist." + std::to_string(i)).sample(1.0);
+    EXPECT_EQ(a, &s.counter("a"));
+    EXPECT_EQ(lat, reinterpret_cast<std::uint64_t *>(
+                       &s.distribution("lat")));
+    ++(*a);
+    EXPECT_EQ(s.get("a"), 1u);
+}
+
 TEST(StatSet, ToStringContainsEntries)
 {
     StatSet s;

@@ -1,0 +1,77 @@
+#include "sim/thread_pool.hh"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using gtsc::sim::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    std::atomic<std::uint64_t> sum{0};
+    constexpr std::uint64_t kTasks = 500;
+    for (std::uint64_t i = 1; i <= kTasks; ++i)
+        pool.submit([&sum, i] { sum.fetch_add(i); });
+    pool.wait();
+    EXPECT_EQ(sum.load(), kTasks * (kTasks + 1) / 2);
+}
+
+TEST(ThreadPool, SingleWorkerStillDrains)
+{
+    ThreadPool pool(1);
+    std::atomic<unsigned> ran{0};
+    for (unsigned i = 0; i < 64; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST(ThreadPool, NestedSubmitFromTask)
+{
+    // A running task may enqueue follow-up work; wait() must not
+    // return until the whole transitive closure has drained.
+    ThreadPool pool(3);
+    std::atomic<unsigned> ran{0};
+    for (unsigned i = 0; i < 8; ++i) {
+        pool.submit([&pool, &ran] {
+            ran.fetch_add(1);
+            pool.submit([&ran] { ran.fetch_add(1); });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(ran.load(), 16u);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<unsigned> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1u);
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<unsigned> ran{0};
+    {
+        ThreadPool pool(2);
+        for (unsigned i = 0; i < 32; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        // No wait(): teardown must still run queued tasks.
+    }
+    EXPECT_EQ(ran.load(), 32u);
+}
+
+TEST(ThreadPool, HardwareWorkersIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareWorkers(), 1u);
+}
