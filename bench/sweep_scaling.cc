@@ -5,7 +5,10 @@
  * jobs = 1, 2, 4 and the hardware thread count, and the speedup over
  * the serial run is reported. Per-run results are identical at every
  * worker count (tests/harness/sweep_test.cc pins that); this harness
- * only measures elapsed time. Emits a human table and a JSON blob.
+ * only measures elapsed time. A second section measures the hybrid
+ * main loop (gpu.fast_forward) on memory-bound workloads: simulated
+ * cycles per wall-clock second with the knob off and on, the skipped
+ * cycle count, and the speedup. Emits a human table and a JSON blob.
  */
 
 #include <chrono>
@@ -42,6 +45,46 @@ runMatrixSeconds(const std::vector<harness::RunSpec> &specs,
     if (guard == 0)
         std::fprintf(stderr, "warning: matrix produced zero cycles\n");
     return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct FfRow
+{
+    std::string workload;
+    double offSecs = 0.0;
+    double onSecs = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t skipped = 0;
+};
+
+FfRow
+runFastForwardPair(const sim::Config &base, const std::string &wl)
+{
+    FfRow row;
+    row.workload = wl;
+    for (bool ff : {false, true}) {
+        sim::Config cfg = base;
+        cfg.setBool("gpu.fast_forward", ff);
+        auto t0 = std::chrono::steady_clock::now();
+        harness::RunResult r = harness::runOne(cfg, "gtsc", "rc", wl);
+        auto t1 = std::chrono::steady_clock::now();
+        double secs = std::chrono::duration<double>(t1 - t0).count();
+        if (ff) {
+            row.onSecs = secs;
+            row.skipped = r.fastForwarded;
+            if (r.cycles != row.cycles)
+                std::fprintf(stderr,
+                             "warning: %s cycle count diverged with "
+                             "fast-forward (%llu vs %llu)\n",
+                             wl.c_str(),
+                             static_cast<unsigned long long>(r.cycles),
+                             static_cast<unsigned long long>(
+                                 row.cycles));
+        } else {
+            row.offSecs = secs;
+            row.cycles = r.cycles;
+        }
+    }
+    return row;
 }
 
 } // namespace
@@ -86,6 +129,48 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
 
+    // Hybrid-loop section: memory-bound workloads at a scale where
+    // long DRAM-bound quiet stretches dominate. Single-threaded on
+    // purpose — this measures the main loop, not the sweep pool.
+    // Low occupancy (1 warp/SM) is the regime the hybrid loop
+    // targets: too few warps to hide DRAM latency, so most cycles
+    // are fully stalled and skippable. High-occupancy configs hide
+    // latency by design and leave little to skip (the gain there is
+    // bounded by the idle fraction, not by this loop).
+    sim::Config ffCfg = cfg;
+    ffCfg.setInt("gpu.warps_per_sm", 1);
+    bool userScale = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("wl.scale=", 0) == 0)
+            userScale = true;
+    }
+    if (!userScale)
+        ffCfg.setDouble("wl.scale", 256.0);
+    const std::vector<std::string> ffWorkloads = {"ccp", "bfs", "ge"};
+
+    std::printf("\nFast-forward (gpu.fast_forward), gtsc/rc, "
+                "wl.scale=%g:\n\n",
+                ffCfg.getDouble("wl.scale", 1.0));
+    std::printf("%-6s %12s %12s %14s %14s %10s %12s\n", "wl",
+                "off secs", "on secs", "off Mcyc/s", "on Mcyc/s",
+                "speedup", "skipped%");
+    std::vector<FfRow> ffRows;
+    for (const std::string &wl : ffWorkloads) {
+        FfRow row = runFastForwardPair(ffCfg, wl);
+        double mc = static_cast<double>(row.cycles) / 1e6;
+        std::printf("%-6s %12.3f %12.3f %14.2f %14.2f %9.2fx %11.1f%%\n",
+                    row.workload.c_str(), row.offSecs, row.onSecs,
+                    row.offSecs > 0.0 ? mc / row.offSecs : 0.0,
+                    row.onSecs > 0.0 ? mc / row.onSecs : 0.0,
+                    row.onSecs > 0.0 ? row.offSecs / row.onSecs : 0.0,
+                    row.cycles > 0
+                        ? 100.0 * static_cast<double>(row.skipped) /
+                              static_cast<double>(row.cycles)
+                        : 0.0);
+        std::fflush(stdout);
+        ffRows.push_back(std::move(row));
+    }
+
     std::printf("\n{\"bench\": \"sweep_scaling\", \"cells\": %zu, "
                 "\"hw_threads\": %u, \"runs\": [",
                 specs.size(), sim::ThreadPool::hardwareWorkers());
@@ -94,6 +179,18 @@ main(int argc, char **argv)
                     "\"speedup\": %.3f}",
                     i ? ", " : "", rows[i].first, rows[i].second,
                     serial > 0.0 ? serial / rows[i].second : 0.0);
+    }
+    std::printf("], \"fast_forward\": [");
+    for (std::size_t i = 0; i < ffRows.size(); ++i) {
+        const FfRow &r = ffRows[i];
+        std::printf(
+            "%s{\"workload\": \"%s\", \"off_seconds\": %.4f, "
+            "\"on_seconds\": %.4f, \"cycles\": %llu, "
+            "\"skipped\": %llu, \"speedup\": %.3f}",
+            i ? ", " : "", r.workload.c_str(), r.offSecs, r.onSecs,
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.skipped),
+            r.onSecs > 0.0 ? r.offSecs / r.onSecs : 0.0);
     }
     std::printf("]}\n");
     return 0;

@@ -530,4 +530,12 @@ GtscL1::tick(Cycle now)
     }
 }
 
+Cycle
+GtscL1::nextWorkCycle(Cycle now) const
+{
+    // Pending replays retry (and count stats) every cycle; all other
+    // work arrives through responses or the event queue.
+    return replayQueue_.empty() ? kCycleNever : now + 1;
+}
+
 } // namespace gtsc::core

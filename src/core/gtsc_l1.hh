@@ -47,6 +47,7 @@ class GtscL1 : public mem::L1Controller
     bool access(const mem::Access &acc, Cycle now) override;
     void receiveResponse(mem::Packet &&pkt, Cycle now) override;
     void tick(Cycle now) override;
+    Cycle nextWorkCycle(Cycle now) const override;
     void flush(Cycle now) override;
     void noteSpinRetry(WarpId warp, Addr line_addr) override;
     bool quiescent() const override;

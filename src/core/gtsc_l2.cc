@@ -90,6 +90,14 @@ GtscL2::normalizeEpoch(mem::Packet &pkt)
     }
 }
 
+Cycle
+GtscL2::nextWorkCycle(Cycle now) const
+{
+    // A non-empty service queue processes (and accrues occupancy
+    // stats) every cycle; outstanding misses wake via DRAM events.
+    return queue_.empty() ? kCycleNever : now + 1;
+}
+
 void
 GtscL2::tick(Cycle now)
 {

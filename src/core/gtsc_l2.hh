@@ -43,6 +43,7 @@ class GtscL2 : public mem::L2Controller
 
     void receiveRequest(mem::Packet &&pkt, Cycle now) override;
     void tick(Cycle now) override;
+    Cycle nextWorkCycle(Cycle now) const override;
     void flushAll(Cycle now) override;
     bool quiescent() const override;
 

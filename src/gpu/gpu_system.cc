@@ -1,5 +1,7 @@
 #include "gpu/gpu_system.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace gtsc::gpu
@@ -12,6 +14,7 @@ GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
 {
     maxCycles_ = cfg_.getUint("gpu.max_cycles", 500000000ULL);
     watchdogWindow_ = cfg_.getUint("gpu.watchdog_cycles", 400000ULL);
+    fastForward_ = cfg_.getBool("gpu.fast_forward", true);
 
     builder_.prepare(cfg_, stats_, params_);
 
@@ -48,6 +51,12 @@ GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
     respNet_->setDeliver([this](unsigned dst, mem::Packet &&pkt) {
         l1s_[dst]->receiveResponse(std::move(pkt), cycle_);
     });
+
+    // The networks registered their packet counters above; cache the
+    // references so progressToken() avoids two string-hashed lookups
+    // per simulated cycle.
+    nocReqPackets_ = &stats_.counter("noc.req.packets");
+    nocRespPackets_ = &stats_.counter("noc.resp.packets");
 }
 
 bool
@@ -82,8 +91,49 @@ GpuSystem::progressToken() const
     std::uint64_t token = 0;
     for (const auto &sm : sms_)
         token += sm->instructionsRetired();
-    token += stats_.get("noc.req.packets") + stats_.get("noc.resp.packets");
+    token += *nocReqPackets_ + *nocRespPackets_;
     return token;
+}
+
+Cycle
+GpuSystem::workHorizon() const
+{
+    // Bail out as soon as the horizon collapses to the next cycle:
+    // on busy cycles (the common case for compute-bound workloads)
+    // the first active SM ends the scan, keeping the hybrid loop's
+    // overhead near zero when it cannot skip anyway.
+    const Cycle floor = cycle_ + 1;
+    Cycle next = kCycleNever;
+    for (const auto &sm : sms_) {
+        next = std::min(next, sm->nextWorkCycle(cycle_));
+        if (next <= floor)
+            return next;
+    }
+    for (const auto &l2 : l2s_) {
+        next = std::min(next, l2->nextWorkCycle(cycle_));
+        if (next <= floor)
+            return next;
+    }
+    for (const auto &l1 : l1s_) {
+        next = std::min(next, l1->nextWorkCycle(cycle_));
+        if (next <= floor)
+            return next;
+    }
+    next = std::min(next, events_.nextEventCycle());
+    if (next <= floor)
+        return next;
+    next = std::min(next, respNet_->nextWorkCycle(cycle_));
+    if (next <= floor)
+        return next;
+    next = std::min(next, reqNet_->nextWorkCycle(cycle_));
+    if (next <= floor)
+        return next;
+    for (const auto &dram : drams_) {
+        next = std::min(next, dram->nextWorkCycle(cycle_));
+        if (next <= floor)
+            return next;
+    }
+    return next;
 }
 
 void
@@ -114,7 +164,8 @@ GpuSystem::runKernel(unsigned kernel)
         return true;
     };
 
-    while (!(all_done() && quiescent())) {
+    bool done = all_done() && quiescent();
+    while (!done) {
         ++cycle_;
         if (cycle_ > maxCycles_)
             GTSC_FATAL("simulation exceeded gpu.max_cycles=", maxCycles_,
@@ -133,13 +184,48 @@ GpuSystem::runKernel(unsigned kernel)
             dram->tick(cycle_);
 
         std::uint64_t token = progressToken();
-        if (token != last_progress) {
+        bool progressed = token != last_progress;
+        if (progressed) {
             last_progress = token;
             last_progress_cycle = cycle_;
         } else if (cycle_ - last_progress_cycle > watchdogWindow_) {
             GTSC_PANIC("no forward progress for ", watchdogWindow_,
                        " cycles at cycle ", cycle_, " in workload ",
                        workload_.name(), " kernel ", kernel);
+        }
+
+        done = all_done() && quiescent();
+        // Only attempt a jump on cycles that made no observable
+        // progress: a cycle that retired instructions or moved
+        // packets is almost always followed by another busy cycle,
+        // so scanning every component for its horizon would be pure
+        // overhead there. Idle stretches announce themselves with a
+        // stale progress token on their first cycle.
+        if (done || progressed || !fastForward_)
+            continue;
+
+        // Hybrid fast-forward: when no component has work next
+        // cycle, jump straight to the earliest horizon instead of
+        // ticking through dead cycles. Never skip past the watchdog
+        // deadline or the max-cycles bound, so a hung simulation
+        // fails at exactly the cycle the pure cycle-driven loop
+        // would (a kCycleNever horizon on a non-quiescent machine is
+        // such a hang: it lands on the watchdog deadline and
+        // panics there).
+        Cycle next = workHorizon();
+        Cycle deadline = last_progress_cycle + watchdogWindow_ + 1;
+        next = std::min(next, deadline);
+        next = std::min(next, maxCycles_ + 1);
+        if (next > cycle_ + 1) {
+            Cycle span = next - cycle_ - 1;
+            for (auto &sm : sms_) {
+                sm->fastForwardStats(span);
+                // Keep the SMs' callback timestamp lagging the loop
+                // by one cycle, as in the pure cycle-driven loop.
+                sm->syncTo(next - 1);
+            }
+            fastForwarded_ += span;
+            cycle_ = next - 1;
         }
     }
 

@@ -47,6 +47,14 @@ class GpuSystem
     Cycle cycle() const { return cycle_; }
 
     /**
+     * Simulated cycles the hybrid main loop skipped instead of
+     * ticking (0 with gpu.fast_forward=false). Deliberately not a
+     * StatSet entry: stat dumps must be bit-identical with the knob
+     * on and off.
+     */
+    std::uint64_t fastForwardedCycles() const { return fastForwarded_; }
+
+    /**
      * Called after each kernel's initMemory(), before its first
      * cycle (the coherence checker snapshots base values here).
      */
@@ -61,6 +69,14 @@ class GpuSystem
     bool quiescent() const;
     void runKernel(unsigned kernel);
     std::uint64_t progressToken() const;
+
+    /**
+     * Minimum of every component's nextWorkCycle() and the event
+     * queue: the earliest future cycle at which ticking can do
+     * anything observable. kCycleNever when the machine is fully
+     * quiescent.
+     */
+    Cycle workHorizon() const;
 
     sim::Config cfg_;
     GpuParams params_;
@@ -82,6 +98,11 @@ class GpuSystem
     Cycle cycle_ = 0;
     Cycle maxCycles_;
     Cycle watchdogWindow_;
+    bool fastForward_;
+    std::uint64_t fastForwarded_ = 0;
+    /** noc.{req,resp}.packets, cached off the progress-token path. */
+    const std::uint64_t *nocReqPackets_;
+    const std::uint64_t *nocRespPackets_;
     std::function<void(const mem::MainMemory &, unsigned)>
         kernelStartHook_;
 };

@@ -1,5 +1,7 @@
 #include "gpu/sm.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace gtsc::gpu
@@ -206,6 +208,80 @@ Sm::tick(Cycle now)
         ++(*memStallCycles_);
     else
         ++(*idleCycles_);
+}
+
+Cycle
+Sm::nextWorkCycle(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    for (const auto &warp : warps_) {
+        // Store-buffer drains retry l1_.access() every tick while
+        // nothing is outstanding — that attempt can reject and count
+        // stats, so it pins the horizon to the next cycle.
+        if (!warp.storeFifo.empty() && warp.storesSubmitted == 0)
+            return now + 1;
+        switch (warp.state) {
+          case WarpState::Ready:
+            return now + 1;
+          case WarpState::WaitCompute:
+            next = std::min(next, std::max(warp.readyAt, now + 1));
+            break;
+          case WarpState::WaitMem:
+            // Structural retries re-submit every issue slot; a warp
+            // waiting only on completions wakes via the L1 callback.
+            if (!warp.toSubmit.empty() && !warp.loadWaitsStores)
+                return now + 1;
+            break;
+          case WarpState::WaitFence:
+            // With no stores outstanding the fence clears once the
+            // GWCT passes; otherwise the store ack drives the wake.
+            if (warp.outstandingStores == 0)
+                next = std::min(next, std::max(warp.gwct, now + 1));
+            break;
+          default:
+            break;
+        }
+    }
+    return next;
+}
+
+void
+Sm::fastForwardStats(Cycle span)
+{
+    // Mirrors the issued == 0 classification at the end of tick();
+    // warp states cannot change inside a skipped range, so each
+    // skipped cycle lands in the same bucket.
+    bool any_live = false;
+    bool any_compute = false;
+    bool any_mem = false;
+    for (const auto &warp : warps_) {
+        switch (warp.state) {
+          case WarpState::WaitCompute:
+            any_live = true;
+            any_compute = true;
+            break;
+          case WarpState::WaitFence:
+            (*fenceStallCycles_) += span;
+            [[fallthrough]];
+          case WarpState::WaitMem:
+            any_live = true;
+            any_mem = true;
+            break;
+          case WarpState::Ready:
+            any_live = true;
+            break;
+          default:
+            break;
+        }
+    }
+    if (!any_live)
+        (*idleCycles_) += span;
+    else if (any_compute)
+        (*computeStallCycles_) += span;
+    else if (any_mem)
+        (*memStallCycles_) += span;
+    else
+        (*idleCycles_) += span;
 }
 
 bool

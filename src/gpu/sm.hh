@@ -44,6 +44,35 @@ class Sm
     /** Advance one cycle: wake warps, issue, account stalls. */
     void tick(Cycle now);
 
+    /**
+     * Earliest future cycle at which tick() could issue, wake a warp
+     * or retry a structural reject (horizon contract,
+     * mem/controllers.hh). Warps blocked purely on memory responses
+     * report kCycleNever — their wake-up is driven by the L1.
+     */
+    Cycle nextWorkCycle(Cycle now) const;
+
+    /**
+     * Account `span` skipped cycles in bulk, exactly as `span`
+     * no-progress tick()s would have: one stall/idle cycle per
+     * skipped cycle in the Figure 13 breakdown, plus the per-warp
+     * fence-stall counter for every fence-blocked warp. Only valid
+     * while nextWorkCycle() exceeds the skipped range (no warp wakes
+     * or issues inside it).
+     */
+    void fastForwardStats(Cycle span);
+
+    /**
+     * Advance the cached callback timestamp after a fast-forward
+     * jump. L1 completion callbacks (which fire from the event queue
+     * and network delivery, *before* this SM's tick on a given
+     * cycle) read now_, so it must lag the loop cycle by exactly one
+     * — as it does when every cycle is ticked. A spin-load backoff
+     * computed from a now_ that lags by the whole skipped span would
+     * retry earlier than the pure cycle-driven loop.
+     */
+    void syncTo(Cycle now) { now_ = now; }
+
     /** All warps have exited (stores may still be outstanding). */
     bool allWarpsDone() const;
 

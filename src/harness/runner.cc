@@ -74,6 +74,7 @@ runOne(const sim::Config &base, const std::string &protocol,
         }
     }
     r.verified = wl->verify(system.memory());
+    r.fastForwarded = system.fastForwardedCycles();
     r.stats = system.stats();
     return r;
 }

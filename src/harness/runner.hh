@@ -50,6 +50,13 @@ struct RunResult
     std::uint64_t loadsChecked = 0;
     bool verified = false;
 
+    /**
+     * Cycles the hybrid main loop skipped instead of ticking (0 when
+     * gpu.fast_forward=false). Reported separately from `stats` so
+     * stat dumps stay bit-identical with the knob on and off.
+     */
+    std::uint64_t fastForwarded = 0;
+
     /** Full raw statistics of the run. */
     sim::StatSet stats;
 };

@@ -29,6 +29,7 @@ CacheArray::CacheArray(std::size_t size_bytes, std::size_t assoc)
     if (!isPow2(numSets_))
         GTSC_FATAL("cache set count ", numSets_, " must be a power of 2");
     blocks_.resize(numSets_ * assoc_);
+    mruWay_.assign(numSets_, 0);
 }
 
 std::size_t
@@ -42,8 +43,15 @@ CacheBlock *
 CacheArray::lookup(Addr line_addr)
 {
     std::size_t set = setIndex(line_addr);
+    std::size_t base = set * assoc_;
+    std::size_t mru = mruWay_[set];
+    CacheBlock &hot = blocks_[base + mru];
+    if (hot.valid && hot.lineAddr == line_addr)
+        return &hot;
     for (std::size_t w = 0; w < assoc_; ++w) {
-        CacheBlock &blk = blocks_[set * assoc_ + w];
+        if (w == mru)
+            continue;
+        CacheBlock &blk = blocks_[base + w];
         if (blk.valid && blk.lineAddr == line_addr)
             return &blk;
     }
@@ -60,6 +68,9 @@ void
 CacheArray::touch(CacheBlock &blk)
 {
     blk.lastUse = ++useStamp_;
+    std::size_t idx =
+        static_cast<std::size_t>(&blk - blocks_.data());
+    mruWay_[idx / assoc_] = static_cast<std::uint32_t>(idx % assoc_);
 }
 
 CacheBlock *

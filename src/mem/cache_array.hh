@@ -71,7 +71,12 @@ class CacheArray
     std::size_t assoc() const { return assoc_; }
     std::size_t sizeBytes() const { return numSets_ * assoc_ * kLineBytes; }
 
-    /** Find a valid block holding this line; nullptr on miss. */
+    /**
+     * Find a valid block holding this line; nullptr on miss. Probes
+     * the set's most-recently-used way first (the overwhelmingly
+     * common hit) before scanning the rest; the returned block is
+     * identical either way since a line occupies at most one way.
+     */
     CacheBlock *lookup(Addr line_addr);
     const CacheBlock *lookup(Addr line_addr) const;
 
@@ -109,6 +114,7 @@ class CacheArray
     std::size_t assoc_;
     std::uint64_t useStamp_ = 0;
     std::vector<CacheBlock> blocks_; ///< numSets_ x assoc_, row-major
+    std::vector<std::uint32_t> mruWay_; ///< last touched way per set
 };
 
 } // namespace gtsc::mem

@@ -18,6 +18,28 @@
 #include "mem/packet.hh"
 #include "sim/types.hh"
 
+// Horizon contract (hybrid cycle/event main loop)
+// -----------------------------------------------
+// Every ticked component reports, via nextWorkCycle(now), the
+// earliest future cycle at which its tick() could do anything
+// observable: change state, accept or emit a packet, or mutate a
+// statistic (per-cycle occupancy counters included). The GPU main
+// loop skips straight to the minimum horizon when every component is
+// idle, so the contract is strict:
+//
+//  - The returned cycle must be > now (kCycleNever when the
+//    component is fully quiescent and only external input — a
+//    delivered packet, an event-queue callback — can wake it).
+//  - It must be conservative: ticking the component at any cycle in
+//    (now, horizon) must be a no-op, including stat updates.
+//  - It need not be tight, but every cycle it defers is a cycle the
+//    simulator cannot skip; returning now + 1 is always correct and
+//    simply disables fast-forward while the condition holds.
+//
+// Work that completes through the shared EventQueue does not need to
+// be reported: the main loop folds events_.nextEventCycle() into the
+// same minimum.
+
 namespace gtsc::mem
 {
 
@@ -54,6 +76,12 @@ class L1Controller
 
     /** Per-cycle housekeeping (replays, latency pipelines). */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Earliest future cycle at which tick() could make progress; see
+     * the horizon contract above. The default never skips.
+     */
+    virtual Cycle nextWorkCycle(Cycle now) const { return now + 1; }
 
     /** Kernel-boundary flush (GPU L1s are flushed between kernels). */
     virtual void flush(Cycle now) = 0;
@@ -97,6 +125,12 @@ class L2Controller
 
     /** Per-cycle housekeeping (service queues, stalled stores). */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Earliest future cycle at which tick() could make progress; see
+     * the horizon contract above. The default never skips.
+     */
+    virtual Cycle nextWorkCycle(Cycle now) const { return now + 1; }
 
     /**
      * Kernel-boundary flush: write dirty lines back to memory and

@@ -47,6 +47,19 @@ class DramChannel
     /** Advance the channel: start the next request when free. */
     void tick(Cycle now);
 
+    /**
+     * Earliest future cycle at which tick() could start a request
+     * (horizon contract, mem/controllers.hh). Requests already in
+     * service complete through the shared event queue.
+     */
+    Cycle
+    nextWorkCycle(Cycle now) const
+    {
+        if (queue_.empty())
+            return kCycleNever;
+        return busBusyUntil_ > now ? busBusyUntil_ : now + 1;
+    }
+
     bool idle() const { return queue_.empty() && pending_ == 0; }
     std::size_t queueDepth() const { return queue_.size(); }
 

@@ -1,5 +1,7 @@
 #include "noc/crossbar.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace gtsc::noc
@@ -55,6 +57,23 @@ Crossbar::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
 
     ++inFlight_;
     dstQueue_[dst].push(InFlight{arrive, seq_++, std::move(pkt)});
+}
+
+Cycle
+Crossbar::nextWorkCycle(Cycle now) const
+{
+    // A queued packet ejects at the first cycle that is past both
+    // its fabric arrival and its port's serialization window; tick()
+    // is a no-op before the earliest such cycle.
+    Cycle next = kCycleNever;
+    for (unsigned dst = 0; dst < numDst_; ++dst) {
+        const auto &q = dstQueue_[dst];
+        if (q.empty())
+            continue;
+        Cycle c = std::max(q.top().arrive, dstFree_[dst]);
+        next = std::min(next, std::max(c, now + 1));
+    }
+    return next;
 }
 
 void

@@ -46,6 +46,8 @@ class Crossbar : public Network
     /** Eject packets whose arrival time has been reached. */
     void tick(Cycle now) override;
 
+    Cycle nextWorkCycle(Cycle now) const override;
+
     bool quiescent() const override { return inFlight_ == 0; }
 
     std::uint64_t totalBytes() const override { return *bytesTotal_; }

@@ -1,5 +1,6 @@
 #include "noc/mesh.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "noc/crossbar.hh"
@@ -27,6 +28,7 @@ Mesh::Mesh(unsigned num_src, unsigned num_dst, bool src_are_sms,
     height_ = (total + width_ - 1) / width_;
 
     dstFree_.assign(numDst_, 0);
+    linkFree_.assign(static_cast<std::size_t>(width_) * height_ * 4, 0);
     bytesTotal_ = &stats_.counter(name_ + ".bytes");
     packetsTotal_ = &stats_.counter(name_ + ".packets");
     for (unsigned t = 0; t < mem::kNumMsgTypes; ++t) {
@@ -94,7 +96,7 @@ Mesh::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
 
     auto traverse = [&](unsigned next) {
         Cycle depart = t;
-        Cycle &link_free = linkFree_[linkKey(node, next)];
+        Cycle &link_free = linkFree_[linkIndex(node, next)];
         if (link_free > depart)
             depart = link_free;
         link_free = depart + tx;
@@ -119,6 +121,17 @@ Mesh::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
     hops_->sample(static_cast<double>(hop_count));
     ++inFlight_;
     arrivals_.push(InFlight{t, seq_++, dst, std::move(pkt)});
+}
+
+Cycle
+Mesh::nextWorkCycle(Cycle now) const
+{
+    // Arrival times are final at inject; a packet that finds its
+    // ejection port busy is re-queued for the next cycle by tick(),
+    // which keeps this horizon exact during port back-pressure.
+    if (arrivals_.empty())
+        return kCycleNever;
+    return std::max(arrivals_.top().arrive, now + 1);
 }
 
 void

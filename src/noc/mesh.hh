@@ -14,7 +14,6 @@
 #ifndef GTSC_NOC_MESH_HH_
 #define GTSC_NOC_MESH_HH_
 
-#include <map>
 #include <queue>
 #include <vector>
 
@@ -40,6 +39,7 @@ class Mesh : public Network
     void inject(unsigned src, unsigned dst, mem::Packet &&pkt,
                 Cycle now) override;
     void tick(Cycle now) override;
+    Cycle nextWorkCycle(Cycle now) const override;
     bool quiescent() const override { return inFlight_ == 0; }
     std::uint64_t totalBytes() const override { return *bytesTotal_; }
 
@@ -70,11 +70,25 @@ class Mesh : public Network
 
     Cycle txCycles(std::uint32_t bytes) const;
 
-    /** Directed link key between adjacent grid nodes. */
-    static std::uint64_t
-    linkKey(unsigned from, unsigned to)
+    /**
+     * Dense id of the directed link between adjacent grid nodes:
+     * four outgoing links per node (E, W, S, N), so the busy-until
+     * table is a flat array indexed without hashing on the per-hop
+     * routing path.
+     */
+    unsigned
+    linkIndex(unsigned from, unsigned to) const
     {
-        return (std::uint64_t(from) << 32) | to;
+        unsigned dir;
+        if (to == from + 1)
+            dir = 0; // east
+        else if (to + 1 == from)
+            dir = 1; // west
+        else if (to == from + width_)
+            dir = 2; // south
+        else
+            dir = 3; // north
+        return from * 4 + dir;
     }
 
     sim::StatSet &stats_;
@@ -87,7 +101,8 @@ class Mesh : public Network
     std::uint64_t bytesPerCycle_;
     Cycle hopLatency_;
 
-    std::map<std::uint64_t, Cycle> linkFree_;
+    /** Busy-until cycle per directed link, indexed by linkIndex(). */
+    std::vector<Cycle> linkFree_;
     std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
         arrivals_;
     std::vector<Cycle> dstFree_;

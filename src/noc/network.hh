@@ -37,6 +37,14 @@ class Network
     /** Advance: eject packets whose delivery time has been reached. */
     virtual void tick(Cycle now) = 0;
 
+    /**
+     * Earliest future cycle at which tick() could eject a packet
+     * (kCycleNever when nothing is in flight); must honour the
+     * horizon contract in mem/controllers.hh. The default never
+     * skips.
+     */
+    virtual Cycle nextWorkCycle(Cycle now) const { return now + 1; }
+
     virtual bool quiescent() const = 0;
     virtual std::uint64_t totalBytes() const = 0;
 };

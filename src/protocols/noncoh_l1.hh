@@ -31,6 +31,14 @@ class NonCohL1 : public mem::L1Controller
     bool access(const mem::Access &acc, Cycle now) override;
     void receiveResponse(mem::Packet &&pkt, Cycle now) override;
     void tick(Cycle now) override;
+
+    /** tick() is a no-op: all completions are response-driven. */
+    Cycle
+    nextWorkCycle(Cycle now) const override
+    {
+        (void)now;
+        return kCycleNever;
+    }
     void flush(Cycle now) override;
     bool quiescent() const override;
 

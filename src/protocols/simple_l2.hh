@@ -37,6 +37,16 @@ class SimpleL2 : public mem::L2Controller
 
     void receiveRequest(mem::Packet &&pkt, Cycle now) override;
     void tick(Cycle now) override;
+
+    /**
+     * A non-empty service queue processes (and accrues occupancy
+     * stats) every cycle; misses wake via DRAM events.
+     */
+    Cycle
+    nextWorkCycle(Cycle now) const override
+    {
+        return queue_.empty() ? kCycleNever : now + 1;
+    }
     void flushAll(Cycle now) override;
     bool quiescent() const override;
 

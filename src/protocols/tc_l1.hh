@@ -38,6 +38,17 @@ class TcL1 : public mem::L1Controller
     bool access(const mem::Access &acc, Cycle now) override;
     void receiveResponse(mem::Packet &&pkt, Cycle now) override;
     void tick(Cycle now) override;
+
+    /**
+     * tick() is a no-op: lease expiry is checked lazily at access
+     * time and completions are response-driven.
+     */
+    Cycle
+    nextWorkCycle(Cycle now) const override
+    {
+        (void)now;
+        return kCycleNever;
+    }
     void flush(Cycle now) override;
     bool quiescent() const override;
 

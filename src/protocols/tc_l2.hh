@@ -47,6 +47,19 @@ class TcL2 : public mem::L2Controller
 
     void receiveRequest(mem::Packet &&pkt, Cycle now) override;
     void tick(Cycle now) override;
+
+    /**
+     * Queued requests, lease-stalled writes and delayed-eviction
+     * retries all act (and accrue their stall statistics) every
+     * cycle; only a fully drained partition can be skipped.
+     */
+    Cycle
+    nextWorkCycle(Cycle now) const override
+    {
+        if (queue_.empty() && stalled_.empty() && pendingInserts_.empty())
+            return kCycleNever;
+        return now + 1;
+    }
     void flushAll(Cycle now) override;
     bool quiescent() const override;
 

@@ -312,3 +312,63 @@ TEST_F(SmFixture, MultiLineLoadWaitsForAllParts)
 }
 
 } // namespace
+
+TEST_F(SmFixture, HorizonReadyWarpIsNextCycle)
+{
+    make(Consistency::RC, {WarpInstr::compute(5), WarpInstr::exit()}, 1);
+    EXPECT_EQ(sm->nextWorkCycle(now), now + 1);
+}
+
+TEST_F(SmFixture, HorizonWaitComputeWakesAtReadyAtExactly)
+{
+    make(Consistency::RC, {WarpInstr::compute(10), WarpInstr::exit()},
+         1);
+    tick(); // issue at cycle 1: readyAt = 11, warp -> WaitCompute
+    Cycle h = sm->nextWorkCycle(now);
+    EXPECT_EQ(h, 11u);
+    // Ticking strictly before the horizon neither issues nor
+    // retires anything.
+    std::uint64_t instrs = stats.get("sm.instructions");
+    while (now + 1 < h) {
+        tick();
+        EXPECT_EQ(stats.get("sm.instructions"), instrs);
+        EXPECT_EQ(sm->nextWorkCycle(now), h);
+    }
+    tick(2); // wake at 11, exit at 12
+    EXPECT_TRUE(sm->allWarpsDone());
+}
+
+TEST_F(SmFixture, HorizonMemBlockedWarpIsEventDriven)
+{
+    make(Consistency::RC, {WarpInstr::loadScalar(0x100),
+                           WarpInstr::exit()},
+         1);
+    tick(); // load accepted by the L1; warp blocks on the response
+    ASSERT_EQ(l1.pendingLoads.size(), 1u);
+    // Only the L1 completion callback can wake it.
+    EXPECT_EQ(sm->nextWorkCycle(now), kCycleNever);
+    l1.completeLoad();
+    EXPECT_EQ(sm->nextWorkCycle(now), now + 1);
+}
+
+TEST_F(SmFixture, HorizonStructuralRejectRetriesNextCycle)
+{
+    make(Consistency::RC, {WarpInstr::loadScalar(0x100),
+                           WarpInstr::exit()},
+         1);
+    l1.rejectAll = true;
+    tick(); // submit rejected; access stays in toSubmit
+    EXPECT_EQ(sm->nextWorkCycle(now), now + 1);
+}
+
+TEST_F(SmFixture, FastForwardStatsMatchesPerCycleClassification)
+{
+    make(Consistency::RC, {WarpInstr::compute(50), WarpInstr::exit()},
+         1);
+    tick(); // warp -> WaitCompute until cycle 51
+    std::uint64_t before = stats.get("sm.compute_stall_cycles");
+    std::uint64_t idle_before = stats.get("sm.idle_cycles");
+    sm->fastForwardStats(7);
+    EXPECT_EQ(stats.get("sm.compute_stall_cycles"), before + 7);
+    EXPECT_EQ(stats.get("sm.idle_cycles"), idle_before);
+}

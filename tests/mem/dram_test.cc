@@ -171,3 +171,29 @@ TEST_F(DramFixture, UnknownSchedulerIsFatal)
     cfg.set("dram.scheduler", "random");
     EXPECT_THROW(make(), std::runtime_error);
 }
+
+TEST_F(DramFixture, HorizonNeverWhenIdle)
+{
+    auto ch = make();
+    EXPECT_EQ(ch->nextWorkCycle(11), kCycleNever);
+}
+
+TEST_F(DramFixture, HorizonCoversQueuedWorkViaEventQueue)
+{
+    auto ch = make();
+    bool done = false;
+    ch->pushRead(0x80, [&](const mem::LineData &) { done = true; });
+    // A queued request pins the horizon to the next cycle until the
+    // channel picks it up...
+    EXPECT_EQ(ch->nextWorkCycle(0), 1u);
+    Cycle c = 0;
+    while (ch->queueDepth() > 0 && c < 1000)
+        ch->tick(++c);
+    ASSERT_EQ(ch->queueDepth(), 0u);
+    // ...after which the in-service completion is owned by the
+    // shared event queue, never lost between the two.
+    ASSERT_FALSE(done);
+    EXPECT_NE(events.nextEventCycle(), kCycleNever);
+    events.runUntil(events.nextEventCycle());
+    EXPECT_TRUE(done);
+}

@@ -119,3 +119,30 @@ TEST_F(XbarFixture, RejectsZeroSizePackets)
     EXPECT_THROW(x.inject(0, 0, packet(0), 0), std::runtime_error);
     EXPECT_THROW(x.inject(1, 0, packet(8), 0), std::runtime_error);
 }
+
+TEST_F(XbarFixture, HorizonNeverWhenEmpty)
+{
+    noc::Crossbar x(2, 2, cfg, stats, "noc.t");
+    EXPECT_EQ(x.nextWorkCycle(7), kCycleNever);
+}
+
+TEST_F(XbarFixture, HorizonIsConservativeAndExact)
+{
+    noc::Crossbar x(2, 2, cfg, stats, "noc.t");
+    std::vector<std::uint64_t> got;
+    x.setDeliver([&](unsigned, mem::Packet &&p) {
+        got.push_back(p.reqId);
+    });
+    x.inject(0, 1, packet(8, 42), 0);
+    Cycle h = x.nextWorkCycle(0);
+    ASSERT_NE(h, kCycleNever);
+    // Ticking strictly before the horizon is a no-op...
+    for (Cycle c = 1; c < h; ++c) {
+        x.tick(c);
+        EXPECT_TRUE(got.empty()) << "delivered before horizon at " << c;
+    }
+    // ...and the horizon itself is not late: the packet arrives there.
+    x.tick(h);
+    EXPECT_EQ(got.size(), 1u);
+    EXPECT_EQ(x.nextWorkCycle(h), kCycleNever);
+}
