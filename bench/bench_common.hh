@@ -56,8 +56,10 @@ jobsFlag()
 }
 
 /**
- * Default bench configuration; CLI key=value overrides applied and
- * --jobs N / --jobs=N consumed into jobsFlag().
+ * Default bench configuration; CLI key=value overrides applied,
+ * --jobs N / --jobs=N consumed into jobsFlag(), and
+ * --trace-dir DIR / --trace-dir=DIR mapped to obs.trace_dir (with
+ * obs.trace defaulted on so the flag alone produces per-run traces).
  */
 inline sim::Config
 benchCfg(int argc, char **argv)
@@ -67,6 +69,7 @@ benchCfg(int argc, char **argv)
     cfg.setInt("gpu.warps_per_sm", 12);
     cfg.setInt("gpu.num_partitions", 4);
     cfg.setBool("check.enabled", false);
+    std::string trace_dir;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc) {
@@ -79,10 +82,23 @@ benchCfg(int argc, char **argv)
                 std::strtoul(arg.c_str() + 7, nullptr, 10));
             continue;
         }
+        if (arg == "--trace-dir" && i + 1 < argc) {
+            trace_dir = argv[++i];
+            continue;
+        }
+        if (arg.rfind("--trace-dir=", 0) == 0) {
+            trace_dir = arg.substr(12);
+            continue;
+        }
         if (!cfg.parseOverride(arg)) {
             std::fprintf(stderr, "bad override '%s'\n", argv[i]);
             std::exit(2);
         }
+    }
+    if (!trace_dir.empty()) {
+        cfg.set("obs.trace_dir", trace_dir);
+        if (!cfg.has("obs.trace"))
+            cfg.setBool("obs.trace", true);
     }
     return cfg;
 }

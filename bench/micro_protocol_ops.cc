@@ -14,6 +14,7 @@
 #include "mem/cache_array.hh"
 #include "mem/mshr.hh"
 #include "noc/crossbar.hh"
+#include "obs/tracer.hh"
 #include "sim/rng.hh"
 
 using namespace gtsc;
@@ -89,6 +90,66 @@ BM_GtscL1HitPath(benchmark::State &state)
 BENCHMARK(BM_GtscL1HitPath);
 
 void
+BM_GtscL1HitPathTraced(benchmark::State &state)
+{
+    // Same datapath as BM_GtscL1HitPath with an obs::Tracer attached:
+    // the delta between the two is the cost of event recording, and
+    // BM_GtscL1HitPath itself must not move when tracing is compiled
+    // in but detached (the trace_ == nullptr guard).
+    sim::Config cfg;
+    cfg.setInt("gpu.warps_per_sm", 8);
+    sim::StatSet stats;
+    sim::EventQueue events;
+    core::TsDomain domain(cfg, stats);
+    core::GtscL1 l1(0, cfg, stats, events, domain, nullptr);
+    l1.setSend([](mem::Packet &&) {});
+    l1.setLoadDone([](const mem::Access &, const mem::AccessResult &) {});
+    l1.setStoreDone([](const mem::Access &, Cycle) {});
+    obs::Tracer tracer;
+    l1.attachTracer(tracer);
+
+    mem::Access acc;
+    acc.lineAddr = 0x1000;
+    acc.wordMask = 1;
+    acc.warp = 0;
+    acc.id = 1;
+    l1.access(acc, 0);
+    mem::Packet fill;
+    fill.type = mem::MsgType::BusFill;
+    fill.lineAddr = 0x1000;
+    fill.wts = 1;
+    fill.rts = 60000;
+    l1.receiveResponse(std::move(fill), 1);
+    l1.tick(2);
+    events.runUntil(100);
+
+    std::uint64_t id = 100;
+    Cycle now = 100;
+    for (auto _ : state) {
+        acc.id = ++id;
+        l1.access(acc, ++now);
+        events.runUntil(now + 8);
+    }
+}
+BENCHMARK(BM_GtscL1HitPathTraced);
+
+void
+BM_TracerRecord(benchmark::State &state)
+{
+    // Raw cost of one ring-buffer event append.
+    obs::Tracer tracer;
+    std::uint32_t track = tracer.track("bench");
+    Cycle now = 0;
+    for (auto _ : state) {
+        ++now;
+        tracer.record(track, obs::Event{now, 0x1000, 1, 2,
+                                        obs::EventKind::L1Hit, 0, 0});
+    }
+    benchmark::DoNotOptimize(tracer);
+}
+BENCHMARK(BM_TracerRecord);
+
+void
 BM_CrossbarInjectDeliver(benchmark::State &state)
 {
     sim::Config cfg;
@@ -155,13 +216,14 @@ BM_CheckerTsLoad(benchmark::State &state)
 {
     harness::CoherenceChecker checker;
     for (Ts w = 1; w <= 64; ++w)
-        checker.onStoreTs(0x2000, 0, w * 10, static_cast<unsigned>(w));
+        checker.onStoreTs(0x2000, 0, w * 10, static_cast<unsigned>(w),
+                          0, 0);
     sim::Rng rng(3);
     for (auto _ : state) {
         Ts ts = rng.below(640) + 10;
         std::uint32_t expect =
             static_cast<std::uint32_t>(std::min<Ts>(ts / 10, 64));
-        checker.onLoadTs(0x2000, 0, ts, expect);
+        checker.onLoadTs(0x2000, 0, ts, expect, 1, 0);
     }
     if (checker.violations() > 0)
         state.SkipWithError("checker reported violations");

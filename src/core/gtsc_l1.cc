@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include <string>
+
 #include "core/gtsc_messages.hh"
+#include "obs/tracer.hh"
 #include "sim/log.hh"
 
 namespace gtsc::core
@@ -57,6 +60,14 @@ GtscL1::GtscL1(SmId sm, const sim::Config &cfg, sim::StatSet &stats,
 }
 
 void
+GtscL1::attachTracer(obs::Tracer &tracer)
+{
+    trace_ = &tracer;
+    track_ = tracer.track("l1.sm" + std::to_string(sm_));
+    mshr_.setTrace(&tracer, track_, &events_);
+}
+
+void
 GtscL1::adoptEpoch()
 {
     if (epoch_ == domain_.epoch())
@@ -64,6 +75,11 @@ GtscL1::adoptEpoch()
     epoch_ = domain_.epoch();
     array_.invalidateAll();
     std::fill(warpTs_.begin(), warpTs_.end(), Ts{1});
+    if (trace_) {
+        trace_->record(track_, obs::Event{events_.now(), 0, epoch_, 0,
+                                          obs::EventKind::EpochReset, 0,
+                                          0});
+    }
 }
 
 void
@@ -108,7 +124,7 @@ GtscL1::access(const mem::Access &acc, Cycle now)
         // already outstanding (Section V-B trade-off).
         if (!combine_ && !entry->lockWait && !acc.isStore) {
             sendBusRd(acc.lineAddr, entry->requestWts,
-                      warpTs_[acc.warp]);
+                      warpTs_[acc.warp], acc.warp);
             ++entry->outstanding;
         }
         return true;
@@ -177,16 +193,30 @@ GtscL1::handleLoad(const mem::Access &acc, mem::CacheBlock *blk,
     }
     Ts req_wts = blk ? blk->meta.wts : Ts{0};
     if (!acc.replayed) {
-        if (blk)
+        if (blk) {
             ++(*missExpired_);
-        else
+            if (trace_) {
+                trace_->record(
+                    track_, obs::Event{now, acc.lineAddr, blk->meta.wts,
+                                       blk->meta.rts,
+                                       obs::EventKind::L1MissExpired,
+                                       acc.warp, 0});
+            }
+        } else {
             ++(*missCold_);
+            if (trace_) {
+                trace_->record(track_,
+                               obs::Event{now, acc.lineAddr, 0, 0,
+                                          obs::EventKind::L1MissCold,
+                                          acc.warp, 0});
+            }
+        }
     }
     entry->requestWts = req_wts;
     entry->requestSent = true;
     entry->outstanding = 1;
     entry->waiters.push_back(acc);
-    sendBusRd(acc.lineAddr, req_wts, warpTs_[acc.warp]);
+    sendBusRd(acc.lineAddr, req_wts, warpTs_[acc.warp], acc.warp);
     return true;
 }
 
@@ -227,6 +257,7 @@ GtscL1::handleStore(const mem::Access &acc, mem::CacheBlock *blk,
     pkt.lineAddr = acc.lineAddr;
     pkt.src = sm_;
     pkt.part = mem::partitionOf(acc.lineAddr, numPartitions_);
+    pkt.warp = acc.warp;
     pkt.warpTs = warpTs_[acc.warp];
     pkt.epoch = epoch_;
     pkt.wordMask = acc.wordMask;
@@ -240,21 +271,29 @@ GtscL1::handleStore(const mem::Access &acc, mem::CacheBlock *blk,
 }
 
 void
-GtscL1::sendBusRd(Addr line, Ts req_wts, Ts warp_ts)
+GtscL1::sendBusRd(Addr line, Ts req_wts, Ts warp_ts, WarpId warp)
 {
     mem::Packet pkt;
     pkt.type = mem::MsgType::BusRd;
     pkt.lineAddr = line;
     pkt.src = sm_;
     pkt.part = mem::partitionOf(line, numPartitions_);
+    pkt.warp = warp;
     pkt.wts = req_wts;
     pkt.warpTs = warp_ts;
     pkt.epoch = epoch_;
     pkt.sizeBytes =
         gtscMessageBytes(mem::MsgType::BusRd, domain_.tsBytes(), 0);
     ++(*busRdSent_);
-    if (req_wts != 0)
+    if (req_wts != 0) {
         ++(*renewalsSent_);
+        if (trace_) {
+            trace_->record(track_,
+                           obs::Event{events_.now(), line, req_wts, 0,
+                                      obs::EventKind::L1Renewal, warp,
+                                      0});
+        }
+    }
     send_(std::move(pkt));
 }
 
@@ -268,6 +307,12 @@ GtscL1::completeLoadHit(const mem::Access &acc,
     else
         ++(*hits_);
     ++(*dataReads_);
+    if (trace_) {
+        trace_->record(track_,
+                       obs::Event{now, acc.lineAddr, blk.meta.wts,
+                                  blk.meta.rts, obs::EventKind::L1Hit,
+                                  acc.warp, 0});
+    }
     Ts load_ts = std::max(warpTs_[acc.warp], blk.meta.wts);
     warpTs_[acc.warp] = load_ts;
 
@@ -291,7 +336,8 @@ GtscL1::completeLoadHit(const mem::Access &acc,
             if ((acc.wordMask & (1u << w)) &&
                 !(forwarded_mask & (1u << w))) {
                 probe_->onLoadTs(acc.lineAddr + w * mem::kWordBytes,
-                                 epoch_, load_ts, res.data.word(w));
+                                 epoch_, load_ts, res.data.word(w), sm_,
+                                 acc.warp);
             }
         }
     }
@@ -318,7 +364,8 @@ GtscL1::completeLoadFromPacket(const mem::Access &acc,
         for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
             if (acc.wordMask & (1u << w)) {
                 probe_->onLoadTs(acc.lineAddr + w * mem::kWordBytes,
-                                 epoch_, load_ts, res.data.word(w));
+                                 epoch_, load_ts, res.data.word(w), sm_,
+                                 acc.warp);
             }
         }
     }

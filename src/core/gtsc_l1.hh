@@ -51,6 +51,7 @@ class GtscL1 : public mem::L1Controller
     void flush(Cycle now) override;
     void noteSpinRetry(WarpId warp, Addr line_addr) override;
     bool quiescent() const override;
+    void attachTracer(obs::Tracer &tracer) override;
 
     /** Current timestamp of a warp (tests/diagnostics). */
     Ts warpTs(WarpId w) const { return warpTs_[w]; }
@@ -90,7 +91,7 @@ class GtscL1 : public mem::L1Controller
     /** Park an access behind an in-flight store to its line. */
     bool parkBehindStore(const mem::Access &acc);
 
-    void sendBusRd(Addr line, Ts req_wts, Ts warp_ts);
+    void sendBusRd(Addr line, Ts req_wts, Ts warp_ts, WarpId warp);
     void onFill(mem::Packet &pkt, Cycle now);
     void onRenew(mem::Packet &pkt, Cycle now);
     void onWrAck(mem::Packet &pkt, Cycle now);
@@ -168,6 +169,9 @@ class GtscL1 : public mem::L1Controller
     std::uint64_t *replayHits_;
     std::uint64_t *wbForwards_;
     std::uint64_t *storeBaseStale_;
+
+    obs::Tracer *trace_ = nullptr;
+    std::uint32_t track_ = 0; ///< obs::Tracer::TrackId
 };
 
 } // namespace gtsc::core

@@ -1,8 +1,10 @@
 #include "core/gtsc_l2.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "core/gtsc_messages.hh"
+#include "obs/tracer.hh"
 #include "sim/log.hh"
 
 namespace gtsc::core
@@ -47,6 +49,13 @@ GtscL2::quiescent() const
 }
 
 void
+GtscL2::attachTracer(obs::Tracer &tracer)
+{
+    trace_ = &tracer;
+    track_ = tracer.track("l2.part" + std::to_string(part_));
+}
+
+void
 GtscL2::rewindTimestamps()
 {
     array_.forEachValid([this](mem::CacheBlock &blk) {
@@ -54,6 +63,11 @@ GtscL2::rewindTimestamps()
         blk.meta.rts = domain_.lease();
     });
     memTs_ = 1;
+    if (trace_) {
+        trace_->record(track_,
+                       obs::Event{events_.now(), 0, domain_.epoch(), 0,
+                                  obs::EventKind::EpochReset, 0, 0});
+    }
 }
 
 void
@@ -192,6 +206,12 @@ GtscL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
         pkt.tsReset = true;
         new_rts = std::max(blk.meta.rts, pkt.warpTs + lease);
     }
+    if (trace_ && new_rts > blk.meta.rts) {
+        trace_->record(track_,
+                       obs::Event{now, pkt.lineAddr, blk.meta.rts,
+                                  new_rts, obs::EventKind::LeaseExtend,
+                                  pkt.src, pkt.warp});
+    }
     blk.meta.rts = new_rts;
     array_.touch(blk);
 
@@ -199,6 +219,7 @@ GtscL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     resp.lineAddr = pkt.lineAddr;
     resp.src = pkt.src;
     resp.part = part_;
+    resp.warp = pkt.warp;
     resp.rts = new_rts;
     resp.epoch = domain_.epoch();
     resp.tsReset = pkt.tsReset;
@@ -242,13 +263,19 @@ GtscL2::serveWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     blk.dirty = true;
     array_.touch(blk);
     ++(*writes_);
+    if (trace_) {
+        trace_->record(track_,
+                       obs::Event{now, pkt.lineAddr, new_wts, new_rts,
+                                  obs::EventKind::WtsUpdate, pkt.src,
+                                  pkt.warp});
+    }
 
     if (probe_) {
         for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
             if (pkt.wordMask & (1u << w)) {
                 probe_->onStoreTs(pkt.lineAddr + w * mem::kWordBytes,
                                   domain_.epoch(), new_wts,
-                                  pkt.data.word(w));
+                                  pkt.data.word(w), pkt.src, pkt.warp);
             }
         }
     }
@@ -258,6 +285,7 @@ GtscL2::serveWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     resp.lineAddr = pkt.lineAddr;
     resp.src = pkt.src;
     resp.part = part_;
+    resp.warp = pkt.warp;
     resp.wts = new_wts;
     resp.rts = new_rts;
     resp.prevWts = prev_wts;

@@ -46,6 +46,7 @@ class GtscL2 : public mem::L2Controller
     Cycle nextWorkCycle(Cycle now) const override;
     void flushAll(Cycle now) override;
     bool quiescent() const override;
+    void attachTracer(obs::Tracer &tracer) override;
 
     Ts memTs() const { return memTs_; }
 
@@ -105,6 +106,9 @@ class GtscL2 : public mem::L2Controller
     std::uint64_t *stallMshrFull_;
     std::uint64_t *queueCycles_;
     std::uint64_t *adaptiveExtensions_;
+
+    obs::Tracer *trace_ = nullptr;
+    std::uint32_t track_ = 0; ///< obs::Tracer::TrackId
 };
 
 } // namespace gtsc::core

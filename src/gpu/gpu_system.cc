@@ -59,6 +59,29 @@ GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
     nocRespPackets_ = &stats_.counter("noc.resp.packets");
 }
 
+void
+GpuSystem::attachObs(obs::Session &session)
+{
+    session.bindStats(stats_);
+    timeline_ = session.timeline();
+    if (obs::Tracer *t = session.tracer()) {
+        for (auto &sm : sms_)
+            sm->attachTracer(*t);
+        for (auto &l1 : l1s_)
+            l1->attachTracer(*t);
+        for (auto &l2 : l2s_)
+            l2->attachTracer(*t);
+        for (unsigned p = 0; p < drams_.size(); ++p)
+            drams_[p]->attachTracer(*t, p);
+        reqNet_->attachTracer(*t);
+        respNet_->attachTracer(*t);
+    }
+    if (obs::Transcript *tr = session.transcript()) {
+        reqNet_->attachTranscript(*tr, false);
+        respNet_->attachTranscript(*tr, true);
+    }
+}
+
 bool
 GpuSystem::quiescent() const
 {
@@ -183,6 +206,9 @@ GpuSystem::runKernel(unsigned kernel)
         for (auto &dram : drams_)
             dram->tick(cycle_);
 
+        if (timeline_)
+            timeline_->sample(cycle_);
+
         std::uint64_t token = progressToken();
         bool progressed = token != last_progress;
         if (progressed) {
@@ -216,6 +242,10 @@ GpuSystem::runKernel(unsigned kernel)
         Cycle deadline = last_progress_cycle + watchdogWindow_ + 1;
         next = std::min(next, deadline);
         next = std::min(next, maxCycles_ + 1);
+        // Never skip a timeline sample cycle: samples must land on
+        // the same cycles with fast-forward on or off.
+        if (timeline_)
+            next = std::min(next, timeline_->nextSampleAt());
         if (next > cycle_ + 1) {
             Cycle span = next - cycle_ - 1;
             for (auto &sm : sms_) {
@@ -251,6 +281,8 @@ GpuSystem::run()
     for (auto &l2 : l2s_)
         l2->flushAll(cycle_);
     stats_.counter("gpu.cycles") = cycle_;
+    if (timeline_)
+        timeline_->finish(cycle_);
     return cycle_;
 }
 

@@ -21,6 +21,7 @@
 #include "mem/dram.hh"
 #include "mem/main_memory.hh"
 #include "noc/network.hh"
+#include "obs/session.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -53,6 +54,15 @@ class GpuSystem
      * on and off.
      */
     std::uint64_t fastForwardedCycles() const { return fastForwarded_; }
+
+    /**
+     * Wire an observability session into every component: tracer
+     * tracks for SMs, L1s, L2s, NoCs and DRAM channels, the protocol
+     * transcript at the two network delivery points, and the stat
+     * timeline (whose sample cycles the fast-forward jump never
+     * skips, so timelines are identical with the knob on or off).
+     */
+    void attachObs(obs::Session &session);
 
     /**
      * Called after each kernel's initMemory(), before its first
@@ -96,6 +106,7 @@ class GpuSystem
     std::unique_ptr<noc::Network> respNet_;
 
     Cycle cycle_ = 0;
+    obs::StatTimeline *timeline_ = nullptr;
     Cycle maxCycles_;
     Cycle watchdogWindow_;
     bool fastForward_;

@@ -1,7 +1,9 @@
 #include "gpu/sm.hh"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/tracer.hh"
 #include "sim/log.hh"
 
 namespace gtsc::gpu
@@ -47,6 +49,22 @@ Sm::Sm(SmId id, const GpuParams &params, const sim::Config &cfg,
     l1_.setStoreDone([this](const mem::Access &a, Cycle gwct) {
         onStoreDone(a, gwct, now_);
     });
+}
+
+void
+Sm::attachTracer(obs::Tracer &tracer)
+{
+    trace_ = &tracer;
+    track_ = tracer.track("sm" + std::to_string(id_));
+}
+
+void
+Sm::traceWarp(obs::EventKind kind, Cycle now, unsigned w,
+              std::uint16_t detail, Addr addr)
+{
+    trace_->record(track_,
+                   obs::Event{now, addr, 0, 0, kind,
+                              static_cast<std::uint16_t>(w), detail});
 }
 
 void
@@ -117,11 +135,16 @@ Sm::tick(Cycle now)
 
     // Wake timed and fence-blocked warps; retry store-buffer drains
     // that were structurally rejected.
-    for (auto &warp : warps_) {
+    for (unsigned w = 0; w < warps_.size(); ++w) {
+        WarpCtx &warp = warps_[w];
         if (!warp.storeFifo.empty())
             drainStoreFifo(warp, now);
-        if (warp.state == WarpState::WaitCompute && now >= warp.readyAt)
+        if (warp.state == WarpState::WaitCompute &&
+            now >= warp.readyAt) {
             warp.state = WarpState::Ready;
+            if (trace_)
+                traceWarp(obs::EventKind::WarpResume, now, w, 0, 0);
+        }
         if (warp.state == WarpState::WaitFence) {
             ++(*fenceStallCycles_);
             if (fenceSatisfied(warp, now)) {
@@ -129,6 +152,8 @@ Sm::tick(Cycle now)
                 // The fence instruction retires when it unblocks.
                 ++retiredTotal_;
                 ++(*instrs_);
+                if (trace_)
+                    traceWarp(obs::EventKind::WarpResume, now, w, 0, 0);
             }
         }
     }
@@ -317,6 +342,15 @@ Sm::beginInstr(unsigned w, Cycle now)
     WarpCtx &warp = warps_[w];
     const WarpInstr &instr = warp.cur;
 
+    if (trace_) {
+        bool is_mem = instr.op == WarpInstr::Op::Load ||
+                      instr.op == WarpInstr::Op::SpinLoad ||
+                      instr.op == WarpInstr::Op::Store;
+        traceWarp(obs::EventKind::WarpIssue, now, w,
+                  static_cast<std::uint16_t>(instr.op),
+                  is_mem ? instr.addr[0] : 0);
+    }
+
     switch (instr.op) {
       case WarpInstr::Op::Exit:
         warp.state = WarpState::Done;
@@ -339,6 +373,12 @@ Sm::beginInstr(unsigned w, Cycle now)
         } else {
             warp.state = WarpState::WaitFence;
             warp.hasCur = false; // retires on wake
+            if (trace_) {
+                traceWarp(obs::EventKind::WarpStall, now, w,
+                          static_cast<std::uint16_t>(
+                              obs::StallReason::Fence),
+                          0);
+            }
         }
         return true;
 
@@ -387,6 +427,12 @@ Sm::beginInstr(unsigned w, Cycle now)
                 warp.toSubmit = std::move(accesses);
                 warp.state = WarpState::WaitMem;
                 warp.loadWaitsStores = true;
+                if (trace_) {
+                    traceWarp(obs::EventKind::WarpStall, now, w,
+                              static_cast<std::uint16_t>(
+                                  obs::StallReason::Mem),
+                              instr.addr[0]);
+                }
                 return true;
             }
         }
@@ -396,6 +442,11 @@ Sm::beginInstr(unsigned w, Cycle now)
         bool drained = drainSubmits(warp, now);
         if (drained && warp.inFlight == 0)
             finishMemInstr(w, now);
+        if (trace_ && warp.state == WarpState::WaitMem) {
+            traceWarp(obs::EventKind::WarpStall, now, w,
+                      static_cast<std::uint16_t>(obs::StallReason::Mem),
+                      instr.addr[0]);
+        }
         return true;
       }
     }
@@ -446,6 +497,12 @@ Sm::finishMemInstr(unsigned w, Cycle now)
                               mem::lineAlign(warp.cur.addr[0]));
             warp.readyAt = now + spinBackoff_;
             warp.state = WarpState::WaitCompute;
+            if (trace_) {
+                traceWarp(obs::EventKind::WarpStall, now, w,
+                          static_cast<std::uint16_t>(
+                              obs::StallReason::Compute),
+                          warp.cur.addr[0]);
+            }
             return;
         }
         if (!satisfied)
@@ -472,8 +529,13 @@ Sm::onLoadDone(const mem::Access &acc, const mem::AccessResult &res,
         if (mem::lineAlign(lane0) == acc.lineAddr)
             warp.spinObserved = res.data.word(mem::wordInLine(lane0));
     }
-    if (warp.inFlight == 0 && warp.toSubmit.empty())
+    if (warp.inFlight == 0 && warp.toSubmit.empty()) {
         finishMemInstr(acc.warp, now);
+        if (trace_ && warp.state == WarpState::Ready) {
+            traceWarp(obs::EventKind::WarpResume, now, acc.warp, 0,
+                      acc.lineAddr);
+        }
+    }
 }
 
 void
@@ -500,8 +562,13 @@ Sm::onStoreDone(const mem::Access &acc, Cycle gwct, Cycle now)
     if (params_.consistency == Consistency::SC) {
         GTSC_ASSERT(warp.inFlight > 0, "SC store ack with none in flight");
         --warp.inFlight;
-        if (warp.inFlight == 0 && warp.toSubmit.empty())
+        if (warp.inFlight == 0 && warp.toSubmit.empty()) {
             finishMemInstr(acc.warp, now);
+            if (trace_ && warp.state == WarpState::Ready) {
+                traceWarp(obs::EventKind::WarpResume, now, acc.warp, 0,
+                          acc.lineAddr);
+            }
+        }
     }
 }
 

@@ -24,6 +24,7 @@
 #include "gpu/kernel.hh"
 #include "gpu/params.hh"
 #include "mem/controllers.hh"
+#include "obs/events.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -72,6 +73,13 @@ class Sm
      * retry earlier than the pure cycle-driven loop.
      */
     void syncTo(Cycle now) { now_ = now; }
+
+    /**
+     * Opt into warp issue/stall/resume event tracing. Events are
+     * only recorded at state transitions (which happen on identical
+     * cycles with fast-forward on or off), never per idle cycle.
+     */
+    void attachTracer(obs::Tracer &tracer);
 
     /** All warps have exited (stores may still be outstanding). */
     bool allWarpsDone() const;
@@ -134,6 +142,10 @@ class Sm
     bool fenceSatisfied(const WarpCtx &warp, Cycle now) const;
     void finishMemInstr(unsigned w, Cycle now);
 
+    /** Record a warp trace event (caller checks trace_ != nullptr). */
+    void traceWarp(obs::EventKind kind, Cycle now, unsigned w,
+                   std::uint16_t detail, Addr addr);
+
     void onLoadDone(const mem::Access &acc, const mem::AccessResult &res,
                     Cycle now);
     void onStoreDone(const mem::Access &acc, Cycle gwct, Cycle now);
@@ -174,6 +186,9 @@ class Sm
     std::uint64_t *spinRetries_;
     std::uint64_t *spinGiveups_;
     std::uint64_t *fenceStallCycles_;
+
+    obs::Tracer *trace_ = nullptr;
+    std::uint32_t track_ = 0; ///< obs::Tracer::TrackId
 };
 
 } // namespace gtsc::gpu

@@ -3,20 +3,53 @@
 #include <algorithm>
 #include <sstream>
 
+#include "mem/line_data.hh"
+#include "obs/transcript.hh"
+
 namespace gtsc::harness
 {
 
 namespace
 {
+
 constexpr std::size_t kMaxReports = 16;
+/** Transcript entries quoted per violation report. */
+constexpr std::size_t kTranscriptTail = 8;
+
+/** "sm3/w7", with '?' for the unknown-originator sentinels. */
+std::string
+originToString(SmId sm, WarpId warp)
+{
+    std::ostringstream oss;
+    oss << "sm";
+    if (sm == mem::kNoSm)
+        oss << '?';
+    else
+        oss << sm;
+    oss << "/w";
+    if (warp == mem::kNoWarp)
+        oss << '?';
+    else
+        oss << warp;
+    return oss.str();
+}
+
 } // namespace
 
 void
-CoherenceChecker::report(const std::string &what)
+CoherenceChecker::report(const std::string &what, Addr word_addr)
 {
     ++violations_;
-    if (reports_.size() < kMaxReports)
-        reports_.push_back(what);
+    if (reports_.size() >= kMaxReports)
+        return;
+    std::string entry = what;
+    if (transcript_) {
+        Addr line = word_addr & ~static_cast<Addr>(mem::kLineBytes - 1);
+        std::string tail = transcript_->describeLine(line, kTranscriptTail);
+        if (!tail.empty())
+            entry += "\n  transcript:\n" + tail;
+    }
+    reports_.push_back(std::move(entry));
 }
 
 void
@@ -35,7 +68,7 @@ CoherenceChecker::baseValue(Addr word_addr) const
 
 void
 CoherenceChecker::onStoreTs(Addr word_addr, std::uint32_t epoch, Ts wts,
-                            std::uint32_t value)
+                            std::uint32_t value, SmId sm, WarpId warp)
 {
     ++storesRecorded_;
     auto &hist = tsHist_[word_addr];
@@ -47,20 +80,23 @@ CoherenceChecker::onStoreTs(Addr word_addr, std::uint32_t epoch, Ts wts,
             std::ostringstream oss;
             oss << "store ts not increasing @0x" << std::hex << word_addr
                 << std::dec << " epoch " << last.epoch << "->" << epoch
-                << " wts " << last.wts << "->" << wts;
-            report(oss.str());
+                << " wts " << last.wts << "->" << wts << " by "
+                << originToString(sm, warp) << " after "
+                << originToString(last.sm, last.warp);
+            report(oss.str(), word_addr);
         }
     }
-    hist.push_back(TsVersion{epoch, wts, value});
+    hist.push_back(TsVersion{epoch, wts, value, sm, warp});
 }
 
 void
 CoherenceChecker::onLoadTs(Addr word_addr, std::uint32_t epoch, Ts ts,
-                           std::uint32_t value)
+                           std::uint32_t value, SmId sm, WarpId warp)
 {
     ++loadsChecked_;
     auto it = tsHist_.find(word_addr);
     std::uint32_t expected;
+    const TsVersion *writer = nullptr;
     bool found = false;
     if (it != tsHist_.end()) {
         const auto &hist = it->second;
@@ -71,7 +107,8 @@ CoherenceChecker::onLoadTs(Addr word_addr, std::uint32_t epoch, Ts ts,
                        (v.epoch == epoch && v.wts <= ts);
             });
         if (pos != hist.begin()) {
-            expected = std::prev(pos)->value;
+            writer = &*std::prev(pos);
+            expected = writer->value;
             found = true;
         }
     }
@@ -82,29 +119,35 @@ CoherenceChecker::onLoadTs(Addr word_addr, std::uint32_t epoch, Ts ts,
         std::ostringstream oss;
         oss << "ts load mismatch @0x" << std::hex << word_addr << std::dec
             << " epoch " << epoch << " ts " << ts << " got " << value
-            << " want " << expected;
-        report(oss.str());
+            << " want " << expected << " by " << originToString(sm, warp);
+        if (writer) {
+            oss << " (expected writer "
+                << originToString(writer->sm, writer->warp) << " wts "
+                << writer->wts << ")";
+        }
+        report(oss.str(), word_addr);
     }
 }
 
 void
 CoherenceChecker::onStorePhys(Addr word_addr, Cycle when,
-                              std::uint32_t value)
+                              std::uint32_t value, SmId sm, WarpId warp)
 {
     ++storesRecorded_;
     auto &hist = physHist_[word_addr];
     if (!hist.empty() && hist.back().start > when) {
         std::ostringstream oss;
         oss << "phys store time regressed @0x" << std::hex << word_addr
-            << std::dec << " " << hist.back().start << "->" << when;
-        report(oss.str());
+            << std::dec << " " << hist.back().start << "->" << when
+            << " by " << originToString(sm, warp);
+        report(oss.str(), word_addr);
     }
-    hist.push_back(PhysVersion{when, value});
+    hist.push_back(PhysVersion{when, value, sm, warp});
 }
 
 void
 CoherenceChecker::onLoadPhys(Addr word_addr, Cycle grant, Cycle when,
-                             std::uint32_t value)
+                             std::uint32_t value, SmId sm, WarpId warp)
 {
     ++loadsChecked_;
     Cycle hi = std::max(grant, when);
@@ -117,8 +160,9 @@ CoherenceChecker::onLoadPhys(Addr word_addr, Cycle grant, Cycle when,
             std::ostringstream oss;
             oss << "phys load mismatch @0x" << std::hex << word_addr
                 << std::dec << " grant " << grant << " got " << value
-                << " want initial " << expected;
-            report(oss.str());
+                << " want initial " << expected << " by "
+                << originToString(sm, warp);
+            report(oss.str(), word_addr);
         }
         return;
     }
@@ -144,8 +188,9 @@ CoherenceChecker::onLoadPhys(Addr word_addr, Cycle grant, Cycle when,
     }
     std::ostringstream oss;
     oss << "phys load mismatch @0x" << std::hex << word_addr << std::dec
-        << " window [" << lo << "," << hi << "] got " << value;
-    report(oss.str());
+        << " window [" << lo << "," << hi << "] got " << value << " by "
+        << originToString(sm, warp);
+    report(oss.str(), word_addr);
 }
 
 void

@@ -31,6 +31,11 @@
 #include "mem/main_memory.hh"
 #include "sim/types.hh"
 
+namespace gtsc::obs
+{
+class Transcript;
+}
+
 namespace gtsc::harness
 {
 
@@ -38,14 +43,24 @@ class CoherenceChecker : public mem::CoherenceProbe
 {
   public:
     void onStoreTs(Addr word_addr, std::uint32_t epoch, Ts wts,
-                   std::uint32_t value) override;
+                   std::uint32_t value, SmId sm, WarpId warp) override;
     void onLoadTs(Addr word_addr, std::uint32_t epoch, Ts ts,
-                  std::uint32_t value) override;
-    void onStorePhys(Addr word_addr, Cycle when,
-                     std::uint32_t value) override;
+                  std::uint32_t value, SmId sm, WarpId warp) override;
+    void onStorePhys(Addr word_addr, Cycle when, std::uint32_t value,
+                     SmId sm, WarpId warp) override;
     void onLoadPhys(Addr word_addr, Cycle grant, Cycle when,
-                    std::uint32_t value) override;
+                    std::uint32_t value, SmId sm, WarpId warp) override;
     void onEpochReset(std::uint32_t new_epoch) override;
+
+    /**
+     * Attach a protocol transcript (obs.transcript): violation
+     * reports then end with the line's recent coherence-message
+     * history, pointing straight at the first divergence.
+     */
+    void setTranscript(const obs::Transcript *transcript)
+    {
+        transcript_ = transcript;
+    }
 
     /**
      * Kernel boundary: forget run history and re-snapshot base
@@ -66,20 +81,25 @@ class CoherenceChecker : public mem::CoherenceProbe
         std::uint32_t epoch;
         Ts wts;
         std::uint32_t value;
+        SmId sm;
+        WarpId warp;
     };
 
     struct PhysVersion
     {
         Cycle start;
         std::uint32_t value;
+        SmId sm;
+        WarpId warp;
     };
 
     std::uint32_t baseValue(Addr word_addr) const;
-    void report(const std::string &what);
+    void report(const std::string &what, Addr word_addr);
 
     std::unordered_map<Addr, std::vector<TsVersion>> tsHist_;
     std::unordered_map<Addr, std::vector<PhysVersion>> physHist_;
     mem::MainMemory base_;
+    const obs::Transcript *transcript_ = nullptr;
     std::uint64_t violations_ = 0;
     std::uint64_t loadsChecked_ = 0;
     std::uint64_t storesRecorded_ = 0;

@@ -14,7 +14,8 @@ csvHeader()
     return "workload,protocol,consistency,cycles,instructions,"
            "active_cycles,mem_stall_cycles,l1_hits,l1_miss_cold,"
            "l1_miss_expired,renewals_sent,l2_accesses,dram_accesses,"
-           "noc_bytes,noc_packets,avg_noc_latency,ts_resets,"
+           "noc_bytes,noc_packets,avg_noc_latency,noc_latency_stddev,"
+           "noc_latency_p50,noc_latency_p99,ts_resets,"
            "spin_retries,energy_core_j,energy_l1_j,energy_l2_j,"
            "energy_noc_j,energy_dram_j,energy_total_j,"
            "checker_violations,loads_checked,verified";
@@ -30,7 +31,9 @@ csvRow(const RunResult &r)
         << ',' << r.l1MissCold << ',' << r.l1MissExpired << ','
         << r.renewalsSent << ',' << r.l2Accesses << ','
         << r.dramAccesses << ',' << r.nocBytes << ',' << r.nocPackets
-        << ',' << r.avgNocLatency << ',' << r.tsResets << ','
+        << ',' << r.avgNocLatency << ',' << r.nocLatencyStddev << ','
+        << r.nocLatencyP50 << ',' << r.nocLatencyP99 << ','
+        << r.tsResets << ','
         << r.spinRetries << ',' << r.energy.core << ',' << r.energy.l1
         << ',' << r.energy.l2 << ',' << r.energy.noc << ','
         << r.energy.dram << ',' << r.energy.total() << ','
@@ -71,6 +74,9 @@ toJson(const RunResult &r)
         << ",\"noc_bytes\":" << r.nocBytes
         << ",\"noc_packets\":" << r.nocPackets
         << ",\"avg_noc_latency\":" << r.avgNocLatency
+        << ",\"noc_latency_stddev\":" << r.nocLatencyStddev
+        << ",\"noc_latency_p50\":" << r.nocLatencyP50
+        << ",\"noc_latency_p99\":" << r.nocLatencyP99
         << ",\"ts_resets\":" << r.tsResets
         << ",\"spin_retries\":" << r.spinRetries
         << ",\"energy_total_j\":" << r.energy.total()
@@ -112,6 +118,10 @@ summaryLine(const RunResult &r)
     }
     oss << ", " << r.nocBytes / 1024 << " KB NoC, "
         << r.energy.total() * 1e6 << " uJ";
+    if (r.nocLatencyP99 > 0) {
+        oss << ", NoC lat p50/p99 " << r.nocLatencyP50 << "/"
+            << r.nocLatencyP99 << " (sd " << r.nocLatencyStddev << ")";
+    }
     if (r.checkerViolations > 0)
         oss << ", " << r.checkerViolations << " VIOLATIONS";
     return oss.str();

@@ -26,6 +26,12 @@ runOne(const sim::Config &base, const std::string &protocol,
 
     gpu::GpuSystem system(cfg, *builder, *wl,
                           check ? &checker : nullptr);
+    std::shared_ptr<obs::Session> obs = obs::Session::fromConfig(cfg);
+    if (obs) {
+        system.attachObs(*obs);
+        if (check)
+            checker.setTranscript(obs->transcript());
+    }
     if (check) {
         system.setKernelStartHook(
             [&checker](const mem::MainMemory &memory, unsigned kernel) {
@@ -50,6 +56,9 @@ runOne(const sim::Config &base, const std::string &protocol,
         sim::Distribution d = s.getDistribution("noc.req.latency");
         d.merge(s.getDistribution("noc.resp.latency"));
         r.avgNocLatency = d.mean();
+        r.nocLatencyStddev = d.stddev();
+        r.nocLatencyP50 = d.p50();
+        r.nocLatencyP99 = d.p99();
     }
     r.l1Hits = s.get("l1.hits");
     r.l1MissCold = s.get("l1.miss_cold");
@@ -76,6 +85,13 @@ runOne(const sim::Config &base, const std::string &protocol,
     r.verified = wl->verify(system.memory());
     r.fastForwarded = system.fastForwardedCycles();
     r.stats = system.stats();
+    r.obs = obs;
+    std::string trace_dir = cfg.getString("obs.trace_dir", "");
+    if (obs && !trace_dir.empty()) {
+        r.obsFiles = obs->writeFiles(
+            trace_dir, obs::fileStem(r.workload, protocol, consistency,
+                                     cfg.explicitString()));
+    }
     return r;
 }
 

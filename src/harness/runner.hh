@@ -9,9 +9,12 @@
 #define GTSC_HARNESS_RUNNER_HH_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "energy/energy_model.hh"
+#include "obs/session.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -33,6 +36,9 @@ struct RunResult
     std::uint64_t nocBytes = 0;
     std::uint64_t nocPackets = 0;
     double avgNocLatency = 0.0;
+    double nocLatencyStddev = 0.0;
+    double nocLatencyP50 = 0.0;
+    double nocLatencyP99 = 0.0;
 
     std::uint64_t l1Hits = 0;
     std::uint64_t l1MissCold = 0;
@@ -59,6 +65,15 @@ struct RunResult
 
     /** Full raw statistics of the run. */
     sim::StatSet stats;
+
+    /**
+     * Observability state (obs.trace / obs.sample_interval /
+     * obs.transcript); null when every obs knob is off. Shared so
+     * RunResult stays copyable for the sweep result cache.
+     */
+    std::shared_ptr<obs::Session> obs;
+    /** Files writeFiles() produced under obs.trace_dir, if any. */
+    std::vector<std::string> obsFiles;
 };
 
 /**

@@ -16,6 +16,15 @@
 namespace gtsc::mem
 {
 
+/** "Unknown originator" sentinels for probe calls. */
+inline constexpr SmId kNoSm = static_cast<SmId>(~SmId{0});
+inline constexpr WarpId kNoWarp = static_cast<WarpId>(~WarpId{0});
+
+/**
+ * Every hook identifies the originating SM and warp so checker
+ * diagnostics can name the offender; pass kNoSm/kNoWarp when the
+ * caller genuinely does not know.
+ */
 class CoherenceProbe
 {
   public:
@@ -23,25 +32,29 @@ class CoherenceProbe
 
     /** G-TSC: a store committed at L2 with write timestamp `wts`. */
     virtual void onStoreTs(Addr word_addr, std::uint32_t epoch, Ts wts,
-                           std::uint32_t value) = 0;
+                           std::uint32_t value, SmId sm,
+                           WarpId warp) = 0;
 
     /**
      * G-TSC: a load observed `value` at effective logical time `ts`
      * (ts = max(warp_ts, block wts), guaranteed <= block rts).
      */
     virtual void onLoadTs(Addr word_addr, std::uint32_t epoch, Ts ts,
-                          std::uint32_t value) = 0;
+                          std::uint32_t value, SmId sm,
+                          WarpId warp) = 0;
 
     /** Physical-time protocols: store globally performed at `when`. */
     virtual void onStorePhys(Addr word_addr, Cycle when,
-                             std::uint32_t value) = 0;
+                             std::uint32_t value, SmId sm,
+                             WarpId warp) = 0;
 
     /**
      * Physical-time protocols: a load at cycle `when` returned
      * `value` that the L2 provided/renewed at cycle `grant`.
      */
     virtual void onLoadPhys(Addr word_addr, Cycle grant, Cycle when,
-                            std::uint32_t value) = 0;
+                            std::uint32_t value, SmId sm,
+                            WarpId warp) = 0;
 
     /** G-TSC timestamp overflow reset: a new epoch begins. */
     virtual void onEpochReset(std::uint32_t new_epoch) = 0;

@@ -40,6 +40,11 @@
 // be reported: the main loop folds events_.nextEventCycle() into the
 // same minimum.
 
+namespace gtsc::obs
+{
+class Tracer;
+}
+
 namespace gtsc::mem
 {
 
@@ -101,6 +106,13 @@ class L1Controller
     /** Outstanding state that must drain before kernel end. */
     virtual bool quiescent() const = 0;
 
+    /**
+     * Opt into event tracing (obs subsystem). Implementations
+     * register a track and record protocol events; the default is a
+     * no-op so protocols without instrumentation keep working.
+     */
+    virtual void attachTracer(obs::Tracer &tracer) { (void)tracer; }
+
   protected:
     LoadDoneFn loadDone_;
     StoreDoneFn storeDone_;
@@ -142,6 +154,9 @@ class L2Controller
 
     /** Outstanding state that must drain before simulation end. */
     virtual bool quiescent() const = 0;
+
+    /** Opt into event tracing; no-op by default (see L1Controller). */
+    virtual void attachTracer(obs::Tracer &tracer) { (void)tracer; }
 
   protected:
     SendFn send_;

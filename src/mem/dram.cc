@@ -36,6 +36,13 @@ DramChannel::DramChannel(const sim::Config &cfg, sim::StatSet &stats,
     openRow_.assign(numBanks_, kCycleNever);
 }
 
+void
+DramChannel::attachTracer(obs::Tracer &tracer, unsigned channel)
+{
+    trace_ = &tracer;
+    track_ = tracer.track(name_ + std::to_string(channel));
+}
+
 unsigned
 DramChannel::bankOf(Addr line_addr) const
 {
@@ -107,6 +114,14 @@ DramChannel::tick(Cycle now)
     Cycle access_lat = (row_hit ? tRowHit_ : tRowMiss_) + burstCycles_;
     ++(*(row_hit ? rowHits_ : rowMisses_));
 
+    if (trace_) {
+        trace_->record(track_,
+                       obs::Event{now, req.lineAddr, access_lat, 0,
+                                  obs::EventKind::DramActivate,
+                                  static_cast<std::uint16_t>(bank),
+                                  static_cast<std::uint16_t>(row_hit)});
+    }
+
     busBusyUntil_ = now + burstCycles_;
 
     if (req.isWrite) {
@@ -118,9 +133,16 @@ DramChannel::tick(Cycle now)
 
     LineData data = memory_.readLine(req.lineAddr);
     ++pending_;
+    Addr line = req.lineAddr;
     events_.schedule(now + access_lat, [this, cb = std::move(req.cb),
-                                        data]() {
+                                        data, line]() {
         --pending_;
+        if (trace_) {
+            trace_->record(track_,
+                           obs::Event{events_.now(), line, 0, 0,
+                                      obs::EventKind::DramReturn, 0,
+                                      0});
+        }
         cb(data);
     });
 }

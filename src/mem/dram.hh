@@ -20,6 +20,7 @@
 
 #include "mem/line_data.hh"
 #include "mem/main_memory.hh"
+#include "obs/tracer.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -63,6 +64,12 @@ class DramChannel
     bool idle() const { return queue_.empty() && pending_ == 0; }
     std::size_t queueDepth() const { return queue_.size(); }
 
+    /**
+     * Enable activate/return event tracing. `channel` disambiguates
+     * the track name (every channel shares the stat name "dram").
+     */
+    void attachTracer(obs::Tracer &tracer, unsigned channel);
+
   private:
     struct Request
     {
@@ -101,6 +108,9 @@ class DramChannel
     std::vector<Addr> openRow_;   ///< per-bank open row (kCycleNever=closed)
     Cycle busBusyUntil_ = 0;
     unsigned pending_ = 0;        ///< requests in service (cb not fired)
+
+    obs::Tracer *trace_ = nullptr;
+    obs::Tracer::TrackId track_ = 0;
 };
 
 } // namespace gtsc::mem

@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "mem/access.hh"
+#include "obs/events.hh"
+#include "obs/tracer.hh"
+#include "sim/event_queue.hh"
 #include "sim/types.hh"
 
 namespace gtsc::mem
@@ -59,10 +62,38 @@ class Mshr
             return nullptr;
         MshrEntry &e = entries_[line_addr];
         e.lineAddr = line_addr;
+        if (trace_) {
+            trace_->record(track_,
+                           obs::Event{clock_->now(), line_addr,
+                                      entries_.size(), 0,
+                                      obs::EventKind::MshrAlloc, 0, 0});
+        }
         return &e;
     }
 
-    void free(Addr line_addr) { entries_.erase(line_addr); }
+    void
+    free(Addr line_addr)
+    {
+        if (entries_.erase(line_addr) && trace_) {
+            trace_->record(track_,
+                           obs::Event{clock_->now(), line_addr,
+                                      entries_.size(), 0,
+                                      obs::EventKind::MshrRetire, 0, 0});
+        }
+    }
+
+    /**
+     * Enable alloc/retire event tracing. `clock` supplies the
+     * current cycle (EventQueue::now() tracks the main loop).
+     */
+    void
+    setTrace(obs::Tracer *tracer, obs::Tracer::TrackId track,
+             const sim::EventQueue *clock)
+    {
+        trace_ = tracer;
+        track_ = track;
+        clock_ = clock;
+    }
 
     bool full() const { return entries_.size() >= capacity_; }
     std::size_t size() const { return entries_.size(); }
@@ -79,6 +110,9 @@ class Mshr
   private:
     std::size_t capacity_;
     std::unordered_map<Addr, MshrEntry> entries_;
+    obs::Tracer *trace_ = nullptr;
+    obs::Tracer::TrackId track_ = 0;
+    const sim::EventQueue *clock_ = nullptr;
 };
 
 } // namespace gtsc::mem

@@ -49,6 +49,12 @@ struct Packet
     Addr lineAddr = 0;
     SmId src = 0;           ///< requesting SM
     PartitionId part = 0;   ///< target / replying L2 partition
+    /**
+     * Originating warp (diagnostics only: probe attribution and
+     * protocol transcripts). Not part of any protocol's wire
+     * payload, so it never contributes to sizeBytes.
+     */
+    WarpId warp = 0;
 
     // --- G-TSC fields (logical timestamps) ---
     Ts wts = 0;             ///< write timestamp (0 = "no local copy")

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "noc/obs_hooks.hh"
 #include "sim/log.hh"
 
 namespace gtsc::noc
@@ -36,6 +37,20 @@ Crossbar::txCycles(std::uint32_t bytes) const
 }
 
 void
+Crossbar::attachTracer(obs::Tracer &tracer)
+{
+    trace_ = &tracer;
+    track_ = tracer.track(name_);
+}
+
+void
+Crossbar::attachTranscript(obs::Transcript &transcript, bool response)
+{
+    transcript_ = &transcript;
+    transcriptResponse_ = response;
+}
+
+void
 Crossbar::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
 {
     GTSC_ASSERT(src < numSrc_ && dst < numDst_,
@@ -48,6 +63,11 @@ Crossbar::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
     *packetsTotal_ += 1;
     *bytesByType_[static_cast<unsigned>(pkt.type)] += pkt.sizeBytes;
     *packetsByType_[static_cast<unsigned>(pkt.type)] += 1;
+
+    if (trace_) {
+        recordNocEvent(*trace_, track_, obs::EventKind::NocInject, pkt,
+                       src, dst, now, pkt.sizeBytes);
+    }
 
     // Serialize on the injection link, then cross the fabric.
     Cycle tx = txCycles(pkt.sizeBytes);
@@ -89,6 +109,16 @@ Crossbar::tick(Cycle now)
             --inFlight_;
             dstFree_[dst] = now + txCycles(pkt.sizeBytes);
             latency_->sample(static_cast<double>(now - pkt.injectedAt));
+            if (trace_) {
+                recordNocEvent(*trace_, track_,
+                               obs::EventKind::NocDeliver, pkt,
+                               pkt.src, dst, now,
+                               now - pkt.injectedAt);
+            }
+            if (transcript_) {
+                logTranscript(*transcript_, pkt, dst,
+                              transcriptResponse_, now);
+            }
             deliver_(dst, std::move(pkt));
         }
     }

@@ -52,6 +52,10 @@ class Crossbar : public Network
 
     std::uint64_t totalBytes() const override { return *bytesTotal_; }
 
+    void attachTracer(obs::Tracer &tracer) override;
+    void attachTranscript(obs::Transcript &transcript,
+                          bool response) override;
+
   private:
     struct InFlight
     {
@@ -93,6 +97,11 @@ class Crossbar : public Network
     std::uint64_t *bytesByType_[mem::kNumMsgTypes];
     std::uint64_t *packetsByType_[mem::kNumMsgTypes];
     sim::Distribution *latency_;
+
+    obs::Tracer *trace_ = nullptr;
+    std::uint32_t track_ = 0; ///< obs::Tracer::TrackId
+    obs::Transcript *transcript_ = nullptr;
+    bool transcriptResponse_ = false;
 };
 
 } // namespace gtsc::noc

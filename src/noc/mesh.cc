@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "noc/crossbar.hh"
+#include "noc/obs_hooks.hh"
 #include "sim/log.hh"
 
 namespace gtsc::noc
@@ -75,6 +76,20 @@ Mesh::txCycles(std::uint32_t bytes) const
 }
 
 void
+Mesh::attachTracer(obs::Tracer &tracer)
+{
+    trace_ = &tracer;
+    track_ = tracer.track(name_);
+}
+
+void
+Mesh::attachTranscript(obs::Transcript &transcript, bool response)
+{
+    transcript_ = &transcript;
+    transcriptResponse_ = response;
+}
+
+void
 Mesh::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
 {
     GTSC_ASSERT(src < numSrc_ && dst < numDst_,
@@ -119,6 +134,10 @@ Mesh::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
     }
 
     hops_->sample(static_cast<double>(hop_count));
+    if (trace_) {
+        recordNocEvent(*trace_, track_, obs::EventKind::NocInject, pkt,
+                       src, dst, now, pkt.sizeBytes);
+    }
     ++inFlight_;
     arrivals_.push(InFlight{t, seq_++, dst, std::move(pkt)});
 }
@@ -153,6 +172,15 @@ Mesh::tick(Cycle now)
         dstFree_[item.dst] = now + txCycles(item.pkt.sizeBytes);
         latency_->sample(
             static_cast<double>(now - item.pkt.injectedAt));
+        if (trace_) {
+            recordNocEvent(*trace_, track_, obs::EventKind::NocDeliver,
+                           item.pkt, item.pkt.src, item.dst, now,
+                           now - item.pkt.injectedAt);
+        }
+        if (transcript_) {
+            logTranscript(*transcript_, item.pkt, item.dst,
+                          transcriptResponse_, now);
+        }
         deliver_(item.dst, std::move(item.pkt));
     }
     for (auto &item : deferred)

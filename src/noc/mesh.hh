@@ -47,6 +47,10 @@ class Mesh : public Network
     unsigned gridWidth() const { return width_; }
     unsigned hops(unsigned src, unsigned dst) const;
 
+    void attachTracer(obs::Tracer &tracer) override;
+    void attachTranscript(obs::Transcript &transcript,
+                          bool response) override;
+
   private:
     struct InFlight
     {
@@ -118,6 +122,11 @@ class Mesh : public Network
     std::uint64_t *packetsByType_[mem::kNumMsgTypes];
     sim::Distribution *latency_;
     sim::Distribution *hops_;
+
+    obs::Tracer *trace_ = nullptr;
+    std::uint32_t track_ = 0; ///< obs::Tracer::TrackId
+    obs::Transcript *transcript_ = nullptr;
+    bool transcriptResponse_ = false;
 };
 
 } // namespace gtsc::noc

@@ -18,6 +18,12 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
+namespace gtsc::obs
+{
+class Tracer;
+class Transcript;
+}
+
 namespace gtsc::noc
 {
 
@@ -47,6 +53,24 @@ class Network
 
     virtual bool quiescent() const = 0;
     virtual std::uint64_t totalBytes() const = 0;
+
+    /** Opt into inject/deliver event tracing (no-op by default). */
+    virtual void attachTracer(obs::Tracer &tracer) { (void)tracer; }
+
+    /**
+     * Log every delivered coherence message into a protocol
+     * transcript. Delivery is the one point all protocol traffic
+     * funnels through, so the per-line history is complete and its
+     * order is identical with fast-forward on or off. `response`
+     * tells the network whether pkt.src (false) or pkt.part (true)
+     * names the sender.
+     */
+    virtual void
+    attachTranscript(obs::Transcript &transcript, bool response)
+    {
+        (void)transcript;
+        (void)response;
+    }
 };
 
 /**

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared observability helpers for the network implementations
+ * (crossbar and mesh record the same inject/deliver events and
+ * transcript entries).
+ */
+
+#ifndef GTSC_NOC_OBS_HOOKS_HH_
+#define GTSC_NOC_OBS_HOOKS_HH_
+
+#include "mem/packet.hh"
+#include "obs/events.hh"
+#include "obs/tracer.hh"
+#include "obs/transcript.hh"
+#include "sim/types.hh"
+
+namespace gtsc::noc
+{
+
+inline void
+recordNocEvent(obs::Tracer &tracer, obs::Tracer::TrackId track,
+               obs::EventKind kind, const mem::Packet &pkt,
+               unsigned src, unsigned dst, Cycle now,
+               std::uint64_t v1)
+{
+    tracer.record(track,
+                  obs::Event{now, pkt.lineAddr,
+                             static_cast<std::uint64_t>(pkt.type), v1,
+                             kind, static_cast<std::uint16_t>(src),
+                             static_cast<std::uint16_t>(dst)});
+}
+
+inline void
+logTranscript(obs::Transcript &ts, const mem::Packet &pkt, unsigned dst,
+              bool response, Cycle now)
+{
+    if (!ts.wants(pkt.lineAddr))
+        return;
+    obs::TranscriptEntry e;
+    e.cycle = now;
+    e.line = pkt.lineAddr;
+    e.msg = mem::msgTypeName(pkt.type);
+    e.src = response ? pkt.part : pkt.src;
+    e.dst = static_cast<std::uint16_t>(dst);
+    e.warp = pkt.warp;
+    e.response = response;
+    e.ts0 = pkt.wts ? pkt.wts : pkt.gwct;
+    e.ts1 = pkt.rts ? pkt.rts : pkt.leaseEnd;
+    ts.log(e);
+}
+
+} // namespace gtsc::noc
+
+#endif // GTSC_NOC_OBS_HOOKS_HH_

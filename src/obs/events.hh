@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Typed, cycle-stamped trace events.
+ *
+ * Every instrumented component (SM, L1, L2, NoC, DRAM, MSHR) emits
+ * these into a per-component ring buffer owned by obs::Tracer. The
+ * struct is a flat POD on purpose: recording one event is a couple of
+ * stores, cheap enough to leave compiled in behind a null-pointer
+ * check. Field meaning is per-kind (see eventArgNames) so one layout
+ * serves every emitter without virtual dispatch or allocation.
+ */
+
+#ifndef GTSC_OBS_EVENTS_HH_
+#define GTSC_OBS_EVENTS_HH_
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace gtsc::obs
+{
+
+enum class EventKind : std::uint8_t
+{
+    WarpIssue,     ///< SM issued an instruction for a warp
+    WarpStall,     ///< warp entered a wait state (reason in `a2`)
+    WarpResume,    ///< warp left a wait state and became ready
+    L1Hit,         ///< load serviced from the private cache
+    L1MissCold,    ///< load missed with no local copy
+    L1MissExpired, ///< load missed on a self-invalidated/expired copy
+    L1Renewal,     ///< data-less renewal request sent (G-TSC BusRnw)
+    MshrAlloc,     ///< MSHR entry allocated for a line
+    MshrRetire,    ///< MSHR entry freed (fill or ack resolved it)
+    NocInject,     ///< packet entered the interconnect
+    NocDeliver,    ///< packet ejected at its destination
+    DramActivate,  ///< DRAM channel started servicing a request
+    DramReturn,    ///< DRAM read data returned to the requester
+    WtsUpdate,     ///< L2 advanced a block's write timestamp
+    LeaseExtend,   ///< L2 extended a block's read lease (rts/leaseEnd)
+    EpochReset,    ///< timestamp-overflow epoch rollover
+};
+
+inline constexpr unsigned kNumEventKinds = 16;
+
+/** Stable lowercase name used in exported traces. */
+const char *eventKindName(EventKind k);
+
+/**
+ * Per-kind argument names for the generic fields, in the order
+ * {a1, a2, addr, v0, v1}; nullptr = field unused by this kind.
+ */
+struct EventArgNames
+{
+    const char *a1;
+    const char *a2;
+    const char *addr;
+    const char *v0;
+    const char *v1;
+};
+
+const EventArgNames &eventArgNames(EventKind k);
+
+/** WarpStall reasons carried in `a2`. */
+enum class StallReason : std::uint16_t
+{
+    Mem = 0,     ///< waiting on an outstanding memory access
+    Fence = 1,   ///< waiting on a fence / outstanding stores
+    Compute = 2, ///< compute latency or spin-wait backoff
+};
+
+/**
+ * One trace event. 40 bytes; meaning of a1/a2/addr/v0/v1 depends on
+ * `kind` (see eventArgNames). `cycle` is the simulated cycle the
+ * event happened at, which doubles as the trace timestamp.
+ */
+struct Event
+{
+    Cycle cycle = 0;
+    std::uint64_t addr = 0;
+    std::uint64_t v0 = 0;
+    std::uint64_t v1 = 0;
+    EventKind kind = EventKind::WarpIssue;
+    std::uint16_t a1 = 0;
+    std::uint16_t a2 = 0;
+};
+
+} // namespace gtsc::obs
+
+#endif // GTSC_OBS_EVENTS_HH_

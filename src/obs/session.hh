@@ -1,0 +1,99 @@
+/**
+ * @file
+ * One run's worth of observability state.
+ *
+ * A Session bundles the tracer, the stat timeline and the protocol
+ * transcript behind the `obs.*` config knobs and owns writing their
+ * output files. Construction is two-phase: fromConfig() decides what
+ * is enabled, then bindStats() (called by GpuSystem::attachObs once
+ * the run's StatSet exists) instantiates the timeline. When every
+ * knob is off, fromConfig() returns nullptr and the simulator runs
+ * with zero observability state at all.
+ */
+
+#ifndef GTSC_OBS_SESSION_HH_
+#define GTSC_OBS_SESSION_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hh"
+#include "obs/tracer.hh"
+#include "obs/transcript.hh"
+#include "sim/types.hh"
+
+namespace gtsc::sim
+{
+class Config;
+class StatSet;
+}
+
+namespace gtsc::obs
+{
+
+class Session
+{
+  public:
+    /**
+     * Build from `obs.*` knobs; nullptr when nothing is enabled.
+     *
+     *   obs.trace             master switch for event tracing (and,
+     *                         by default, transcript + timeline)
+     *   obs.ring_capacity     events retained per track
+     *   obs.sample_interval   timeline period; 0 = off (defaults to
+     *                         1000 when obs.trace is on)
+     *   obs.sample_keys       comma-separated counter-name prefixes
+     *                         to sample ("" = all counters)
+     *   obs.transcript        per-line message history (defaults to
+     *                         obs.trace)
+     *   obs.transcript_depth  messages kept per line
+     *   obs.transcript_filter hex line-address range "lo-hi" ("" =
+     *                         every line)
+     */
+    static std::unique_ptr<Session> fromConfig(const sim::Config &cfg);
+
+    Tracer *tracer() { return tracer_.get(); }
+    const Tracer *tracer() const { return tracer_.get(); }
+    Transcript *transcript() { return transcript_.get(); }
+    const Transcript *transcript() const { return transcript_.get(); }
+    StatTimeline *timeline() { return timeline_.get(); }
+    const StatTimeline *timeline() const { return timeline_.get(); }
+
+    Cycle sampleInterval() const { return sampleInterval_; }
+
+    /** Create the timeline against the run's StatSet (idempotent). */
+    void bindStats(const sim::StatSet &stats);
+
+    /**
+     * Write `<stem>.trace.json` / `<stem>.timeline.csv` /
+     * `<stem>.transcript.txt` under `dir` (created if missing) for
+     * whichever components are enabled. Returns the paths written.
+     */
+    std::vector<std::string> writeFiles(const std::string &dir,
+                                        const std::string &stem) const;
+
+  private:
+    Session() = default;
+
+    std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<Transcript> transcript_;
+    std::unique_ptr<StatTimeline> timeline_;
+    Cycle sampleInterval_ = 0;
+    std::vector<std::string> sampleKeys_;
+};
+
+/**
+ * Deterministic per-run output-file stem:
+ * `<workload>_<protocol>_<consistency>_<hash8>` where hash8 is an
+ * FNV-1a digest of the run's explicit config string, so sweep runs
+ * that differ only in a knob get distinct files.
+ */
+std::string fileStem(const std::string &workload,
+                     const std::string &protocol,
+                     const std::string &consistency,
+                     const std::string &config_fingerprint);
+
+} // namespace gtsc::obs
+
+#endif // GTSC_OBS_SESSION_HH_

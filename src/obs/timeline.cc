@@ -1,0 +1,119 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+namespace gtsc::obs
+{
+
+StatTimeline::StatTimeline(const sim::StatSet &stats, Cycle interval,
+                           std::vector<std::string> prefixes)
+    : stats_(stats), interval_(interval), nextAt_(interval),
+      prefixes_(std::move(prefixes))
+{
+    GTSC_ASSERT(interval_ > 0, "timeline interval must be > 0");
+}
+
+void
+StatTimeline::takeSample(Cycle now)
+{
+    if (now == lastSampled_)
+        return;
+    lastSampled_ = now;
+    Sample s;
+    s.cycle = now;
+    for (const auto &kv : stats_.counters()) {
+        if (!prefixes_.empty()) {
+            bool match = false;
+            for (const std::string &p : prefixes_) {
+                if (kv.first.rfind(p, 0) == 0) {
+                    match = true;
+                    break;
+                }
+            }
+            if (!match)
+                continue;
+        }
+        s.values[kv.first] = kv.second;
+    }
+    samples_.push_back(std::move(s));
+    while (nextAt_ <= now)
+        nextAt_ += interval_;
+}
+
+void
+StatTimeline::finish(Cycle now)
+{
+    takeSample(now);
+}
+
+std::vector<std::string>
+StatTimeline::columnUnion() const
+{
+    std::set<std::string> keys;
+    for (const Sample &s : samples_) {
+        for (const auto &kv : s.values)
+            keys.insert(kv.first);
+    }
+    return {keys.begin(), keys.end()};
+}
+
+namespace
+{
+
+std::uint64_t
+valueOf(const std::map<std::string, std::uint64_t> &m,
+        const std::string &k)
+{
+    auto it = m.find(k);
+    return it == m.end() ? 0 : it->second;
+}
+
+} // namespace
+
+void
+StatTimeline::writeCsv(std::ostream &os) const
+{
+    std::vector<std::string> cols = columnUnion();
+    os << "cycle";
+    for (const std::string &c : cols)
+        os << ',' << c;
+    os << '\n';
+    std::map<std::string, std::uint64_t> prev;
+    for (const Sample &s : samples_) {
+        os << s.cycle;
+        for (const std::string &c : cols) {
+            std::uint64_t cur = valueOf(s.values, c);
+            os << ',' << (cur - valueOf(prev, c));
+        }
+        os << '\n';
+        prev = s.values;
+    }
+}
+
+void
+StatTimeline::writeJson(std::ostream &os) const
+{
+    os << "{\"interval\":" << interval_ << ",\"samples\":[";
+    std::map<std::string, std::uint64_t> prev;
+    bool firstSample = true;
+    for (const Sample &s : samples_) {
+        if (!firstSample)
+            os << ',';
+        firstSample = false;
+        os << "\n{\"cycle\":" << s.cycle;
+        for (const auto &kv : s.values) {
+            os << ",\"" << kv.first
+               << "\":" << (kv.second - valueOf(prev, kv.first));
+        }
+        os << '}';
+        prev = s.values;
+    }
+    os << "]}\n";
+}
+
+} // namespace gtsc::obs

@@ -1,0 +1,114 @@
+#include "obs/transcript.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace gtsc::obs
+{
+
+namespace
+{
+
+Addr
+parseHex(const std::string &s)
+{
+    std::size_t pos = 0;
+    Addr v = 0;
+    try {
+        v = std::stoull(s, &pos, 16);
+    } catch (const std::exception &) {
+        GTSC_FATAL("bad obs.transcript_filter value '", s, "'");
+    }
+    if (pos != s.size())
+        GTSC_FATAL("bad obs.transcript_filter value '", s, "'");
+    return v;
+}
+
+} // namespace
+
+Transcript::Transcript(std::size_t depth, const std::string &filter)
+    : depth_(depth ? depth : 1)
+{
+    if (filter.empty())
+        return;
+    std::size_t sep = filter.find_first_of("-:");
+    if (sep == std::string::npos) {
+        lo_ = hi_ = parseHex(filter);
+    } else {
+        lo_ = parseHex(filter.substr(0, sep));
+        hi_ = parseHex(filter.substr(sep + 1));
+        if (lo_ > hi_)
+            GTSC_FATAL("obs.transcript_filter range is inverted: ",
+                       filter);
+    }
+}
+
+void
+Transcript::log(const TranscriptEntry &e)
+{
+    LineLog &l = lines_[e.line];
+    ++l.total;
+    ++total_;
+    l.entries.push_back(e);
+    if (l.entries.size() > depth_)
+        l.entries.pop_front();
+}
+
+namespace
+{
+
+void
+renderEntry(std::ostream &os, const TranscriptEntry &e)
+{
+    os << "  [" << e.cycle << "] " << e.msg
+       << (e.response ? " resp " : " req  ")
+       << (e.response ? "part" : "sm") << e.src << "->"
+       << (e.response ? "sm" : "part") << e.dst;
+    if (!e.response)
+        os << " warp" << e.warp;
+    if (e.ts0 || e.ts1)
+        os << " ts=" << e.ts0 << "/" << e.ts1;
+}
+
+} // namespace
+
+std::string
+Transcript::describeLine(Addr line, std::size_t n) const
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return {};
+    const LineLog &l = it->second;
+    std::ostringstream oss;
+    std::size_t have = l.entries.size();
+    std::size_t show = n < have ? n : have;
+    if (l.total > show) {
+        oss << "  ... " << (l.total - show)
+            << " earlier message(s) elided\n";
+    }
+    for (std::size_t i = have - show; i < have; ++i) {
+        renderEntry(oss, l.entries[i]);
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+void
+Transcript::writeText(std::ostream &os) const
+{
+    for (const auto &kv : lines_) {
+        os << "line 0x" << std::hex << kv.first << std::dec << " ("
+           << kv.second.total << " messages";
+        if (kv.second.total > kv.second.entries.size())
+            os << ", last " << kv.second.entries.size() << " kept";
+        os << ")\n";
+        for (const TranscriptEntry &e : kv.second.entries) {
+            renderEntry(os, e);
+            os << '\n';
+        }
+    }
+}
+
+} // namespace gtsc::obs

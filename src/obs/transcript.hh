@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Protocol transcript: ordered coherence-message history per cache
+ * line.
+ *
+ * Every coherence message crossing the interconnect is logged (at
+ * delivery, a single point both request and response traffic passes
+ * through in program order) into a bounded per-line history. The
+ * harness::CoherenceChecker consults the transcript to report the
+ * recent message history of a line when a violation is found —
+ * exactly the kind of ordered timestamp transcript the Tardis
+ * correctness argument reasons over. An address-range filter keeps
+ * the memory bound tight when only one structure is under suspicion.
+ */
+
+#ifndef GTSC_OBS_TRANSCRIPT_HH_
+#define GTSC_OBS_TRANSCRIPT_HH_
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace gtsc::obs
+{
+
+/**
+ * One logged message. `msg` must point at a string with static
+ * storage duration (mem::msgTypeName qualifies); ts0/ts1 are the
+ * protocol's timestamp pair (wts/rts for G-TSC, grant/lease for TC),
+ * zero where unused.
+ */
+struct TranscriptEntry
+{
+    Cycle cycle = 0;
+    Addr line = 0;
+    const char *msg = "";
+    std::uint16_t src = 0;  ///< SM (requests) or partition (responses)
+    std::uint16_t dst = 0;
+    std::uint16_t warp = 0;
+    bool response = false;
+    std::uint64_t ts0 = 0;
+    std::uint64_t ts1 = 0;
+};
+
+class Transcript
+{
+  public:
+    /**
+     * @param depth  messages retained per line (oldest dropped)
+     * @param filter "" = all lines; "lo-hi" or "lo:hi" hex line-
+     *               address range (inclusive); a single hex value
+     *               selects exactly one line. Fatal on parse errors.
+     */
+    Transcript(std::size_t depth, const std::string &filter);
+
+    /** True when `line` falls inside the configured filter. */
+    bool
+    wants(Addr line) const
+    {
+        return line >= lo_ && line <= hi_;
+    }
+
+    void log(const TranscriptEntry &e);
+
+    std::size_t depth() const { return depth_; }
+    std::size_t numLines() const { return lines_.size(); }
+    std::uint64_t totalLogged() const { return total_; }
+
+    /**
+     * Render the most recent `n` entries for one line, one per text
+     * line, oldest first. Empty string when nothing was logged.
+     */
+    std::string describeLine(Addr line, std::size_t n) const;
+
+    /** Full dump, lines in address order (deterministic). */
+    void writeText(std::ostream &os) const;
+
+  private:
+    struct LineLog
+    {
+        std::uint64_t total = 0;
+        std::deque<TranscriptEntry> entries;
+    };
+
+    std::size_t depth_;
+    Addr lo_ = 0;
+    Addr hi_ = ~static_cast<Addr>(0);
+    std::uint64_t total_ = 0;
+    std::map<Addr, LineLog> lines_;
+};
+
+} // namespace gtsc::obs
+
+#endif // GTSC_OBS_TRANSCRIPT_HH_

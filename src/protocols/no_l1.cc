@@ -43,6 +43,7 @@ NoL1::access(const mem::Access &acc, Cycle now)
     pkt.lineAddr = acc.lineAddr;
     pkt.src = sm_;
     pkt.part = mem::partitionOf(acc.lineAddr, numPartitions_);
+    pkt.warp = acc.warp;
     pkt.reqId = acc.id;
     if (acc.isStore) {
         pkt.type = mem::MsgType::BusWr;
@@ -89,7 +90,8 @@ NoL1::receiveResponse(mem::Packet &&pkt, Cycle now)
         for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
             if (acc.wordMask & (1u << w)) {
                 probe_->onLoadPhys(acc.lineAddr + w * mem::kWordBytes,
-                                   pkt.gwct, now, res.data.word(w));
+                                   pkt.gwct, now, res.data.word(w), sm_,
+                                   acc.warp);
             }
         }
     }

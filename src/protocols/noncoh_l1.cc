@@ -1,5 +1,8 @@
 #include "protocols/noncoh_l1.hh"
 
+#include <string>
+
+#include "obs/tracer.hh"
 #include "protocols/message_sizes.hh"
 #include "sim/log.hh"
 
@@ -26,6 +29,14 @@ NonCohL1::NonCohL1(SmId sm, const sim::Config &cfg, sim::StatSet &stats,
     dataReads_ = &stats_.counter("l1.data_reads");
     dataWrites_ = &stats_.counter("l1.data_writes");
     rejects_ = &stats_.counter("l1.rejects_mshr_full");
+}
+
+void
+NonCohL1::attachTracer(obs::Tracer &tracer)
+{
+    trace_ = &tracer;
+    track_ = tracer.track("l1.sm" + std::to_string(sm_));
+    mshr_.setTrace(&tracer, track_, &events_);
 }
 
 bool
@@ -63,7 +74,8 @@ NonCohL1::completeLoad(const mem::Access &acc, const mem::LineData &data,
             if ((acc.wordMask & (1u << w)) &&
                 !(forwarded & (1u << w))) {
                 probe_->onLoadPhys(acc.lineAddr + w * mem::kWordBytes,
-                                   grant, now, data.word(w));
+                                   grant, now, data.word(w), sm_,
+                                   acc.warp);
             }
         }
     }
@@ -92,6 +104,7 @@ NonCohL1::access(const mem::Access &acc, Cycle now)
         pkt.lineAddr = acc.lineAddr;
         pkt.src = sm_;
         pkt.part = mem::partitionOf(acc.lineAddr, numPartitions_);
+        pkt.warp = acc.warp;
         pkt.wordMask = acc.wordMask;
         pkt.data = acc.storeData;
         pkt.reqId = acc.id;
@@ -106,6 +119,13 @@ NonCohL1::access(const mem::Access &acc, Cycle now)
         array_.touch(*blk);
         ++(*hits_);
         ++(*dataReads_);
+        if (trace_) {
+            trace_->record(track_,
+                           obs::Event{now, acc.lineAddr,
+                                      blk->meta.grant, 0,
+                                      obs::EventKind::L1Hit, acc.warp,
+                                      0});
+        }
         completeLoad(acc, blk->data, true, blk->meta.grant, now);
         return true;
     }
@@ -121,6 +141,12 @@ NonCohL1::access(const mem::Access &acc, Cycle now)
         return false;
     }
     ++(*missCold_);
+    if (trace_) {
+        trace_->record(track_,
+                       obs::Event{now, acc.lineAddr, 0, 0,
+                                  obs::EventKind::L1MissCold, acc.warp,
+                                  0});
+    }
     entry->requestSent = true;
     entry->waiters.push_back(acc);
 
@@ -129,6 +155,7 @@ NonCohL1::access(const mem::Access &acc, Cycle now)
     pkt.lineAddr = acc.lineAddr;
     pkt.src = sm_;
     pkt.part = mem::partitionOf(acc.lineAddr, numPartitions_);
+    pkt.warp = acc.warp;
     pkt.sizeBytes = baselineMessageBytes(mem::MsgType::BusRd, 0);
     ++(*busRdSent_);
     send_(std::move(pkt));

@@ -1,5 +1,8 @@
 #include "protocols/simple_l2.hh"
 
+#include <string>
+
+#include "obs/tracer.hh"
 #include "protocols/message_sizes.hh"
 #include "sim/log.hh"
 
@@ -27,6 +30,13 @@ SimpleL2::SimpleL2(PartitionId part, const sim::Config &cfg,
     writebacks_ = &stats_.counter("l2.writebacks");
     stallMshrFull_ = &stats_.counter("l2.stall_mshr_full");
     queueCycles_ = &stats_.counter("l2.queue_occupancy_cycles");
+}
+
+void
+SimpleL2::attachTracer(obs::Tracer &tracer)
+{
+    trace_ = &tracer;
+    track_ = tracer.track("l2.part" + std::to_string(part_));
 }
 
 bool
@@ -73,6 +83,7 @@ SimpleL2::serve(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
         resp.lineAddr = pkt.lineAddr;
         resp.src = pkt.src;
         resp.part = part_;
+        resp.warp = pkt.warp;
         resp.gwct = now; // service cycle (checker bookkeeping)
         resp.data = blk.data;
         resp.reqId = pkt.reqId;
@@ -85,11 +96,18 @@ SimpleL2::serve(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     blk.data.mergeMasked(pkt.data, pkt.wordMask);
     blk.dirty = true;
     ++(*writes_);
+    if (trace_) {
+        trace_->record(track_,
+                       obs::Event{now, pkt.lineAddr, now, 0,
+                                  obs::EventKind::WtsUpdate, pkt.src,
+                                  pkt.warp});
+    }
     if (probe_) {
         for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
             if (pkt.wordMask & (1u << w)) {
                 probe_->onStorePhys(pkt.lineAddr + w * mem::kWordBytes,
-                                    now, pkt.data.word(w));
+                                    now, pkt.data.word(w), pkt.src,
+                                    pkt.warp);
             }
         }
     }
@@ -98,6 +116,7 @@ SimpleL2::serve(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     resp.lineAddr = pkt.lineAddr;
     resp.src = pkt.src;
     resp.part = part_;
+    resp.warp = pkt.warp;
     resp.reqId = pkt.reqId;
     resp.sizeBytes = baselineMessageBytes(mem::MsgType::BusWrAck, 0);
     respond(std::move(resp), now);

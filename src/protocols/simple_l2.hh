@@ -49,6 +49,7 @@ class SimpleL2 : public mem::L2Controller
     }
     void flushAll(Cycle now) override;
     bool quiescent() const override;
+    void attachTracer(obs::Tracer &tracer) override;
 
   private:
     struct MissEntry
@@ -84,6 +85,9 @@ class SimpleL2 : public mem::L2Controller
     std::uint64_t *writebacks_;
     std::uint64_t *stallMshrFull_;
     std::uint64_t *queueCycles_;
+
+    obs::Tracer *trace_ = nullptr;
+    std::uint32_t track_ = 0; ///< obs::Tracer::TrackId
 };
 
 } // namespace gtsc::protocols

@@ -1,5 +1,8 @@
 #include "protocols/tc_l1.hh"
 
+#include <string>
+
+#include "obs/tracer.hh"
 #include "protocols/message_sizes.hh"
 #include "sim/log.hh"
 
@@ -29,6 +32,14 @@ TcL1::TcL1(SmId sm, const sim::Config &cfg, sim::StatSet &stats,
     rejects_ = &stats_.counter("l1.rejects_mshr_full");
 }
 
+void
+TcL1::attachTracer(obs::Tracer &tracer)
+{
+    trace_ = &tracer;
+    track_ = tracer.track("l1.sm" + std::to_string(sm_));
+    mshr_.setTrace(&tracer, track_, &events_);
+}
+
 bool
 TcL1::quiescent() const
 {
@@ -55,7 +66,8 @@ TcL1::completeLoad(const mem::Access &acc, const mem::LineData &data,
         for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
             if (acc.wordMask & (1u << w)) {
                 probe_->onLoadPhys(acc.lineAddr + w * mem::kWordBytes,
-                                   grant, now, data.word(w));
+                                   grant, now, data.word(w), sm_,
+                                   acc.warp);
             }
         }
     }
@@ -82,6 +94,7 @@ TcL1::access(const mem::Access &acc, Cycle now)
         pkt.lineAddr = acc.lineAddr;
         pkt.src = sm_;
         pkt.part = mem::partitionOf(acc.lineAddr, numPartitions_);
+        pkt.warp = acc.warp;
         pkt.wordMask = acc.wordMask;
         pkt.data = acc.storeData;
         pkt.reqId = acc.id;
@@ -98,6 +111,13 @@ TcL1::access(const mem::Access &acc, Cycle now)
         array_.touch(*blk);
         ++(*hits_);
         ++(*dataReads_);
+        if (trace_) {
+            trace_->record(track_,
+                           obs::Event{now, acc.lineAddr,
+                                      blk->meta.grant, blk->meta.leaseEnd,
+                                      obs::EventKind::L1Hit, acc.warp,
+                                      0});
+        }
         completeLoad(acc, blk->data, true, blk->meta.grant, now);
         return true;
     }
@@ -112,10 +132,24 @@ TcL1::access(const mem::Access &acc, Cycle now)
         ++(*rejects_);
         return false;
     }
-    if (blk)
+    if (blk) {
         ++(*missExpired_); // self-invalidated: coherence miss
-    else
+        if (trace_) {
+            trace_->record(track_,
+                           obs::Event{now, acc.lineAddr,
+                                      blk->meta.grant, blk->meta.leaseEnd,
+                                      obs::EventKind::L1MissExpired,
+                                      acc.warp, 0});
+        }
+    } else {
         ++(*missCold_);
+        if (trace_) {
+            trace_->record(track_,
+                           obs::Event{now, acc.lineAddr, 0, 0,
+                                      obs::EventKind::L1MissCold,
+                                      acc.warp, 0});
+        }
+    }
     entry->requestSent = true;
     entry->waiters.push_back(acc);
 
@@ -124,6 +158,7 @@ TcL1::access(const mem::Access &acc, Cycle now)
     pkt.lineAddr = acc.lineAddr;
     pkt.src = sm_;
     pkt.part = mem::partitionOf(acc.lineAddr, numPartitions_);
+    pkt.warp = acc.warp;
     pkt.sizeBytes = tcMessageBytes(mem::MsgType::BusRd, 0);
     ++(*busRdSent_);
     send_(std::move(pkt));

@@ -51,6 +51,7 @@ class TcL1 : public mem::L1Controller
     }
     void flush(Cycle now) override;
     bool quiescent() const override;
+    void attachTracer(obs::Tracer &tracer) override;
 
   private:
     void completeLoad(const mem::Access &acc, const mem::LineData &data,
@@ -78,6 +79,9 @@ class TcL1 : public mem::L1Controller
     std::uint64_t *dataReads_;
     std::uint64_t *dataWrites_;
     std::uint64_t *rejects_;
+
+    obs::Tracer *trace_ = nullptr;
+    std::uint32_t track_ = 0; ///< obs::Tracer::TrackId
 };
 
 } // namespace gtsc::protocols

@@ -1,7 +1,9 @@
 #include "protocols/tc_l2.hh"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/tracer.hh"
 #include "protocols/message_sizes.hh"
 #include "sim/log.hh"
 
@@ -32,6 +34,13 @@ TcL2::TcL2(PartitionId part, const sim::Config &cfg, sim::StatSet &stats,
     writeStallCycles_ = &stats_.counter("l2.write_stall_cycles");
     evictStallCycles_ = &stats_.counter("l2.evict_stall_cycles");
     queueCycles_ = &stats_.counter("l2.queue_occupancy_cycles");
+}
+
+void
+TcL2::attachTracer(obs::Tracer &tracer)
+{
+    trace_ = &tracer;
+    track_ = tracer.track("l2.part" + std::to_string(part_));
 }
 
 bool
@@ -73,7 +82,14 @@ TcL2::respond(mem::Packet &&resp, Cycle now)
 void
 TcL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
 {
-    blk.meta.leaseEnd = std::max(blk.meta.leaseEnd, now + lease_);
+    Cycle new_lease = std::max(blk.meta.leaseEnd, now + lease_);
+    if (trace_ && new_lease > blk.meta.leaseEnd) {
+        trace_->record(track_,
+                       obs::Event{now, pkt.lineAddr, blk.meta.leaseEnd,
+                                  new_lease, obs::EventKind::LeaseExtend,
+                                  pkt.src, pkt.warp});
+    }
+    blk.meta.leaseEnd = new_lease;
     array_.touch(blk);
 
     mem::Packet resp;
@@ -81,6 +97,7 @@ TcL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     resp.lineAddr = pkt.lineAddr;
     resp.src = pkt.src;
     resp.part = part_;
+    resp.warp = pkt.warp;
     resp.leaseEnd = blk.meta.leaseEnd;
     resp.gwct = now; // grant cycle (checker bookkeeping)
     resp.data = blk.data;
@@ -97,12 +114,19 @@ TcL2::performWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     blk.dirty = true;
     array_.touch(blk);
     ++(*writes_);
+    if (trace_) {
+        trace_->record(track_,
+                       obs::Event{now, pkt.lineAddr, now, gwct,
+                                  obs::EventKind::WtsUpdate, pkt.src,
+                                  pkt.warp});
+    }
 
     if (probe_) {
         for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
             if (pkt.wordMask & (1u << w)) {
                 probe_->onStorePhys(pkt.lineAddr + w * mem::kWordBytes,
-                                    now, pkt.data.word(w));
+                                    now, pkt.data.word(w), pkt.src,
+                                    pkt.warp);
             }
         }
     }
@@ -112,6 +136,7 @@ TcL2::performWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     resp.lineAddr = pkt.lineAddr;
     resp.src = pkt.src;
     resp.part = part_;
+    resp.warp = pkt.warp;
     resp.gwct = gwct; // TC-Weak fence target; == now for strong
     resp.reqId = pkt.reqId;
     resp.sizeBytes = tcMessageBytes(mem::MsgType::BusWrAck, 0);

@@ -62,6 +62,7 @@ class TcL2 : public mem::L2Controller
     }
     void flushAll(Cycle now) override;
     bool quiescent() const override;
+    void attachTracer(obs::Tracer &tracer) override;
 
   private:
     struct MissEntry
@@ -114,6 +115,9 @@ class TcL2 : public mem::L2Controller
     std::uint64_t *writeStallCycles_;
     std::uint64_t *evictStallCycles_;
     std::uint64_t *queueCycles_;
+
+    obs::Tracer *trace_ = nullptr;
+    std::uint32_t track_ = 0; ///< obs::Tracer::TrackId
 };
 
 } // namespace gtsc::protocols

@@ -1,9 +1,83 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace gtsc::sim
 {
+
+void
+Distribution::reservoirPush(double v)
+{
+    if (reservoir_.size() >= kReservoirCapacity) {
+        // Compact: keep every other retained sample (the ones whose
+        // original index is an even multiple of the old stride) and
+        // double the stride.
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < reservoir_.size(); i += 2)
+            reservoir_[keep++] = reservoir_[i];
+        reservoir_.resize(keep);
+        strideMask_ = strideMask_ * 2 + 1;
+        // The current sample survives only if it is still on-stride.
+        if (((count_ - 1) & strideMask_) != 0)
+            return;
+    }
+    reservoir_.push_back(v);
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double n = static_cast<double>(count_);
+    double var = sumSq_ / n - (sum_ / n) * (sum_ / n);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (reservoir_.empty())
+        return 0.0;
+    std::vector<double> sorted(reservoir_);
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0.0)
+        return sorted.front();
+    if (p >= 1.0)
+        return sorted.back();
+    auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[idx];
+}
+
+void
+Distribution::merge(const Distribution &o)
+{
+    if (o.count_ == 0)
+        return;
+    if (count_ == 0 || o.min_ < min_)
+        min_ = o.min_;
+    if (o.max_ > max_)
+        max_ = o.max_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+    sumSq_ += o.sumSq_;
+    // Concatenate the reservoirs, then re-thin deterministically
+    // until the merged set fits. The result is still a systematic
+    // subsample of the union, which is all percentiles need.
+    reservoir_.insert(reservoir_.end(), o.reservoir_.begin(),
+                      o.reservoir_.end());
+    strideMask_ = std::max(strideMask_, o.strideMask_);
+    while (reservoir_.size() > kReservoirCapacity) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < reservoir_.size(); i += 2)
+            reservoir_[keep++] = reservoir_[i];
+        reservoir_.resize(keep);
+        strideMask_ = strideMask_ * 2 + 1;
+    }
+}
 
 std::uint64_t &
 StatSet::counter(const std::string &name)

@@ -20,20 +20,33 @@ namespace gtsc::sim
 {
 
 /**
- * Streaming mean/max tracker for latency-style samples.
+ * Streaming tracker for latency-style samples: mean/max/min/stddev
+ * plus a fixed-size reservoir for percentile estimates.
+ *
+ * The reservoir is a deterministic systematic subsample: every
+ * 2^k-th sample is kept, and when the fixed buffer fills, every
+ * other retained sample is dropped and the stride doubles. No RNG,
+ * so runs (and the fast-forward equivalence tests) stay
+ * bit-reproducible.
  */
 class Distribution
 {
   public:
+    /** Retained samples for percentile estimation. */
+    static constexpr std::size_t kReservoirCapacity = 512;
+
     void
     sample(double v)
     {
         count_++;
         sum_ += v;
+        sumSq_ += v * v;
         if (v > max_)
             max_ = v;
         if (count_ == 1 || v < min_)
             min_ = v;
+        if (((count_ - 1) & strideMask_) == 0)
+            reservoirPush(v);
     }
 
     std::uint64_t count() const { return count_; }
@@ -42,24 +55,34 @@ class Distribution
     double max() const { return max_; }
     double min() const { return count_ ? min_ : 0.0; }
 
-    void
-    merge(const Distribution &o)
-    {
-        if (o.count_ == 0)
-            return;
-        if (count_ == 0 || o.min_ < min_)
-            min_ = o.min_;
-        if (o.max_ > max_)
-            max_ = o.max_;
-        count_ += o.count_;
-        sum_ += o.sum_;
-    }
+    /** Population standard deviation; 0 with fewer than 2 samples. */
+    double stddev() const;
+
+    /**
+     * Percentile estimate from the reservoir, p in [0, 1]. Exact
+     * while fewer than kReservoirCapacity samples arrived; a
+     * systematic-subsample estimate afterwards. 0 when empty.
+     */
+    double percentile(double p) const;
+    double p50() const { return percentile(0.50); }
+    double p99() const { return percentile(0.99); }
+
+    /** Samples currently retained for percentiles (tests). */
+    std::size_t reservoirSize() const { return reservoir_.size(); }
+
+    void merge(const Distribution &o);
 
   private:
+    void reservoirPush(double v);
+
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
+    double sumSq_ = 0.0;
     double max_ = 0.0;
     double min_ = 0.0;
+    /** Sample index i is retained iff (i & strideMask_) == 0. */
+    std::uint64_t strideMask_ = 0;
+    std::vector<double> reservoir_;
 };
 
 /**

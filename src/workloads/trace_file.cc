@@ -168,6 +168,11 @@ TraceFileWorkload::parse(const std::string &text)
     }
     if (kernels_.empty())
         GTSC_FATAL("trace contains no kernels/instructions");
+    for (std::size_t k = 0; k < kernels_.size(); ++k) {
+        if (kernels_[k].programs.empty() && kernels_[k].memInit.empty())
+            GTSC_FATAL("trace kernel ", k,
+                       ": empty (no warp programs or mem init)");
+    }
 }
 
 unsigned

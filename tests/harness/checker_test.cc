@@ -2,22 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/transcript.hh"
+
 using namespace gtsc;
 using harness::CoherenceChecker;
 
 TEST(Checker, TsLoadMatchesLatestStoreAtOrBeforeTs)
 {
     CoherenceChecker c;
-    c.onStoreTs(0x100, 0, 5, 111);
-    c.onStoreTs(0x100, 0, 9, 222);
-    c.onLoadTs(0x100, 0, 5, 111);
-    c.onLoadTs(0x100, 0, 8, 111);
-    c.onLoadTs(0x100, 0, 9, 222);
-    c.onLoadTs(0x100, 0, 100, 222);
+    c.onStoreTs(0x100, 0, 5, 111, 0, 0);
+    c.onStoreTs(0x100, 0, 9, 222, 0, 0);
+    c.onLoadTs(0x100, 0, 5, 111, 0, 0);
+    c.onLoadTs(0x100, 0, 8, 111, 0, 0);
+    c.onLoadTs(0x100, 0, 9, 222, 0, 0);
+    c.onLoadTs(0x100, 0, 100, 222, 0, 0);
     EXPECT_EQ(c.violations(), 0u);
-    c.onLoadTs(0x100, 0, 8, 222); // too new for ts 8
+    c.onLoadTs(0x100, 0, 8, 222, 0, 0); // too new for ts 8
     EXPECT_EQ(c.violations(), 1u);
-    c.onLoadTs(0x100, 0, 9, 111); // too old for ts 9
+    c.onLoadTs(0x100, 0, 9, 111, 0, 0); // too old for ts 9
     EXPECT_EQ(c.violations(), 2u);
     EXPECT_FALSE(c.reports().empty());
 }
@@ -28,58 +30,58 @@ TEST(Checker, TsLoadBeforeAnyStoreSeesBaseValue)
     mem::MainMemory memory;
     memory.writeWord(0x200, 42);
     c.snapshotBase(memory);
-    c.onLoadTs(0x200, 0, 3, 42);
+    c.onLoadTs(0x200, 0, 3, 42, 0, 0);
     EXPECT_EQ(c.violations(), 0u);
-    c.onStoreTs(0x200, 0, 10, 50);
-    c.onLoadTs(0x200, 0, 9, 42); // logically before the store
+    c.onStoreTs(0x200, 0, 10, 50, 0, 0);
+    c.onLoadTs(0x200, 0, 9, 42, 0, 0); // logically before the store
     EXPECT_EQ(c.violations(), 0u);
-    c.onLoadTs(0x200, 0, 9, 50);
+    c.onLoadTs(0x200, 0, 9, 50, 0, 0);
     EXPECT_EQ(c.violations(), 1u);
 }
 
 TEST(Checker, TsStoreMonotonicityEnforced)
 {
     CoherenceChecker c;
-    c.onStoreTs(0x300, 0, 5, 1);
-    c.onStoreTs(0x300, 0, 5, 2); // same wts: violation
+    c.onStoreTs(0x300, 0, 5, 1, 0, 0);
+    c.onStoreTs(0x300, 0, 5, 2, 0, 0); // same wts: violation
     EXPECT_EQ(c.violations(), 1u);
-    c.onStoreTs(0x300, 0, 4, 3); // regressed: violation
+    c.onStoreTs(0x300, 0, 4, 3, 0, 0); // regressed: violation
     EXPECT_EQ(c.violations(), 2u);
-    c.onStoreTs(0x300, 1, 2, 4); // new epoch may rewind wts
+    c.onStoreTs(0x300, 1, 2, 4, 0, 0); // new epoch may rewind wts
     EXPECT_EQ(c.violations(), 2u);
 }
 
 TEST(Checker, EpochCarryOver)
 {
     CoherenceChecker c;
-    c.onStoreTs(0x400, 0, 50, 7);
+    c.onStoreTs(0x400, 0, 50, 7, 0, 0);
     c.onEpochReset(1);
     // Epoch 1 load before any epoch-1 store: sees epoch-0 latest.
-    c.onLoadTs(0x400, 1, 3, 7);
+    c.onLoadTs(0x400, 1, 3, 7, 0, 0);
     EXPECT_EQ(c.violations(), 0u);
-    c.onStoreTs(0x400, 1, 11, 8);
-    c.onLoadTs(0x400, 1, 11, 8);
-    c.onLoadTs(0x400, 1, 10, 7);
+    c.onStoreTs(0x400, 1, 11, 8, 0, 0);
+    c.onLoadTs(0x400, 1, 11, 8, 0, 0);
+    c.onLoadTs(0x400, 1, 10, 7, 0, 0);
     EXPECT_EQ(c.violations(), 0u);
 }
 
 TEST(Checker, PhysIntervalSemantics)
 {
     CoherenceChecker c;
-    c.onStorePhys(0x500, 100, 1);
-    c.onStorePhys(0x500, 200, 2);
+    c.onStorePhys(0x500, 100, 1, 0, 0);
+    c.onStorePhys(0x500, 200, 2, 0, 0);
     // Granted at 150, completed 160: version-1 window [100,200).
-    c.onLoadPhys(0x500, 150, 160, 1);
+    c.onLoadPhys(0x500, 150, 160, 1, 0, 0);
     EXPECT_EQ(c.violations(), 0u);
     // Granted at 150, completed 250: either value acceptable.
-    c.onLoadPhys(0x500, 150, 250, 1);
-    c.onLoadPhys(0x500, 150, 250, 2);
+    c.onLoadPhys(0x500, 150, 250, 1, 0, 0);
+    c.onLoadPhys(0x500, 150, 250, 2, 0, 0);
     EXPECT_EQ(c.violations(), 0u);
     // Value 2 cannot be seen in a window that closed before 200.
-    c.onLoadPhys(0x500, 120, 150, 2);
+    c.onLoadPhys(0x500, 120, 150, 2, 0, 0);
     EXPECT_EQ(c.violations(), 1u);
     // Value 1 cannot be seen after being overwritten pre-window.
-    c.onLoadPhys(0x500, 210, 220, 1);
+    c.onLoadPhys(0x500, 210, 220, 1, 0, 0);
     EXPECT_EQ(c.violations(), 2u);
 }
 
@@ -89,33 +91,75 @@ TEST(Checker, PhysInitialValueWindow)
     mem::MainMemory memory;
     memory.writeWord(0x600, 9);
     c.snapshotBase(memory);
-    c.onLoadPhys(0x600, 10, 20, 9); // never stored: initial ok
+    c.onLoadPhys(0x600, 10, 20, 9, 0, 0); // never stored: initial ok
     EXPECT_EQ(c.violations(), 0u);
-    c.onStorePhys(0x600, 100, 1);
-    c.onLoadPhys(0x600, 50, 80, 9); // before the store
+    c.onStorePhys(0x600, 100, 1, 0, 0);
+    c.onLoadPhys(0x600, 50, 80, 9, 0, 0); // before the store
     EXPECT_EQ(c.violations(), 0u);
-    c.onLoadPhys(0x600, 120, 130, 9); // stale past the store
+    c.onLoadPhys(0x600, 120, 130, 9, 0, 0); // stale past the store
     EXPECT_EQ(c.violations(), 1u);
 }
 
 TEST(Checker, SnapshotClearsHistories)
 {
     CoherenceChecker c;
-    c.onStoreTs(0x700, 0, 5, 1);
+    c.onStoreTs(0x700, 0, 5, 1, 0, 0);
     mem::MainMemory memory;
     memory.writeWord(0x700, 33);
     c.snapshotBase(memory);
-    c.onLoadTs(0x700, 0, 100, 33); // history gone; base value rules
+    c.onLoadTs(0x700, 0, 100, 33, 0, 0); // history gone; base rules
     EXPECT_EQ(c.violations(), 0u);
 }
 
 TEST(Checker, CountsLoadsAndStores)
 {
     CoherenceChecker c;
-    c.onStoreTs(0x800, 0, 1, 1);
-    c.onStorePhys(0x900, 1, 1);
-    c.onLoadTs(0x800, 0, 1, 1);
-    c.onLoadPhys(0x900, 1, 2, 1);
+    c.onStoreTs(0x800, 0, 1, 1, 0, 0);
+    c.onStorePhys(0x900, 1, 1, 0, 0);
+    c.onLoadTs(0x800, 0, 1, 1, 0, 0);
+    c.onLoadPhys(0x900, 1, 2, 1, 0, 0);
     EXPECT_EQ(c.storesRecorded(), 2u);
     EXPECT_EQ(c.loadsChecked(), 2u);
+}
+
+TEST(Checker, ReportsNameTheOffendingWarp)
+{
+    CoherenceChecker c;
+    c.onStoreTs(0xa00, 0, 5, 1, 2, 7);
+    c.onLoadTs(0xa00, 0, 5, 99, 3, 11); // wrong value from sm3/w11
+    ASSERT_EQ(c.reports().size(), 1u);
+    EXPECT_NE(c.reports()[0].find("sm3/w11"), std::string::npos);
+    EXPECT_NE(c.reports()[0].find("sm2/w7"), std::string::npos)
+        << "report should name the expected writer";
+
+    c.onLoadPhys(0xb00, 10, 20, 5, 1, 4); // never stored, wrong value
+    ASSERT_EQ(c.reports().size(), 2u);
+    EXPECT_NE(c.reports()[1].find("sm1/w4"), std::string::npos);
+}
+
+TEST(Checker, UnknownOriginRendersQuestionMarks)
+{
+    CoherenceChecker c;
+    c.onStorePhys(0xc00, 100, 1, mem::kNoSm, mem::kNoWarp);
+    c.onStorePhys(0xc00, 50, 2, mem::kNoSm, mem::kNoWarp); // regressed
+    ASSERT_EQ(c.reports().size(), 1u);
+    EXPECT_NE(c.reports()[0].find("sm?/w?"), std::string::npos);
+}
+
+TEST(Checker, ViolationReportQuotesTranscript)
+{
+    obs::Transcript tr(16, "");
+    tr.log(obs::TranscriptEntry{10, 0xa80, "BusWr", 0, 8, 3, false,
+                                5, 0});
+    tr.log(obs::TranscriptEntry{12, 0xa80, "BusWrAck", 8, 0, 3, true,
+                                5, 0});
+
+    CoherenceChecker c;
+    c.setTranscript(&tr);
+    // 0xa88 is a word inside line 0xa80.
+    c.onStoreTs(0xa88, 0, 5, 1, 0, 3);
+    c.onStoreTs(0xa88, 0, 5, 2, 1, 0); // same wts: violation
+    ASSERT_EQ(c.reports().size(), 1u);
+    EXPECT_NE(c.reports()[0].find("transcript:"), std::string::npos);
+    EXPECT_NE(c.reports()[0].find("BusWr"), std::string::npos);
 }

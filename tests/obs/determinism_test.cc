@@ -1,0 +1,114 @@
+/**
+ * Trace determinism across the hybrid main loop.
+ *
+ * Observability output must be a pure function of the simulated
+ * execution: a run with gpu.fast_forward on must produce the same
+ * trace JSON, timeline CSV and protocol transcript, byte for byte,
+ * as a run with it off. Events are only recorded at state-transition
+ * points — cycles both loop modes actually tick — and the main loop
+ * clamps jumps at timeline sample boundaries, so any divergence here
+ * is a bug in one of those two contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "obs/session.hh"
+
+using namespace gtsc;
+
+namespace
+{
+
+sim::Config
+obsConfig(bool fast_forward)
+{
+    sim::Config cfg;
+    cfg.setInt("gpu.num_sms", 4);
+    cfg.setInt("gpu.warps_per_sm", 4);
+    cfg.setInt("gpu.num_partitions", 2);
+    cfg.setDouble("wl.scale", 0.5);
+    cfg.setBool("obs.trace", true);
+    cfg.setInt("obs.sample_interval", 200);
+    cfg.setBool("gpu.fast_forward", fast_forward);
+    return cfg;
+}
+
+struct ObsDump
+{
+    std::string trace;
+    std::string timeline;
+    std::string transcript;
+};
+
+ObsDump
+dump(const harness::RunResult &r)
+{
+    ObsDump d;
+    EXPECT_NE(r.obs, nullptr);
+    if (!r.obs)
+        return d;
+    std::ostringstream t;
+    r.obs->tracer()->writeChromeTrace(t);
+    d.trace = t.str();
+    std::ostringstream tl;
+    r.obs->timeline()->writeCsv(tl);
+    d.timeline = tl.str();
+    std::ostringstream tr;
+    r.obs->transcript()->writeText(tr);
+    d.transcript = tr.str();
+    return d;
+}
+
+} // namespace
+
+class TraceDeterminism
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TraceDeterminism, IdenticalWithAndWithoutFastForward)
+{
+    const char *protocol = GetParam();
+    harness::RunResult slow =
+        harness::runOne(obsConfig(false), protocol, "rc", "mp");
+    harness::RunResult fast =
+        harness::runOne(obsConfig(true), protocol, "rc", "mp");
+
+    ASSERT_EQ(slow.cycles, fast.cycles);
+    ObsDump a = dump(slow);
+    ObsDump b = dump(fast);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.timeline, b.timeline);
+    EXPECT_EQ(a.transcript, b.transcript);
+    // Something must actually have been traced for this to mean
+    // anything.
+    EXPECT_GT(slow.obs->tracer()->totalRecorded(), 0u);
+    EXPECT_GT(slow.obs->transcript()->totalLogged(), 0u);
+    EXPECT_GT(slow.obs->timeline()->numSamples(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, TraceDeterminism,
+                         ::testing::Values("gtsc", "tc", "noncoh"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(TraceDeterminism, TracingDoesNotPerturbTheRun)
+{
+    // Stat dumps must be bit-identical with tracing on and off: the
+    // tracer observes, never steers.
+    sim::Config off;
+    off.setInt("gpu.num_sms", 4);
+    off.setInt("gpu.warps_per_sm", 4);
+    off.setInt("gpu.num_partitions", 2);
+    off.setDouble("wl.scale", 0.5);
+    harness::RunResult plain = harness::runOne(off, "gtsc", "rc", "mp");
+
+    harness::RunResult traced =
+        harness::runOne(obsConfig(false), "gtsc", "rc", "mp");
+    EXPECT_EQ(plain.cycles, traced.cycles);
+    EXPECT_EQ(plain.stats.toString(), traced.stats.toString());
+}

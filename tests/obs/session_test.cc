@@ -1,0 +1,108 @@
+#include "obs/session.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+using namespace gtsc;
+namespace fs = std::filesystem;
+
+TEST(ObsSession, NullWhenEveryKnobOff)
+{
+    sim::Config cfg;
+    EXPECT_EQ(obs::Session::fromConfig(cfg), nullptr);
+}
+
+TEST(ObsSession, TraceEnablesTranscriptAndTimelineByDefault)
+{
+    sim::Config cfg;
+    cfg.setBool("obs.trace", true);
+    auto s = obs::Session::fromConfig(cfg);
+    ASSERT_NE(s, nullptr);
+    EXPECT_NE(s->tracer(), nullptr);
+    EXPECT_NE(s->transcript(), nullptr);
+    EXPECT_EQ(s->sampleInterval(), 1000u);
+    EXPECT_EQ(s->timeline(), nullptr); // not bound yet
+    sim::StatSet stats;
+    s->bindStats(stats);
+    EXPECT_NE(s->timeline(), nullptr);
+    s->bindStats(stats); // idempotent
+}
+
+TEST(ObsSession, ComponentsIndividuallySelectable)
+{
+    sim::Config cfg;
+    cfg.setInt("obs.sample_interval", 500);
+    auto s = obs::Session::fromConfig(cfg);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->tracer(), nullptr);
+    EXPECT_EQ(s->transcript(), nullptr);
+    EXPECT_EQ(s->sampleInterval(), 500u);
+
+    sim::Config cfg2;
+    cfg2.setBool("obs.trace", true);
+    cfg2.setBool("obs.transcript", false);
+    cfg2.setInt("obs.sample_interval", 0);
+    auto s2 = obs::Session::fromConfig(cfg2);
+    ASSERT_NE(s2, nullptr);
+    EXPECT_NE(s2->tracer(), nullptr);
+    EXPECT_EQ(s2->transcript(), nullptr);
+    sim::StatSet stats;
+    s2->bindStats(stats);
+    EXPECT_EQ(s2->timeline(), nullptr);
+}
+
+TEST(TraceRoundTrip, SessionWritesLoadableFiles)
+{
+    sim::Config cfg;
+    cfg.setBool("obs.trace", true);
+    auto s = obs::Session::fromConfig(cfg);
+    ASSERT_NE(s, nullptr);
+    sim::StatSet stats;
+    stats.counter("l1.hits") = 4;
+    s->bindStats(stats);
+    s->tracer()->record(s->tracer()->track("sm0"),
+                        obs::Event{1, 0x40, 0, 0,
+                                   obs::EventKind::WarpIssue, 0, 0});
+    obs::TranscriptEntry e;
+    e.cycle = 2;
+    e.line = 0x40;
+    e.msg = "BusRd";
+    s->transcript()->log(e);
+    s->timeline()->finish(123);
+
+    fs::path dir = fs::temp_directory_path() / "gtsc_obs_session_test";
+    fs::remove_all(dir);
+    std::vector<std::string> files =
+        s->writeFiles(dir.string(), "unit_gtsc_rc_00000000");
+    ASSERT_EQ(files.size(), 3u);
+    for (const std::string &f : files) {
+        std::ifstream in(f);
+        ASSERT_TRUE(in.good()) << f;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        EXPECT_FALSE(buf.str().empty()) << f;
+    }
+    EXPECT_NE(files[0].find(".trace.json"), std::string::npos);
+    EXPECT_NE(files[1].find(".timeline.csv"), std::string::npos);
+    EXPECT_NE(files[2].find(".transcript.txt"), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(ObsSession, FileStemSanitizesAndHashesConfig)
+{
+    std::string a = obs::fileStem("trace:/tmp/x.trace", "gtsc", "rc",
+                                  "gpu.num_sms=4\n");
+    std::string b = obs::fileStem("trace:/tmp/x.trace", "gtsc", "rc",
+                                  "gpu.num_sms=8\n");
+    EXPECT_EQ(a.find('/'), std::string::npos);
+    EXPECT_EQ(a.find(':'), std::string::npos);
+    EXPECT_NE(a, b); // differing configs get distinct stems
+    EXPECT_EQ(a.substr(0, a.rfind('_')), b.substr(0, b.rfind('_')));
+}

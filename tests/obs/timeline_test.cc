@@ -1,0 +1,92 @@
+#include "obs/timeline.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace gtsc;
+using obs::StatTimeline;
+using sim::StatSet;
+
+TEST(Timeline, SamplesPerIntervalDeltas)
+{
+    StatSet s;
+    s.counter("l1.hits") = 0;
+    StatTimeline t(s, 100, {});
+    EXPECT_EQ(t.nextSampleAt(), 100u);
+
+    s.counter("l1.hits") = 5;
+    t.sample(99); // before the boundary: no-op
+    EXPECT_EQ(t.numSamples(), 0u);
+    t.sample(100);
+    EXPECT_EQ(t.numSamples(), 1u);
+    EXPECT_EQ(t.nextSampleAt(), 200u);
+
+    s.counter("l1.hits") = 12;
+    t.sample(200);
+    t.finish(250); // partial final interval
+    EXPECT_EQ(t.numSamples(), 3u);
+
+    std::ostringstream oss;
+    t.writeCsv(oss);
+    EXPECT_EQ(oss.str(), "cycle,l1.hits\n"
+                         "100,5\n"
+                         "200,7\n"
+                         "250,0\n");
+}
+
+TEST(Timeline, SampleIsIdempotentPerCycle)
+{
+    StatSet s;
+    s.counter("x") = 1;
+    StatTimeline t(s, 10, {});
+    t.sample(10);
+    t.sample(10);
+    t.finish(10);
+    EXPECT_EQ(t.numSamples(), 1u);
+}
+
+TEST(Timeline, LateSampleCoversSkippedBoundaries)
+{
+    // A fast-forward overshoot (when no clamp applied, e.g. the run
+    // ended) still yields one sample and re-arms past `now`.
+    StatSet s;
+    StatTimeline t(s, 100, {});
+    t.sample(350);
+    EXPECT_EQ(t.numSamples(), 1u);
+    EXPECT_EQ(t.nextSampleAt(), 400u);
+}
+
+TEST(Timeline, PrefixFilterSelectsCounters)
+{
+    StatSet s;
+    s.counter("l1.hits") = 3;
+    s.counter("l2.accesses") = 9;
+    s.counter("dram.reads") = 1;
+    StatTimeline t(s, 50, {"l1.", "dram."});
+    t.sample(50);
+    std::ostringstream oss;
+    t.writeCsv(oss);
+    std::string csv = oss.str();
+    EXPECT_NE(csv.find("l1.hits"), std::string::npos);
+    EXPECT_NE(csv.find("dram.reads"), std::string::npos);
+    EXPECT_EQ(csv.find("l2.accesses"), std::string::npos);
+}
+
+TEST(Timeline, JsonExportMatchesSampleCount)
+{
+    StatSet s;
+    s.counter("x") = 2;
+    StatTimeline t(s, 10, {});
+    t.sample(10);
+    s.counter("x") = 5;
+    t.sample(20);
+    std::ostringstream oss;
+    t.writeJson(oss);
+    std::string json = oss.str();
+    EXPECT_NE(json.find("\"interval\":10"), std::string::npos);
+    EXPECT_NE(json.find("{\"cycle\":10,\"x\":2}"), std::string::npos);
+    EXPECT_NE(json.find("{\"cycle\":20,\"x\":3}"), std::string::npos);
+}

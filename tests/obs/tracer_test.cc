@@ -1,0 +1,172 @@
+#include "obs/tracer.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace gtsc;
+using obs::Event;
+using obs::EventKind;
+using obs::Tracer;
+
+namespace
+{
+
+Event
+at(Cycle cycle, EventKind kind, Addr addr = 0)
+{
+    return Event{cycle, addr, 0, 0, kind, 0, 0};
+}
+
+/** Balanced-delimiter sanity check outside of string literals. */
+void
+expectBalanced(const std::string &json)
+{
+    int brace = 0;
+    int bracket = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        char c = json[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        switch (c) {
+        case '"':
+            inString = true;
+            break;
+        case '{':
+            ++brace;
+            break;
+        case '}':
+            --brace;
+            break;
+        case '[':
+            ++bracket;
+            break;
+        case ']':
+            --bracket;
+            break;
+        default:
+            break;
+        }
+        EXPECT_GE(brace, 0);
+        EXPECT_GE(bracket, 0);
+    }
+    EXPECT_FALSE(inString);
+    EXPECT_EQ(brace, 0);
+    EXPECT_EQ(bracket, 0);
+}
+
+} // namespace
+
+TEST(Tracer, TrackRegistrationDedupesByName)
+{
+    Tracer t;
+    auto a = t.track("sm0");
+    auto b = t.track("l1.sm0");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.track("sm0"), a);
+    EXPECT_EQ(t.numTracks(), 2u);
+}
+
+TEST(Tracer, RingWrapRetainsNewestEvents)
+{
+    Tracer t(4);
+    auto tr = t.track("x");
+    for (Cycle c = 1; c <= 10; ++c)
+        t.record(tr, at(c, EventKind::L1Hit));
+    EXPECT_EQ(t.totalRecorded(), 10u);
+    EXPECT_EQ(t.totalRetained(), 4u);
+    // Oldest-first visit order: cycles 7, 8, 9, 10.
+    const Tracer::Track &track = t.tracks()[tr];
+    Cycle expect = 7;
+    std::size_t n = track.ring.size();
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(track.ring[(track.next + i) % n].cycle, expect++);
+}
+
+TEST(Tracer, EveryEventKindHasANameAndArgTable)
+{
+    for (unsigned i = 0; i < obs::kNumEventKinds; ++i) {
+        auto k = static_cast<EventKind>(i);
+        EXPECT_STRNE(obs::eventKindName(k), "unknown");
+        // eventArgNames asserts internally on bad kinds.
+        (void)obs::eventArgNames(k);
+    }
+}
+
+TEST(TraceRoundTrip, ChromeJsonWellFormed)
+{
+    Tracer t;
+    auto sm = t.track("sm0");
+    auto l1 = t.track("l1.sm0");
+    t.record(sm, Event{5, 0x1000, 0, 0, EventKind::WarpIssue, 2, 1});
+    t.record(l1, Event{6, 0x1000, 3, 900, EventKind::L1Hit, 2, 0});
+    t.record(sm, Event{7, 0x1000, 0, 0, EventKind::WarpStall, 2, 0});
+    std::ostringstream oss;
+    t.writeChromeTrace(oss);
+    std::string json = oss.str();
+
+    expectBalanced(json);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"warp_issue\""), std::string::npos);
+    EXPECT_NE(json.find("\"l1_hit\""), std::string::npos);
+    EXPECT_NE(json.find("\"warp_stall\""), std::string::npos);
+    // Track-name metadata rows label each track.
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"sm0\""), std::string::npos);
+    EXPECT_NE(json.find("\"l1.sm0\""), std::string::npos);
+}
+
+TEST(TraceRoundTrip, TimestampsAndArgsPreserved)
+{
+    Tracer t;
+    auto l1 = t.track("l1.sm3");
+    t.record(l1, Event{12345, 0xabc0, 17, 2099, EventKind::L1Hit, 7, 0});
+    std::ostringstream oss;
+    t.writeChromeTrace(oss);
+    std::string json = oss.str();
+
+    EXPECT_NE(json.find("\"ts\":12345"), std::string::npos);
+    EXPECT_NE(json.find("\"addr\":\"0xabc0\""), std::string::npos);
+    EXPECT_NE(json.find("\"warp\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"wts\":17"), std::string::npos);
+    EXPECT_NE(json.find("\"rts\":2099"), std::string::npos);
+}
+
+TEST(TraceRoundTrip, DroppedEventCountExported)
+{
+    Tracer t(2);
+    auto tr = t.track("x");
+    for (Cycle c = 1; c <= 5; ++c)
+        t.record(tr, at(c, EventKind::NocInject));
+    std::ostringstream oss;
+    t.writeChromeTrace(oss);
+    std::string json = oss.str();
+    expectBalanced(json);
+    EXPECT_NE(json.find("\"dropped_events\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+}
+
+TEST(TraceRoundTrip, DeterministicForIdenticalRecordings)
+{
+    auto build = [] {
+        Tracer t;
+        auto a = t.track("sm0");
+        auto b = t.track("dram0");
+        for (Cycle c = 0; c < 100; ++c) {
+            t.record(a, at(c, EventKind::WarpIssue, c * 8));
+            if (c % 3 == 0)
+                t.record(b, at(c, EventKind::DramActivate, c * 64));
+        }
+        std::ostringstream oss;
+        t.writeChromeTrace(oss);
+        return oss.str();
+    };
+    EXPECT_EQ(build(), build());
+}

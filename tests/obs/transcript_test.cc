@@ -1,0 +1,100 @@
+#include "obs/transcript.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+using namespace gtsc;
+using obs::Transcript;
+using obs::TranscriptEntry;
+
+namespace
+{
+
+TranscriptEntry
+msg(Cycle cycle, Addr line, const char *name, std::uint16_t src,
+    std::uint16_t dst, bool response = false)
+{
+    TranscriptEntry e;
+    e.cycle = cycle;
+    e.line = line;
+    e.msg = name;
+    e.src = src;
+    e.dst = dst;
+    e.response = response;
+    return e;
+}
+
+} // namespace
+
+TEST(Transcript, UnfilteredWantsEverything)
+{
+    Transcript t(8, "");
+    EXPECT_TRUE(t.wants(0));
+    EXPECT_TRUE(t.wants(0xdeadbeef));
+}
+
+TEST(Transcript, RangeFilter)
+{
+    Transcript t(8, "1000-1f80");
+    EXPECT_FALSE(t.wants(0xf80));
+    EXPECT_TRUE(t.wants(0x1000));
+    EXPECT_TRUE(t.wants(0x1f80));
+    EXPECT_FALSE(t.wants(0x2000));
+
+    Transcript one(8, "4000");
+    EXPECT_TRUE(one.wants(0x4000));
+    EXPECT_FALSE(one.wants(0x4080));
+
+    EXPECT_THROW(Transcript(8, "zzz"), std::runtime_error);
+    EXPECT_THROW(Transcript(8, "2000-1000"), std::runtime_error);
+}
+
+TEST(Transcript, DepthBoundsPerLineHistory)
+{
+    Transcript t(3, "");
+    for (Cycle c = 1; c <= 10; ++c)
+        t.log(msg(c, 0x1000, "BusRd", 0, 1));
+    EXPECT_EQ(t.totalLogged(), 10u);
+    std::string text = t.describeLine(0x1000, 10);
+    // Only the newest 3 retained; the elision is called out.
+    EXPECT_NE(text.find("7 earlier message(s) elided"),
+              std::string::npos);
+    EXPECT_NE(text.find("[8]"), std::string::npos);
+    EXPECT_NE(text.find("[10]"), std::string::npos);
+    EXPECT_EQ(text.find("[7]"), std::string::npos);
+}
+
+TEST(Transcript, DescribeLineFormatsDirectionAndTimestamps)
+{
+    Transcript t(8, "");
+    TranscriptEntry req = msg(5, 0x2000, "BusRd", 3, 1);
+    req.warp = 7;
+    req.ts0 = 10;
+    req.ts1 = 900;
+    t.log(req);
+    t.log(msg(9, 0x2000, "BusFill", 1, 3, true));
+
+    std::string text = t.describeLine(0x2000, 8);
+    EXPECT_NE(text.find("[5] BusRd req  sm3->part1 warp7 ts=10/900"),
+              std::string::npos);
+    EXPECT_NE(text.find("[9] BusFill resp part1->sm3"),
+              std::string::npos);
+    EXPECT_TRUE(t.describeLine(0x9999, 8).empty());
+}
+
+TEST(Transcript, WriteTextListsLinesInAddressOrder)
+{
+    Transcript t(8, "");
+    t.log(msg(2, 0x2000, "BusWr", 1, 0));
+    t.log(msg(1, 0x1000, "BusRd", 0, 0));
+    std::ostringstream oss;
+    t.writeText(oss);
+    std::string text = oss.str();
+    auto first = text.find("line 0x1000");
+    auto second = text.find("line 0x2000");
+    ASSERT_NE(first, std::string::npos);
+    ASSERT_NE(second, std::string::npos);
+    EXPECT_LT(first, second);
+}

@@ -68,6 +68,87 @@ TEST(Distribution, MergeCombines)
     EXPECT_EQ(a.count(), 3u);
 }
 
+TEST(Distribution, StddevOfKnownSamples)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    d.sample(5.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0); // one sample: no spread
+    d.sample(5.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+
+    Distribution e;
+    // {2, 4, 4, 4, 5, 5, 7, 9}: the textbook population-sd-2 set.
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        e.sample(v);
+    EXPECT_NEAR(e.stddev(), 2.0, 1e-9);
+}
+
+TEST(Distribution, PercentilesExactWhileSmall)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.p50(), 0.0);
+    for (int i = 1; i <= 100; ++i)
+        d.sample(static_cast<double>(i));
+    // All 100 samples fit in the reservoir: exact order statistics.
+    EXPECT_NEAR(d.p50(), 50.0, 1.0);
+    EXPECT_NEAR(d.p99(), 99.0, 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 100.0);
+}
+
+TEST(Distribution, ReservoirBoundedAndEstimatesHold)
+{
+    Distribution d;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        d.sample(static_cast<double>(i % 1000));
+    EXPECT_LE(d.reservoirSize(), Distribution::kReservoirCapacity);
+    EXPECT_GT(d.reservoirSize(), Distribution::kReservoirCapacity / 4);
+    // Uniform over [0,1000): estimates stay within a few percent.
+    EXPECT_NEAR(d.p50(), 500.0, 50.0);
+    EXPECT_NEAR(d.p99(), 990.0, 30.0);
+    EXPECT_NEAR(d.stddev(), 288.7, 5.0);
+}
+
+TEST(Distribution, DeterministicAcrossRuns)
+{
+    // The reservoir is systematic, not randomized: two identical
+    // sample streams must yield identical percentile estimates
+    // (bit-reproducibility underpins the fast-forward equivalence).
+    Distribution a;
+    Distribution b;
+    for (int i = 0; i < 54321; ++i) {
+        double v = static_cast<double>((i * 7919) % 4096);
+        a.sample(v);
+        b.sample(v);
+    }
+    EXPECT_EQ(a.reservoirSize(), b.reservoirSize());
+    EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+    EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+    EXPECT_DOUBLE_EQ(a.stddev(), b.stddev());
+}
+
+TEST(Distribution, MergeCombinesSpreadAndPercentiles)
+{
+    Distribution a;
+    Distribution b;
+    for (int i = 0; i < 500; ++i) {
+        a.sample(static_cast<double>(i));        // [0, 500)
+        b.sample(static_cast<double>(i + 500));  // [500, 1000)
+    }
+    Distribution whole;
+    for (int i = 0; i < 1000; ++i)
+        whole.sample(static_cast<double>(i));
+
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1000u);
+    EXPECT_NEAR(a.stddev(), whole.stddev(), 1e-9);
+    EXPECT_LE(a.reservoirSize(), Distribution::kReservoirCapacity);
+    EXPECT_NEAR(a.p50(), whole.p50(), 25.0);
+    EXPECT_NEAR(a.p99(), whole.p99(), 25.0);
+}
+
 TEST(StatSet, CounterReferencesStableAcrossInserts)
 {
     // Components cache &counter(name) at construction and bump the

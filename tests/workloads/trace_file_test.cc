@@ -89,6 +89,46 @@ TEST(TraceFile, SyntaxErrorsAreFatalWithLineNumbers)
                  std::runtime_error); // out of order
 }
 
+TEST(TraceFile, BadOpcodeIsFatal)
+{
+    EXPECT_THROW(TraceFileWorkload::fromString(
+                     "kernel 0\nwarp 0 0\nldx 0x100\n", "T"),
+                 std::runtime_error);
+}
+
+TEST(TraceFile, TruncatedLineIsFatal)
+{
+    // Each directive missing a required operand.
+    EXPECT_THROW(TraceFileWorkload::fromString(
+                     "kernel 0\nwarp 0\n", "T"),
+                 std::runtime_error);
+    EXPECT_THROW(TraceFileWorkload::fromString(
+                     "kernel 0\nmem 0x100\n", "T"),
+                 std::runtime_error);
+    EXPECT_THROW(TraceFileWorkload::fromString(
+                     "kernel 0\nwarp 0 0\nst 0x100\n", "T"),
+                 std::runtime_error);
+    EXPECT_THROW(TraceFileWorkload::fromString(
+                     "kernel 0\nwarp 0 0\nspin 0x100\n", "T"),
+                 std::runtime_error);
+    EXPECT_THROW(TraceFileWorkload::fromString("kernel\n", "T"),
+                 std::runtime_error);
+}
+
+TEST(TraceFile, EmptyKernelIsFatal)
+{
+    // A declared kernel with no warp programs and no mem init is a
+    // trace bug (it would silently simulate nothing).
+    EXPECT_THROW(TraceFileWorkload::fromString("kernel 0\n", "T"),
+                 std::runtime_error);
+    EXPECT_THROW(TraceFileWorkload::fromString(
+                     "kernel 0\nwarp 0 0\nld 0x100\nkernel 1\n", "T"),
+                 std::runtime_error);
+    // mem-init-only kernels stay legal (pure-load kernels exist).
+    EXPECT_NO_THROW(TraceFileWorkload::fromString(
+        "kernel 0\nmem 0x100 1\n", "T"));
+}
+
 TEST(TraceFile, RunsEndToEndThroughRegistry)
 {
     // Write the sample to disk and run it through the full stack.

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate gtsc trace files against the Chrome/Perfetto trace_event
+JSON schema subset the simulator emits.
+
+Usage:
+    tools/check_trace.py TRACE.json [TRACE2.json ...]
+    tools/check_trace.py --dir TRACE_DIR      # every *.trace.json
+
+Checks (stdlib only, no third-party deps):
+  - the file is valid JSON of the {"traceEvents": [...]} object form;
+  - every event carries the required trace_event keys (name, ph, pid,
+    tid) with sane types;
+  - instant events ("ph": "i") carry an integer ts and a scope "s";
+  - metadata events ("ph": "M") are thread_name / dropped_events rows;
+  - every tid used by an instant event has a thread_name row, so the
+    Perfetto UI shows a labeled track (sm0, l1.sm0, ...);
+  - timestamps are non-negative and non-decreasing per track (the
+    simulator records in cycle order);
+  - args hex addresses look like hex ("0x..." strings).
+
+Exit status 0 when every file passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REQUIRED_EVENT_KEYS = {"name", "ph", "pid", "tid"}
+KNOWN_METADATA = {"thread_name", "process_name", "dropped_events"}
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return False
+
+
+def check_event(path, i, ev):
+    if not isinstance(ev, dict):
+        return fail(path, f"event #{i}: not an object")
+    missing = REQUIRED_EVENT_KEYS - ev.keys()
+    if missing:
+        return fail(path, f"event #{i}: missing keys {sorted(missing)}")
+    if not isinstance(ev["name"], str) or not ev["name"]:
+        return fail(path, f"event #{i}: bad name")
+    if not isinstance(ev["tid"], int) or not isinstance(ev["pid"], int):
+        return fail(path, f"event #{i}: pid/tid must be integers")
+    ph = ev["ph"]
+    if ph == "M":
+        if ev["name"] not in KNOWN_METADATA:
+            return fail(path, f"event #{i}: unknown metadata "
+                              f"'{ev['name']}'")
+        if ev["name"] == "thread_name":
+            name = ev.get("args", {}).get("name")
+            if not isinstance(name, str) or not name:
+                return fail(path, f"event #{i}: thread_name without "
+                                  "args.name")
+    elif ph == "i":
+        if not isinstance(ev.get("ts"), int) or ev["ts"] < 0:
+            return fail(path, f"event #{i}: instant event needs a "
+                              "non-negative integer ts")
+        if ev.get("s") not in ("t", "p", "g"):
+            return fail(path, f"event #{i}: instant event needs scope "
+                              "s in t/p/g")
+        args = ev.get("args", {})
+        if not isinstance(args, dict):
+            return fail(path, f"event #{i}: args must be an object")
+        addr = args.get("addr")
+        if addr is not None and (not isinstance(addr, str)
+                                 or not addr.startswith("0x")):
+            return fail(path, f"event #{i}: addr must be a '0x...' "
+                              "hex string")
+    else:
+        return fail(path, f"event #{i}: unsupported phase '{ph}'")
+    return True
+
+
+def check_trace(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(path, "top level must be an object with "
+                          "'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(path, "'traceEvents' must be an array")
+
+    ok = True
+    named_tids = set()
+    last_ts = {}
+    instants = 0
+    for i, ev in enumerate(events):
+        if not check_event(path, i, ev):
+            ok = False
+            continue
+        if ev["ph"] == "M" and ev["name"] == "thread_name":
+            named_tids.add(ev["tid"])
+        elif ev["ph"] == "i":
+            instants += 1
+            tid = ev["tid"]
+            if tid not in named_tids:
+                ok = fail(path, f"event #{i}: tid {tid} has no "
+                                "thread_name metadata row")
+            if ev["ts"] < last_ts.get(tid, 0):
+                ok = fail(path, f"event #{i}: ts regressed on tid "
+                                f"{tid}")
+            last_ts[tid] = ev["ts"]
+
+    if ok:
+        print(f"{path}: OK ({len(named_tids)} tracks, "
+              f"{instants} events)")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="trace JSON files")
+    ap.add_argument("--dir", help="check every *.trace.json under DIR")
+    ap.add_argument("--require-tracks", type=int, default=0,
+                    help="fail unless at least N named tracks exist "
+                         "across all files")
+    args = ap.parse_args()
+
+    paths = [pathlib.Path(p) for p in args.paths]
+    if args.dir:
+        paths += sorted(pathlib.Path(args.dir).glob("*.trace.json"))
+    if not paths:
+        ap.error("no trace files given (and --dir matched none)")
+
+    ok = True
+    total_tracks = set()
+    for p in paths:
+        if not check_trace(p):
+            ok = False
+            continue
+        with open(p, encoding="utf-8") as f:
+            doc = json.load(f)
+        for ev in doc["traceEvents"]:
+            if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+                total_tracks.add((str(p), ev["tid"],
+                                  ev["args"]["name"]))
+    if args.require_tracks and len(total_tracks) < args.require_tracks:
+        ok = fail("<all>", f"expected at least {args.require_tracks} "
+                           f"tracks, found {len(total_tracks)}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

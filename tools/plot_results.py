@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
-"""Plot gtsc-sim CSV sweeps.
+"""Plot gtsc-sim CSV sweeps and obs timeline series.
 
 Usage:
     gtsc-sim sweep bfs --csv bfs.csv
     tools/plot_results.py bfs.csv [-o bfs.png] [--metric cycles]
 
-Produces a grouped bar chart of <metric> per (protocol, consistency),
-normalized to the nol1/rc baseline when --normalize is given.
-Requires matplotlib; falls back to an ASCII chart without it.
+    # stat-timeline CSV written under obs.trace_dir:
+    tools/plot_results.py --timeline run.timeline.csv \
+        [--keys l1.hits,sm.mem_stall_cycles] [-o run.png]
+
+Sweep mode produces a grouped bar chart of <metric> per (protocol,
+consistency), normalized to the nol1/rc baseline when --normalize is
+given. Timeline mode plots per-interval counter deltas against the
+cycle axis. Requires matplotlib; falls back to an ASCII chart
+without it.
 """
 
 import argparse
@@ -36,14 +42,83 @@ def ascii_chart(rows, metric, normalize):
         print(f"{label:>14} {bar} {v:.3g}")
 
 
+def timeline_keys(rows, wanted):
+    keys = [k for k in rows[0] if k != "cycle"]
+    if wanted:
+        missing = [k for k in wanted if k not in keys]
+        if missing:
+            sys.exit(f"unknown timeline keys {missing}; "
+                     f"available: {', '.join(keys)}")
+        return wanted
+    # Default: the busiest few series, so the plot stays readable.
+    totals = {k: sum(float(r[k]) for r in rows) for k in keys}
+    keys.sort(key=lambda k: -totals[k])
+    return keys[:8]
+
+
+def ascii_timeline(rows, keys):
+    width = 50
+    for key in keys:
+        values = [float(r[key]) for r in rows]
+        top = max(values) or 1.0
+        print(f"\n{key} (per-interval delta, max {top:g})")
+        for r, v in zip(rows, values):
+            bar = "#" * int(width * v / top)
+            print(f"{int(r['cycle']):>10} {bar}")
+
+
+def plot_timeline(args):
+    rows = read_rows(args.timeline)
+    if not rows:
+        sys.exit("empty timeline CSV")
+    wanted = args.keys.split(",") if args.keys else None
+    keys = timeline_keys(rows, wanted)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        ascii_timeline(rows, keys)
+        return
+
+    cycles = [int(r["cycle"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(8, 4))
+    for key in keys:
+        ax.plot(cycles, [float(r[key]) for r in rows], label=key,
+                linewidth=1.2)
+    ax.set_xlabel("cycle")
+    ax.set_ylabel("per-interval delta")
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    out = (args.output
+           or args.timeline.rsplit(".", 1)[0] + ".png")
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("csv", help="CSV from gtsc-sim sweep --csv")
+    ap.add_argument("csv", nargs="?",
+                    help="CSV from gtsc-sim sweep --csv")
     ap.add_argument("-o", "--output", help="PNG path (matplotlib)")
     ap.add_argument("--metric", default="cycles")
     ap.add_argument("--normalize", action="store_true",
                     help="normalize to the nol1/rc row")
+    ap.add_argument("--timeline",
+                    help="plot an obs .timeline.csv instead of a "
+                         "sweep CSV")
+    ap.add_argument("--keys",
+                    help="comma-separated timeline counters to plot "
+                         "(default: busiest 8)")
     args = ap.parse_args()
+
+    if args.timeline:
+        plot_timeline(args)
+        return
+    if not args.csv:
+        ap.error("need a sweep CSV (or --timeline)")
 
     rows = read_rows(args.csv)
     if not rows:
