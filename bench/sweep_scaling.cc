@@ -8,12 +8,26 @@
  * only measures elapsed time. A second section measures the hybrid
  * main loop (gpu.fast_forward) on memory-bound workloads: simulated
  * cycles per wall-clock second with the knob off and on, the skipped
- * cycle count, and the speedup. Emits a human table and a JSON blob.
+ * cycle count, and the speedup. A third section measures intra-run
+ * parallelism (gpu.shards): one 16-SM coherent workload run at
+ * 1/2/4/8 shards, reporting wall-clock and speedup over the serial
+ * loop (per-run results are bit-identical at every shard count;
+ * tests/integration/shard_equivalence_test.cc pins that). Emits a
+ * human table and a JSON blob, and writes the blob to
+ * BENCH_sweep_scaling.json (override with --out PATH) — the schema
+ * is documented in EXPERIMENTS.md.
+ *
+ * Section selection for CI: --only sweep|ff|shards runs a single
+ * section (the others are emitted as empty arrays), and
+ * --max-shards N truncates the shard list so a 2-core perf-smoke
+ * runner is not asked to oversubscribe.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -87,12 +101,51 @@ runFastForwardPair(const sim::Config &base, const std::string &wl)
     return row;
 }
 
+struct ShardRow
+{
+    unsigned shards = 1;
+    double secs = 0.0;
+    std::uint64_t cycles = 0;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    sim::Config cfg = bench::benchCfg(argc, argv);
+    // Consume the flags benchCfg does not know about before handing
+    // the rest of the command line to it (it exits on unknown args).
+    std::string outPath = "BENCH_sweep_scaling.json";
+    std::string only; // empty = all sections
+    unsigned maxShards = 8;
+    std::vector<char *> passArgv = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg.rfind("--out=", 0) == 0) {
+            outPath = arg.substr(6);
+        } else if (arg == "--only" && i + 1 < argc) {
+            only = argv[++i];
+        } else if (arg.rfind("--only=", 0) == 0) {
+            only = arg.substr(7);
+        } else if (arg == "--max-shards" && i + 1 < argc) {
+            maxShards = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg.rfind("--max-shards=", 0) == 0) {
+            maxShards = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 13, nullptr, 10));
+        } else {
+            passArgv.push_back(argv[i]);
+        }
+    }
+    int passArgc = static_cast<int>(passArgv.size());
+    sim::Config cfg = bench::benchCfg(passArgc, passArgv.data());
+    argc = passArgc;
+    argv = passArgv.data();
+    const bool doSweep = only.empty() || only == "sweep";
+    const bool doFf = only.empty() || only == "ff";
+    const bool doShards = only.empty() || only == "shards";
 
     const std::vector<std::string> workloads = {"bh", "cc", "vpr",
                                                 "bfs"};
@@ -112,21 +165,22 @@ main(int argc, char **argv)
     std::set<unsigned> jobSet = {1, 2, 4,
                                  sim::ThreadPool::hardwareWorkers()};
 
-    std::printf("Sweep scaling: %zu-cell matrix, hardware threads = "
-                "%u\n\n",
-                specs.size(), sim::ThreadPool::hardwareWorkers());
-    std::printf("%-6s %12s %10s\n", "jobs", "seconds", "speedup");
-
     double serial = 0.0;
     std::vector<std::pair<unsigned, double>> rows;
-    for (unsigned jobs : jobSet) {
-        double secs = runMatrixSeconds(specs, jobs);
-        if (jobs == 1)
-            serial = secs;
-        rows.emplace_back(jobs, secs);
-        std::printf("%-6u %12.3f %10.2fx\n", jobs, secs,
-                    serial > 0.0 ? serial / secs : 0.0);
-        std::fflush(stdout);
+    if (doSweep) {
+        std::printf("Sweep scaling: %zu-cell matrix, hardware "
+                    "threads = %u\n\n",
+                    specs.size(), sim::ThreadPool::hardwareWorkers());
+        std::printf("%-6s %12s %10s\n", "jobs", "seconds", "speedup");
+        for (unsigned jobs : jobSet) {
+            double secs = runMatrixSeconds(specs, jobs);
+            if (jobs == 1)
+                serial = secs;
+            rows.emplace_back(jobs, secs);
+            std::printf("%-6u %12.3f %10.2fx\n", jobs, secs,
+                        serial > 0.0 ? serial / secs : 0.0);
+            std::fflush(stdout);
+        }
     }
 
     // Hybrid-loop section: memory-bound workloads at a scale where
@@ -148,42 +202,107 @@ main(int argc, char **argv)
         ffCfg.setDouble("wl.scale", 256.0);
     const std::vector<std::string> ffWorkloads = {"ccp", "bfs", "ge"};
 
-    std::printf("\nFast-forward (gpu.fast_forward), gtsc/rc, "
-                "wl.scale=%g:\n\n",
-                ffCfg.getDouble("wl.scale", 1.0));
-    std::printf("%-6s %12s %12s %14s %14s %10s %12s\n", "wl",
-                "off secs", "on secs", "off Mcyc/s", "on Mcyc/s",
-                "speedup", "skipped%");
     std::vector<FfRow> ffRows;
-    for (const std::string &wl : ffWorkloads) {
-        FfRow row = runFastForwardPair(ffCfg, wl);
-        double mc = static_cast<double>(row.cycles) / 1e6;
-        std::printf("%-6s %12.3f %12.3f %14.2f %14.2f %9.2fx %11.1f%%\n",
-                    row.workload.c_str(), row.offSecs, row.onSecs,
-                    row.offSecs > 0.0 ? mc / row.offSecs : 0.0,
-                    row.onSecs > 0.0 ? mc / row.onSecs : 0.0,
-                    row.onSecs > 0.0 ? row.offSecs / row.onSecs : 0.0,
-                    row.cycles > 0
-                        ? 100.0 * static_cast<double>(row.skipped) /
-                              static_cast<double>(row.cycles)
-                        : 0.0);
-        std::fflush(stdout);
-        ffRows.push_back(std::move(row));
+    if (doFf) {
+        std::printf("\nFast-forward (gpu.fast_forward), gtsc/rc, "
+                    "wl.scale=%g:\n\n",
+                    ffCfg.getDouble("wl.scale", 1.0));
+        std::printf("%-6s %12s %12s %14s %14s %10s %12s\n", "wl",
+                    "off secs", "on secs", "off Mcyc/s", "on Mcyc/s",
+                    "speedup", "skipped%");
+        for (const std::string &wl : ffWorkloads) {
+            FfRow row = runFastForwardPair(ffCfg, wl);
+            double mc = static_cast<double>(row.cycles) / 1e6;
+            std::printf(
+                "%-6s %12.3f %12.3f %14.2f %14.2f %9.2fx %11.1f%%\n",
+                row.workload.c_str(), row.offSecs, row.onSecs,
+                row.offSecs > 0.0 ? mc / row.offSecs : 0.0,
+                row.onSecs > 0.0 ? mc / row.onSecs : 0.0,
+                row.onSecs > 0.0 ? row.offSecs / row.onSecs : 0.0,
+                row.cycles > 0
+                    ? 100.0 * static_cast<double>(row.skipped) /
+                          static_cast<double>(row.cycles)
+                    : 0.0);
+            std::fflush(stdout);
+            ffRows.push_back(std::move(row));
+        }
     }
 
-    std::printf("\n{\"bench\": \"sweep_scaling\", \"cells\": %zu, "
-                "\"hw_threads\": %u, \"runs\": [",
-                specs.size(), sim::ThreadPool::hardwareWorkers());
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        std::printf("%s{\"jobs\": %u, \"seconds\": %.4f, "
-                    "\"speedup\": %.3f}",
-                    i ? ", " : "", rows[i].first, rows[i].second,
-                    serial > 0.0 ? serial / rows[i].second : 0.0);
+    // Intra-run shard-scaling section: one large coherent run, the
+    // whole machine to itself, at increasing gpu.shards. High
+    // occupancy on purpose — the sharded loop parallelizes SM/L1
+    // work, so the regime that showcases it is the opposite of the
+    // fast-forward section's: every cycle busy, 16 SMs of tick work
+    // per cycle. Results are bit-identical at every shard count, so
+    // only the elapsed time is interesting.
+    sim::Config shCfg = cfg;
+    shCfg.setInt("gpu.num_sms", 16);
+    const std::string shWorkload = "cc";
+    std::vector<ShardRow> shRows;
+    if (doShards) {
+        bool userShardScale = false;
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]).rfind("wl.scale=", 0) == 0)
+                userShardScale = true;
+        }
+        if (!userShardScale)
+            shCfg.setDouble("wl.scale", 8.0);
+        std::printf("\nShard scaling (gpu.shards), gtsc/rc/%s, "
+                    "16 SMs, wl.scale=%g:\n\n",
+                    shWorkload.c_str(),
+                    shCfg.getDouble("wl.scale", 1.0));
+        std::printf("%-7s %12s %10s\n", "shards", "seconds",
+                    "speedup");
+        double shSerial = 0.0;
+        for (unsigned shards : {1u, 2u, 4u, 8u}) {
+            if (shards > maxShards)
+                break;
+            sim::Config c = shCfg;
+            c.setInt("gpu.shards", static_cast<int>(shards));
+            auto t0 = std::chrono::steady_clock::now();
+            harness::RunResult r =
+                harness::runOne(c, "gtsc", "rc", shWorkload);
+            auto t1 = std::chrono::steady_clock::now();
+            ShardRow row;
+            row.shards = shards;
+            row.secs = std::chrono::duration<double>(t1 - t0).count();
+            row.cycles = r.cycles;
+            if (shards == 1)
+                shSerial = row.secs;
+            else if (!shRows.empty() && r.cycles != shRows[0].cycles)
+                std::fprintf(stderr,
+                             "warning: cycle count diverged at %u "
+                             "shards (%llu vs %llu)\n",
+                             shards,
+                             static_cast<unsigned long long>(r.cycles),
+                             static_cast<unsigned long long>(
+                                 shRows[0].cycles));
+            std::printf("%-7u %12.3f %10.2fx\n", shards, row.secs,
+                        shSerial > 0.0 ? shSerial / row.secs : 0.0);
+            std::fflush(stdout);
+            shRows.push_back(row);
+        }
     }
-    std::printf("], \"fast_forward\": [");
+
+    std::ostringstream json;
+    json << "{\"bench\": \"sweep_scaling\", \"cells\": "
+         << specs.size() << ", \"hw_threads\": "
+         << sim::ThreadPool::hardwareWorkers() << ", \"runs\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"jobs\": %u, \"seconds\": %.4f, "
+                      "\"speedup\": %.3f}",
+                      i ? ", " : "", rows[i].first, rows[i].second,
+                      serial > 0.0 ? serial / rows[i].second : 0.0);
+        json << buf;
+    }
+    json << "], \"fast_forward\": [";
     for (std::size_t i = 0; i < ffRows.size(); ++i) {
         const FfRow &r = ffRows[i];
-        std::printf(
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
             "%s{\"workload\": \"%s\", \"off_seconds\": %.4f, "
             "\"on_seconds\": %.4f, \"cycles\": %llu, "
             "\"skipped\": %llu, \"speedup\": %.3f}",
@@ -191,7 +310,33 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(r.cycles),
             static_cast<unsigned long long>(r.skipped),
             r.onSecs > 0.0 ? r.offSecs / r.onSecs : 0.0);
+        json << buf;
     }
-    std::printf("]}\n");
+    json << "], \"shard_scaling\": {\"workload\": \"" << shWorkload
+         << "\", \"protocol\": \"gtsc\", \"consistency\": \"rc\", "
+         << "\"num_sms\": 16, \"runs\": [";
+    double shSerialSecs = shRows.empty() ? 0.0 : shRows[0].secs;
+    for (std::size_t i = 0; i < shRows.size(); ++i) {
+        const ShardRow &r = shRows[i];
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"shards\": %u, \"seconds\": %.4f, "
+                      "\"cycles\": %llu, \"speedup\": %.3f}",
+                      i ? ", " : "", r.shards, r.secs,
+                      static_cast<unsigned long long>(r.cycles),
+                      r.secs > 0.0 ? shSerialSecs / r.secs : 0.0);
+        json << buf;
+    }
+    json << "]}}";
+
+    std::printf("\n%s\n", json.str().c_str());
+    std::ofstream out(outPath);
+    if (out) {
+        out << json.str() << "\n";
+        std::fprintf(stderr, "wrote %s\n", outPath.c_str());
+    } else {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     outPath.c_str());
+    }
     return 0;
 }

@@ -70,9 +70,12 @@ GtscL1::attachTracer(obs::Tracer &tracer)
 void
 GtscL1::adoptEpoch()
 {
-    if (epoch_ == domain_.epoch())
+    // Cycle-indexed read: under gpu.shards the domain can already
+    // hold a reset from a future cycle of the current window.
+    std::uint32_t visible = domain_.epochAt(events_.now());
+    if (epoch_ == visible)
         return;
-    epoch_ = domain_.epoch();
+    epoch_ = visible;
     array_.invalidateAll();
     std::fill(warpTs_.begin(), warpTs_.end(), Ts{1});
     if (trace_) {
@@ -390,7 +393,7 @@ GtscL1::receiveResponse(mem::Packet &&pkt, Cycle now)
     if (pkt.tsReset || pkt.epoch > epoch_)
         adoptEpoch();
 
-    bool stale = pkt.epoch < domain_.epoch();
+    bool stale = pkt.epoch < domain_.epochAt(now);
     if (stale)
         ++(*staleResponses_);
 

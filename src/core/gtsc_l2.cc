@@ -201,7 +201,7 @@ GtscL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     if (new_rts > domain_.tsMax()) {
         // Overflow: domain-wide reset, then recompute in the new
         // epoch. The requester's old timestamps are void.
-        domain_.triggerReset();
+        domain_.triggerReset(now);
         normalizeEpoch(pkt);
         pkt.tsReset = true;
         new_rts = std::max(blk.meta.rts, pkt.warpTs + lease);
@@ -249,7 +249,7 @@ GtscL2::serveWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     Ts new_wts = std::max(blk.meta.rts + 1, pkt.warpTs);
     Ts new_rts = new_wts + domain_.lease();
     if (new_rts > domain_.tsMax()) {
-        domain_.triggerReset();
+        domain_.triggerReset(now);
         normalizeEpoch(pkt);
         pkt.tsReset = true;
         new_wts = std::max(blk.meta.rts + 1, pkt.warpTs);
@@ -322,7 +322,7 @@ GtscL2::onDramFill(Addr line, const mem::LineData &data, Cycle now)
     victim->data = data;
 
     if (memTs_ + domain_.lease() > domain_.tsMax()) {
-        domain_.triggerReset(); // rewinds memTs_ to 1
+        domain_.triggerReset(now); // rewinds memTs_ to 1
     }
     victim->meta.wts = memTs_;
     victim->meta.rts = memTs_ + domain_.lease();

@@ -49,6 +49,26 @@ class TsDomain
     unsigned tsBytes() const { return tsBytes_; }
     std::uint32_t epoch() const { return epoch_; }
 
+    /**
+     * The epoch as of cycle `c`. L1s must use this (not epoch()) for
+     * their lazy reset check: under gpu.shards the coordinator ticks
+     * the L2s a whole window ahead of the SM shards, so a reset can
+     * already be recorded for a cycle the querying L1 has not reached
+     * yet — reading epoch() there would adopt the reset early and
+     * diverge from the serial loop. Resets are rare, so the
+     * back-to-front scan over the few recorded cycles is cheaper
+     * than it looks.
+     */
+    std::uint32_t
+    epochAt(Cycle c) const
+    {
+        std::uint32_t e = epoch_;
+        for (auto it = resetCycles_.rbegin();
+             it != resetCycles_.rend() && *it > c; ++it)
+            --e;
+        return e;
+    }
+
     /** L2 banks register their rewind action here. */
     void
     addResetListener(std::function<void()> fn)
@@ -57,15 +77,21 @@ class TsDomain
     }
 
     /**
-     * An L2 bank hit the timestamp ceiling: start a new epoch and
-     * rewind every bank. Callers recompute their timestamps in the
-     * new epoch afterwards.
+     * An L2 bank hit the timestamp ceiling at cycle `now`: start a
+     * new epoch and rewind every bank. Callers recompute their
+     * timestamps in the new epoch afterwards. L2-side only — the
+     * shards never write the domain, which is what makes the
+     * concurrent epochAt() reads safe (the barrier orders a window's
+     * writes before the next window's reads).
      */
     void
-    triggerReset()
+    triggerReset(Cycle now)
     {
+        GTSC_ASSERT(resetCycles_.empty() || resetCycles_.back() <= now,
+                    "ts reset cycles must be recorded in order");
         ++epoch_;
         ++(*tsResets_);
+        resetCycles_.push_back(now);
         for (auto &fn : listeners_)
             fn();
     }
@@ -76,6 +102,7 @@ class TsDomain
     Ts lease_ = 0;
     unsigned tsBytes_ = 2;
     std::uint32_t epoch_ = 0;
+    std::vector<Cycle> resetCycles_;
     std::vector<std::function<void()>> listeners_;
 };
 

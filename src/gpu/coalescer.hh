@@ -22,14 +22,36 @@
 namespace gtsc::gpu
 {
 
-/** Unique-value generator for store payloads. */
+/**
+ * Unique-value generator for store payloads.
+ *
+ * Each SM owns one, seeded with a disjoint arithmetic progression
+ * (first = sm + 1, stride = numSms): values stay globally unique —
+ * the coherence checker matches loads to stores by value — without
+ * any cross-SM shared state, so SMs sharded across threads draw
+ * values independently and the sequence each SM sees is identical
+ * at any shard count. The default (1, 1) keeps the old single-SM
+ * behaviour for unit tests.
+ */
 class StoreValueSource
 {
   public:
-    std::uint32_t next() { return ++last_; }
+    StoreValueSource() = default;
+    StoreValueSource(std::uint32_t first, std::uint32_t stride)
+        : next_(first), stride_(stride)
+    {}
+
+    std::uint32_t
+    next()
+    {
+        std::uint32_t v = next_;
+        next_ += stride_;
+        return v;
+    }
 
   private:
-    std::uint32_t last_ = 0;
+    std::uint32_t next_ = 1;
+    std::uint32_t stride_ = 1;
 };
 
 class Coalescer

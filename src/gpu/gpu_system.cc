@@ -16,12 +16,38 @@ GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
     watchdogWindow_ = cfg_.getUint("gpu.watchdog_cycles", 400000ULL);
     fastForward_ = cfg_.getBool("gpu.fast_forward", true);
 
+    numShards_ = GpuParams::resolveShards(cfg_, params_.numSms);
+    parallel_ = numShards_ > 1;
+
     builder_.prepare(cfg_, stats_, params_);
 
     reqNet_ = noc::makeNetwork(params_.numSms, params_.numPartitions,
                                true, cfg_, stats_, "noc.req");
     respNet_ = noc::makeNetwork(params_.numPartitions, params_.numSms,
                                 false, cfg_, stats_, "noc.resp");
+
+    if (parallel_) {
+        // Conservative-PDES lookahead: the shortest path through
+        // either network bounds how many cycles the shards can run
+        // between barriers without ever missing a delivery.
+        window_ = std::min(reqNet_->minTraversalLatency(),
+                           respNet_->minTraversalLatency());
+        GTSC_ASSERT(window_ >= 1, "NoC lookahead must be positive");
+        for (unsigned k = 0; k < numShards_; ++k)
+            shards_.push_back(std::make_unique<Shard>());
+        pool_ = std::make_unique<sim::ThreadPool>(numShards_ - 1);
+    }
+    shardOf_.resize(params_.numSms);
+    stagedReq_.resize(params_.numSms);
+    stagedCursor_.assign(params_.numSms, 0);
+    pendingResp_.resize(params_.numSms);
+    storeValues_.reserve(params_.numSms);
+    for (unsigned s = 0; s < params_.numSms; ++s) {
+        storeValues_.emplace_back(s + 1, params_.numSms);
+        shardOf_[s] = s % numShards_;
+        if (parallel_)
+            shards_[shardOf_[s]]->sms.push_back(s);
+    }
 
     for (unsigned p = 0; p < params_.numPartitions; ++p) {
         drams_.push_back(std::make_unique<mem::DramChannel>(
@@ -35,21 +61,47 @@ GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
     }
 
     for (unsigned s = 0; s < params_.numSms; ++s) {
-        l1s_.push_back(builder_.makeL1(static_cast<SmId>(s), cfg_, stats_,
-                                       events_, probe));
+        sim::StatSet &lstats =
+            parallel_ ? shards_[shardOf_[s]]->stats : stats_;
+        sim::EventQueue &levents =
+            parallel_ ? shards_[shardOf_[s]]->events : events_;
+        l1s_.push_back(builder_.makeL1(static_cast<SmId>(s), cfg_, lstats,
+                                       levents, probe));
+        // Requests are staged per source SM and injected in canonical
+        // (cycle, src, FIFO) order — in the serial loop at the end of
+        // the same cycle, in the sharded loop at the window barrier —
+        // so the NoC's global arbitration sequence is identical at
+        // any shard count. A packet injected at cycle c cannot be
+        // ejected before c + minTraversalLatency(), so deferring the
+        // injection within the cycle/window is unobservable.
         l1s_.back()->setSend([this, s](mem::Packet &&pkt) {
-            reqNet_->inject(s, pkt.part, std::move(pkt), cycle_);
+            if (parallel_) {
+                stagedReq_[s].push_back(
+                    StagedPkt{shards_[shardOf_[s]]->now, std::move(pkt)});
+            } else {
+                stagedReq_[s].push_back(
+                    StagedPkt{cycle_, std::move(pkt)});
+                ++stagedCount_;
+            }
         });
         sms_.push_back(std::make_unique<Sm>(static_cast<SmId>(s), params_,
-                                            cfg_, stats_, *l1s_.back(),
-                                            storeValues_));
+                                            cfg_, lstats, *l1s_.back(),
+                                            storeValues_[s]));
     }
 
     reqNet_->setDeliver([this](unsigned dst, mem::Packet &&pkt) {
         l2s_[dst]->receiveRequest(std::move(pkt), cycle_);
     });
     respNet_->setDeliver([this](unsigned dst, mem::Packet &&pkt) {
-        l1s_[dst]->receiveResponse(std::move(pkt), cycle_);
+        if (parallel_) {
+            // Coordinator-side ejection: park the response with its
+            // delivery cycle; the owning shard replays it when its
+            // sweep reaches that cycle, preserving per-L1 order.
+            pendingResp_[dst].push_back(
+                StagedPkt{cycle_, std::move(pkt)});
+        } else {
+            l1s_[dst]->receiveResponse(std::move(pkt), cycle_);
+        }
     });
 
     // The networks registered their packet counters above; cache the
@@ -57,6 +109,11 @@ GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
     // per simulated cycle.
     nocReqPackets_ = &stats_.counter("noc.req.packets");
     nocRespPackets_ = &stats_.counter("noc.resp.packets");
+
+    // Register every shard-side counter key in the global set (at
+    // value 0) before anything reads it: stat dumps and timeline
+    // columns must have the same key set at any shard count.
+    drainShardStats();
 }
 
 void
@@ -105,6 +162,18 @@ GpuSystem::quiescent() const
         if (!dram->idle())
             return false;
     }
+    for (const auto &sh : shards_) {
+        if (!sh->events.empty())
+            return false;
+    }
+    for (const auto &q : pendingResp_) {
+        if (!q.empty())
+            return false;
+    }
+    for (const auto &v : stagedReq_) {
+        if (!v.empty())
+            return false;
+    }
     return true;
 }
 
@@ -145,6 +214,11 @@ GpuSystem::workHorizon() const
     next = std::min(next, events_.nextEventCycle());
     if (next <= floor)
         return next;
+    for (const auto &sh : shards_) {
+        next = std::min(next, sh->events.nextEventCycle());
+        if (next <= floor)
+            return next;
+    }
     next = std::min(next, respNet_->nextWorkCycle(cycle_));
     if (next <= floor)
         return next;
@@ -159,23 +233,193 @@ GpuSystem::workHorizon() const
     return next;
 }
 
-void
-GpuSystem::runKernel(unsigned kernel)
+Cycle
+GpuSystem::coordHorizon(Cycle now) const
 {
-    workload_.initMemory(memory_, kernel);
-    if (kernelStartHook_)
-        kernelStartHook_(memory_, kernel);
-    for (unsigned s = 0; s < params_.numSms; ++s) {
-        std::vector<std::unique_ptr<WarpProgram>> programs;
-        programs.reserve(params_.warpsPerSm);
-        for (unsigned w = 0; w < params_.warpsPerSm; ++w) {
-            programs.push_back(workload_.makeProgram(
-                kernel, static_cast<SmId>(s), static_cast<WarpId>(w),
-                params_));
-        }
-        sms_[s]->launchKernel(std::move(programs));
+    const Cycle floor = now + 1;
+    Cycle next = events_.nextEventCycle();
+    if (next <= floor)
+        return next;
+    next = std::min(next, respNet_->nextWorkCycle(now));
+    if (next <= floor)
+        return next;
+    next = std::min(next, reqNet_->nextWorkCycle(now));
+    if (next <= floor)
+        return next;
+    for (const auto &l2 : l2s_) {
+        next = std::min(next, l2->nextWorkCycle(now));
+        if (next <= floor)
+            return next;
     }
+    for (const auto &dram : drams_) {
+        next = std::min(next, dram->nextWorkCycle(now));
+        if (next <= floor)
+            return next;
+    }
+    return next;
+}
 
+Cycle
+GpuSystem::shardHorizon(const Shard &sh, Cycle now) const
+{
+    const Cycle floor = now + 1;
+    Cycle next = sh.events.nextEventCycle();
+    if (next <= floor)
+        return next;
+    for (unsigned s : sh.sms) {
+        next = std::min(next, sms_[s]->nextWorkCycle(now));
+        if (next <= floor)
+            return next;
+        next = std::min(next, l1s_[s]->nextWorkCycle(now));
+        if (next <= floor)
+            return next;
+        const auto &q = pendingResp_[s];
+        if (!q.empty())
+            next = std::min(next, std::max(q.front().cycle, floor));
+        if (next <= floor)
+            return next;
+    }
+    return next;
+}
+
+bool
+GpuSystem::coordQuiet() const
+{
+    if (!events_.empty())
+        return false;
+    if (!reqNet_->quiescent() || !respNet_->quiescent())
+        return false;
+    for (const auto &l2 : l2s_) {
+        if (!l2->quiescent())
+            return false;
+    }
+    for (const auto &dram : drams_) {
+        if (!dram->idle())
+            return false;
+    }
+    return true;
+}
+
+bool
+GpuSystem::shardQuiet(const Shard &sh) const
+{
+    if (!sh.events.empty())
+        return false;
+    for (unsigned s : sh.sms) {
+        if (!sms_[s]->allWarpsDone() || !sms_[s]->quiescent())
+            return false;
+        if (!l1s_[s]->quiescent())
+            return false;
+        if (!pendingResp_[s].empty() || !stagedReq_[s].empty())
+            return false;
+    }
+    return true;
+}
+
+void
+GpuSystem::flushStagedRequests()
+{
+    const unsigned n = params_.numSms;
+    bool any = false;
+    for (unsigned s = 0; s < n; ++s) {
+        stagedCursor_[s] = 0;
+        if (!stagedReq_[s].empty())
+            any = true;
+    }
+    stagedCount_ = 0;
+    if (!any)
+        return;
+    // (cycle, src, FIFO) merge. Per-SM buffers are already
+    // cycle-sorted, so a cursor per SM and one pass per distinct
+    // cycle suffice; the serial loop flushes every cycle (all stamps
+    // equal, one pass), the sharded loop once per window.
+    for (;;) {
+        Cycle c = kCycleNever;
+        for (unsigned s = 0; s < n; ++s) {
+            const auto &v = stagedReq_[s];
+            if (stagedCursor_[s] < v.size())
+                c = std::min(c, v[stagedCursor_[s]].cycle);
+        }
+        if (c == kCycleNever)
+            break;
+        for (unsigned s = 0; s < n; ++s) {
+            auto &v = stagedReq_[s];
+            std::size_t &cur = stagedCursor_[s];
+            while (cur < v.size() && v[cur].cycle == c) {
+                mem::Packet pkt = std::move(v[cur].pkt);
+                ++cur;
+                reqNet_->inject(s, pkt.part, std::move(pkt), c);
+            }
+        }
+    }
+    for (unsigned s = 0; s < n; ++s)
+        stagedReq_[s].clear();
+}
+
+void
+GpuSystem::drainShardStats()
+{
+    for (auto &sh : shards_) {
+        sh->stats.drainCountersInto(stats_);
+        fastForwarded_ += sh->fastForwarded;
+        sh->fastForwarded = 0;
+    }
+}
+
+void
+GpuSystem::runShardSpan(Shard &sh, Cycle from, Cycle to)
+{
+    // quietFrom == from - 1 means "quiet since before the window";
+    // only consumed when the whole machine turns out to be done, in
+    // which case the pre-window state was provably quiet too.
+    sh.quietFrom = shardQuiet(sh) ? from - 1 : kCycleNever;
+    for (Cycle c = from; c <= to;) {
+        sh.now = c;
+        sh.events.runUntil(c);
+        for (unsigned s : sh.sms) {
+            auto &q = pendingResp_[s];
+            while (!q.empty() && q.front().cycle <= c) {
+                mem::Packet pkt = std::move(q.front().pkt);
+                q.pop_front();
+                l1s_[s]->receiveResponse(std::move(pkt), c);
+            }
+        }
+        for (unsigned s : sh.sms)
+            l1s_[s]->tick(c);
+        for (unsigned s : sh.sms)
+            sms_[s]->tick(c);
+
+        if (!shardQuiet(sh))
+            sh.quietFrom = kCycleNever;
+        else if (sh.quietFrom == kCycleNever)
+            sh.quietFrom = c;
+
+        if (!fastForward_ || c == to) {
+            ++c;
+            continue;
+        }
+        // Intra-window fast-forward, same contract as the serial
+        // loop's jump but clamped to the window: skipped cycles are
+        // provably no-ops for this shard (no events, no parked
+        // deliveries, no SM/L1 work before the horizon).
+        Cycle next = std::min(shardHorizon(sh, c), to + 1);
+        if (next > c + 1) {
+            Cycle span = next - c - 1;
+            for (unsigned s : sh.sms) {
+                sms_[s]->fastForwardStats(span);
+                sms_[s]->syncTo(next - 1);
+            }
+            sh.fastForwarded += span;
+            c = next;
+        } else {
+            ++c;
+        }
+    }
+}
+
+void
+GpuSystem::runSerialLoop(unsigned kernel)
+{
     std::uint64_t last_progress = progressToken();
     Cycle last_progress_cycle = cycle_;
 
@@ -203,6 +447,8 @@ GpuSystem::runKernel(unsigned kernel)
             l1->tick(cycle_);
         for (auto &sm : sms_)
             sm->tick(cycle_);
+        if (stagedCount_ != 0)
+            flushStagedRequests();
         for (auto &dram : drams_)
             dram->tick(cycle_);
 
@@ -258,6 +504,168 @@ GpuSystem::runKernel(unsigned kernel)
             cycle_ = next - 1;
         }
     }
+}
+
+void
+GpuSystem::runParallelLoop(unsigned kernel)
+{
+    std::uint64_t last_progress = progressToken();
+    Cycle last_progress_cycle = cycle_;
+
+    auto all_done = [this]() {
+        for (const auto &sm : sms_) {
+            if (!sm->allWarpsDone())
+                return false;
+        }
+        return true;
+    };
+
+    bool done = all_done() && quiescent();
+    while (!done) {
+        if (cycle_ >= maxCycles_)
+            GTSC_FATAL("simulation exceeded gpu.max_cycles=", maxCycles_,
+                       " for workload ", workload_.name());
+
+        Cycle deadline = last_progress_cycle + watchdogWindow_ + 1;
+
+        // Whole-machine fast-forward at the barrier: when nothing
+        // anywhere has work before the global horizon, jump to it in
+        // one step instead of paying a barrier per window of a long
+        // idle stretch (DRAM latency, spin backoff). Staged and
+        // parked packets are empty here, so workHorizon() covers
+        // every work source.
+        if (fastForward_) {
+            Cycle next = workHorizon();
+            next = std::min(next, deadline);
+            next = std::min(next, maxCycles_ + 1);
+            if (timeline_)
+                next = std::min(next, timeline_->nextSampleAt());
+            if (next > cycle_ + 1) {
+                Cycle span = next - cycle_ - 1;
+                for (auto &sm : sms_) {
+                    sm->fastForwardStats(span);
+                    sm->syncTo(next - 1);
+                }
+                fastForwarded_ += span;
+                cycle_ = next - 1;
+            }
+        }
+
+        const Cycle winStart = cycle_ + 1;
+        Cycle winEnd = std::min(cycle_ + window_, maxCycles_);
+        winEnd = std::min(winEnd, deadline);
+        if (timeline_)
+            winEnd = std::min(winEnd, timeline_->nextSampleAt());
+        GTSC_ASSERT(winEnd >= winStart, "empty shard window");
+
+        // Phase A — coordinator sweep: shared components (events,
+        // L2s, both NoCs, DRAM) tick through the window serially.
+        // Response ejections are parked per destination SM for the
+        // shards to replay; the request network only holds packets
+        // injected at earlier barriers, whose ejections all land in
+        // this window or later (lookahead), so nothing is missed.
+        coordQuietFrom_ = coordQuiet() ? winStart - 1 : kCycleNever;
+        for (Cycle c = winStart; c <= winEnd;) {
+            cycle_ = c;
+            events_.runUntil(c);
+            for (auto &l2 : l2s_)
+                l2->tick(c);
+            respNet_->tick(c);
+            reqNet_->tick(c);
+            for (auto &dram : drams_)
+                dram->tick(c);
+
+            if (!coordQuiet())
+                coordQuietFrom_ = kCycleNever;
+            else if (coordQuietFrom_ == kCycleNever)
+                coordQuietFrom_ = c;
+
+            if (!fastForward_ || c == winEnd) {
+                ++c;
+                continue;
+            }
+            Cycle next = std::min(coordHorizon(c), winEnd + 1);
+            c = next > c + 1 ? next : c + 1;
+        }
+        cycle_ = winEnd;
+
+        // Phase B — shard sweeps run concurrently: each shard ticks
+        // its SMs + L1s through the same window against its own
+        // event queue and StatSet, replaying parked responses at
+        // their delivery cycles and staging outbound requests.
+        for (unsigned k = 1; k < numShards_; ++k) {
+            Shard *sh = shards_[k].get();
+            pool_->submit([this, sh, winStart, winEnd] {
+                runShardSpan(*sh, winStart, winEnd);
+            });
+        }
+        runShardSpan(*shards_[0], winStart, winEnd);
+        pool_->wait();
+
+        // Barrier: merge per-shard counters, then inject this
+        // window's staged requests in canonical order.
+        drainShardStats();
+        flushStagedRequests();
+
+        done = all_done() && quiescent();
+        if (done) {
+            // The machine went idle somewhere inside the window; the
+            // serial loop would have stopped right there. Every side
+            // tracked the first cycle of its trailing quiet span, so
+            // the completion cycle is their max, and the only state
+            // the overshoot touched is one idle tick per SM per
+            // cycle (an all-done, drained SM counts idle and nothing
+            // else). Undo those and rewind.
+            Cycle quiet = coordQuietFrom_;
+            for (const auto &sh : shards_)
+                quiet = std::max(quiet, sh->quietFrom);
+            GTSC_ASSERT(quiet != kCycleNever && quiet >= winStart - 1 &&
+                            quiet <= winEnd,
+                        "inconsistent quiet span at completion");
+            if (quiet < winEnd) {
+                stats_.counter("sm.idle_cycles") -=
+                    static_cast<std::uint64_t>(params_.numSms) *
+                    (winEnd - quiet);
+                cycle_ = quiet;
+            }
+        }
+
+        if (timeline_)
+            timeline_->sample(cycle_);
+
+        std::uint64_t token = progressToken();
+        if (token != last_progress) {
+            last_progress = token;
+            last_progress_cycle = cycle_;
+        } else if (cycle_ - last_progress_cycle > watchdogWindow_) {
+            GTSC_PANIC("no forward progress for ", watchdogWindow_,
+                       " cycles at cycle ", cycle_, " in workload ",
+                       workload_.name(), " kernel ", kernel);
+        }
+    }
+}
+
+void
+GpuSystem::runKernel(unsigned kernel)
+{
+    workload_.initMemory(memory_, kernel);
+    if (kernelStartHook_)
+        kernelStartHook_(memory_, kernel);
+    for (unsigned s = 0; s < params_.numSms; ++s) {
+        std::vector<std::unique_ptr<WarpProgram>> programs;
+        programs.reserve(params_.warpsPerSm);
+        for (unsigned w = 0; w < params_.warpsPerSm; ++w) {
+            programs.push_back(workload_.makeProgram(
+                kernel, static_cast<SmId>(s), static_cast<WarpId>(w),
+                params_));
+        }
+        sms_[s]->launchKernel(std::move(programs));
+    }
+
+    if (parallel_)
+        runParallelLoop(kernel);
+    else
+        runSerialLoop(kernel);
 
     // Kernel boundary: GPUs flush private caches (Section V-D).
     for (auto &l1 : l1s_)
@@ -267,6 +675,10 @@ GpuSystem::runKernel(unsigned kernel)
         for (auto &l2 : l2s_)
             l2->flushAll(cycle_);
     }
+    // Anything the flushes counted shard-side must reach the global
+    // set before the harness reads per-kernel stats.
+    if (parallel_)
+        drainShardStats();
     stats_.counter("gpu.kernels_run")++;
 }
 

@@ -4,11 +4,21 @@
  * crossbars, L2 partitions with their DRAM channels, one functional
  * main memory, and the cycle loop that runs a Workload's kernels
  * back to back (flushing L1s at kernel boundaries, as GPUs do).
+ *
+ * Two main-loop implementations share the same per-cycle semantics:
+ * the serial loop (gpu.shards=1, default) and a barrier-synchronized
+ * sharded loop (gpu.shards>1) that ticks groups of SMs + their L1s
+ * on a thread pool over windows of W cycles, where W is the minimum
+ * NoC traversal latency (conservative-PDES lookahead: traffic
+ * injected inside a window cannot be delivered inside it). Stat
+ * dumps, traces, timelines and transcripts are bit-identical at any
+ * shard count; see DESIGN.md "Parallel execution model".
  */
 
 #ifndef GTSC_GPU_GPU_SYSTEM_HH_
 #define GTSC_GPU_GPU_SYSTEM_HH_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +35,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/thread_pool.hh"
 
 namespace gtsc::gpu
 {
@@ -47,11 +58,16 @@ class GpuSystem
     const GpuParams &params() const { return params_; }
     Cycle cycle() const { return cycle_; }
 
+    /** Effective shard count (gpu.shards / GTSC_SHARDS, clamped). */
+    unsigned shards() const { return numShards_; }
+
     /**
      * Simulated cycles the hybrid main loop skipped instead of
      * ticking (0 with gpu.fast_forward=false). Deliberately not a
      * StatSet entry: stat dumps must be bit-identical with the knob
-     * on and off.
+     * on and off. With gpu.shards>1 the per-shard jumps are summed,
+     * so the value legitimately differs across shard counts even
+     * though every stat does not.
      */
     std::uint64_t fastForwardedCycles() const { return fastForwarded_; }
 
@@ -59,8 +75,9 @@ class GpuSystem
      * Wire an observability session into every component: tracer
      * tracks for SMs, L1s, L2s, NoCs and DRAM channels, the protocol
      * transcript at the two network delivery points, and the stat
-     * timeline (whose sample cycles the fast-forward jump never
-     * skips, so timelines are identical with the knob on or off).
+     * timeline (whose sample cycles neither the fast-forward jump
+     * nor a shard window ever skips, so timelines are identical with
+     * the knobs on or off).
      */
     void attachObs(obs::Session &session);
 
@@ -76,13 +93,65 @@ class GpuSystem
     }
 
   private:
+    /** A packet staged with the cycle it was sent/delivered at. */
+    struct StagedPkt
+    {
+        Cycle cycle;
+        mem::Packet pkt;
+    };
+
+    /**
+     * One shard: a group of SMs + their private L1s, ticked by one
+     * thread inside a window. Each shard owns the event queue its
+     * L1s schedule completions on and the StatSet their counters
+     * live in; both are merged deterministically at the barrier.
+     */
+    struct Shard
+    {
+        std::vector<unsigned> sms; ///< SM indices, ascending
+        sim::EventQueue events;
+        sim::StatSet stats;
+        /** Cycle the shard is currently executing (send staging). */
+        Cycle now = 0;
+        /**
+         * First cycle of the shard's current trailing quiet span
+         * (side-local done + drained); kCycleNever while busy. The
+         * barrier uses the max across sides to roll the completion
+         * cycle back to exactly where the serial loop would stop.
+         */
+        Cycle quietFrom = 0;
+        std::uint64_t fastForwarded = 0;
+    };
+
     bool quiescent() const;
     void runKernel(unsigned kernel);
+    void runSerialLoop(unsigned kernel);
+    void runParallelLoop(unsigned kernel);
+    void runShardSpan(Shard &sh, Cycle from, Cycle to);
     std::uint64_t progressToken() const;
+
+    /** Drain per-SM staged request packets into the request network
+     * in canonical (cycle, src, FIFO/reqId) order. */
+    void flushStagedRequests();
+
+    /** Merge per-shard counters into the global StatSet (barrier). */
+    void drainShardStats();
+
+    /** Shard-local done + drained (its SMs, L1s, events, deliveries). */
+    bool shardQuiet(const Shard &sh) const;
+
+    /** Coordinator-side drained (events, NoCs, L2s, DRAMs). */
+    bool coordQuiet() const;
+
+    /** Earliest future cycle with shard-local work; > now. */
+    Cycle shardHorizon(const Shard &sh, Cycle now) const;
+
+    /** Earliest future cycle with coordinator-side work; > now. */
+    Cycle coordHorizon(Cycle now) const;
 
     /**
      * Minimum of every component's nextWorkCycle() and the event
-     * queue: the earliest future cycle at which ticking can do
+     * queue(s): the earliest future cycle at which ticking can do
      * anything observable. kCycleNever when the machine is fully
      * quiescent.
      */
@@ -96,7 +165,8 @@ class GpuSystem
     sim::StatSet stats_;
     sim::EventQueue events_;
     mem::MainMemory memory_;
-    StoreValueSource storeValues_;
+    /** Per-SM store-value generators (disjoint strided sequences). */
+    std::vector<StoreValueSource> storeValues_;
 
     std::vector<std::unique_ptr<mem::DramChannel>> drams_;
     std::vector<std::unique_ptr<mem::L2Controller>> l2s_;
@@ -104,6 +174,31 @@ class GpuSystem
     std::vector<std::unique_ptr<Sm>> sms_;
     std::unique_ptr<noc::Network> reqNet_;
     std::unique_ptr<noc::Network> respNet_;
+
+    // --- sharded execution state ---
+    unsigned numShards_ = 1;
+    bool parallel_ = false;
+    /** Window size = min NoC traversal latency (PDES lookahead). */
+    Cycle window_ = 1;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<unsigned> shardOf_; ///< SM index -> shard index
+    /**
+     * Per-SM request packets sent by L1s, staged until the end of
+     * the cycle (serial) or the window barrier (sharded), then
+     * injected in canonical order so the NoC's global tie-break
+     * sequence is identical at any shard count.
+     */
+    std::vector<std::vector<StagedPkt>> stagedReq_;
+    std::vector<std::size_t> stagedCursor_;
+    std::size_t stagedCount_ = 0; ///< serial-loop fast skip
+    /**
+     * Per-SM response packets ejected by the coordinator during a
+     * window, stamped with their delivery cycle and replayed by the
+     * owning shard when it reaches that cycle.
+     */
+    std::vector<std::deque<StagedPkt>> pendingResp_;
+    std::unique_ptr<sim::ThreadPool> pool_;
+    Cycle coordQuietFrom_ = 0;
 
     Cycle cycle_ = 0;
     obs::StatTimeline *timeline_ = nullptr;

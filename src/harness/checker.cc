@@ -70,6 +70,7 @@ void
 CoherenceChecker::onStoreTs(Addr word_addr, std::uint32_t epoch, Ts wts,
                             std::uint32_t value, SmId sm, WarpId warp)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++storesRecorded_;
     auto &hist = tsHist_[word_addr];
     if (!hist.empty()) {
@@ -93,6 +94,7 @@ void
 CoherenceChecker::onLoadTs(Addr word_addr, std::uint32_t epoch, Ts ts,
                            std::uint32_t value, SmId sm, WarpId warp)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++loadsChecked_;
     auto it = tsHist_.find(word_addr);
     std::uint32_t expected;
@@ -133,6 +135,7 @@ void
 CoherenceChecker::onStorePhys(Addr word_addr, Cycle when,
                               std::uint32_t value, SmId sm, WarpId warp)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++storesRecorded_;
     auto &hist = physHist_[word_addr];
     if (!hist.empty() && hist.back().start > when) {
@@ -149,6 +152,7 @@ void
 CoherenceChecker::onLoadPhys(Addr word_addr, Cycle grant, Cycle when,
                              std::uint32_t value, SmId sm, WarpId warp)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++loadsChecked_;
     Cycle hi = std::max(grant, when);
     auto it = physHist_.find(word_addr);

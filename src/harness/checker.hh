@@ -23,6 +23,7 @@
 #define GTSC_HARNESS_CHECKER_HH_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -95,6 +96,17 @@ class CoherenceChecker : public mem::CoherenceProbe
 
     std::uint32_t baseValue(Addr word_addr) const;
     void report(const std::string &what, Addr word_addr);
+
+    /**
+     * With gpu.shards > 1 the load probes fire concurrently from
+     * shard threads (stores stay on the coordinator). One lock per
+     * probe call keeps the histories consistent; verdicts are
+     * order-independent because every check compares against
+     * versions that are strictly in the probe's past — stores are
+     * recorded a full NoC traversal before any load that could
+     * observe them can complete.
+     */
+    std::mutex mutex_;
 
     std::unordered_map<Addr, std::vector<TsVersion>> tsHist_;
     std::unordered_map<Addr, std::vector<PhysVersion>> physHist_;

@@ -84,6 +84,7 @@ runOne(const sim::Config &base, const std::string &protocol,
     }
     r.verified = wl->verify(system.memory());
     r.fastForwarded = system.fastForwardedCycles();
+    r.shards = system.shards();
     r.stats = system.stats();
     r.obs = obs;
     std::string trace_dir = cfg.getString("obs.trace_dir", "");

@@ -63,6 +63,13 @@ struct RunResult
      */
     std::uint64_t fastForwarded = 0;
 
+    /**
+     * Worker shards the main loop ran with (gpu.shards /
+     * GTSC_SHARDS, clamped; 1 = serial loop). Like fastForwarded, a
+     * wall-clock knob that never changes `stats`.
+     */
+    unsigned shards = 1;
+
     /** Full raw statistics of the run. */
     sim::StatSet stats;
 

@@ -112,13 +112,4 @@ CacheArray::invalidateAll()
         blk.valid = false;
 }
 
-void
-CacheArray::forEachValid(const std::function<void(CacheBlock &)> &fn)
-{
-    for (auto &blk : blocks_) {
-        if (blk.valid)
-            fn(blk);
-    }
-}
-
 } // namespace gtsc::mem

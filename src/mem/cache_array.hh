@@ -103,8 +103,20 @@ class CacheArray
     /** Invalidate every block (kernel-boundary flush). */
     void invalidateAll();
 
-    /** Apply fn to every valid block. */
-    void forEachValid(const std::function<void(CacheBlock &)> &fn);
+    /**
+     * Apply fn to every valid block. Templated (not std::function):
+     * flush and writeback scans run this over every block, and the
+     * direct call lets the compiler inline the visitor.
+     */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (auto &blk : blocks_) {
+            if (blk.valid)
+                fn(blk);
+        }
+    }
 
     /** Set index for a line address (exposed for tests). */
     std::size_t setIndex(Addr line_addr) const;

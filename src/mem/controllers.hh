@@ -11,11 +11,11 @@
 #ifndef GTSC_MEM_CONTROLLERS_HH_
 #define GTSC_MEM_CONTROLLERS_HH_
 
-#include <functional>
 #include <utility>
 
 #include "mem/access.hh"
 #include "mem/packet.hh"
+#include "sim/small_function.hh"
 #include "sim/types.hh"
 
 // Horizon contract (hybrid cycle/event main loop)
@@ -59,13 +59,17 @@ namespace gtsc::mem
 class L1Controller
 {
   public:
-    /** A load finished; result carries data + checker timing. */
+    /** A load finished; result carries data + checker timing.
+     * SmallFunction (not std::function): these fire once per memory
+     * instruction, and the inline buffer keeps the closure out of
+     * the heap and the call devirtualized to one indirect jump. */
     using LoadDoneFn =
-        std::function<void(const Access &, const AccessResult &)>;
+        sim::SmallFunction<void(const Access &, const AccessResult &)>;
     /** A store was globally performed; gwct != 0 only for TC-Weak. */
-    using StoreDoneFn = std::function<void(const Access &, Cycle gwct)>;
+    using StoreDoneFn =
+        sim::SmallFunction<void(const Access &, Cycle gwct)>;
     /** Inject a request packet into the request network. */
-    using SendFn = std::function<void(Packet &&)>;
+    using SendFn = sim::SmallFunction<void(Packet &&)>;
 
     virtual ~L1Controller() = default;
 
@@ -126,7 +130,7 @@ class L2Controller
 {
   public:
     /** Inject a response packet into the response network. */
-    using SendFn = std::function<void(Packet &&)>;
+    using SendFn = sim::SmallFunction<void(Packet &&)>;
 
     virtual ~L2Controller() = default;
 

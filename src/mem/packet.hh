@@ -39,6 +39,18 @@ inline constexpr unsigned kNumMsgTypes = 5;
 const char *msgTypeName(MsgType t);
 
 /**
+ * True for message types whose `Packet::data` payload is meaningful.
+ * BusRd carries no data by definition; BusRnw and BusWrAck are the
+ * paper's explicitly data-less responses (Table I). Receivers never
+ * read `data` for these types, so moves skip the 128-byte copy.
+ */
+inline constexpr bool
+carriesData(MsgType t)
+{
+    return t == MsgType::BusWr || t == MsgType::BusFill;
+}
+
+/**
  * One NoC message. Protocols fill only the fields they use;
  * `sizeBytes` must be set by the sender before injection and is what
  * the interconnect serializes and accounts.
@@ -82,7 +94,53 @@ struct Packet
     std::uint32_t sizeBytes = 0;///< wire size, set by the sender
     Cycle injectedAt = 0;       ///< for NoC latency statistics
 
+    Packet() = default;
+    Packet(const Packet &) = default;
+    Packet &operator=(const Packet &) = default;
+
+    /**
+     * Moves copy the 128-byte line payload only when the message
+     * type actually carries one (carriesData); the NoC queues and
+     * the sharded main loop move packets end-to-end, so BusRd /
+     * BusRnw / BusWrAck hops never touch `data`. The moved-from
+     * packet's `data` is left unspecified for data-less types.
+     */
+    Packet(Packet &&o) noexcept { moveFrom(o); }
+
+    Packet &
+    operator=(Packet &&o) noexcept
+    {
+        if (this != &o)
+            moveFrom(o);
+        return *this;
+    }
+
     std::string toString() const;
+
+  private:
+    void
+    moveFrom(Packet &o)
+    {
+        type = o.type;
+        lineAddr = o.lineAddr;
+        src = o.src;
+        part = o.part;
+        warp = o.warp;
+        wts = o.wts;
+        rts = o.rts;
+        warpTs = o.warpTs;
+        prevWts = o.prevWts;
+        epoch = o.epoch;
+        tsReset = o.tsReset;
+        leaseEnd = o.leaseEnd;
+        gwct = o.gwct;
+        wordMask = o.wordMask;
+        if (carriesData(type))
+            data = o.data;
+        reqId = o.reqId;
+        sizeBytes = o.sizeBytes;
+        injectedAt = o.injectedAt;
+    }
 };
 
 /** Number of bytes occupied by `word_mask` words, in 32B sectors. */

@@ -9,12 +9,12 @@
 #ifndef GTSC_NOC_NETWORK_HH_
 #define GTSC_NOC_NETWORK_HH_
 
-#include <functional>
 #include <memory>
 #include <string>
 
 #include "mem/packet.hh"
 #include "sim/config.hh"
+#include "sim/small_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -30,7 +30,8 @@ namespace gtsc::noc
 class Network
 {
   public:
-    using DeliverFn = std::function<void(unsigned dst, mem::Packet &&)>;
+    using DeliverFn =
+        sim::SmallFunction<void(unsigned dst, mem::Packet &&)>;
 
     virtual ~Network() = default;
 
@@ -53,6 +54,17 @@ class Network
 
     virtual bool quiescent() const = 0;
     virtual std::uint64_t totalBytes() const = 0;
+
+    /**
+     * A hard lower bound on inject-to-deliver latency: a packet
+     * injected at cycle c is never delivered before
+     * c + minTraversalLatency(). This is the conservative-PDES
+     * lookahead the sharded main loop uses as its window size — SMs
+     * simulated in parallel for W = minTraversalLatency() cycles
+     * cannot observe each other's traffic early, because nothing
+     * injected inside the window can eject inside it. Must be >= 1.
+     */
+    virtual Cycle minTraversalLatency() const { return 1; }
 
     /** Opt into inject/deliver event tracing (no-op by default). */
     virtual void attachTracer(obs::Tracer &tracer) { (void)tracer; }

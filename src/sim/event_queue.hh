@@ -13,12 +13,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <new>
 #include <queue>
-#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "sim/small_function.hh"
 #include "sim/types.hh"
 
 namespace gtsc::sim
@@ -30,118 +29,11 @@ namespace gtsc::sim
  * Protocol completions capture `this` plus a handful of words;
  * std::function's tiny internal buffer spills most of them to the
  * heap, and the allocator showed up in the event-scheduling
- * microbench (bench/micro_protocol_ops.cc). Closures up to
- * kInlineBytes are stored in-place; larger ones (e.g. DRAM fills
- * that capture a whole line) fall back to a single heap allocation,
- * matching std::function's behaviour.
+ * microbench (bench/micro_protocol_ops.cc). Now an alias for the
+ * generalized SmallFunction (sim/small_function.hh), which the NoC
+ * and cache-controller callbacks use with their own signatures.
  */
-class SmallCallback
-{
-  public:
-    static constexpr std::size_t kInlineBytes = 64;
-
-    SmallCallback() = default;
-
-    template <typename F,
-              typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<F>, SmallCallback>>>
-    SmallCallback(F &&fn) // NOLINT: implicit like std::function
-    {
-        using Fn = std::decay_t<F>;
-        if constexpr (sizeof(Fn) <= kInlineBytes &&
-                      alignof(Fn) <= alignof(std::max_align_t) &&
-                      std::is_nothrow_move_constructible_v<Fn>) {
-            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
-            ops_ = &InlineOps<Fn>::ops;
-        } else {
-            ::new (static_cast<void *>(buf_))
-                Fn *(new Fn(std::forward<F>(fn)));
-            ops_ = &HeapOps<Fn>::ops;
-        }
-    }
-
-    SmallCallback(SmallCallback &&o) noexcept : ops_(o.ops_)
-    {
-        if (ops_)
-            ops_->relocate(buf_, o.buf_);
-        o.ops_ = nullptr;
-    }
-
-    SmallCallback &
-    operator=(SmallCallback &&o) noexcept
-    {
-        if (this != &o) {
-            reset();
-            ops_ = o.ops_;
-            if (ops_)
-                ops_->relocate(buf_, o.buf_);
-            o.ops_ = nullptr;
-        }
-        return *this;
-    }
-
-    SmallCallback(const SmallCallback &) = delete;
-    SmallCallback &operator=(const SmallCallback &) = delete;
-
-    ~SmallCallback() { reset(); }
-
-    void operator()() { ops_->call(buf_); }
-
-    explicit operator bool() const { return ops_ != nullptr; }
-
-    /** True when the closure took the inline (allocation-free) path. */
-    bool inlined() const { return ops_ && ops_->inlined; }
-
-  private:
-    struct Ops
-    {
-        void (*call)(void *self);
-        /** Move-construct into dst from src, destroying src. */
-        void (*relocate)(void *dst, void *src);
-        void (*destroy)(void *self);
-        bool inlined;
-    };
-
-    template <typename Fn>
-    struct InlineOps
-    {
-        static void call(void *p) { (*static_cast<Fn *>(p))(); }
-        static void
-        relocate(void *dst, void *src)
-        {
-            Fn *from = static_cast<Fn *>(src);
-            ::new (dst) Fn(std::move(*from));
-            from->~Fn();
-        }
-        static void destroy(void *p) { static_cast<Fn *>(p)->~Fn(); }
-        static constexpr Ops ops{&call, &relocate, &destroy, true};
-    };
-
-    template <typename Fn>
-    struct HeapOps
-    {
-        static void call(void *p) { (**static_cast<Fn **>(p))(); }
-        static void
-        relocate(void *dst, void *src)
-        {
-            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
-        }
-        static void destroy(void *p) { delete *static_cast<Fn **>(p); }
-        static constexpr Ops ops{&call, &relocate, &destroy, false};
-    };
-
-    void
-    reset()
-    {
-        if (ops_) {
-            ops_->destroy(buf_);
-            ops_ = nullptr;
-        }
-    }
-
-    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
-    const Ops *ops_ = nullptr;
-};
+using SmallCallback = SmallFunction<void()>;
 
 /** Min-heap of (cycle, sequence, callback). */
 class EventQueue

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Move-only callable with an inline fast path for small closures.
+ *
+ * Generalization of PR 1's SmallCallback (event-queue callbacks) to
+ * arbitrary signatures, so the per-packet hot paths — NoC delivery,
+ * L1 send/loadDone/storeDone — avoid std::function's heap spill and
+ * type-erasure overhead. Closures up to kInlineBytes are stored
+ * in-place; larger ones fall back to a single heap allocation,
+ * matching std::function's behaviour.
+ */
+
+#ifndef GTSC_SIM_SMALL_FUNCTION_HH_
+#define GTSC_SIM_SMALL_FUNCTION_HH_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gtsc::sim
+{
+
+template <typename Signature> class SmallFunction;
+
+template <typename R, typename... Args>
+class SmallFunction<R(Args...)>
+{
+  public:
+    static constexpr std::size_t kInlineBytes = 64;
+
+    SmallFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction>>>
+    SmallFunction(F &&fn) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            ops_ = &InlineOps<Fn>::ops;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(fn)));
+            ops_ = &HeapOps<Fn>::ops;
+        }
+    }
+
+    SmallFunction(SmallFunction &&o) noexcept : ops_(o.ops_)
+    {
+        if (ops_)
+            ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+    }
+
+    SmallFunction &
+    operator=(SmallFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            ops_ = o.ops_;
+            if (ops_)
+                ops_->relocate(buf_, o.buf_);
+            o.ops_ = nullptr;
+        }
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
+
+    ~SmallFunction() { reset(); }
+
+    R
+    operator()(Args... args)
+    {
+        return ops_->call(buf_, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** True when the closure took the inline (allocation-free) path. */
+    bool inlined() const { return ops_ && ops_->inlined; }
+
+  private:
+    struct Ops
+    {
+        R (*call)(void *self, Args &&...args);
+        /** Move-construct into dst from src, destroying src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *self);
+        bool inlined;
+    };
+
+    template <typename Fn>
+    struct InlineOps
+    {
+        static R
+        call(void *p, Args &&...args)
+        {
+            return (*static_cast<Fn *>(p))(std::forward<Args>(args)...);
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            Fn *from = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        }
+        static void destroy(void *p) { static_cast<Fn *>(p)->~Fn(); }
+        static constexpr Ops ops{&call, &relocate, &destroy, true};
+    };
+
+    template <typename Fn>
+    struct HeapOps
+    {
+        static R
+        call(void *p, Args &&...args)
+        {
+            return (**static_cast<Fn **>(p))(
+                std::forward<Args>(args)...);
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        }
+        static void destroy(void *p) { delete *static_cast<Fn **>(p); }
+        static constexpr Ops ops{&call, &relocate, &destroy, false};
+    };
+
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace gtsc::sim
+
+#endif // GTSC_SIM_SMALL_FUNCTION_HH_

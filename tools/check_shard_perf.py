@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Gate the shard-scaling bench output for CI's perf-smoke job.
+
+Usage:
+    tools/check_shard_perf.py BENCH_sweep_scaling.json [--slack PCT]
+
+Reads the "shard_scaling" section emitted by bench/sweep_scaling and
+fails (exit 1) when any sharded run is more than --slack percent
+(default 10) slower than the serial (shards=1) run of the same
+workload. This is a regression guard, not a speedup gate: hosted CI
+runners have few cores and noisy neighbours, so all it pins is that
+turning sharding on never costs meaningful wall-clock. It also fails
+when the cycle counts differ across shard counts — the sharded loop
+must be bit-identical to the serial one, and a cycle divergence here
+means the equivalence tests were not run or are broken.
+
+Stdlib only, no third-party deps.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="BENCH_sweep_scaling.json")
+    parser.add_argument("--slack", type=float, default=10.0,
+                        help="allowed slowdown in percent (default 10)")
+    args = parser.parse_args()
+
+    with open(args.bench_json, encoding="utf-8") as f:
+        blob = json.load(f)
+
+    section = blob.get("shard_scaling")
+    if not section or not section.get("runs"):
+        print(f"FAIL: no shard_scaling runs in {args.bench_json}")
+        return 1
+
+    runs = section["runs"]
+    serial = next((r for r in runs if r["shards"] == 1), None)
+    if serial is None:
+        print("FAIL: no shards=1 baseline in shard_scaling runs")
+        return 1
+
+    # On a single-hardware-thread host the shard threads timeshare
+    # one core, so a slowdown is expected and means nothing; only the
+    # cycle-equality check is meaningful there.
+    hw = int(blob.get("hw_threads", 0))
+    gate_time = hw >= 2
+    if not gate_time:
+        print(f"note: hw_threads={hw} < 2, timing gate skipped "
+              "(cycle equality still checked)")
+
+    limit = serial["seconds"] * (1.0 + args.slack / 100.0)
+    failed = False
+    for run in runs:
+        slowdown = (run["seconds"] / serial["seconds"] - 1.0) * 100.0
+        status = "ok"
+        if run["cycles"] != serial["cycles"]:
+            status = "FAIL (cycles diverged: "
+            status += f"{run['cycles']} vs {serial['cycles']})"
+            failed = True
+        elif gate_time and run["shards"] != 1 and run["seconds"] > limit:
+            status = f"FAIL (>{args.slack:g}% slower than serial)"
+            failed = True
+        print(f"shards={run['shards']}: {run['seconds']:.3f}s "
+              f"({slowdown:+.1f}% vs serial) {status}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
