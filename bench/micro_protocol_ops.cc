@@ -16,6 +16,7 @@
 #include "noc/crossbar.hh"
 #include "obs/tracer.hh"
 #include "sim/rng.hh"
+#include "sim/slot_pool.hh"
 
 using namespace gtsc;
 
@@ -37,6 +38,162 @@ BM_CacheArrayLookup(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_PacketArenaAllocFree(benchmark::State &state)
+{
+    // Steady-state cost of parking a packet in the slot arena and
+    // returning it: after the first acquire the freelist recycles
+    // one slot forever, so the loop must never touch the allocator.
+    sim::SlotPool<mem::Packet> pool;
+    for (auto _ : state) {
+        std::uint32_t slot = pool.acquire();
+        mem::Packet &p = pool[slot];
+        p.type = mem::MsgType::BusRd;
+        p.sizeBytes = 12;
+        benchmark::DoNotOptimize(p);
+        pool.release(slot);
+    }
+}
+BENCHMARK(BM_PacketArenaAllocFree);
+
+/**
+ * The pre-refactor array-of-structs block: metadata and the 128-byte
+ * payload interleaved, so a set probe strides over payload it never
+ * reads. BM_CacheArrayProbeAoS walks this layout with the same probe
+ * loop CacheArray uses; the delta against BM_CacheArrayProbeSoA is
+ * the payoff of the metadata/payload split.
+ */
+struct AosBlock
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr lineAddr = 0;
+    std::uint64_t lastUse = 0;
+    mem::BlockMeta meta;
+    mem::LineData data;
+};
+
+constexpr std::size_t kProbeCacheBytes = 4 * 1024 * 1024;
+constexpr std::size_t kProbeAssoc = 8;
+constexpr std::size_t kProbeSets =
+    kProbeCacheBytes / mem::kLineBytes / kProbeAssoc;
+
+void
+BM_CacheArrayProbeSoA(benchmark::State &state)
+{
+    // Hit probes with line locality (an L1 access stream re-touches
+    // the same line several times before moving on — the dominant
+    // real pattern). The SoA probe walks dense ~48-byte records and
+    // takes the MRU fast path on the re-touches.
+    mem::CacheArray array(kProbeCacheBytes, kProbeAssoc);
+    for (std::uint64_t i = 0; i < kProbeSets * kProbeAssoc; ++i) {
+        Addr line = i * mem::kLineBytes;
+        array.insert(*array.victim(line), line);
+    }
+    sim::Rng rng(4);
+    Addr line = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        if ((n++ & 3) == 0)
+            line = rng.below(kProbeSets * kProbeAssoc) *
+                   mem::kLineBytes;
+        mem::CacheBlock *blk = array.lookup(line);
+        array.touch(*blk);
+        benchmark::DoNotOptimize(blk);
+    }
+}
+BENCHMARK(BM_CacheArrayProbeSoA);
+
+void
+BM_CacheArrayProbeAoS(benchmark::State &state)
+{
+    // The same access stream over the old interleaved layout: every
+    // probe scans the set's fat blocks, dragging payload-sized
+    // records through the host cache.
+    std::vector<AosBlock> blocks(kProbeSets * kProbeAssoc);
+    for (std::uint64_t i = 0; i < blocks.size(); ++i) {
+        // Line i*kLineBytes maps to set (i % kProbeSets); place it
+        // in that set's next way so every probed line is present.
+        std::size_t set = i & (kProbeSets - 1);
+        std::size_t way = i / kProbeSets;
+        AosBlock &blk = blocks[set * kProbeAssoc + way];
+        blk.valid = true;
+        blk.lineAddr = i * mem::kLineBytes;
+    }
+    sim::Rng rng(4);
+    std::uint64_t stamp = 0;
+    Addr line = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        if ((n++ & 3) == 0)
+            line = rng.below(kProbeSets * kProbeAssoc) *
+                   mem::kLineBytes;
+        std::size_t set =
+            (line / mem::kLineBytes) & (kProbeSets - 1);
+        AosBlock *hit = nullptr;
+        AosBlock *base = &blocks[set * kProbeAssoc];
+        for (std::size_t w = 0; w < kProbeAssoc; ++w) {
+            if (base[w].valid && base[w].lineAddr == line) {
+                hit = &base[w];
+                break;
+            }
+        }
+        hit->lastUse = ++stamp;
+        benchmark::DoNotOptimize(hit);
+    }
+}
+BENCHMARK(BM_CacheArrayProbeAoS);
+
+constexpr std::size_t kWinCounters = 11; ///< Sm::StatWindow size
+
+void
+BM_StatCachedPtrIncrement(benchmark::State &state)
+{
+    // Pre-window hot path: every event bumps a cached pointer into a
+    // StatSet map node — one scattered cache line per counter.
+    sim::StatSet stats;
+    std::uint64_t *targets[kWinCounters];
+    for (std::size_t i = 0; i < kWinCounters; ++i)
+        targets[i] = &stats.counter("win.c" + std::to_string(i));
+    std::size_t n = 0;
+    for (auto _ : state) {
+        ++*targets[n % kWinCounters];
+        ++n;
+    }
+    benchmark::DoNotOptimize(stats);
+}
+BENCHMARK(BM_StatCachedPtrIncrement);
+
+void
+BM_StatWindowFlush(benchmark::State &state)
+{
+    // Windowed pattern: events accumulate into one dense POD block,
+    // batched into the map nodes every 1024 events (the flush cost
+    // is amortized into the per-event figure).
+    sim::StatSet stats;
+    std::uint64_t *targets[kWinCounters];
+    for (std::size_t i = 0; i < kWinCounters; ++i)
+        targets[i] = &stats.counter("win.c" + std::to_string(i));
+    struct Window
+    {
+        std::uint64_t c[kWinCounters] = {};
+    } win;
+    std::size_t n = 0;
+    unsigned pending = 0;
+    for (auto _ : state) {
+        ++win.c[n % kWinCounters];
+        ++n;
+        if (++pending == 1024) {
+            for (std::size_t i = 0; i < kWinCounters; ++i)
+                *targets[i] += win.c[i];
+            win = Window{};
+            pending = 0;
+        }
+    }
+    benchmark::DoNotOptimize(stats);
+}
+BENCHMARK(BM_StatWindowFlush);
 
 void
 BM_MshrAllocFree(benchmark::State &state)

@@ -17,13 +17,21 @@
  * BENCH_sweep_scaling.json (override with --out PATH) — the schema
  * is documented in EXPERIMENTS.md.
  *
- * Section selection for CI: --only sweep|ff|shards runs a single
- * section (the others are emitted as empty arrays), and
+ * A fourth section measures raw single-thread throughput: every cell
+ * of the fig12 matrix (4 workloads x 4 protocol columns) is run
+ * serially with default knobs and the per-cell and geomean simulated
+ * Mcycles per wall-clock second are reported. This is the number the
+ * data-oriented hot-path work optimizes; --baseline-mcyc G embeds a
+ * previously recorded geomean so the JSON carries the speedup.
+ *
+ * Section selection for CI: --only sweep|ff|shards|single runs a
+ * single section (the others are emitted as empty arrays), and
  * --max-shards N truncates the shard list so a 2-core perf-smoke
  * runner is not asked to oversubscribe.
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -108,6 +116,21 @@ struct ShardRow
     std::uint64_t cycles = 0;
 };
 
+struct SingleRow
+{
+    std::string label;
+    double secs = 0.0;
+    std::uint64_t cycles = 0;
+
+    double
+    mcycPerSec() const
+    {
+        return secs > 0.0
+                   ? static_cast<double>(cycles) / 1e6 / secs
+                   : 0.0;
+    }
+};
+
 } // namespace
 
 int
@@ -118,6 +141,7 @@ main(int argc, char **argv)
     std::string outPath = "BENCH_sweep_scaling.json";
     std::string only; // empty = all sections
     unsigned maxShards = 8;
+    double baselineMcyc = 0.0;
     std::vector<char *> passArgv = {argv[0]};
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -135,6 +159,10 @@ main(int argc, char **argv)
         } else if (arg.rfind("--max-shards=", 0) == 0) {
             maxShards = static_cast<unsigned>(
                 std::strtoul(arg.c_str() + 13, nullptr, 10));
+        } else if (arg == "--baseline-mcyc" && i + 1 < argc) {
+            baselineMcyc = std::strtod(argv[++i], nullptr);
+        } else if (arg.rfind("--baseline-mcyc=", 0) == 0) {
+            baselineMcyc = std::strtod(arg.c_str() + 16, nullptr);
         } else {
             passArgv.push_back(argv[i]);
         }
@@ -146,6 +174,7 @@ main(int argc, char **argv)
     const bool doSweep = only.empty() || only == "sweep";
     const bool doFf = only.empty() || only == "ff";
     const bool doShards = only.empty() || only == "shards";
+    const bool doSingle = only.empty() || only == "single";
 
     const std::vector<std::string> workloads = {"bh", "cc", "vpr",
                                                 "bfs"};
@@ -284,6 +313,55 @@ main(int argc, char **argv)
         }
     }
 
+    // Single-thread throughput section: the same fig12 matrix the
+    // sweep section uses, but each cell run serially and timed
+    // individually, reporting simulated Mcycles per wall-clock
+    // second. Default knobs (fast_forward on, 1 shard) — this is the
+    // configuration every figure regeneration actually runs in, so
+    // it is the number the hot-path work has to move.
+    std::vector<SingleRow> singleRows;
+    double singleGeomean = 0.0;
+    if (doSingle) {
+        std::printf("\nSingle-thread throughput, fig12 matrix "
+                    "(%zu cells):\n\n",
+                    specs.size());
+        std::printf("%-16s %12s %14s %12s\n", "cell", "seconds",
+                    "cycles", "Mcyc/s");
+        double logSum = 0.0;
+        for (const harness::RunSpec &spec : specs) {
+            // Best-of-3: cells are tens of milliseconds, so take the
+            // minimum wall time to shed scheduler/page-cache noise.
+            SingleRow row;
+            row.label = spec.label;
+            for (int rep = 0; rep < 3; ++rep) {
+                auto t0 = std::chrono::steady_clock::now();
+                harness::RunResult r = harness::runOne(
+                    spec.config, spec.protocol, spec.consistency,
+                    spec.workload);
+                auto t1 = std::chrono::steady_clock::now();
+                double secs =
+                    std::chrono::duration<double>(t1 - t0).count();
+                if (rep == 0 || secs < row.secs)
+                    row.secs = secs;
+                row.cycles = r.cycles;
+            }
+            std::printf("%-16s %12.3f %14llu %12.2f\n",
+                        row.label.c_str(), row.secs,
+                        static_cast<unsigned long long>(row.cycles),
+                        row.mcycPerSec());
+            std::fflush(stdout);
+            logSum += std::log(row.mcycPerSec());
+            singleRows.push_back(std::move(row));
+        }
+        singleGeomean = std::exp(
+            logSum / static_cast<double>(singleRows.size()));
+        std::printf("%-16s %12s %14s %12.2f\n", "geomean", "", "",
+                    singleGeomean);
+        if (baselineMcyc > 0.0)
+            std::printf("speedup vs baseline %.2f Mcyc/s: %.2fx\n",
+                        baselineMcyc, singleGeomean / baselineMcyc);
+    }
+
     std::ostringstream json;
     json << "{\"bench\": \"sweep_scaling\", \"cells\": "
          << specs.size() << ", \"hw_threads\": "
@@ -327,7 +405,29 @@ main(int argc, char **argv)
                       r.secs > 0.0 ? shSerialSecs / r.secs : 0.0);
         json << buf;
     }
-    json << "]}}";
+    json << "]}, \"single_thread\": {\"cells\": [";
+    for (std::size_t i = 0; i < singleRows.size(); ++i) {
+        const SingleRow &r = singleRows[i];
+        char buf[224];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"cell\": \"%s\", \"seconds\": %.4f, "
+                      "\"cycles\": %llu, \"mcyc_per_sec\": %.3f}",
+                      i ? ", " : "", r.label.c_str(), r.secs,
+                      static_cast<unsigned long long>(r.cycles),
+                      r.mcycPerSec());
+        json << buf;
+    }
+    {
+        char buf[192];
+        std::snprintf(
+            buf, sizeof(buf),
+            "], \"geomean_mcyc_per_sec\": %.3f, "
+            "\"baseline_geomean_mcyc_per_sec\": %.3f, "
+            "\"speedup_vs_baseline\": %.3f}}",
+            singleGeomean, baselineMcyc,
+            baselineMcyc > 0.0 ? singleGeomean / baselineMcyc : 0.0);
+        json << buf;
+    }
 
     std::printf("\n%s\n", json.str().c_str());
     std::ofstream out(outPath);

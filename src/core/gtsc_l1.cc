@@ -157,13 +157,12 @@ bool
 GtscL1::handleLoad(const mem::Access &acc, mem::CacheBlock *blk,
                    Cycle now)
 {
-    auto store_it = storeByLine_.find(acc.lineAddr);
+    const std::uint64_t *store_id = storeByLine_.find(acc.lineAddr);
     const PendingStore *pending = nullptr;
-    if (store_it != storeByLine_.end()) {
+    if (store_id) {
         // A store to this line is awaiting its ack (Section V-A).
-        auto ps = pendingStores_.find(store_it->second);
-        GTSC_ASSERT(ps != pendingStores_.end(), "dangling store-by-line");
-        pending = &ps->second;
+        pending = pendingStores_.find(*store_id);
+        GTSC_ASSERT(pending, "dangling store-by-line");
         switch (visibility_) {
           case Visibility::Block:
             return parkBehindStore(acc); // option 1: block everyone
@@ -228,7 +227,7 @@ GtscL1::handleStore(const mem::Access &acc, mem::CacheBlock *blk,
                     Cycle now)
 {
     (void)now;
-    if (storeByLine_.count(acc.lineAddr))
+    if (storeByLine_.contains(acc.lineAddr))
         return parkBehindStore(acc); // one store in flight per line
 
     // Write-buffer mode: bounded entries model the LDST-unit area
@@ -247,7 +246,8 @@ GtscL1::handleStore(const mem::Access &acc, mem::CacheBlock *blk,
         // data but blocks the line; options 2/3 keep the old copy
         // readable and merge on ack.
         if (visibility_ == Visibility::Block)
-            blk->data.mergeMasked(acc.storeData, acc.wordMask);
+            array_.dataOf(*blk).mergeMasked(acc.storeData,
+                                            acc.wordMask);
         ps.hadBlock = true;
         ps.baseWts = blk->meta.wts;
         ++(*dataWrites_);
@@ -319,11 +319,15 @@ GtscL1::completeLoadHit(const mem::Access &acc,
     Ts load_ts = std::max(warpTs_[acc.warp], blk.meta.wts);
     warpTs_[acc.warp] = load_ts;
 
-    mem::AccessResult res;
-    res.data = blk.data;
+    std::uint32_t slot = loadReplies_.acquire();
+    LoadReply &rec = loadReplies_[slot];
+    rec.acc = acc;
+    mem::AccessResult &res = rec.res;
+    res.data = array_.dataOf(blk);
     res.l1Hit = true;
     res.loadTs = load_ts;
     res.epoch = epoch_;
+    res.leaseGrant = 0; // recycled slot: reset every field
 
     std::uint32_t forwarded_mask = 0;
     if (forward) {
@@ -344,8 +348,10 @@ GtscL1::completeLoadHit(const mem::Access &acc,
             }
         }
     }
-    events_.schedule(now + hitLatency_, [this, acc, res]() {
-        loadDone_(acc, res);
+    events_.schedule(now + hitLatency_, [this, slot]() {
+        LoadReply &r = loadReplies_[slot];
+        loadDone_(r.acc, r.res);
+        loadReplies_.release(slot);
     });
 }
 
@@ -357,11 +363,15 @@ GtscL1::completeLoadFromPacket(const mem::Access &acc,
     GTSC_ASSERT(load_ts <= pkt.rts, "bypass load outside lease");
     warpTs_[acc.warp] = load_ts;
 
-    mem::AccessResult res;
+    std::uint32_t slot = loadReplies_.acquire();
+    LoadReply &rec = loadReplies_[slot];
+    rec.acc = acc;
+    mem::AccessResult &res = rec.res;
     res.data = pkt.data;
     res.l1Hit = false;
     res.loadTs = load_ts;
     res.epoch = epoch_;
+    res.leaseGrant = 0; // recycled slot: reset every field
 
     if (probe_) {
         for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
@@ -372,18 +382,21 @@ GtscL1::completeLoadFromPacket(const mem::Access &acc,
             }
         }
     }
-    events_.schedule(now + 1, [this, acc, res]() {
-        loadDone_(acc, res);
+    events_.schedule(now + 1, [this, slot]() {
+        LoadReply &r = loadReplies_[slot];
+        loadDone_(r.acc, r.res);
+        loadReplies_.release(slot);
     });
 }
 
 void
-GtscL1::queueReplay(std::vector<mem::Access> &&waiters)
+GtscL1::queueReplay(std::vector<mem::Access> &waiters)
 {
     for (auto &w : waiters) {
         w.replayed = true;
         replayQueue_.push_back(std::move(w));
     }
+    waiters.clear();
 }
 
 void
@@ -428,7 +441,7 @@ GtscL1::onFill(mem::Packet &pkt, Cycle now)
     // Never clobber a line whose store is awaiting its ack: the local
     // copy (and its pending meta update) owns the line until then.
     // Loads the packet's lease covers may still complete from it.
-    if (storeByLine_.count(pkt.lineAddr)) {
+    if (storeByLine_.contains(pkt.lineAddr)) {
         resolveEntry(entry, nullptr, &pkt, now);
         return;
     }
@@ -436,7 +449,7 @@ GtscL1::onFill(mem::Packet &pkt, Cycle now)
     mem::CacheBlock *blk = array_.lookup(pkt.lineAddr);
     if (!blk) {
         auto evictable = [this](const mem::CacheBlock &b) {
-            return storeByLine_.count(b.lineAddr) == 0;
+            return !storeByLine_.contains(b.lineAddr);
         };
         mem::CacheBlock *victim = array_.victim(pkt.lineAddr, evictable);
         if (victim) {
@@ -446,7 +459,7 @@ GtscL1::onFill(mem::Packet &pkt, Cycle now)
         }
     }
     if (blk) {
-        blk->data = pkt.data;
+        array_.dataOf(*blk) = pkt.data;
         blk->meta.wts = pkt.wts;
         blk->meta.rts = pkt.rts;
         blk->meta.epoch = pkt.epoch;
@@ -477,7 +490,8 @@ GtscL1::resolveEntry(mem::MshrEntry *entry, mem::CacheBlock *blk,
     // first store: accesses queued behind a store must replay after
     // it performs (a same-warp load behind its own store must never
     // observe the pre-store value).
-    std::vector<mem::Access> remaining;
+    std::vector<mem::Access> &remaining = resolveScratch_;
+    remaining.clear();
     bool hit_store = false;
     for (auto &acc : entry->waiters) {
         if (!hit_store && !acc.isStore) {
@@ -504,9 +518,11 @@ GtscL1::resolveEntry(mem::MshrEntry *entry, mem::CacheBlock *blk,
         // No response still in flight: the leftovers re-enter
         // access() and trigger a (single) renewal request.
         mshr_.free(line);
-        queueReplay(std::move(remaining));
+        queueReplay(remaining);
     } else {
-        entry->waiters = std::move(remaining);
+        // Swap so the entry keeps a recycled buffer and the scratch
+        // inherits the entry's old one for the next resolve.
+        entry->waiters.swap(remaining);
     }
 }
 
@@ -525,16 +541,15 @@ void
 GtscL1::onWrAck(mem::Packet &pkt, Cycle now)
 {
     (void)now;
-    auto it = pendingStores_.find(pkt.reqId);
-    GTSC_ASSERT(it != pendingStores_.end(),
-                "BusWrAck without pending store, reqId=", pkt.reqId);
-    PendingStore ps = it->second;
+    PendingStore *psp = pendingStores_.find(pkt.reqId);
+    GTSC_ASSERT(psp, "BusWrAck without pending store, reqId=", pkt.reqId);
+    PendingStore ps = *psp;
     mem::Access acc = ps.access;
-    pendingStores_.erase(it);
+    pendingStores_.erase(pkt.reqId);
 
-    auto line_it = storeByLine_.find(pkt.lineAddr);
-    if (line_it != storeByLine_.end() && line_it->second == pkt.reqId)
-        storeByLine_.erase(line_it);
+    std::uint64_t *line_id = storeByLine_.find(pkt.lineAddr);
+    if (line_id && *line_id == pkt.reqId)
+        storeByLine_.erase(pkt.lineAddr);
 
     bool stale = pkt.epoch < epoch_;
     mem::CacheBlock *blk = array_.lookup(pkt.lineAddr);
@@ -546,12 +561,13 @@ GtscL1::onWrAck(mem::Packet &pkt, Cycle now)
         if (ps.hadBlock && ps.baseWts == pkt.prevWts &&
             blk->meta.wts <= pkt.wts) {
             if (visibility_ != Visibility::Block) // 2/3 merge on ack
-                blk->data.mergeMasked(acc.storeData, acc.wordMask);
+                array_.dataOf(*blk).mergeMasked(acc.storeData,
+                                                acc.wordMask);
             blk->meta.wts = pkt.wts;
             blk->meta.rts = pkt.rts;
             blk->meta.epoch = pkt.epoch;
         } else {
-            blk->valid = false;
+            array_.invalidate(*blk);
             ++(*storeBaseStale_);
         }
     }
@@ -562,30 +578,12 @@ GtscL1::onWrAck(mem::Packet &pkt, Cycle now)
 
     if (mem::MshrEntry *entry = mshr_.find(pkt.lineAddr)) {
         if (entry->lockWait) {
-            std::vector<mem::Access> waiters = std::move(entry->waiters);
+            resolveScratch_.clear();
+            resolveScratch_.swap(entry->waiters);
             mshr_.free(pkt.lineAddr);
-            queueReplay(std::move(waiters));
+            queueReplay(resolveScratch_);
         }
     }
-}
-
-void
-GtscL1::tick(Cycle now)
-{
-    // Replays re-enter access() in order; stop on structural reject.
-    while (!replayQueue_.empty()) {
-        if (!access(replayQueue_.front(), now))
-            break;
-        replayQueue_.pop_front();
-    }
-}
-
-Cycle
-GtscL1::nextWorkCycle(Cycle now) const
-{
-    // Pending replays retry (and count stats) every cycle; all other
-    // work arrives through responses or the event queue.
-    return replayQueue_.empty() ? kCycleNever : now + 1;
 }
 
 } // namespace gtsc::core

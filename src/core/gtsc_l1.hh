@@ -21,8 +21,6 @@
 #ifndef GTSC_CORE_GTSC_L1_HH_
 #define GTSC_CORE_GTSC_L1_HH_
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "core/ts_domain.hh"
@@ -32,12 +30,15 @@
 #include "mem/mshr.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 
 namespace gtsc::core
 {
 
-class GtscL1 : public mem::L1Controller
+class GtscL1 final : public mem::L1Controller
 {
   public:
     GtscL1(SmId sm, const sim::Config &cfg, sim::StatSet &stats,
@@ -46,8 +47,26 @@ class GtscL1 : public mem::L1Controller
 
     bool access(const mem::Access &acc, Cycle now) override;
     void receiveResponse(mem::Packet &&pkt, Cycle now) override;
-    void tick(Cycle now) override;
-    Cycle nextWorkCycle(Cycle now) const override;
+    /** Replays re-enter access() in order; stop on structural
+     *  reject. Inline: the per-cycle call reduces to one empty-deque
+     *  check on the (overwhelmingly common) replay-free cycles. */
+    void
+    tick(Cycle now) override
+    {
+        while (!replayQueue_.empty()) {
+            if (!access(replayQueue_.front(), now))
+                break;
+            replayQueue_.pop_front();
+        }
+    }
+
+    /** Pending replays retry (and count stats) every cycle; all
+     *  other work arrives through responses or the event queue. */
+    Cycle
+    nextWorkCycle(Cycle now) const override
+    {
+        return replayQueue_.empty() ? kCycleNever : now + 1;
+    }
     void flush(Cycle now) override;
     void noteSpinRetry(WarpId warp, Addr line_addr) override;
     bool quiescent() const override;
@@ -105,7 +124,9 @@ class GtscL1 : public mem::L1Controller
     void resolveEntry(mem::MshrEntry *entry, mem::CacheBlock *blk,
                       const mem::Packet *pkt, Cycle now);
 
-    void queueReplay(std::vector<mem::Access> &&waiters);
+    /** Move `waiters` into the replay queue and clear it (the
+     *  vector's buffer stays with the caller for reuse). */
+    void queueReplay(std::vector<mem::Access> &waiters);
 
     SmId sm_;
     sim::StatSet &stats_;
@@ -119,11 +140,24 @@ class GtscL1 : public mem::L1Controller
     std::uint32_t epoch_ = 0;
 
     /** In-flight stores keyed by request id. */
-    std::unordered_map<std::uint64_t, PendingStore> pendingStores_;
+    sim::SmallFlatMap<std::uint64_t, PendingStore> pendingStores_;
     /** Lines with an in-flight store (value = request id, writer). */
-    std::unordered_map<Addr, std::uint64_t> storeByLine_;
+    sim::SmallFlatMap<Addr, std::uint64_t> storeByLine_;
     /** Accesses waiting to re-enter access() (fills, unlocks). */
-    std::deque<mem::Access> replayQueue_;
+    sim::RingBuffer<mem::Access> replayQueue_;
+    /** resolveEntry / onWrAck waiter scratch: capacity circulates
+     *  between this and the pooled MSHR entries (swap, never free). */
+    std::vector<mem::Access> resolveScratch_;
+
+    /** Completed-load payloads parked here so the completion event
+     *  captures only [this, slot] and stays within SmallFunction's
+     *  inline buffer (no per-load closure allocation). */
+    struct LoadReply
+    {
+        mem::Access acc;
+        mem::AccessResult res;
+    };
+    sim::SlotPool<LoadReply> loadReplies_;
 
     /**
      * Section V-A update-visibility designs:

@@ -40,6 +40,7 @@ GtscL2::GtscL2(PartitionId part, const sim::Config &cfg,
     stallMshrFull_ = &stats_.counter("l2.stall_mshr_full");
     queueCycles_ = &stats_.counter("l2.queue_occupancy_cycles");
     adaptiveExtensions_ = &stats_.counter("gtsc.adaptive_extensions");
+    serviceLatency_ = &stats_.distribution("l2.service_latency");
 }
 
 bool
@@ -78,8 +79,8 @@ GtscL2::flushAll(Cycle now)
     array_.forEachValid([this](mem::CacheBlock &blk) {
         memTs_ = std::max(memTs_, blk.meta.rts);
         if (blk.dirty)
-            memory_.writeLine(blk.lineAddr, blk.data);
-        blk.valid = false;
+            memory_.writeLine(blk.lineAddr, array_.dataOf(blk));
+        array_.invalidate(blk);
     });
 }
 
@@ -104,19 +105,10 @@ GtscL2::normalizeEpoch(mem::Packet &pkt)
     }
 }
 
-Cycle
-GtscL2::nextWorkCycle(Cycle now) const
-{
-    // A non-empty service queue processes (and accrues occupancy
-    // stats) every cycle; outstanding misses wake via DRAM events.
-    return queue_.empty() ? kCycleNever : now + 1;
-}
-
 void
-GtscL2::tick(Cycle now)
+GtscL2::tickQueue(Cycle now)
 {
-    if (!queue_.empty())
-        (*queueCycles_) += queue_.size();
+    (*queueCycles_) += queue_.size();
     for (unsigned i = 0; i < ports_ && !queue_.empty(); ++i) {
         if (!process(queue_.front(), now)) {
             ++(*stallMshrFull_);
@@ -132,8 +124,7 @@ GtscL2::process(mem::Packet &pkt, Cycle now)
     normalizeEpoch(pkt);
     ++(*accesses_);
     if (pkt.injectedAt > 0) {
-        stats_.distribution("l2.service_latency")
-            .sample(static_cast<double>(now - pkt.injectedAt));
+        serviceLatency_->sample(static_cast<double>(now - pkt.injectedAt));
         pkt.injectedAt = 0; // waiter replays sample only once
     }
     GTSC_DEBUG("L2[", part_, "] @", now, " <- ", pkt.toString(),
@@ -147,16 +138,16 @@ GtscL2::process(mem::Packet &pkt, Cycle now)
     }
 
     // Miss: merge into an outstanding fetch or start one.
-    auto it = misses_.find(pkt.lineAddr);
-    if (it != misses_.end()) {
-        it->second.waiters.push_back(pkt);
+    if (MissEntry *pending = misses_.find(pkt.lineAddr)) {
+        pending->waiters.push_back(pkt);
         return true;
     }
     if (misses_.size() >= mshrCapacity_)
         return false;
 
     ++(*missesStat_);
-    MissEntry &entry = misses_[pkt.lineAddr];
+    MissEntry &entry = misses_.emplace(pkt.lineAddr);
+    entry.waiters.clear(); // recycled slot: stale waiters possible
     entry.waiters.push_back(pkt);
     Addr line = pkt.lineAddr;
     dram_.pushRead(line, [this, line](const mem::LineData &data) {
@@ -234,7 +225,7 @@ GtscL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     } else {
         resp.type = mem::MsgType::BusFill;
         resp.wts = blk.meta.wts;
-        resp.data = blk.data;
+        resp.data = array_.dataOf(blk);
         resp.sizeBytes = gtscMessageBytes(mem::MsgType::BusFill,
                                           domain_.tsBytes(), 0);
         ++(*fillsSent_);
@@ -256,7 +247,7 @@ GtscL2::serveWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
         new_rts = new_wts + domain_.lease();
     }
 
-    blk.data.mergeMasked(pkt.data, pkt.wordMask);
+    array_.dataOf(blk).mergeMasked(pkt.data, pkt.wordMask);
     blk.meta.wts = new_wts;
     blk.meta.rts = new_rts;
     blk.meta.renewStreak = 0; // data changed: restart prediction
@@ -306,9 +297,10 @@ GtscL2::evict(mem::CacheBlock &blk)
     ++(*evictions_);
     if (blk.dirty) {
         ++(*writebacks_);
-        dram_.pushWrite(blk.lineAddr, blk.data, 0xffffffffu);
+        dram_.pushWrite(blk.lineAddr, array_.dataOf(blk),
+                        0xffffffffu);
     }
-    blk.valid = false;
+    array_.invalidate(blk);
 }
 
 void
@@ -319,7 +311,7 @@ GtscL2::onDramFill(Addr line, const mem::LineData &data, Cycle now)
     if (victim->valid)
         evict(*victim);
     array_.insert(*victim, line);
-    victim->data = data;
+    array_.dataOf(*victim) = data;
 
     if (memTs_ + domain_.lease() > domain_.tsMax()) {
         domain_.triggerReset(now); // rewinds memTs_ to 1
@@ -327,21 +319,26 @@ GtscL2::onDramFill(Addr line, const mem::LineData &data, Cycle now)
     victim->meta.wts = memTs_;
     victim->meta.rts = memTs_ + domain_.lease();
 
-    auto it = misses_.find(line);
-    GTSC_ASSERT(it != misses_.end(), "DRAM fill without miss entry");
-    std::vector<mem::Packet> waiters = std::move(it->second.waiters);
-    misses_.erase(it);
-    for (auto &w : waiters)
+    MissEntry *entry = misses_.find(line);
+    GTSC_ASSERT(entry, "DRAM fill without miss entry");
+    // Swap the waiters into the member scratch so their buffer
+    // circulates back into the pool instead of being freed here.
+    waitersScratch_.clear();
+    waitersScratch_.swap(entry->waiters);
+    misses_.erase(line);
+    for (auto &w : waitersScratch_)
         serveHit(*victim, w, now);
 }
 
 void
 GtscL2::respond(mem::Packet &&resp, Cycle now)
 {
-    events_.schedule(now + accessLatency_,
-                     [this, r = std::move(resp)]() mutable {
-                         send_(std::move(r));
-                     });
+    std::uint32_t slot = respPool_.acquire();
+    respPool_[slot] = std::move(resp);
+    events_.schedule(now + accessLatency_, [this, slot]() {
+        send_(std::move(respPool_[slot]));
+        respPool_.release(slot);
+    });
 }
 
 } // namespace gtsc::core

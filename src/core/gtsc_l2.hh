@@ -16,8 +16,6 @@
 #ifndef GTSC_CORE_GTSC_L2_HH_
 #define GTSC_CORE_GTSC_L2_HH_
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "core/ts_domain.hh"
@@ -28,12 +26,14 @@
 #include "mem/main_memory.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 
 namespace gtsc::core
 {
 
-class GtscL2 : public mem::L2Controller
+class GtscL2 final : public mem::L2Controller
 {
   public:
     GtscL2(PartitionId part, const sim::Config &cfg, sim::StatSet &stats,
@@ -42,8 +42,21 @@ class GtscL2 : public mem::L2Controller
            mem::CoherenceProbe *probe);
 
     void receiveRequest(mem::Packet &&pkt, Cycle now) override;
-    void tick(Cycle now) override;
-    Cycle nextWorkCycle(Cycle now) const override;
+    /** Service-queue pump; O(1) when the queue is empty. */
+    void
+    tick(Cycle now) override
+    {
+        if (!queue_.empty())
+            tickQueue(now);
+    }
+
+    /** A non-empty service queue processes (and accrues occupancy
+     *  stats) every cycle; misses wake via DRAM events. */
+    Cycle
+    nextWorkCycle(Cycle now) const override
+    {
+        return queue_.empty() ? kCycleNever : now + 1;
+    }
     void flushAll(Cycle now) override;
     bool quiescent() const override;
     void attachTracer(obs::Tracer &tracer) override;
@@ -65,6 +78,7 @@ class GtscL2 : public mem::L2Controller
     void serveWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now);
 
     /** True if consumed; false = structural stall (MSHR full). */
+    void tickQueue(Cycle now);
     bool process(mem::Packet &pkt, Cycle now);
 
     void onDramFill(Addr line, const mem::LineData &data, Cycle now);
@@ -85,8 +99,15 @@ class GtscL2 : public mem::L2Controller
 
     mem::CacheArray array_;
     Ts memTs_ = 1;
-    std::deque<mem::Packet> queue_;
-    std::unordered_map<Addr, MissEntry> misses_;
+    sim::RingBuffer<mem::Packet> queue_;
+    sim::PooledKeyMap<Addr, MissEntry> misses_;
+    /** Waiter replay scratch: capacity circulates between this and
+     *  the pooled miss entries (swap, never free). */
+    std::vector<mem::Packet> waitersScratch_;
+    /** Response packets parked here so the completion event captures
+     *  only [this, slot] and stays inside SmallFunction's inline
+     *  buffer (no per-response closure allocation). */
+    sim::SlotPool<mem::Packet> respPool_;
 
     unsigned ports_;
     Cycle accessLatency_;
@@ -106,6 +127,7 @@ class GtscL2 : public mem::L2Controller
     std::uint64_t *stallMshrFull_;
     std::uint64_t *queueCycles_;
     std::uint64_t *adaptiveExtensions_;
+    sim::Distribution *serviceLatency_;
 
     obs::Tracer *trace_ = nullptr;
     std::uint32_t track_ = 0; ///< obs::Tracer::TrackId

@@ -5,21 +5,22 @@
 namespace gtsc::gpu
 {
 
-std::vector<mem::Access>
+void
 Coalescer::coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
-                    WarpId warp)
+                    WarpId warp, std::vector<mem::Access> &out)
 {
     bool is_store = (instr.op == WarpInstr::Op::Store);
     GTSC_ASSERT(is_store || instr.op == WarpInstr::Op::Load ||
                     instr.op == WarpInstr::Op::SpinLoad,
                 "coalesce of non-memory instruction");
 
-    std::vector<mem::Access> out;
+    out.clear();
     for (unsigned lane = 0; lane < warp_size; ++lane) {
         if (!(instr.activeMask & (1u << lane)))
             continue;
-        Addr line = mem::lineAlign(instr.addr[lane]);
-        unsigned word = mem::wordInLine(instr.addr[lane]);
+        Addr a = instr.laneAddr(lane);
+        Addr line = mem::lineAlign(a);
+        unsigned word = mem::wordInLine(a);
 
         mem::Access *acc = nullptr;
         for (auto &a : out) {
@@ -43,7 +44,6 @@ Coalescer::coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
                                              : values_.next());
         }
     }
-    return out;
 }
 
 } // namespace gtsc::gpu

@@ -60,14 +60,15 @@ class Coalescer
     explicit Coalescer(StoreValueSource &values) : values_(values) {}
 
     /**
-     * Split a Load/Store instruction into line accesses.
-     * Lane i participates when activeMask bit i is set; warp_size
-     * bounds the lanes examined. Access ids are left 0 (the SM
-     * assigns them).
+     * Split a Load/Store instruction into line accesses, replacing
+     * the contents of `out` (cleared first; capacity is reused so a
+     * recycled buffer never reallocates in steady state). Lane i
+     * participates when activeMask bit i is set; warp_size bounds
+     * the lanes examined. Access ids are left 0 (the SM assigns
+     * them).
      */
-    std::vector<mem::Access>
-    coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
-             WarpId warp);
+    void coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
+                  WarpId warp, std::vector<mem::Access> &out);
 
   private:
     StoreValueSource &values_;

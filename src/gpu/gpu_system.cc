@@ -2,10 +2,162 @@
 
 #include <algorithm>
 
+#include "core/gtsc_l1.hh"
+#include "core/gtsc_l2.hh"
+#include "noc/crossbar.hh"
+#include "protocols/no_l1.hh"
+#include "protocols/noncoh_l1.hh"
+#include "protocols/simple_l2.hh"
+#include "protocols/tc_l1.hh"
+#include "protocols/tc_l2.hh"
 #include "sim/log.hh"
 
 namespace gtsc::gpu
 {
+
+/**
+ * Static devirtualized loop bodies, instantiated per concrete
+ * controller type. Each run is homogeneous (one L1 type, one L2
+ * type), so one dynamic_cast sweep at construction replaces a
+ * virtual dispatch per component per simulated cycle with direct,
+ * inlinable calls.
+ */
+struct GpuSystem::Devirt
+{
+    template <typename T, typename B>
+    static bool
+    homogeneous(const std::vector<std::unique_ptr<B>> &v)
+    {
+        for (const auto &p : v) {
+            if (dynamic_cast<const T *>(p.get()) == nullptr)
+                return false;
+        }
+        return true;
+    }
+
+    template <typename T>
+    static void
+    tickL1(GpuSystem &g, Cycle c)
+    {
+        for (auto &p : g.l1s_)
+            static_cast<T &>(*p).tick(c);
+    }
+
+    static void
+    tickL1Generic(GpuSystem &g, Cycle c)
+    {
+        for (auto &p : g.l1s_)
+            p->tick(c);
+    }
+
+    template <typename T>
+    static void
+    tickL2(GpuSystem &g, Cycle c)
+    {
+        for (auto &p : g.l2s_)
+            static_cast<T &>(*p).tick(c);
+    }
+
+    static void
+    tickL2Generic(GpuSystem &g, Cycle c)
+    {
+        for (auto &p : g.l2s_)
+            p->tick(c);
+    }
+
+    /** Min horizon over the L1s, bailing once it reaches `floor`. */
+    template <typename T>
+    static Cycle
+    horizonL1(const GpuSystem &g, Cycle now, Cycle floor)
+    {
+        Cycle next = kCycleNever;
+        for (const auto &p : g.l1s_) {
+            next = std::min(
+                next, static_cast<const T &>(*p).nextWorkCycle(now));
+            if (next <= floor)
+                break;
+        }
+        return next;
+    }
+
+    static Cycle
+    horizonL1Generic(const GpuSystem &g, Cycle now, Cycle floor)
+    {
+        Cycle next = kCycleNever;
+        for (const auto &p : g.l1s_) {
+            next = std::min(next, p->nextWorkCycle(now));
+            if (next <= floor)
+                break;
+        }
+        return next;
+    }
+
+    template <typename T>
+    static Cycle
+    horizonL2(const GpuSystem &g, Cycle now, Cycle floor)
+    {
+        Cycle next = kCycleNever;
+        for (const auto &p : g.l2s_) {
+            next = std::min(
+                next, static_cast<const T &>(*p).nextWorkCycle(now));
+            if (next <= floor)
+                break;
+        }
+        return next;
+    }
+
+    static Cycle
+    horizonL2Generic(const GpuSystem &g, Cycle now, Cycle floor)
+    {
+        Cycle next = kCycleNever;
+        for (const auto &p : g.l2s_) {
+            next = std::min(next, p->nextWorkCycle(now));
+            if (next <= floor)
+                break;
+        }
+        return next;
+    }
+
+    template <typename T>
+    static bool
+    bindL1(GpuSystem &g)
+    {
+        if (!homogeneous<T>(g.l1s_))
+            return false;
+        g.tickL1s_ = &Devirt::tickL1<T>;
+        g.l1Horizon_ = &Devirt::horizonL1<T>;
+        return true;
+    }
+
+    template <typename T>
+    static bool
+    bindL2(GpuSystem &g)
+    {
+        if (!homogeneous<T>(g.l2s_))
+            return false;
+        g.tickL2s_ = &Devirt::tickL2<T>;
+        g.l2Horizon_ = &Devirt::horizonL2<T>;
+        return true;
+    }
+};
+
+void
+GpuSystem::bindTypedLoops()
+{
+    tickL1s_ = &Devirt::tickL1Generic;
+    l1Horizon_ = &Devirt::horizonL1Generic;
+    tickL2s_ = &Devirt::tickL2Generic;
+    l2Horizon_ = &Devirt::horizonL2Generic;
+    Devirt::bindL1<core::GtscL1>(*this) ||
+        Devirt::bindL1<protocols::TcL1>(*this) ||
+        Devirt::bindL1<protocols::NonCohL1>(*this) ||
+        Devirt::bindL1<protocols::NoL1>(*this);
+    Devirt::bindL2<core::GtscL2>(*this) ||
+        Devirt::bindL2<protocols::TcL2>(*this) ||
+        Devirt::bindL2<protocols::SimpleL2>(*this);
+    reqXbar_ = dynamic_cast<noc::Crossbar *>(reqNet_.get());
+    respXbar_ = dynamic_cast<noc::Crossbar *>(respNet_.get());
+}
 
 GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
                      Workload &workload, mem::CoherenceProbe *probe)
@@ -15,6 +167,8 @@ GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
     maxCycles_ = cfg_.getUint("gpu.max_cycles", 500000000ULL);
     watchdogWindow_ = cfg_.getUint("gpu.watchdog_cycles", 400000ULL);
     fastForward_ = cfg_.getBool("gpu.fast_forward", true);
+    flushL2BetweenKernels_ =
+        cfg_.getBool("gpu.flush_l2_between_kernels", true);
 
     numShards_ = GpuParams::resolveShards(cfg_, params_.numSms);
     parallel_ = numShards_ > 1;
@@ -110,6 +264,8 @@ GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
     nocReqPackets_ = &stats_.counter("noc.req.packets");
     nocRespPackets_ = &stats_.counter("noc.resp.packets");
 
+    bindTypedLoops();
+
     // Register every shard-side counter key in the global set (at
     // value 0) before anything reads it: stat dumps and timeline
     // columns must have the same key set at any shard count.
@@ -201,16 +357,12 @@ GpuSystem::workHorizon() const
         if (next <= floor)
             return next;
     }
-    for (const auto &l2 : l2s_) {
-        next = std::min(next, l2->nextWorkCycle(cycle_));
-        if (next <= floor)
-            return next;
-    }
-    for (const auto &l1 : l1s_) {
-        next = std::min(next, l1->nextWorkCycle(cycle_));
-        if (next <= floor)
-            return next;
-    }
+    next = std::min(next, l2Horizon_(*this, cycle_, floor));
+    if (next <= floor)
+        return next;
+    next = std::min(next, l1Horizon_(*this, cycle_, floor));
+    if (next <= floor)
+        return next;
     next = std::min(next, events_.nextEventCycle());
     if (next <= floor)
         return next;
@@ -246,11 +398,9 @@ GpuSystem::coordHorizon(Cycle now) const
     next = std::min(next, reqNet_->nextWorkCycle(now));
     if (next <= floor)
         return next;
-    for (const auto &l2 : l2s_) {
-        next = std::min(next, l2->nextWorkCycle(now));
-        if (next <= floor)
-            return next;
-    }
+    next = std::min(next, l2Horizon_(*this, now, floor));
+    if (next <= floor)
+        return next;
     for (const auto &dram : drams_) {
         next = std::min(next, dram->nextWorkCycle(now));
         if (next <= floor)
@@ -320,6 +470,22 @@ void
 GpuSystem::flushStagedRequests()
 {
     const unsigned n = params_.numSms;
+    if (!parallel_) {
+        // Serial loop: every staged packet carries the current
+        // cycle, so the canonical (cycle, src, FIFO) order is simply
+        // source order — skip the cursor merge.
+        for (unsigned s = 0; s < n; ++s) {
+            auto &v = stagedReq_[s];
+            for (auto &staged : v) {
+                mem::Packet pkt = std::move(staged.pkt);
+                reqNet_->inject(s, pkt.part, std::move(pkt),
+                                staged.cycle);
+            }
+            v.clear();
+        }
+        stagedCount_ = 0;
+        return;
+    }
     bool any = false;
     for (unsigned s = 0; s < n; ++s) {
         stagedCursor_[s] = 0;
@@ -354,6 +520,15 @@ GpuSystem::flushStagedRequests()
     }
     for (unsigned s = 0; s < n; ++s)
         stagedReq_[s].clear();
+}
+
+void
+GpuSystem::flushStatWindows()
+{
+    for (auto &sm : sms_)
+        sm->flushStatWindow();
+    reqNet_->flushStatWindow();
+    respNet_->flushStatWindow();
 }
 
 void
@@ -415,6 +590,11 @@ GpuSystem::runShardSpan(Shard &sh, Cycle from, Cycle to)
             ++c;
         }
     }
+    // Shard-side flush: the barrier right after this span drains the
+    // shard StatSet into the global one, so the windowed blocks must
+    // land in it first (and from this shard's own thread).
+    for (unsigned s : sh.sms)
+        sms_[s]->flushStatWindow();
 }
 
 void
@@ -422,6 +602,8 @@ GpuSystem::runSerialLoop(unsigned kernel)
 {
     std::uint64_t last_progress = progressToken();
     Cycle last_progress_cycle = cycle_;
+    ffProbeBackoff_ = 1;
+    ffNextProbeAt_ = 0;
 
     auto all_done = [this]() {
         for (const auto &sm : sms_) {
@@ -439,12 +621,16 @@ GpuSystem::runSerialLoop(unsigned kernel)
                        " for workload ", workload_.name());
 
         events_.runUntil(cycle_);
-        for (auto &l2 : l2s_)
-            l2->tick(cycle_);
-        respNet_->tick(cycle_);
-        reqNet_->tick(cycle_);
-        for (auto &l1 : l1s_)
-            l1->tick(cycle_);
+        tickL2s_(*this, cycle_);
+        if (respXbar_)
+            respXbar_->tick(cycle_);
+        else
+            respNet_->tick(cycle_);
+        if (reqXbar_)
+            reqXbar_->tick(cycle_);
+        else
+            reqNet_->tick(cycle_);
+        tickL1s_(*this, cycle_);
         for (auto &sm : sms_)
             sm->tick(cycle_);
         if (stagedCount_ != 0)
@@ -452,14 +638,22 @@ GpuSystem::runSerialLoop(unsigned kernel)
         for (auto &dram : drams_)
             dram->tick(cycle_);
 
-        if (timeline_)
+        if (timeline_) {
+            // A due sample reads counters by name: batch the
+            // windowed blocks in first so the CSV matches a
+            // live-counting run byte for byte.
+            if (cycle_ >= timeline_->nextSampleAt())
+                flushStatWindows();
             timeline_->sample(cycle_);
+        }
 
         std::uint64_t token = progressToken();
         bool progressed = token != last_progress;
         if (progressed) {
             last_progress = token;
             last_progress_cycle = cycle_;
+            ffProbeBackoff_ = 1;
+            ffNextProbeAt_ = 0;
         } else if (cycle_ - last_progress_cycle > watchdogWindow_) {
             GTSC_PANIC("no forward progress for ", watchdogWindow_,
                        " cycles at cycle ", cycle_, " in workload ",
@@ -474,6 +668,12 @@ GpuSystem::runSerialLoop(unsigned kernel)
         // overhead there. Idle stretches announce themselves with a
         // stale progress token on their first cycle.
         if (done || progressed || !fastForward_)
+            continue;
+        // Probe backoff: a probe that just answered "work next
+        // cycle" (dense replay or NoC traffic — BFS is the worst
+        // case) predicts the next one will too; skipping the scan
+        // for a doubling span just ticks those cycles normally.
+        if (cycle_ < ffNextProbeAt_)
             continue;
 
         // Hybrid fast-forward: when no component has work next
@@ -502,6 +702,10 @@ GpuSystem::runSerialLoop(unsigned kernel)
             }
             fastForwarded_ += span;
             cycle_ = next - 1;
+            ffProbeBackoff_ = 1;
+        } else {
+            ffNextProbeAt_ = cycle_ + 1 + ffProbeBackoff_;
+            ffProbeBackoff_ = std::min<Cycle>(ffProbeBackoff_ * 2, 64);
         }
     }
 }
@@ -568,10 +772,15 @@ GpuSystem::runParallelLoop(unsigned kernel)
         for (Cycle c = winStart; c <= winEnd;) {
             cycle_ = c;
             events_.runUntil(c);
-            for (auto &l2 : l2s_)
-                l2->tick(c);
-            respNet_->tick(c);
-            reqNet_->tick(c);
+            tickL2s_(*this, c);
+            if (respXbar_)
+                respXbar_->tick(c);
+            else
+                respNet_->tick(c);
+            if (reqXbar_)
+                reqXbar_->tick(c);
+            else
+                reqNet_->tick(c);
             for (auto &dram : drams_)
                 dram->tick(c);
 
@@ -630,8 +839,11 @@ GpuSystem::runParallelLoop(unsigned kernel)
             }
         }
 
-        if (timeline_)
+        if (timeline_) {
+            if (cycle_ >= timeline_->nextSampleAt())
+                flushStatWindows();
             timeline_->sample(cycle_);
+        }
 
         std::uint64_t token = progressToken();
         if (token != last_progress) {
@@ -652,14 +864,17 @@ GpuSystem::runKernel(unsigned kernel)
     if (kernelStartHook_)
         kernelStartHook_(memory_, kernel);
     for (unsigned s = 0; s < params_.numSms; ++s) {
-        std::vector<std::unique_ptr<WarpProgram>> programs;
-        programs.reserve(params_.warpsPerSm);
+        // One scratch vector for every launch: launchKernel only
+        // moves the programs out, so the buffer is reused across SMs
+        // and kernels (no steady-state allocation).
+        programScratch_.clear();
+        programScratch_.reserve(params_.warpsPerSm);
         for (unsigned w = 0; w < params_.warpsPerSm; ++w) {
-            programs.push_back(workload_.makeProgram(
+            programScratch_.push_back(workload_.makeProgram(
                 kernel, static_cast<SmId>(s), static_cast<WarpId>(w),
                 params_));
         }
-        sms_[s]->launchKernel(std::move(programs));
+        sms_[s]->launchKernel(std::move(programScratch_));
     }
 
     if (parallel_)
@@ -670,13 +885,15 @@ GpuSystem::runKernel(unsigned kernel)
     // Kernel boundary: GPUs flush private caches (Section V-D).
     for (auto &l1 : l1s_)
         l1->flush(cycle_);
-    if (cfg_.getBool("gpu.flush_l2_between_kernels", true) &&
+    if (flushL2BetweenKernels_ &&
         kernel + 1 < workload_.numKernels()) {
         for (auto &l2 : l2s_)
             l2->flushAll(cycle_);
     }
-    // Anything the flushes counted shard-side must reach the global
-    // set before the harness reads per-kernel stats.
+    // Anything still sitting in a windowed counter block or a
+    // shard-side StatSet must reach the global set before the
+    // harness reads per-kernel stats.
+    flushStatWindows();
     if (parallel_)
         drainShardStats();
     stats_.counter("gpu.kernels_run")++;
@@ -692,6 +909,7 @@ GpuSystem::run()
     // Workload::verify().
     for (auto &l2 : l2s_)
         l2->flushAll(cycle_);
+    flushStatWindows();
     stats_.counter("gpu.cycles") = cycle_;
     if (timeline_)
         timeline_->finish(cycle_);

@@ -37,6 +37,11 @@
 #include "sim/stats.hh"
 #include "sim/thread_pool.hh"
 
+namespace gtsc::noc
+{
+class Crossbar;
+}
+
 namespace gtsc::gpu
 {
 
@@ -123,6 +128,20 @@ class GpuSystem
         std::uint64_t fastForwarded = 0;
     };
 
+    /**
+     * Devirtualized fan-outs over the homogeneous controller arrays
+     * (data-oriented hot path). A run instantiates exactly one
+     * concrete L1 type and one concrete L2 type; bindTypedLoops()
+     * detects them once at construction and binds loops that call
+     * tick()/nextWorkCycle() on the concrete class directly (the
+     * classes are final, so the calls devirtualize and inline).
+     * Unknown types fall back to virtual-dispatch loops.
+     */
+    struct Devirt;
+    using TickLoopFn = void (*)(GpuSystem &, Cycle);
+    using HorizonLoopFn = Cycle (*)(const GpuSystem &, Cycle, Cycle);
+    void bindTypedLoops();
+
     bool quiescent() const;
     void runKernel(unsigned kernel);
     void runSerialLoop(unsigned kernel);
@@ -136,6 +155,15 @@ class GpuSystem
 
     /** Merge per-shard counters into the global StatSet (barrier). */
     void drainShardStats();
+
+    /**
+     * Batch every component's windowed counter block into its
+     * StatSet. Must run before anything reads stats by name: a due
+     * timeline sample, the per-kernel harvest, end of run. (In the
+     * sharded loop, SM windows are instead flushed shard-side at the
+     * end of each span, before the barrier's drainShardStats.)
+     */
+    void flushStatWindows();
 
     /** Shard-local done + drained (its SMs, L1s, events, deliveries). */
     bool shardQuiet(const Shard &sh) const;
@@ -172,8 +200,20 @@ class GpuSystem
     std::vector<std::unique_ptr<mem::L2Controller>> l2s_;
     std::vector<std::unique_ptr<mem::L1Controller>> l1s_;
     std::vector<std::unique_ptr<Sm>> sms_;
+    /** Launch scratch, reused across SMs and kernels (runKernel). */
+    std::vector<std::unique_ptr<WarpProgram>> programScratch_;
     std::unique_ptr<noc::Network> reqNet_;
     std::unique_ptr<noc::Network> respNet_;
+
+    // Typed loops bound by bindTypedLoops(); see Devirt.
+    TickLoopFn tickL1s_ = nullptr;
+    TickLoopFn tickL2s_ = nullptr;
+    HorizonLoopFn l1Horizon_ = nullptr;
+    HorizonLoopFn l2Horizon_ = nullptr;
+    /** Non-null when the nets are Crossbars (the default topology);
+     * lets the cycle loop call their O(1) tick/horizon directly. */
+    noc::Crossbar *reqXbar_ = nullptr;
+    noc::Crossbar *respXbar_ = nullptr;
 
     // --- sharded execution state ---
     unsigned numShards_ = 1;
@@ -205,7 +245,19 @@ class GpuSystem
     Cycle maxCycles_;
     Cycle watchdogWindow_;
     bool fastForward_;
+    /** Cached knob: the config lookup allocates (long key). */
+    bool flushL2BetweenKernels_;
     std::uint64_t fastForwarded_ = 0;
+    /**
+     * Horizon-probe backoff: when a probe on a no-progress cycle
+     * comes back "work next cycle" (dense replay/NoC traffic, e.g.
+     * BFS), skip probing for a doubling number of no-progress cycles
+     * (capped) before trying again. A skipped probe just means those
+     * cycles are ticked normally, which is always correct; only the
+     * fastForwardedCycles() diagnostic can differ.
+     */
+    Cycle ffProbeBackoff_ = 1;
+    Cycle ffNextProbeAt_ = 0;
     /** noc.{req,resp}.packets, cached off the progress-token path. */
     const std::uint64_t *nocReqPackets_;
     const std::uint64_t *nocRespPackets_;

@@ -13,7 +13,6 @@
 #ifndef GTSC_GPU_KERNEL_HH_
 #define GTSC_GPU_KERNEL_HH_
 
-#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -41,18 +40,35 @@ struct WarpInstr
     };
 
     Op op = Op::Exit;
+    /** Store: use this value for all lanes instead of auto values. */
+    bool hasValue = false;
     std::uint32_t computeCycles = 0;
     /** Bit i set = lane i participates (Load/Store). */
     std::uint32_t activeMask = 0xffffffffu;
-    /** Per-lane byte addresses (Load/Store/SpinLoad lane 0). */
-    std::array<Addr, kMaxWarpSize> addr{};
-    /** Store: use this value for all lanes instead of auto values. */
-    bool hasValue = false;
     std::uint32_t value = 0;
     /** SpinLoad: proceed once the loaded word >= spinExpect. */
     std::uint32_t spinExpect = 0;
     /** SpinLoad: give up (and proceed) after this many attempts. */
     std::uint32_t spinMaxIters = 64;
+    /**
+     * Lane addressing. Active lane l accesses base + l*stride unless
+     * `gather` is non-empty (then gather[l]). Nearly every
+     * instruction is strided or scalar, so encoding the pattern
+     * instead of 32 explicit lane addresses keeps the instruction a
+     * few words: trace vectors, the per-issue instruction copy and
+     * the trace-build loops all shrink ~4x.
+     */
+    Addr base = 0;
+    std::uint64_t stride = 0;
+    /** Per-lane byte addresses for scattered (indexed) accesses. */
+    std::vector<Addr> gather;
+
+    /** Byte address of lane l (caller checks activeMask). */
+    Addr
+    laneAddr(unsigned l) const
+    {
+        return gather.empty() ? base + l * stride : gather[l];
+    }
 
     // --- convenience constructors ---
     static WarpInstr
@@ -86,8 +102,8 @@ struct WarpInstr
         WarpInstr i;
         i.op = Op::Load;
         i.activeMask = mask & laneMask(warp_size);
-        for (unsigned l = 0; l < warp_size; ++l)
-            i.addr[l] = base + l * stride;
+        i.base = base;
+        i.stride = stride;
         return i;
     }
 
@@ -98,8 +114,19 @@ struct WarpInstr
         WarpInstr i;
         i.op = Op::Store;
         i.activeMask = mask & laneMask(warp_size);
-        for (unsigned l = 0; l < warp_size; ++l)
-            i.addr[l] = base + l * stride;
+        i.base = base;
+        i.stride = stride;
+        return i;
+    }
+
+    /** Load with explicit (scattered) per-lane addresses. */
+    static WarpInstr
+    loadGather(std::vector<Addr> addrs, std::uint32_t mask)
+    {
+        WarpInstr i;
+        i.op = Op::Load;
+        i.activeMask = mask;
+        i.gather = std::move(addrs);
         return i;
     }
 
@@ -110,7 +137,7 @@ struct WarpInstr
         WarpInstr i;
         i.op = Op::Load;
         i.activeMask = 1;
-        i.addr[0] = a;
+        i.base = a;
         return i;
     }
 
@@ -121,7 +148,7 @@ struct WarpInstr
         WarpInstr i;
         i.op = Op::Store;
         i.activeMask = 1;
-        i.addr[0] = a;
+        i.base = a;
         i.hasValue = true;
         i.value = value;
         return i;
@@ -134,7 +161,7 @@ struct WarpInstr
         WarpInstr i;
         i.op = Op::SpinLoad;
         i.activeMask = 1;
-        i.addr[0] = a;
+        i.base = a;
         i.spinExpect = expect;
         i.spinMaxIters = max_iters;
         return i;

@@ -16,6 +16,9 @@ Sm::Sm(SmId id, const GpuParams &params, const sim::Config &cfg,
       coalescer_(values)
 {
     warps_.resize(params_.warpsPerSm);
+    warpState_.assign(params_.warpsPerSm, WarpState::Idle);
+    warpReadyAt_.assign(params_.warpsPerSm, 0);
+    memRetry_.assign(params_.warpsPerSm, 0);
     issueWidth_ =
         static_cast<unsigned>(cfg.getUint("gpu.issue_width", 1));
     spinBackoff_ = cfg.getUint("gpu.spin_backoff_cycles", 16);
@@ -52,6 +55,23 @@ Sm::Sm(SmId id, const GpuParams &params, const sim::Config &cfg,
 }
 
 void
+Sm::flushStatWindow()
+{
+    *activeCycles_ += win_.activeCycles;
+    *memStallCycles_ += win_.memStallCycles;
+    *computeStallCycles_ += win_.computeStallCycles;
+    *idleCycles_ += win_.idleCycles;
+    *instrs_ += win_.instrs;
+    *loads_ += win_.loads;
+    *stores_ += win_.stores;
+    *fences_ += win_.fences;
+    *spinRetries_ += win_.spinRetries;
+    *spinGiveups_ += win_.spinGiveups;
+    *fenceStallCycles_ += win_.fenceStallCycles;
+    win_ = StatWindow{};
+}
+
+void
 Sm::attachTracer(obs::Tracer &tracer)
 {
     trace_ = &tracer;
@@ -68,41 +88,38 @@ Sm::traceWarp(obs::EventKind kind, Cycle now, unsigned w,
 }
 
 void
-Sm::launchKernel(std::vector<std::unique_ptr<WarpProgram>> programs)
+Sm::launchKernel(std::vector<std::unique_ptr<WarpProgram>> &&programs)
 {
     GTSC_ASSERT(programs.size() == warps_.size(),
                 "program count != warp count");
+    liveWarps_ = 0;
     for (unsigned w = 0; w < warps_.size(); ++w) {
         WarpCtx &warp = warps_[w];
-        GTSC_ASSERT(warp.toSubmit.empty() && warp.inFlight == 0,
+        GTSC_ASSERT(!warp.submitsPending() && warp.inFlight == 0,
                     "kernel launch with in-flight memory accesses");
-        GTSC_ASSERT(warp.outstandingStores == 0,
+        GTSC_ASSERT(warp.outstandingStores == 0 &&
+                        warp.storeFifo.empty(),
                     "kernel launch with outstanding stores");
         warp.program = std::move(programs[w]);
-        warp.state = warp.program ? WarpState::Ready : WarpState::Idle;
+        warpState_[w] =
+            warp.program ? WarpState::Ready : WarpState::Idle;
+        if (warp.program)
+            ++liveWarps_;
         warp.hasCur = false;
-        warp.readyAt = 0;
+        warpReadyAt_[w] = 0;
+        memRetry_[w] = 0;
         warp.gwct = 0;
         warp.spinIters = 0;
     }
     lastIssued_ = 0;
-}
-
-bool
-Sm::allWarpsDone() const
-{
-    for (const auto &warp : warps_) {
-        if (warp.state != WarpState::Done && warp.state != WarpState::Idle)
-            return false;
-    }
-    return true;
+    invalidateTickCache();
 }
 
 bool
 Sm::quiescent() const
 {
     for (const auto &warp : warps_) {
-        if (!warp.toSubmit.empty() || warp.inFlight != 0 ||
+        if (warp.submitsPending() || warp.inFlight != 0 ||
             warp.outstandingStores != 0 || !warp.storeFifo.empty()) {
             return false;
         }
@@ -122,39 +139,48 @@ Sm::retire(unsigned w)
     WarpCtx &warp = warps_[w];
     warp.hasCur = false;
     warp.spinIters = 0;
-    if (warp.state != WarpState::Done)
-        warp.state = WarpState::Ready;
+    if (warpState_[w] != WarpState::Done)
+        warpState_[w] = WarpState::Ready;
     ++retiredTotal_;
-    ++(*instrs_);
+    ++win_.instrs;
 }
 
 void
-Sm::tick(Cycle now)
+Sm::tickFull(Cycle now)
 {
-    now_ = now;
-
     // Wake timed and fence-blocked warps; retry store-buffer drains
-    // that were structurally rejected.
-    for (unsigned w = 0; w < warps_.size(); ++w) {
-        WarpCtx &warp = warps_[w];
-        if (!warp.storeFifo.empty())
-            drainStoreFifo(warp, now);
-        if (warp.state == WarpState::WaitCompute &&
-            now >= warp.readyAt) {
-            warp.state = WarpState::Ready;
-            if (trace_)
-                traceWarp(obs::EventKind::WarpResume, now, w, 0, 0);
+    // that were structurally rejected. The scans read only the
+    // compact SoA arrays; the fat WarpCtx is touched for the rare
+    // states that need it (fences, non-empty store buffers).
+    unsigned n_warps = static_cast<unsigned>(warps_.size());
+    if (storeFifoWarps_ != 0) {
+        for (unsigned w = 0; w < n_warps; ++w) {
+            if (!warps_[w].storeFifo.empty())
+                drainStoreFifo(w, now);
         }
-        if (warp.state == WarpState::WaitFence) {
-            ++(*fenceStallCycles_);
-            if (fenceSatisfied(warp, now)) {
-                warp.state = WarpState::Ready;
-                // The fence instruction retires when it unblocks.
-                ++retiredTotal_;
-                ++(*instrs_);
+    }
+    for (unsigned w = 0; w < n_warps; ++w) {
+        switch (warpState_[w]) {
+          case WarpState::WaitCompute:
+            if (now >= warpReadyAt_[w]) {
+                warpState_[w] = WarpState::Ready;
                 if (trace_)
                     traceWarp(obs::EventKind::WarpResume, now, w, 0, 0);
             }
+            break;
+          case WarpState::WaitFence:
+            ++win_.fenceStallCycles;
+            if (fenceSatisfied(warps_[w], now)) {
+                warpState_[w] = WarpState::Ready;
+                // The fence instruction retires when it unblocks.
+                ++retiredTotal_;
+                ++win_.instrs;
+                if (trace_)
+                    traceWarp(obs::EventKind::WarpResume, now, w, 0, 0);
+            }
+            break;
+          default:
+            break;
         }
     }
 
@@ -201,20 +227,26 @@ Sm::tick(Cycle now)
 
     // Cycle accounting for the stall breakdown (Figure 13).
     if (issued > 0) {
-        ++(*activeCycles_);
+        ++win_.activeCycles;
+        // Issue changed warp state; the cached classification and
+        // horizon no longer describe it.
+        invalidateTickCache();
         return;
     }
     bool any_live = false;
     bool any_compute = false;
     bool any_mem = false;
-    for (const auto &warp : warps_) {
-        switch (warp.state) {
+    unsigned wait_fence = 0;
+    for (WarpState st : warpState_) {
+        switch (st) {
           case WarpState::WaitCompute:
             any_live = true;
             any_compute = true;
             break;
-          case WarpState::WaitMem:
           case WarpState::WaitFence:
+            ++wait_fence;
+            [[fallthrough]];
+          case WarpState::WaitMem:
             any_live = true;
             any_mem = true;
             break;
@@ -225,43 +257,79 @@ Sm::tick(Cycle now)
             break;
         }
     }
+    std::uint64_t *bucket;
     if (!any_live)
-        ++(*idleCycles_);
+        bucket = &win_.idleCycles;
     else if (any_compute)
-        ++(*computeStallCycles_);
+        bucket = &win_.computeStallCycles;
     else if (any_mem)
-        ++(*memStallCycles_);
+        bucket = &win_.memStallCycles;
     else
-        ++(*idleCycles_);
+        bucket = &win_.idleCycles;
+    ++(*bucket);
+
+    // Cache the end-of-tick classification and horizon so the rest
+    // of the stall/idle stretch costs O(1) per cycle: until an L1
+    // callback mutates a warp (invalidateTickCache) or the horizon
+    // arrives, a repeat of this pass could neither issue, wake a
+    // warp, nor submit a buffered store — only the accounting above
+    // would run, and the fast path in tick() replays exactly that.
+    cachedStallBucket_ = bucket;
+    cachedWaitFence_ = wait_fence;
+    horizonValid_ = false;
+    cachedNextWork_ = nextWorkCycle(now);
+    idleTickValid_ = true;
 }
 
 Cycle
 Sm::nextWorkCycle(Cycle now) const
 {
+    // The horizon only moves when warp state does; cache it. The
+    // max-clamp keeps a cached "work next cycle" answer correct when
+    // re-asked at a later cycle (the pinning condition still holds,
+    // so the answer is again "next cycle").
+    if (!horizonValid_) {
+        cachedNextWork_ = computeNextWork(now);
+        horizonValid_ = true;
+    }
+    return std::max(cachedNextWork_, now + 1);
+}
+
+Cycle
+Sm::computeNextWork(Cycle now) const
+{
     Cycle next = kCycleNever;
-    for (const auto &warp : warps_) {
+    unsigned n = static_cast<unsigned>(warps_.size());
+    if (storeFifoWarps_ != 0) {
         // Store-buffer drains retry l1_.access() every tick while
         // nothing is outstanding — that attempt can reject and count
         // stats, so it pins the horizon to the next cycle.
-        if (!warp.storeFifo.empty() && warp.storesSubmitted == 0)
-            return now + 1;
-        switch (warp.state) {
+        for (unsigned w = 0; w < n; ++w) {
+            const WarpCtx &warp = warps_[w];
+            if (!warp.storeFifo.empty() && warp.storesSubmitted == 0)
+                return now + 1;
+        }
+    }
+    for (unsigned w = 0; w < n; ++w) {
+        switch (warpState_[w]) {
           case WarpState::Ready:
             return now + 1;
           case WarpState::WaitCompute:
-            next = std::min(next, std::max(warp.readyAt, now + 1));
+            next = std::min(next, std::max(warpReadyAt_[w], now + 1));
             break;
           case WarpState::WaitMem:
             // Structural retries re-submit every issue slot; a warp
             // waiting only on completions wakes via the L1 callback.
-            if (!warp.toSubmit.empty() && !warp.loadWaitsStores)
+            if (memRetry_[w])
                 return now + 1;
             break;
           case WarpState::WaitFence:
             // With no stores outstanding the fence clears once the
             // GWCT passes; otherwise the store ack drives the wake.
-            if (warp.outstandingStores == 0)
-                next = std::min(next, std::max(warp.gwct, now + 1));
+            if (warps_[w].outstandingStores == 0) {
+                next = std::min(next,
+                                std::max(warps_[w].gwct, now + 1));
+            }
             break;
           default:
             break;
@@ -279,14 +347,14 @@ Sm::fastForwardStats(Cycle span)
     bool any_live = false;
     bool any_compute = false;
     bool any_mem = false;
-    for (const auto &warp : warps_) {
-        switch (warp.state) {
+    for (WarpState st : warpState_) {
+        switch (st) {
           case WarpState::WaitCompute:
             any_live = true;
             any_compute = true;
             break;
           case WarpState::WaitFence:
-            (*fenceStallCycles_) += span;
+            win_.fenceStallCycles += span;
             [[fallthrough]];
           case WarpState::WaitMem:
             any_live = true;
@@ -300,35 +368,33 @@ Sm::fastForwardStats(Cycle span)
         }
     }
     if (!any_live)
-        (*idleCycles_) += span;
+        win_.idleCycles += span;
     else if (any_compute)
-        (*computeStallCycles_) += span;
+        win_.computeStallCycles += span;
     else if (any_mem)
-        (*memStallCycles_) += span;
+        win_.memStallCycles += span;
     else
-        (*idleCycles_) += span;
+        win_.idleCycles += span;
 }
 
 bool
 Sm::issueWarp(unsigned w, Cycle now)
 {
-    WarpCtx &warp = warps_[w];
-
-    // Structural retries count as the warp's issue slot.
-    if (!warp.toSubmit.empty()) {
-        if (warp.state != WarpState::WaitMem)
-            return false; // submits drain via WaitMem path only
-        if (warp.loadWaitsStores)
-            return false; // TSO alias: wait for the store buffer
-        bool drained = drainSubmits(warp, now);
-        if (drained && warp.inFlight == 0)
+    // Structural retries count as the warp's issue slot. memRetry_
+    // is exactly "submits pending and not alias-blocked" (a warp
+    // with pending submits is always in WaitMem), so the common
+    // can't-issue case is decided from the SoA arrays alone.
+    if (memRetry_[w]) {
+        bool drained = drainSubmits(w, now);
+        if (drained && warps_[w].inFlight == 0)
             finishMemInstr(w, now);
         return true;
     }
 
-    if (warp.state != WarpState::Ready)
+    if (warpState_[w] != WarpState::Ready)
         return false;
 
+    WarpCtx &warp = warps_[w];
     if (!warp.hasCur) {
         warp.cur = warp.program->next();
         warp.hasCur = true;
@@ -348,30 +414,32 @@ Sm::beginInstr(unsigned w, Cycle now)
                       instr.op == WarpInstr::Op::Store;
         traceWarp(obs::EventKind::WarpIssue, now, w,
                   static_cast<std::uint16_t>(instr.op),
-                  is_mem ? instr.addr[0] : 0);
+                  is_mem ? instr.laneAddr(0) : 0);
     }
 
     switch (instr.op) {
       case WarpInstr::Op::Exit:
-        warp.state = WarpState::Done;
+        warpState_[w] = WarpState::Done;
         warp.hasCur = false;
+        GTSC_ASSERT(liveWarps_ > 0, "Exit with no live warps");
+        --liveWarps_;
         return true;
 
       case WarpInstr::Op::Compute: {
         std::uint32_t cycles = instr.computeCycles;
-        warp.readyAt = now + cycles;
+        warpReadyAt_[w] = now + cycles;
         retire(w);
         if (cycles > 0)
-            warp.state = WarpState::WaitCompute;
+            warpState_[w] = WarpState::WaitCompute;
         return true;
       }
 
       case WarpInstr::Op::Fence:
-        ++(*fences_);
+        ++win_.fences;
         if (fenceSatisfied(warp, now)) {
             retire(w);
         } else {
-            warp.state = WarpState::WaitFence;
+            warpState_[w] = WarpState::WaitFence;
             warp.hasCur = false; // retires on wake
             if (trace_) {
                 traceWarp(obs::EventKind::WarpStall, now, w,
@@ -386,13 +454,14 @@ Sm::beginInstr(unsigned w, Cycle now)
       case WarpInstr::Op::SpinLoad:
       case WarpInstr::Op::Store: {
         bool is_store = instr.op == WarpInstr::Op::Store;
-        auto accesses = coalescer_.coalesce(instr, params_.warpSize, id_,
-                                            static_cast<WarpId>(w));
+        std::vector<mem::Access> &accesses = coalesceBuf_;
+        coalescer_.coalesce(instr, params_.warpSize, id_,
+                            static_cast<WarpId>(w), accesses);
         GTSC_ASSERT(!accesses.empty(), "memory instr with no active lanes");
         if (is_store)
-            (*stores_) += 1;
+            ++win_.stores;
         else
-            (*loads_) += 1;
+            ++win_.loads;
 
         for (auto &acc : accesses) {
             acc.id = nextAccessId_++;
@@ -408,10 +477,12 @@ Sm::beginInstr(unsigned w, Cycle now)
         if (is_store && params_.consistency == Consistency::TSO) {
             // TSO: the store retires into the per-warp store buffer
             // and drains in order, one outstanding at a time.
+            if (warp.storeFifo.empty())
+                ++storeFifoWarps_;
             for (auto &acc : accesses)
                 warp.storeFifo.push_back(std::move(acc));
             retire(w);
-            drainStoreFifo(warp, now);
+            drainStoreFifo(w, now);
             return true;
         }
         if (!is_store && params_.consistency == Consistency::TSO &&
@@ -420,32 +491,35 @@ Sm::beginInstr(unsigned w, Cycle now)
             // a buffered store waits for the buffer to drain.
             bool alias = false;
             for (const auto &acc : accesses) {
-                for (const auto &st : warp.storeFifo)
-                    alias |= (st.lineAddr == acc.lineAddr);
+                for (std::size_t i = 0; i < warp.storeFifo.size(); ++i)
+                    alias |= (warp.storeFifo[i].lineAddr == acc.lineAddr);
             }
             if (alias) {
-                warp.toSubmit = std::move(accesses);
-                warp.state = WarpState::WaitMem;
+                warp.toSubmit.swap(accesses);
+                warp.submitHead = 0;
+                warpState_[w] = WarpState::WaitMem;
                 warp.loadWaitsStores = true;
+                memRetry_[w] = 0; // alias-blocked: no retry until drain
                 if (trace_) {
                     traceWarp(obs::EventKind::WarpStall, now, w,
                               static_cast<std::uint16_t>(
                                   obs::StallReason::Mem),
-                              instr.addr[0]);
+                              instr.laneAddr(0));
                 }
                 return true;
             }
         }
 
-        warp.toSubmit = std::move(accesses);
-        warp.state = WarpState::WaitMem;
-        bool drained = drainSubmits(warp, now);
+        warp.toSubmit.swap(accesses);
+        warp.submitHead = 0;
+        warpState_[w] = WarpState::WaitMem;
+        bool drained = drainSubmits(w, now);
         if (drained && warp.inFlight == 0)
             finishMemInstr(w, now);
-        if (trace_ && warp.state == WarpState::WaitMem) {
+        if (trace_ && warpState_[w] == WarpState::WaitMem) {
             traceWarp(obs::EventKind::WarpStall, now, w,
                       static_cast<std::uint16_t>(obs::StallReason::Mem),
-                      instr.addr[0]);
+                      instr.laneAddr(0));
         }
         return true;
       }
@@ -454,8 +528,11 @@ Sm::beginInstr(unsigned w, Cycle now)
 }
 
 void
-Sm::drainStoreFifo(WarpCtx &warp, Cycle now)
+Sm::drainStoreFifo(unsigned w, Cycle now)
 {
+    WarpCtx &warp = warps_[w];
+    if (warp.storeFifo.empty())
+        return;
     // One-deep store buffer: submit the next store only when the
     // previous one has been acknowledged.
     while (warp.storesSubmitted == 0 && !warp.storeFifo.empty()) {
@@ -464,16 +541,26 @@ Sm::drainStoreFifo(WarpCtx &warp, Cycle now)
         warp.storeFifo.pop_front();
         ++warp.storesSubmitted;
     }
+    if (warp.storeFifo.empty()) {
+        GTSC_ASSERT(storeFifoWarps_ > 0, "storeFifoWarps underflow");
+        --storeFifoWarps_;
+    }
 }
 
 bool
-Sm::drainSubmits(WarpCtx &warp, Cycle now)
+Sm::drainSubmits(unsigned w, Cycle now)
 {
-    while (!warp.toSubmit.empty()) {
-        if (!l1_.access(warp.toSubmit.front(), now))
+    WarpCtx &warp = warps_[w];
+    while (warp.submitHead < warp.toSubmit.size()) {
+        if (!l1_.access(warp.toSubmit[warp.submitHead], now)) {
+            memRetry_[w] = 1;
             return false;
-        warp.toSubmit.erase(warp.toSubmit.begin());
+        }
+        ++warp.submitHead;
     }
+    warp.toSubmit.clear();
+    warp.submitHead = 0;
+    memRetry_[w] = 0;
     return true;
 }
 
@@ -481,7 +568,7 @@ void
 Sm::finishMemInstr(unsigned w, Cycle now)
 {
     WarpCtx &warp = warps_[w];
-    GTSC_ASSERT(warp.inFlight == 0 && warp.toSubmit.empty(),
+    GTSC_ASSERT(warp.inFlight == 0 && !warp.submitsPending(),
                 "finishMemInstr with work outstanding");
     if (!warp.hasCur) {
         return;
@@ -492,21 +579,21 @@ Sm::finishMemInstr(unsigned w, Cycle now)
             // Retry after a short backoff; tell the protocol so
             // G-TSC can advance the warp's logical clock.
             ++warp.spinIters;
-            ++(*spinRetries_);
+            ++win_.spinRetries;
             l1_.noteSpinRetry(static_cast<WarpId>(w),
-                              mem::lineAlign(warp.cur.addr[0]));
-            warp.readyAt = now + spinBackoff_;
-            warp.state = WarpState::WaitCompute;
+                              mem::lineAlign(warp.cur.laneAddr(0)));
+            warpReadyAt_[w] = now + spinBackoff_;
+            warpState_[w] = WarpState::WaitCompute;
             if (trace_) {
                 traceWarp(obs::EventKind::WarpStall, now, w,
                           static_cast<std::uint16_t>(
                               obs::StallReason::Compute),
-                          warp.cur.addr[0]);
+                          warp.cur.laneAddr(0));
             }
             return;
         }
         if (!satisfied)
-            ++(*spinGiveups_);
+            ++win_.spinGiveups;
     }
     if (warp.cur.op == WarpInstr::Op::Load ||
         warp.cur.op == WarpInstr::Op::SpinLoad) {
@@ -519,19 +606,20 @@ void
 Sm::onLoadDone(const mem::Access &acc, const mem::AccessResult &res,
                Cycle now)
 {
+    invalidateTickCache();
     WarpCtx &warp = warps_[acc.warp];
     GTSC_ASSERT(warp.inFlight > 0, "load completion with none in flight");
     --warp.inFlight;
     if (warp.hasCur &&
         (warp.cur.op == WarpInstr::Op::SpinLoad ||
          warp.cur.op == WarpInstr::Op::Load)) {
-        Addr lane0 = warp.cur.addr[0];
+        Addr lane0 = warp.cur.laneAddr(0);
         if (mem::lineAlign(lane0) == acc.lineAddr)
             warp.spinObserved = res.data.word(mem::wordInLine(lane0));
     }
-    if (warp.inFlight == 0 && warp.toSubmit.empty()) {
+    if (warp.inFlight == 0 && !warp.submitsPending()) {
         finishMemInstr(acc.warp, now);
-        if (trace_ && warp.state == WarpState::Ready) {
+        if (trace_ && warpState_[acc.warp] == WarpState::Ready) {
             traceWarp(obs::EventKind::WarpResume, now, acc.warp, 0,
                       acc.lineAddr);
         }
@@ -541,6 +629,7 @@ Sm::onLoadDone(const mem::Access &acc, const mem::AccessResult &res,
 void
 Sm::onStoreDone(const mem::Access &acc, Cycle gwct, Cycle now)
 {
+    invalidateTickCache();
     WarpCtx &warp = warps_[acc.warp];
     GTSC_ASSERT(warp.outstandingStores > 0,
                 "store ack with none outstanding");
@@ -551,20 +640,21 @@ Sm::onStoreDone(const mem::Access &acc, Cycle gwct, Cycle now)
         GTSC_ASSERT(warp.storesSubmitted > 0,
                     "TSO ack without submitted store");
         --warp.storesSubmitted;
-        drainStoreFifo(warp, now);
+        drainStoreFifo(acc.warp, now);
         if (warp.loadWaitsStores && warp.storeFifo.empty() &&
             warp.storesSubmitted == 0) {
             // Aliased load may proceed; its submits resume on the
             // warp's next issue slot.
             warp.loadWaitsStores = false;
+            memRetry_[acc.warp] = warp.submitsPending() ? 1 : 0;
         }
     }
     if (params_.consistency == Consistency::SC) {
         GTSC_ASSERT(warp.inFlight > 0, "SC store ack with none in flight");
         --warp.inFlight;
-        if (warp.inFlight == 0 && warp.toSubmit.empty()) {
+        if (warp.inFlight == 0 && !warp.submitsPending()) {
             finishMemInstr(acc.warp, now);
-            if (trace_ && warp.state == WarpState::Ready) {
+            if (trace_ && warpState_[acc.warp] == WarpState::Ready) {
                 traceWarp(obs::EventKind::WarpResume, now, acc.warp, 0,
                           acc.lineAddr);
             }

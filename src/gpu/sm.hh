@@ -16,7 +16,6 @@
 #define GTSC_GPU_SM_HH_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -26,6 +25,7 @@
 #include "mem/controllers.hh"
 #include "obs/events.hh"
 #include "sim/config.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -39,11 +39,35 @@ class Sm
        sim::StatSet &stats, mem::L1Controller &l1,
        StoreValueSource &values);
 
-    /** Install one program per warp and mark all warps runnable. */
-    void launchKernel(std::vector<std::unique_ptr<WarpProgram>> programs);
+    /**
+     * Install one program per warp and mark all warps runnable.
+     * Takes the vector by rvalue reference and only moves the
+     * programs out, so the caller keeps the buffer and can relaunch
+     * kernel after kernel without reallocating it (zero-alloc steady
+     * state).
+     */
+    void
+    launchKernel(std::vector<std::unique_ptr<WarpProgram>> &&programs);
 
-    /** Advance one cycle: wake warps, issue, account stalls. */
-    void tick(Cycle now);
+    /**
+     * Advance one cycle: wake warps, issue, account stalls. O(1) on
+     * stall/idle cycles: when the cached horizon proves no warp can
+     * issue, wake or retry at `now` (and no L1 callback has touched
+     * warp state since it was computed), the tick reduces to the
+     * exact per-cycle accounting the full pass would have done — one
+     * stall-bucket increment and the per-warp fence-stall counter.
+     */
+    void
+    tick(Cycle now)
+    {
+        now_ = now;
+        if (idleTickValid_ && now < cachedNextWork_) {
+            win_.fenceStallCycles += cachedWaitFence_;
+            ++(*cachedStallBucket_);
+            return;
+        }
+        tickFull(now);
+    }
 
     /**
      * Earliest future cycle at which tick() could issue, wake a warp
@@ -81,8 +105,20 @@ class Sm
      */
     void attachTracer(obs::Tracer &tracer);
 
-    /** All warps have exited (stores may still be outstanding). */
-    bool allWarpsDone() const;
+    /** All warps have exited (stores may still be outstanding).
+     *  O(1): maintained as a live-warp count at the two transition
+     *  points (kernel launch, Exit retire). */
+    bool allWarpsDone() const { return liveWarps_ == 0; }
+
+    /**
+     * Add the windowed counter block into the StatSet and zero it.
+     * Hot-path increments hit the local POD block (one cache line)
+     * instead of scattered map nodes; anything that reads the SM's
+     * counters by name — timeline samples, the shard-stat drain, the
+     * end-of-kernel harvest — must be preceded by a flush. GpuSystem
+     * owns those call sites.
+     */
+    void flushStatWindow();
 
     /** No accesses awaiting submission and no outstanding stores. */
     bool quiescent() const;
@@ -102,15 +138,27 @@ class Sm
         Done,        ///< program exhausted
     };
 
+    /**
+     * Cold/bulky per-warp context. The fields the per-cycle
+     * scheduler scans (state, readyAt, the mem-retry flag) live in
+     * parallel arrays instead — warpState_/warpReadyAt_/memRetry_ —
+     * so wake, issue-candidate and stall-classification passes walk
+     * a few contiguous cachelines rather than striding through
+     * ~400-byte WarpCtx records (WarpInstr alone is 32 lane
+     * addresses).
+     */
     struct WarpCtx
     {
         std::unique_ptr<WarpProgram> program;
-        WarpState state = WarpState::Idle;
-        Cycle readyAt = 0;
         WarpInstr cur;
         bool hasCur = false;
-        /** Accesses accepted-pending submission (structural retries). */
+        /** Accesses accepted-pending submission (structural retries).
+         *  Drained by cursor (submitHead) instead of front-erase so
+         *  the ~176-byte Access elements never shift; the buffer is
+         *  cleared and its capacity reused once fully drained. */
         std::vector<mem::Access> toSubmit;
+        /** First not-yet-submitted index into toSubmit. */
+        std::size_t submitHead = 0;
         /** Accesses of the current instruction awaiting completion. */
         unsigned inFlight = 0;
         /** Store acks not yet received (fences, SC blocking). */
@@ -119,24 +167,50 @@ class Sm
         std::uint32_t spinIters = 0;
         std::uint32_t spinObserved = 0;
         /** TSO: stores waiting to drain in order (store buffer). */
-        std::deque<mem::Access> storeFifo;
+        sim::RingBuffer<mem::Access> storeFifo;
         /** TSO: store-buffer entries submitted, awaiting their ack. */
         unsigned storesSubmitted = 0;
         /** TSO: current load aliases a buffered store; must drain. */
         bool loadWaitsStores = false;
+
+        bool
+        submitsPending() const
+        {
+            return submitHead < toSubmit.size();
+        }
     };
+
+    /** Full tick pass (wake, issue, classify); see tick(). */
+    void tickFull(Cycle now);
+
+    /** Horizon scan over all warps (the uncached nextWorkCycle). */
+    Cycle computeNextWork(Cycle now) const;
+
+    /**
+     * Drop the cached horizon/stall classification. Called wherever
+     * warp state changes outside the full tick pass itself: kernel
+     * launch and the L1 completion callbacks.
+     */
+    void
+    invalidateTickCache()
+    {
+        horizonValid_ = false;
+        idleTickValid_ = false;
+    }
 
     /** Try to make progress for warp w; true if an issue slot used. */
     bool issueWarp(unsigned w, Cycle now);
 
     /** TSO: push the next buffered store into the cache, in order. */
-    void drainStoreFifo(WarpCtx &warp, Cycle now);
+    void drainStoreFifo(unsigned w, Cycle now);
 
     /** Start executing instruction `instr` on warp w. */
     bool beginInstr(unsigned w, Cycle now);
 
-    /** Submit queued accesses to L1; true if all were accepted. */
-    bool drainSubmits(WarpCtx &warp, Cycle now);
+    /** Submit queued accesses to L1; true if all were accepted.
+     *  Maintains memRetry_[w] (callers guarantee the warp is not
+     *  alias-blocked when they call this). */
+    bool drainSubmits(unsigned w, Cycle now);
 
     void retire(unsigned w);
     bool fenceSatisfied(const WarpCtx &warp, Cycle now) const;
@@ -165,16 +239,74 @@ class Sm
     };
 
     std::vector<WarpCtx> warps_;
+    // --- hot per-warp scheduler state (SoA; see WarpCtx comment) ---
+    /** Scheduling state, one byte per warp. */
+    std::vector<WarpState> warpState_;
+    /** Wake cycle for WaitCompute warps (parallel to warpState_). */
+    std::vector<Cycle> warpReadyAt_;
+    /**
+     * 1 iff the warp has submits pending and is not alias-blocked
+     * (submitsPending() && !loadWaitsStores) — the WaitMem warps an
+     * issue slot must retry. Maintained by drainSubmits and the two
+     * loadWaitsStores transition points.
+     */
+    std::vector<std::uint8_t> memRetry_;
+    /** Warps whose storeFifo is non-empty (0 outside TSO, letting
+     *  the per-cycle drain scan be skipped entirely). */
+    unsigned storeFifoWarps_ = 0;
+    /** Coalescer output scratch; swapped into warp.toSubmit so both
+     *  buffers recycle their capacity (zero-alloc steady state). */
+    std::vector<mem::Access> coalesceBuf_;
     Scheduler scheduler_;
     unsigned lastIssued_ = 0;
     std::uint64_t nextAccessId_ = 1;
     std::uint64_t retiredTotal_ = 0;
     Cycle now_ = 0; ///< updated at tick entry; callbacks use it
 
+    /** Warps not yet Done/Idle (O(1) allWarpsDone). */
+    unsigned liveWarps_ = 0;
+
+    // --- cached tick/horizon state (data-oriented hot path) ---
+    // Valid while no warp state has changed since it was computed:
+    // the full tick pass refreshes it after a no-issue cycle, and
+    // every external mutation point calls invalidateTickCache().
+    /** Cached nextWorkCycle() result (absolute cycle). */
+    mutable Cycle cachedNextWork_ = 0;
+    mutable bool horizonValid_ = false;
+    /** The no-issue classification caches below are usable. */
+    bool idleTickValid_ = false;
+    /** Stall bucket the classification chose (idle/compute/mem);
+     *  points into win_. */
+    std::uint64_t *cachedStallBucket_ = nullptr;
+    /** Warps in WaitFence (per-cycle fence-stall accounting). */
+    unsigned cachedWaitFence_ = 0;
+
     unsigned issueWidth_;
     Cycle spinBackoff_;
 
-    // cached stat counters
+    /**
+     * Windowed counter block: every hot-path stat increment lands
+     * here (one POD cache line) and flushStatWindow() batches it
+     * into the StatSet's map nodes. Field order mirrors the cached
+     * pointers below.
+     */
+    struct StatWindow
+    {
+        std::uint64_t activeCycles = 0;
+        std::uint64_t memStallCycles = 0;
+        std::uint64_t computeStallCycles = 0;
+        std::uint64_t idleCycles = 0;
+        std::uint64_t instrs = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t fences = 0;
+        std::uint64_t spinRetries = 0;
+        std::uint64_t spinGiveups = 0;
+        std::uint64_t fenceStallCycles = 0;
+    };
+    StatWindow win_;
+
+    // flush targets in the StatSet (stable map-node addresses)
     std::uint64_t *activeCycles_;
     std::uint64_t *memStallCycles_;
     std::uint64_t *computeStallCycles_;

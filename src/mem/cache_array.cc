@@ -29,6 +29,7 @@ CacheArray::CacheArray(std::size_t size_bytes, std::size_t assoc)
     if (!isPow2(numSets_))
         GTSC_FATAL("cache set count ", numSets_, " must be a power of 2");
     blocks_.resize(numSets_ * assoc_);
+    data_.resize(numSets_ * assoc_);
     mruWay_.assign(numSets_, 0);
 }
 
@@ -68,8 +69,7 @@ void
 CacheArray::touch(CacheBlock &blk)
 {
     blk.lastUse = ++useStamp_;
-    std::size_t idx =
-        static_cast<std::size_t>(&blk - blocks_.data());
+    std::size_t idx = indexOf(blk);
     mruWay_[idx / assoc_] = static_cast<std::uint32_t>(idx % assoc_);
 }
 
@@ -94,14 +94,13 @@ CacheArray::victim(Addr line_addr,
 void
 CacheArray::insert(CacheBlock &blk, Addr line_addr)
 {
-    GTSC_ASSERT(setIndex(line_addr) ==
-                static_cast<std::size_t>(&blk - blocks_.data()) / assoc_,
+    GTSC_ASSERT(setIndex(line_addr) == indexOf(blk) / assoc_,
                 "insert into wrong set");
     blk.valid = true;
     blk.dirty = false;
     blk.lineAddr = line_addr;
     blk.meta = BlockMeta{};
-    blk.data = LineData{};
+    data_[indexOf(blk)] = LineData{};
     touch(blk);
 }
 

@@ -41,6 +41,13 @@ struct BlockMeta
     Cycle grant = 0;
 };
 
+/**
+ * Hot per-way record: tag, state and coherence metadata only. The
+ * 128-byte LineData payload lives in a parallel cold array inside
+ * CacheArray (reach it through dataOf()), so a set probe walks a few
+ * dense ~48-byte records instead of dragging a cache line of payload
+ * per way through the host's L1.
+ */
 struct CacheBlock
 {
     bool valid = false;
@@ -48,7 +55,6 @@ struct CacheBlock
     Addr lineAddr = 0;          ///< full aligned line address (tag)
     std::uint64_t lastUse = 0;  ///< LRU stamp
     BlockMeta meta;
-    LineData data;
 };
 
 /**
@@ -57,6 +63,10 @@ struct CacheBlock
  * Capacity and associativity are fixed at construction; the line
  * size is the global kLineBytes. Lookups do not update LRU (callers
  * call touch() on a real access so probes stay side-effect free).
+ *
+ * Storage is struct-of-arrays: CacheBlock metadata in one dense
+ * row-major vector (the only thing probes touch) and LineData
+ * payloads in a parallel vector, indexed identically.
  */
 class CacheArray
 {
@@ -82,6 +92,25 @@ class CacheArray
 
     /** Update the block's LRU stamp. */
     void touch(CacheBlock &blk);
+
+    /** Payload of a block returned by lookup()/victim(). */
+    LineData &
+    dataOf(CacheBlock &blk)
+    {
+        return data_[indexOf(blk)];
+    }
+    const LineData &
+    dataOf(const CacheBlock &blk) const
+    {
+        return data_[indexOf(blk)];
+    }
+
+    /**
+     * Drop a block. All invalidations go through here (not direct
+     * `valid = false` writes) so the array can keep any derived
+     * lookup structures coherent with the tag state.
+     */
+    void invalidate(CacheBlock &blk) { blk.valid = false; }
 
     /**
      * Choose a victim way for this line: an invalid way if any,
@@ -122,10 +151,17 @@ class CacheArray
     std::size_t setIndex(Addr line_addr) const;
 
   private:
+    std::size_t
+    indexOf(const CacheBlock &blk) const
+    {
+        return static_cast<std::size_t>(&blk - blocks_.data());
+    }
+
     std::size_t numSets_;
     std::size_t assoc_;
     std::uint64_t useStamp_ = 0;
     std::vector<CacheBlock> blocks_; ///< numSets_ x assoc_, row-major
+    std::vector<LineData> data_;     ///< cold payloads, same indexing
     std::vector<std::uint32_t> mruWay_; ///< last touched way per set
 };
 

@@ -104,8 +104,10 @@ DramChannel::tick(Cycle now)
     }
 
     Request req = std::move(queue_[pick]);
-    queue_.erase(queue_.begin() +
-                 static_cast<std::ptrdiff_t>(pick));
+    if (pick == 0)
+        queue_.pop_front();
+    else
+        queue_.erase(pick);
 
     unsigned bank = bankOf(req.lineAddr);
     Addr row = rowOf(req.lineAddr);
@@ -131,19 +133,23 @@ DramChannel::tick(Cycle now)
         return;
     }
 
-    LineData data = memory_.readLine(req.lineAddr);
     ++pending_;
-    Addr line = req.lineAddr;
-    events_.schedule(now + access_lat, [this, cb = std::move(req.cb),
-                                        data, line]() {
+    std::uint32_t slot = returns_.acquire();
+    ReadReturn &ret = returns_[slot];
+    ret.lineAddr = req.lineAddr;
+    ret.data = memory_.readLine(req.lineAddr);
+    ret.cb = std::move(req.cb);
+    events_.schedule(now + access_lat, [this, slot]() {
+        ReadReturn &r = returns_[slot];
         --pending_;
         if (trace_) {
             trace_->record(track_,
-                           obs::Event{events_.now(), line, 0, 0,
+                           obs::Event{events_.now(), r.lineAddr, 0, 0,
                                       obs::EventKind::DramReturn, 0,
                                       0});
         }
-        cb(data);
+        r.cb(r.data);
+        returns_.release(slot);
     });
 }
 

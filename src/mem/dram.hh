@@ -13,7 +13,6 @@
 #define GTSC_MEM_DRAM_HH_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -23,6 +22,8 @@
 #include "obs/tracer.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -80,6 +81,16 @@ class DramChannel
         ReadCallback cb;
     };
 
+    /** In-service read payloads parked here so the return event
+     *  captures only [this, slot] — the 128-byte line plus callback
+     *  would otherwise heap-allocate a closure per DRAM read. */
+    struct ReadReturn
+    {
+        Addr lineAddr;
+        LineData data;
+        ReadCallback cb;
+    };
+
     unsigned bankOf(Addr line_addr) const;
     Addr rowOf(Addr line_addr) const;
 
@@ -104,7 +115,8 @@ class DramChannel
     bool frfcfs_ = false;
     std::size_t schedWindow_ = 16;
 
-    std::deque<Request> queue_;
+    sim::RingBuffer<Request> queue_;
+    sim::SlotPool<ReadReturn> returns_;
     std::vector<Addr> openRow_;   ///< per-bank open row (kCycleNever=closed)
     Cycle busBusyUntil_ = 0;
     unsigned pending_ = 0;        ///< requests in service (cb not fired)

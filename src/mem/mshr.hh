@@ -7,13 +7,23 @@
  * request goes to the lower level (Section II-A / V-B of the paper).
  * The same structure also parks accesses that are blocked behind a
  * locked (store-in-flight) line for G-TSC's update-visibility rule.
+ *
+ * The table is capacity-bounded (typically 32-64 entries), so lookup
+ * is a linear scan over a packed key vector — cheaper than hashing a
+ * line address and chasing unordered_map buckets, and the dominant
+ * cost in profiles was exactly those bucket chases. Entries live in
+ * a deque-backed pool: free() returns the slot without destroying
+ * the entry, so waiter-vector capacity is recycled across misses and
+ * the MSHR stops allocating once warmed up. Entry pointers are
+ * stable across alloc/free (deque never moves elements).
  */
 
 #ifndef GTSC_MEM_MSHR_HH_
 #define GTSC_MEM_MSHR_HH_
 
 #include <cstddef>
-#include <unordered_map>
+#include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "mem/access.hh"
@@ -50,22 +60,42 @@ class Mshr
     MshrEntry *
     find(Addr line_addr)
     {
-        auto it = entries_.find(line_addr);
-        return it == entries_.end() ? nullptr : &it->second;
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] == line_addr)
+                return &slots_[slotOf_[i]];
+        }
+        return nullptr;
     }
 
-    /** Allocate an entry; nullptr when the table is full. */
+    /** Allocate an entry; nullptr when the table is full. The
+     *  entry's fields are reset but its waiter vector keeps the
+     *  capacity it accumulated in earlier lives. */
     MshrEntry *
     alloc(Addr line_addr)
     {
-        if (entries_.size() >= capacity_)
+        if (keys_.size() >= capacity_)
             return nullptr;
-        MshrEntry &e = entries_[line_addr];
+        std::uint32_t slot;
+        if (free_.empty()) {
+            slots_.emplace_back();
+            slot = static_cast<std::uint32_t>(slots_.size() - 1);
+        } else {
+            slot = free_.back();
+            free_.pop_back();
+        }
+        keys_.push_back(line_addr);
+        slotOf_.push_back(slot);
+        MshrEntry &e = slots_[slot];
         e.lineAddr = line_addr;
+        e.requestSent = false;
+        e.outstanding = 0;
+        e.lockWait = false;
+        e.requestWts = 0;
+        e.waiters.clear();
         if (trace_) {
             trace_->record(track_,
                            obs::Event{clock_->now(), line_addr,
-                                      entries_.size(), 0,
+                                      keys_.size(), 0,
                                       obs::EventKind::MshrAlloc, 0, 0});
         }
         return &e;
@@ -74,11 +104,22 @@ class Mshr
     void
     free(Addr line_addr)
     {
-        if (entries_.erase(line_addr) && trace_) {
-            trace_->record(track_,
-                           obs::Event{clock_->now(), line_addr,
-                                      entries_.size(), 0,
-                                      obs::EventKind::MshrRetire, 0, 0});
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] != line_addr)
+                continue;
+            free_.push_back(slotOf_[i]);
+            keys_[i] = keys_.back();
+            keys_.pop_back();
+            slotOf_[i] = slotOf_.back();
+            slotOf_.pop_back();
+            if (trace_) {
+                trace_->record(track_,
+                               obs::Event{clock_->now(), line_addr,
+                                          keys_.size(), 0,
+                                          obs::EventKind::MshrRetire, 0,
+                                          0});
+            }
+            return;
         }
     }
 
@@ -95,21 +136,34 @@ class Mshr
         clock_ = clock;
     }
 
-    bool full() const { return entries_.size() >= capacity_; }
-    std::size_t size() const { return entries_.size(); }
+    bool full() const { return keys_.size() >= capacity_; }
+    std::size_t size() const { return keys_.size(); }
     std::size_t capacity() const { return capacity_; }
 
-    /** Iterate over entries (diagnostics/tests). */
-    const std::unordered_map<Addr, MshrEntry> &entries() const
+    /** Visit live entries (diagnostics/tests); order unspecified. */
+    template <typename F>
+    void
+    forEach(F &&f) const
     {
-        return entries_;
+        for (std::size_t i = 0; i < keys_.size(); ++i)
+            f(slots_[slotOf_[i]]);
     }
 
-    void clear() { entries_.clear(); }
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i)
+            free_.push_back(slotOf_[i]);
+        keys_.clear();
+        slotOf_.clear();
+    }
 
   private:
     std::size_t capacity_;
-    std::unordered_map<Addr, MshrEntry> entries_;
+    std::vector<Addr> keys_;
+    std::vector<std::uint32_t> slotOf_;
+    std::deque<MshrEntry> slots_;
+    std::vector<std::uint32_t> free_;
     obs::Tracer *trace_ = nullptr;
     obs::Tracer::TrackId track_ = 0;
     const sim::EventQueue *clock_ = nullptr;

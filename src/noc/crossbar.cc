@@ -19,6 +19,7 @@ Crossbar::Crossbar(unsigned num_src, unsigned num_dst,
         GTSC_FATAL("noc.bytes_per_cycle must be > 0");
     srcFree_.assign(numSrc_, 0);
     dstFree_.assign(numDst_, 0);
+    portBound_.assign(numDst_, kCycleNever);
     dstQueue_.resize(numDst_);
     bytesTotal_ = &stats_.counter(name_ + ".bytes");
     packetsTotal_ = &stats_.counter(name_ + ".packets");
@@ -34,6 +35,17 @@ Cycle
 Crossbar::txCycles(std::uint32_t bytes) const
 {
     return (bytes + bytesPerCycle_ - 1) / bytesPerCycle_;
+}
+
+void
+Crossbar::flushStatWindow()
+{
+    *bytesTotal_ += win_.bytes;
+    for (unsigned t = 0; t < mem::kNumMsgTypes; ++t) {
+        *bytesByType_[t] += win_.bytesByType[t];
+        *packetsByType_[t] += win_.packetsByType[t];
+    }
+    win_ = StatWindow{};
 }
 
 void
@@ -59,10 +71,10 @@ Crossbar::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
                 pkt.toString());
 
     pkt.injectedAt = now;
-    *bytesTotal_ += pkt.sizeBytes;
-    *packetsTotal_ += 1;
-    *bytesByType_[static_cast<unsigned>(pkt.type)] += pkt.sizeBytes;
-    *packetsByType_[static_cast<unsigned>(pkt.type)] += 1;
+    win_.bytes += pkt.sizeBytes;
+    *packetsTotal_ += 1; // live: the progress token reads it per cycle
+    win_.bytesByType[static_cast<unsigned>(pkt.type)] += pkt.sizeBytes;
+    win_.packetsByType[static_cast<unsigned>(pkt.type)] += 1;
 
     if (trace_) {
         recordNocEvent(*trace_, track_, obs::EventKind::NocInject, pkt,
@@ -76,35 +88,31 @@ Crossbar::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
     Cycle arrive = start + tx + hopLatency_;
 
     ++inFlight_;
-    dstQueue_[dst].push(InFlight{arrive, seq_++, std::move(pkt)});
-}
-
-Cycle
-Crossbar::nextWorkCycle(Cycle now) const
-{
-    // A queued packet ejects at the first cycle that is past both
-    // its fabric arrival and its port's serialization window; tick()
-    // is a no-op before the earliest such cycle.
-    Cycle next = kCycleNever;
-    for (unsigned dst = 0; dst < numDst_; ++dst) {
-        const auto &q = dstQueue_[dst];
-        if (q.empty())
-            continue;
-        Cycle c = std::max(q.top().arrive, dstFree_[dst]);
-        next = std::min(next, std::max(c, now + 1));
-    }
-    return next;
+    std::uint32_t slot = pool_.acquire();
+    pool_[slot] = std::move(pkt);
+    auto &q = dstQueue_[dst];
+    q.push(InFlight{arrive, seq_++, slot});
+    // The new packet can only move the port's head earlier, so the
+    // recomputed head bound never loosens.
+    Cycle bound = std::max(q.top().arrive, dstFree_[dst]);
+    portBound_[dst] = bound;
+    if (bound < earliestEject_)
+        earliestEject_ = bound;
 }
 
 void
-Crossbar::tick(Cycle now)
+Crossbar::tickSweep(Cycle now)
 {
     for (unsigned dst = 0; dst < numDst_; ++dst) {
+        if (portBound_[dst] > now)
+            continue;
         auto &q = dstQueue_[dst];
         // Ejection link: one packet every txCycles per port.
         while (!q.empty() && q.top().arrive <= now &&
                dstFree_[dst] <= now) {
-            mem::Packet pkt = std::move(const_cast<InFlight &>(q.top()).pkt);
+            std::uint32_t slot = q.top().slot;
+            mem::Packet pkt = std::move(pool_[slot]);
+            pool_.release(slot);
             q.pop();
             --inFlight_;
             dstFree_[dst] = now + txCycles(pkt.sizeBytes);
@@ -121,7 +129,18 @@ Crossbar::tick(Cycle now)
             }
             deliver_(dst, std::move(pkt));
         }
+        portBound_[dst] =
+            q.empty() ? kCycleNever
+                      : std::max(q.top().arrive, dstFree_[dst]);
     }
+    // Re-tighten the global bound in a second pass: deliveries can
+    // re-enter inject() on this crossbar (which refreshes its port's
+    // bound), so the flat bound array is only final once the sweep
+    // above is done.
+    Cycle earliest = kCycleNever;
+    for (Cycle b : portBound_)
+        earliest = std::min(earliest, b);
+    earliestEject_ = earliest;
 }
 
 } // namespace gtsc::noc

@@ -22,13 +22,14 @@
 #include "mem/packet.hh"
 #include "noc/network.hh"
 #include "sim/config.hh"
+#include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace gtsc::noc
 {
 
-class Crossbar : public Network
+class Crossbar final : public Network
 {
   public:
     Crossbar(unsigned num_src, unsigned num_dst, const sim::Config &cfg,
@@ -43,10 +44,33 @@ class Crossbar : public Network
     void inject(unsigned src, unsigned dst, mem::Packet &&pkt,
                 Cycle now) override;
 
-    /** Eject packets whose arrival time has been reached. */
-    void tick(Cycle now) override;
+    /**
+     * Eject packets whose arrival time has been reached. O(1) on
+     * cycles where nothing can possibly eject: a conservative
+     * earliest-ejection bound is min-merged on inject and tightened
+     * to the exact value by each full sweep, so the per-port scan
+     * only runs on cycles that can deliver.
+     */
+    void
+    tick(Cycle now) override
+    {
+        if (inFlight_ == 0 || now < earliestEject_)
+            return;
+        tickSweep(now);
+    }
 
-    Cycle nextWorkCycle(Cycle now) const override;
+    /**
+     * Conservative horizon: never later than the true next ejection
+     * (a fast-forward jump landing early finds tick() a no-op and
+     * the bound re-tightened).
+     */
+    Cycle
+    nextWorkCycle(Cycle now) const override
+    {
+        if (inFlight_ == 0)
+            return kCycleNever;
+        return earliestEject_ > now ? earliestEject_ : now + 1;
+    }
 
     /**
      * Injection serializes for at least one cycle (txCycles >= 1 for
@@ -57,18 +81,31 @@ class Crossbar : public Network
 
     bool quiescent() const override { return inFlight_ == 0; }
 
-    std::uint64_t totalBytes() const override { return *bytesTotal_; }
+    std::uint64_t
+    totalBytes() const override
+    {
+        return *bytesTotal_ + win_.bytes;
+    }
+
+    void flushStatWindow() override;
 
     void attachTracer(obs::Tracer &tracer) override;
     void attachTranscript(obs::Transcript &transcript,
                           bool response) override;
 
   private:
+    /**
+     * Heap entry: 16 bytes of ordering key plus a slot index into
+     * the packet pool. Keeping the ~216-byte Packet out of the
+     * priority queue turns every sift during push/pop from a fat
+     * memcpy into a 3-word move — the queues were the single
+     * hottest site in profiles.
+     */
     struct InFlight
     {
         Cycle arrive;
         std::uint64_t seq;
-        mem::Packet pkt;
+        std::uint32_t slot;
 
         bool
         operator>(const InFlight &o) const
@@ -81,6 +118,9 @@ class Crossbar : public Network
 
     Cycle txCycles(std::uint32_t bytes) const;
 
+    /** Full per-port ejection sweep; recomputes earliestEject_. */
+    void tickSweep(Cycle now);
+
     sim::StatSet &stats_;
     std::string name_;
     unsigned numSrc_;
@@ -90,15 +130,49 @@ class Crossbar : public Network
 
     std::vector<Cycle> srcFree_;
     std::vector<Cycle> dstFree_;
+    /**
+     * Per-port earliest possible ejection: max(head arrival, port
+     * serialization window), kCycleNever when the port queue is
+     * empty. Exact for the head packet, so it is a valid lower
+     * bound for the whole port. The sweep scans this flat array and
+     * only touches a port's priority queue when its bound is due;
+     * earliestEject_ is the min over it.
+     */
+    std::vector<Cycle> portBound_;
     std::vector<std::priority_queue<InFlight, std::vector<InFlight>,
                                     std::greater<>>>
         dstQueue_;
+    /** In-flight packet payloads, indexed by InFlight::slot. */
+    sim::SlotPool<mem::Packet> pool_;
     DeliverFn deliver_;
     std::uint64_t seq_ = 0;
     std::uint64_t inFlight_ = 0;
+    /**
+     * Lower bound on the earliest cycle any queued packet can eject
+     * (kCycleNever when idle). Inject lowers it to the packet's
+     * fabric arrival (which ignores ejection-link serialization, so
+     * it is conservative); tickSweep() recomputes it exactly.
+     */
+    Cycle earliestEject_ = kCycleNever;
 
+    /**
+     * Windowed counter block: inject accumulates bytes and per-type
+     * tallies here (one dense struct) and flushStatWindow() batches
+     * them into the StatSet map nodes. The total packet counter is
+     * deliberately NOT windowed: the main loop's progress token
+     * reads it every simulated cycle and must see live values.
+     */
+    struct StatWindow
+    {
+        std::uint64_t bytes = 0;
+        std::uint64_t bytesByType[mem::kNumMsgTypes] = {};
+        std::uint64_t packetsByType[mem::kNumMsgTypes] = {};
+    };
+    StatWindow win_;
+
+    // flush targets in the StatSet (stable map-node addresses)
     std::uint64_t *bytesTotal_;
-    std::uint64_t *packetsTotal_;
+    std::uint64_t *packetsTotal_; ///< live (progress token), not windowed
     /** Per-MsgType byte/packet counters, cached at construction so
      * the inject hot path never rebuilds stat-name strings. */
     std::uint64_t *bytesByType_[mem::kNumMsgTypes];

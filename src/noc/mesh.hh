@@ -22,7 +22,7 @@
 namespace gtsc::noc
 {
 
-class Mesh : public Network
+class Mesh final : public Network
 {
   public:
     /**

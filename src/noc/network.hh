@@ -56,6 +56,14 @@ class Network
     virtual std::uint64_t totalBytes() const = 0;
 
     /**
+     * Batch locally windowed counters into the StatSet (no-op for
+     * networks that count straight into it). Anything reading the
+     * network's stats by name mid-run must be preceded by a flush;
+     * GpuSystem owns those call sites.
+     */
+    virtual void flushStatWindow() {}
+
+    /**
      * A hard lower bound on inject-to-deliver latency: a packet
      * injected at cycle c is never delivered before
      * c + minTraversalLatency(). This is the conservative-PDES

@@ -100,10 +100,4 @@ NoL1::receiveResponse(mem::Packet &&pkt, Cycle now)
     });
 }
 
-void
-NoL1::tick(Cycle now)
-{
-    (void)now;
-}
-
 } // namespace gtsc::protocols

@@ -20,7 +20,7 @@
 namespace gtsc::protocols
 {
 
-class NoL1 : public mem::L1Controller
+class NoL1 final : public mem::L1Controller
 {
   public:
     NoL1(SmId sm, const sim::Config &cfg, sim::StatSet &stats,
@@ -28,7 +28,7 @@ class NoL1 : public mem::L1Controller
 
     bool access(const mem::Access &acc, Cycle now) override;
     void receiveResponse(mem::Packet &&pkt, Cycle now) override;
-    void tick(Cycle now) override;
+    void tick(Cycle now) override { (void)now; }
 
     /** tick() is a no-op: all completions are response-driven. */
     Cycle

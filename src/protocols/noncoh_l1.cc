@@ -57,19 +57,25 @@ void
 NonCohL1::completeLoad(const mem::Access &acc, const mem::LineData &data,
                        bool hit, Cycle grant, Cycle now)
 {
-    mem::AccessResult res;
+    std::uint32_t slot = loadReplies_.acquire();
+    LoadReply &rec = loadReplies_[slot];
+    rec.acc = acc;
+    mem::AccessResult &res = rec.res;
     res.data = data;
     res.l1Hit = hit;
+    res.loadTs = 0; // recycled slot: reset every field
+    res.epoch = 0;
     res.leaseGrant = grant;
     if (probe_) {
         // Words covered by this SM's own in-flight stores are store
         // forwarding (the value is not globally performed yet), not
         // a memory observation.
         std::uint32_t forwarded = 0;
-        for (const auto &[id, st] : pendingStores_) {
-            if (st.lineAddr == acc.lineAddr)
-                forwarded |= st.wordMask;
-        }
+        pendingStores_.forEach(
+            [&](std::uint64_t, const mem::Access &st) {
+                if (st.lineAddr == acc.lineAddr)
+                    forwarded |= st.wordMask;
+            });
         for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
             if ((acc.wordMask & (1u << w)) &&
                 !(forwarded & (1u << w))) {
@@ -80,8 +86,10 @@ NonCohL1::completeLoad(const mem::Access &acc, const mem::LineData &data,
         }
     }
     Cycle delay = hit ? hitLatency_ : 1;
-    events_.schedule(now + delay, [this, acc, res]() {
-        loadDone_(acc, res);
+    events_.schedule(now + delay, [this, slot]() {
+        LoadReply &r = loadReplies_[slot];
+        loadDone_(r.acc, r.res);
+        loadReplies_.release(slot);
     });
 }
 
@@ -95,7 +103,8 @@ NonCohL1::access(const mem::Access &acc, Cycle now)
         // Write-through, no allocate; keep the local copy updated so
         // the SM's own later reads see its writes.
         if (blk) {
-            blk->data.mergeMasked(acc.storeData, acc.wordMask);
+            array_.dataOf(*blk).mergeMasked(acc.storeData,
+                                            acc.wordMask);
             ++(*dataWrites_);
         }
         pendingStores_[acc.id] = acc;
@@ -126,7 +135,8 @@ NonCohL1::access(const mem::Access &acc, Cycle now)
                                       obs::EventKind::L1Hit, acc.warp,
                                       0});
         }
-        completeLoad(acc, blk->data, true, blk->meta.grant, now);
+        completeLoad(acc, array_.dataOf(*blk), true,
+                     blk->meta.grant, now);
         return true;
     }
 
@@ -166,11 +176,10 @@ void
 NonCohL1::receiveResponse(mem::Packet &&pkt, Cycle now)
 {
     if (pkt.type == mem::MsgType::BusWrAck) {
-        auto it = pendingStores_.find(pkt.reqId);
-        GTSC_ASSERT(it != pendingStores_.end(),
-                    "ack without pending store");
-        mem::Access acc = it->second;
-        pendingStores_.erase(it);
+        mem::Access *pending = pendingStores_.find(pkt.reqId);
+        GTSC_ASSERT(pending, "ack without pending store");
+        mem::Access acc = *pending;
+        pendingStores_.erase(pkt.reqId);
         storeDone_(acc, 0);
         return;
     }
@@ -186,23 +195,18 @@ NonCohL1::receiveResponse(mem::Packet &&pkt, Cycle now)
         }
     }
     if (blk) {
-        blk->data = pkt.data;
+        array_.dataOf(*blk) = pkt.data;
         blk->meta.grant = pkt.gwct;
         array_.touch(*blk);
     }
 
     if (mem::MshrEntry *entry = mshr_.find(pkt.lineAddr)) {
-        std::vector<mem::Access> waiters = std::move(entry->waiters);
+        waitersScratch_.clear();
+        waitersScratch_.swap(entry->waiters);
         mshr_.free(pkt.lineAddr);
-        for (const auto &acc : waiters)
+        for (const auto &acc : waitersScratch_)
             completeLoad(acc, pkt.data, false, pkt.gwct, now);
     }
-}
-
-void
-NonCohL1::tick(Cycle now)
-{
-    (void)now;
 }
 
 } // namespace gtsc::protocols

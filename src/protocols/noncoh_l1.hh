@@ -9,7 +9,7 @@
 #ifndef GTSC_PROTOCOLS_NONCOH_L1_HH_
 #define GTSC_PROTOCOLS_NONCOH_L1_HH_
 
-#include <unordered_map>
+#include <vector>
 
 #include "mem/cache_array.hh"
 #include "mem/coherence_probe.hh"
@@ -17,12 +17,14 @@
 #include "mem/mshr.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
+#include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 
 namespace gtsc::protocols
 {
 
-class NonCohL1 : public mem::L1Controller
+class NonCohL1 final : public mem::L1Controller
 {
   public:
     NonCohL1(SmId sm, const sim::Config &cfg, sim::StatSet &stats,
@@ -30,7 +32,7 @@ class NonCohL1 : public mem::L1Controller
 
     bool access(const mem::Access &acc, Cycle now) override;
     void receiveResponse(mem::Packet &&pkt, Cycle now) override;
-    void tick(Cycle now) override;
+    void tick(Cycle now) override { (void)now; }
 
     /** tick() is a no-op: all completions are response-driven. */
     Cycle
@@ -54,7 +56,20 @@ class NonCohL1 : public mem::L1Controller
 
     mem::CacheArray array_;
     mem::Mshr mshr_;
-    std::unordered_map<std::uint64_t, mem::Access> pendingStores_;
+    sim::SmallFlatMap<std::uint64_t, mem::Access> pendingStores_;
+    /** Fill-waiter scratch: capacity circulates between this and the
+     *  pooled MSHR entries (swap, never free). */
+    std::vector<mem::Access> waitersScratch_;
+
+    /** Completed-load payloads parked here so the completion event
+     *  captures only [this, slot] (inline SmallFunction, no per-load
+     *  closure allocation). */
+    struct LoadReply
+    {
+        mem::Access acc;
+        mem::AccessResult res;
+    };
+    sim::SlotPool<LoadReply> loadReplies_;
 
     unsigned numPartitions_;
     Cycle hitLatency_;

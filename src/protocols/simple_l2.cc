@@ -30,6 +30,7 @@ SimpleL2::SimpleL2(PartitionId part, const sim::Config &cfg,
     writebacks_ = &stats_.counter("l2.writebacks");
     stallMshrFull_ = &stats_.counter("l2.stall_mshr_full");
     queueCycles_ = &stats_.counter("l2.queue_occupancy_cycles");
+    serviceLatency_ = &stats_.distribution("l2.service_latency");
 }
 
 void
@@ -52,8 +53,8 @@ SimpleL2::flushAll(Cycle now)
     GTSC_ASSERT(quiescent(), "L2 flush while busy");
     array_.forEachValid([this](mem::CacheBlock &blk) {
         if (blk.dirty)
-            memory_.writeLine(blk.lineAddr, blk.data);
-        blk.valid = false;
+            memory_.writeLine(blk.lineAddr, array_.dataOf(blk));
+        array_.invalidate(blk);
     });
 }
 
@@ -67,10 +68,12 @@ SimpleL2::receiveRequest(mem::Packet &&pkt, Cycle now)
 void
 SimpleL2::respond(mem::Packet &&resp, Cycle now)
 {
-    events_.schedule(now + accessLatency_,
-                     [this, r = std::move(resp)]() mutable {
-                         send_(std::move(r));
-                     });
+    std::uint32_t slot = respPool_.acquire();
+    respPool_[slot] = std::move(resp);
+    events_.schedule(now + accessLatency_, [this, slot]() {
+        send_(std::move(respPool_[slot]));
+        respPool_.release(slot);
+    });
 }
 
 void
@@ -85,7 +88,7 @@ SimpleL2::serve(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
         resp.part = part_;
         resp.warp = pkt.warp;
         resp.gwct = now; // service cycle (checker bookkeeping)
-        resp.data = blk.data;
+        resp.data = array_.dataOf(blk);
         resp.reqId = pkt.reqId;
         resp.sizeBytes = baselineMessageBytes(mem::MsgType::BusFill, 0);
         respond(std::move(resp), now);
@@ -93,7 +96,7 @@ SimpleL2::serve(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     }
     GTSC_ASSERT(pkt.type == mem::MsgType::BusWr,
                 "SimpleL2 unexpected packet ", pkt.toString());
-    blk.data.mergeMasked(pkt.data, pkt.wordMask);
+    array_.dataOf(blk).mergeMasked(pkt.data, pkt.wordMask);
     blk.dirty = true;
     ++(*writes_);
     if (trace_) {
@@ -127,8 +130,7 @@ SimpleL2::process(mem::Packet &pkt, Cycle now)
 {
     ++(*accesses_);
     if (pkt.injectedAt > 0) {
-        stats_.distribution("l2.service_latency")
-            .sample(static_cast<double>(now - pkt.injectedAt));
+        serviceLatency_->sample(static_cast<double>(now - pkt.injectedAt));
         pkt.injectedAt = 0; // waiter replays sample only once
     }
     mem::CacheBlock *blk = array_.lookup(pkt.lineAddr);
@@ -137,15 +139,16 @@ SimpleL2::process(mem::Packet &pkt, Cycle now)
         serve(*blk, pkt, now);
         return true;
     }
-    auto it = misses_.find(pkt.lineAddr);
-    if (it != misses_.end()) {
-        it->second.waiters.push_back(pkt);
+    if (MissEntry *pending = misses_.find(pkt.lineAddr)) {
+        pending->waiters.push_back(pkt);
         return true;
     }
     if (misses_.size() >= mshrCapacity_)
         return false;
     ++(*missesStat_);
-    misses_[pkt.lineAddr].waiters.push_back(pkt);
+    MissEntry &entry = misses_.emplace(pkt.lineAddr);
+    entry.waiters.clear(); // recycled slot: stale waiters possible
+    entry.waiters.push_back(pkt);
     Addr line = pkt.lineAddr;
     dram_.pushRead(line, [this, line](const mem::LineData &data) {
         onDramFill(line, data, events_.now());
@@ -162,25 +165,26 @@ SimpleL2::onDramFill(Addr line, const mem::LineData &data, Cycle now)
         ++(*evictions_);
         if (victim->dirty) {
             ++(*writebacks_);
-            dram_.pushWrite(victim->lineAddr, victim->data, 0xffffffffu);
+            dram_.pushWrite(victim->lineAddr,
+                            array_.dataOf(*victim), 0xffffffffu);
         }
     }
     array_.insert(*victim, line);
-    victim->data = data;
+    array_.dataOf(*victim) = data;
 
-    auto it = misses_.find(line);
-    GTSC_ASSERT(it != misses_.end(), "fill without miss entry");
-    std::vector<mem::Packet> waiters = std::move(it->second.waiters);
-    misses_.erase(it);
-    for (auto &w : waiters)
+    MissEntry *entry = misses_.find(line);
+    GTSC_ASSERT(entry, "fill without miss entry");
+    waitersScratch_.clear();
+    waitersScratch_.swap(entry->waiters);
+    misses_.erase(line);
+    for (auto &w : waitersScratch_)
         serve(*victim, w, now);
 }
 
 void
-SimpleL2::tick(Cycle now)
+SimpleL2::tickQueue(Cycle now)
 {
-    if (!queue_.empty())
-        (*queueCycles_) += queue_.size();
+    (*queueCycles_) += queue_.size();
     for (unsigned i = 0; i < ports_ && !queue_.empty(); ++i) {
         if (!process(queue_.front(), now)) {
             ++(*stallMshrFull_);

@@ -11,8 +11,6 @@
 #ifndef GTSC_PROTOCOLS_SIMPLE_L2_HH_
 #define GTSC_PROTOCOLS_SIMPLE_L2_HH_
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/cache_array.hh"
@@ -22,12 +20,14 @@
 #include "mem/main_memory.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 
 namespace gtsc::protocols
 {
 
-class SimpleL2 : public mem::L2Controller
+class SimpleL2 final : public mem::L2Controller
 {
   public:
     SimpleL2(PartitionId part, const sim::Config &cfg,
@@ -36,7 +36,13 @@ class SimpleL2 : public mem::L2Controller
              mem::CoherenceProbe *probe);
 
     void receiveRequest(mem::Packet &&pkt, Cycle now) override;
-    void tick(Cycle now) override;
+    /** Service-queue pump; O(1) when the queue is empty. */
+    void
+    tick(Cycle now) override
+    {
+        if (!queue_.empty())
+            tickQueue(now);
+    }
 
     /**
      * A non-empty service queue processes (and accrues occupancy
@@ -57,6 +63,7 @@ class SimpleL2 : public mem::L2Controller
         std::vector<mem::Packet> waiters;
     };
 
+    void tickQueue(Cycle now);
     bool process(mem::Packet &pkt, Cycle now);
     void serve(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now);
     void onDramFill(Addr line, const mem::LineData &data, Cycle now);
@@ -70,8 +77,10 @@ class SimpleL2 : public mem::L2Controller
     mem::CoherenceProbe *probe_;
 
     mem::CacheArray array_;
-    std::deque<mem::Packet> queue_;
-    std::unordered_map<Addr, MissEntry> misses_;
+    sim::RingBuffer<mem::Packet> queue_;
+    sim::PooledKeyMap<Addr, MissEntry> misses_;
+    std::vector<mem::Packet> waitersScratch_;
+    sim::SlotPool<mem::Packet> respPool_;
 
     unsigned ports_;
     Cycle accessLatency_;
@@ -85,6 +94,7 @@ class SimpleL2 : public mem::L2Controller
     std::uint64_t *writebacks_;
     std::uint64_t *stallMshrFull_;
     std::uint64_t *queueCycles_;
+    sim::Distribution *serviceLatency_;
 
     obs::Tracer *trace_ = nullptr;
     std::uint32_t track_ = 0; ///< obs::Tracer::TrackId

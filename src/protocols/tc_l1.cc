@@ -58,9 +58,14 @@ void
 TcL1::completeLoad(const mem::Access &acc, const mem::LineData &data,
                    bool hit, Cycle grant, Cycle now)
 {
-    mem::AccessResult res;
+    std::uint32_t slot = loadReplies_.acquire();
+    LoadReply &rec = loadReplies_[slot];
+    rec.acc = acc;
+    mem::AccessResult &res = rec.res;
     res.data = data;
     res.l1Hit = hit;
+    res.loadTs = 0; // recycled slot: reset every field
+    res.epoch = 0;
     res.leaseGrant = grant;
     if (probe_) {
         for (unsigned w = 0; w < mem::kWordsPerLine; ++w) {
@@ -72,8 +77,10 @@ TcL1::completeLoad(const mem::Access &acc, const mem::LineData &data,
         }
     }
     Cycle delay = hit ? hitLatency_ : 1;
-    events_.schedule(now + delay, [this, acc, res]() {
-        loadDone_(acc, res);
+    events_.schedule(now + delay, [this, slot]() {
+        LoadReply &r = loadReplies_[slot];
+        loadDone_(r.acc, r.res);
+        loadReplies_.release(slot);
     });
 }
 
@@ -87,7 +94,7 @@ TcL1::access(const mem::Access &acc, Cycle now)
         // Write-through, no local update: the private copy is
         // invalidated and the L2 performs the write.
         if (blk)
-            blk->valid = false;
+            array_.invalidate(*blk);
         pendingStores_[acc.id] = acc;
         mem::Packet pkt;
         pkt.type = mem::MsgType::BusWr;
@@ -118,7 +125,8 @@ TcL1::access(const mem::Access &acc, Cycle now)
                                       obs::EventKind::L1Hit, acc.warp,
                                       0});
         }
-        completeLoad(acc, blk->data, true, blk->meta.grant, now);
+        completeLoad(acc, array_.dataOf(*blk), true,
+                     blk->meta.grant, now);
         return true;
     }
 
@@ -169,11 +177,10 @@ void
 TcL1::receiveResponse(mem::Packet &&pkt, Cycle now)
 {
     if (pkt.type == mem::MsgType::BusWrAck) {
-        auto it = pendingStores_.find(pkt.reqId);
-        GTSC_ASSERT(it != pendingStores_.end(),
-                    "TC BusWrAck without pending store");
-        mem::Access acc = it->second;
-        pendingStores_.erase(it);
+        mem::Access *pending = pendingStores_.find(pkt.reqId);
+        GTSC_ASSERT(pending, "TC BusWrAck without pending store");
+        mem::Access acc = *pending;
+        pendingStores_.erase(pkt.reqId);
         storeDone_(acc, pkt.gwct);
         return;
     }
@@ -189,24 +196,19 @@ TcL1::receiveResponse(mem::Packet &&pkt, Cycle now)
         }
     }
     if (blk) {
-        blk->data = pkt.data;
+        array_.dataOf(*blk) = pkt.data;
         blk->meta.leaseEnd = pkt.leaseEnd;
         blk->meta.grant = pkt.gwct; // grant cycle carried in gwct
         array_.touch(*blk);
     }
 
     if (mem::MshrEntry *entry = mshr_.find(pkt.lineAddr)) {
-        std::vector<mem::Access> waiters = std::move(entry->waiters);
+        waitersScratch_.clear();
+        waitersScratch_.swap(entry->waiters);
         mshr_.free(pkt.lineAddr);
-        for (const auto &acc : waiters)
+        for (const auto &acc : waitersScratch_)
             completeLoad(acc, pkt.data, false, pkt.gwct, now);
     }
-}
-
-void
-TcL1::tick(Cycle now)
-{
-    (void)now;
 }
 
 } // namespace gtsc::protocols

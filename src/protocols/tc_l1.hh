@@ -15,8 +15,7 @@
 #ifndef GTSC_PROTOCOLS_TC_L1_HH_
 #define GTSC_PROTOCOLS_TC_L1_HH_
 
-#include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/cache_array.hh"
 #include "mem/coherence_probe.hh"
@@ -24,12 +23,14 @@
 #include "mem/mshr.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
+#include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 
 namespace gtsc::protocols
 {
 
-class TcL1 : public mem::L1Controller
+class TcL1 final : public mem::L1Controller
 {
   public:
     TcL1(SmId sm, const sim::Config &cfg, sim::StatSet &stats,
@@ -37,7 +38,7 @@ class TcL1 : public mem::L1Controller
 
     bool access(const mem::Access &acc, Cycle now) override;
     void receiveResponse(mem::Packet &&pkt, Cycle now) override;
-    void tick(Cycle now) override;
+    void tick(Cycle now) override { (void)now; }
 
     /**
      * tick() is a no-op: lease expiry is checked lazily at access
@@ -64,7 +65,20 @@ class TcL1 : public mem::L1Controller
 
     mem::CacheArray array_;
     mem::Mshr mshr_;
-    std::unordered_map<std::uint64_t, mem::Access> pendingStores_;
+    sim::SmallFlatMap<std::uint64_t, mem::Access> pendingStores_;
+    /** Fill-waiter scratch: capacity circulates between this and the
+     *  pooled MSHR entries (swap, never free). */
+    std::vector<mem::Access> waitersScratch_;
+
+    /** Completed-load payloads parked here so the completion event
+     *  captures only [this, slot] (inline SmallFunction, no per-load
+     *  closure allocation). */
+    struct LoadReply
+    {
+        mem::Access acc;
+        mem::AccessResult res;
+    };
+    sim::SlotPool<LoadReply> loadReplies_;
 
     unsigned numPartitions_;
     Cycle hitLatency_;

@@ -34,6 +34,7 @@ TcL2::TcL2(PartitionId part, const sim::Config &cfg, sim::StatSet &stats,
     writeStallCycles_ = &stats_.counter("l2.write_stall_cycles");
     evictStallCycles_ = &stats_.counter("l2.evict_stall_cycles");
     queueCycles_ = &stats_.counter("l2.queue_occupancy_cycles");
+    serviceLatency_ = &stats_.distribution("l2.service_latency");
 }
 
 void
@@ -57,8 +58,8 @@ TcL2::flushAll(Cycle now)
     GTSC_ASSERT(quiescent(), "TC L2 flush while busy");
     array_.forEachValid([this](mem::CacheBlock &blk) {
         if (blk.dirty)
-            memory_.writeLine(blk.lineAddr, blk.data);
-        blk.valid = false;
+            memory_.writeLine(blk.lineAddr, array_.dataOf(blk));
+        array_.invalidate(blk);
         blk.meta.leaseEnd = 0;
     });
 }
@@ -73,10 +74,12 @@ TcL2::receiveRequest(mem::Packet &&pkt, Cycle now)
 void
 TcL2::respond(mem::Packet &&resp, Cycle now)
 {
-    events_.schedule(now + accessLatency_,
-                     [this, r = std::move(resp)]() mutable {
-                         send_(std::move(r));
-                     });
+    std::uint32_t slot = respPool_.acquire();
+    respPool_[slot] = std::move(resp);
+    events_.schedule(now + accessLatency_, [this, slot]() {
+        send_(std::move(respPool_[slot]));
+        respPool_.release(slot);
+    });
 }
 
 void
@@ -100,7 +103,7 @@ TcL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     resp.warp = pkt.warp;
     resp.leaseEnd = blk.meta.leaseEnd;
     resp.gwct = now; // grant cycle (checker bookkeeping)
-    resp.data = blk.data;
+    resp.data = array_.dataOf(blk);
     resp.reqId = pkt.reqId;
     resp.sizeBytes = tcMessageBytes(mem::MsgType::BusFill, 0);
     respond(std::move(resp), now);
@@ -110,7 +113,7 @@ void
 TcL2::performWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
 {
     Cycle gwct = std::max(now, blk.meta.leaseEnd);
-    blk.data.mergeMasked(pkt.data, pkt.wordMask);
+    array_.dataOf(blk).mergeMasked(pkt.data, pkt.wordMask);
     blk.dirty = true;
     array_.touch(blk);
     ++(*writes_);
@@ -148,8 +151,7 @@ TcL2::process(mem::Packet &pkt, Cycle now)
 {
     ++(*accesses_);
     if (pkt.injectedAt > 0) {
-        stats_.distribution("l2.service_latency")
-            .sample(static_cast<double>(now - pkt.injectedAt));
+        serviceLatency_->sample(static_cast<double>(now - pkt.injectedAt));
         pkt.injectedAt = 0; // waiter replays sample only once
     }
 
@@ -181,16 +183,17 @@ TcL2::process(mem::Packet &pkt, Cycle now)
         return true;
     }
 
-    auto it = misses_.find(pkt.lineAddr);
-    if (it != misses_.end()) {
-        it->second.waiters.push_back(pkt);
+    if (MissEntry *pending = misses_.find(pkt.lineAddr)) {
+        pending->waiters.push_back(pkt);
         return true;
     }
     if (misses_.size() >= mshrCapacity_)
         return false;
 
     ++(*missesStat_);
-    misses_[pkt.lineAddr].waiters.push_back(pkt);
+    MissEntry &entry = misses_.emplace(pkt.lineAddr);
+    entry.waiters.clear(); // recycled slot: stale waiters possible
+    entry.waiters.push_back(pkt);
     Addr line = pkt.lineAddr;
     dram_.pushRead(line, [this, line](const mem::LineData &data) {
         onDramFill(line, data, events_.now());
@@ -215,18 +218,20 @@ TcL2::tryInsert(Addr line, const mem::LineData &data, Cycle now)
         ++(*evictions_);
         if (victim->dirty) {
             ++(*writebacks_);
-            dram_.pushWrite(victim->lineAddr, victim->data, 0xffffffffu);
+            dram_.pushWrite(victim->lineAddr,
+                            array_.dataOf(*victim), 0xffffffffu);
         }
     }
     array_.insert(*victim, line);
-    victim->data = data;
+    array_.dataOf(*victim) = data;
     victim->meta.leaseEnd = 0;
 
-    auto it = misses_.find(line);
-    GTSC_ASSERT(it != misses_.end(), "TC fill without miss entry");
-    std::vector<mem::Packet> waiters = std::move(it->second.waiters);
-    misses_.erase(it);
-    for (auto &w : waiters) {
+    MissEntry *entry = misses_.find(line);
+    GTSC_ASSERT(entry, "TC fill without miss entry");
+    waitersScratch_.clear();
+    waitersScratch_.swap(entry->waiters);
+    misses_.erase(line);
+    for (auto &w : waitersScratch_) {
         if (!process(w, now))
             GTSC_PANIC("TC waiter replay rejected");
     }

@@ -22,7 +22,6 @@
 
 #include <deque>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/cache_array.hh"
@@ -32,12 +31,14 @@
 #include "mem/main_memory.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 
 namespace gtsc::protocols
 {
 
-class TcL2 : public mem::L2Controller
+class TcL2 final : public mem::L2Controller
 {
   public:
     TcL2(PartitionId part, const sim::Config &cfg, sim::StatSet &stats,
@@ -93,12 +94,16 @@ class TcL2 : public mem::L2Controller
     mem::CoherenceProbe *probe_;
 
     mem::CacheArray array_;
-    std::deque<mem::Packet> queue_;
-    std::unordered_map<Addr, MissEntry> misses_;
-    /** Strong mode: per-line ops queued behind a stalled store. */
+    sim::RingBuffer<mem::Packet> queue_;
+    sim::PooledKeyMap<Addr, MissEntry> misses_;
+    std::vector<mem::Packet> waitersScratch_;
+    sim::SlotPool<mem::Packet> respPool_;
+    /** Strong mode: per-line ops queued behind a stalled store.
+     *  Stays an ordered map: drainStalled must visit lines in
+     *  sorted-address order for run-to-run determinism. */
     std::map<Addr, std::deque<mem::Packet>> stalled_;
     /** Fills waiting for an evictable (expired) victim. */
-    std::deque<PendingInsert> pendingInserts_;
+    sim::RingBuffer<PendingInsert> pendingInserts_;
 
     unsigned ports_;
     Cycle accessLatency_;
@@ -115,6 +120,7 @@ class TcL2 : public mem::L2Controller
     std::uint64_t *writeStallCycles_;
     std::uint64_t *evictStallCycles_;
     std::uint64_t *queueCycles_;
+    sim::Distribution *serviceLatency_;
 
     obs::Tracer *trace_ = nullptr;
     std::uint32_t track_ = 0; ///< obs::Tracer::TrackId

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Small open-addressing-free flat map: parallel key/value vectors
+ * with linear-scan lookup.
+ *
+ * The simulator's per-SM bookkeeping tables (pending stores,
+ * store-by-line indices) hold at most a few dozen entries — bounded
+ * by warps x outstanding accesses — so a packed linear scan beats
+ * std::unordered_map's hash + bucket chase and, critically, never
+ * allocates in steady state: erase is swap-with-last, so the vectors
+ * only grow to the high-water mark once.
+ *
+ * Values must tolerate swap-pop erasure (flat PODs do). Iteration
+ * order is unspecified; callers that need deterministic order must
+ * not iterate (all current users either look up by key or fold
+ * order-independently).
+ */
+
+#ifndef GTSC_SIM_FLAT_MAP_HH_
+#define GTSC_SIM_FLAT_MAP_HH_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gtsc::sim
+{
+
+template <typename K, typename V>
+class SmallFlatMap
+{
+  public:
+    bool empty() const { return keys_.empty(); }
+    std::size_t size() const { return keys_.size(); }
+
+    V *
+    find(const K &key)
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] == key)
+                return &vals_[i];
+        }
+        return nullptr;
+    }
+
+    const V *
+    find(const K &key) const
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] == key)
+                return &vals_[i];
+        }
+        return nullptr;
+    }
+
+    bool contains(const K &key) const { return find(key) != nullptr; }
+
+    /** Find-or-insert (value-initialized on insert). */
+    V &
+    operator[](const K &key)
+    {
+        if (V *v = find(key))
+            return *v;
+        keys_.push_back(key);
+        vals_.emplace_back();
+        return vals_.back();
+    }
+
+    /** Swap-pop erase; returns true if the key was present. */
+    bool
+    erase(const K &key)
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] == key) {
+                keys_[i] = keys_.back();
+                keys_.pop_back();
+                if (i != vals_.size() - 1)
+                    vals_[i] = std::move(vals_.back());
+                vals_.pop_back();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    clear()
+    {
+        keys_.clear();
+        vals_.clear();
+    }
+
+    /** Order-independent visitation: f(key, value). */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i)
+            f(keys_[i], vals_[i]);
+    }
+
+  private:
+    std::vector<K> keys_;
+    std::vector<V> vals_;
+};
+
+} // namespace gtsc::sim
+
+#endif // GTSC_SIM_FLAT_MAP_HH_

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Power-of-two ring buffer with deque-like front/back semantics.
+ *
+ * Drop-in replacement for the simulator's hot std::deque queues
+ * (L2 service queues, replay queues, store FIFOs, DRAM request
+ * queues). libstdc++'s deque allocates and frees a block node every
+ * few pushes when elements are fat (Packet is ~216 bytes), which
+ * shows up as steady-state heap churn; the ring only allocates on
+ * capacity growth and then recycles its storage forever.
+ *
+ * Elements are stored in default-constructed slots and move-assigned
+ * in, so popped slots retain whatever capacity their element type
+ * carries until the slot is overwritten by a later push.
+ */
+
+#ifndef GTSC_SIM_RING_BUFFER_HH_
+#define GTSC_SIM_RING_BUFFER_HH_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gtsc::sim
+{
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+    T &back() { return buf_[(head_ + size_ - 1) & mask_]; }
+    const T &back() const { return buf_[(head_ + size_ - 1) & mask_]; }
+
+    T &operator[](std::size_t i) { return buf_[(head_ + i) & mask_]; }
+    const T &operator[](std::size_t i) const
+    {
+        return buf_[(head_ + i) & mask_];
+    }
+
+    void
+    push_back(T v)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[(head_ + size_) & mask_] = std::move(v);
+        ++size_;
+    }
+
+    /** Pop the head slot; its element is left in a moved-from /
+     *  stale state and recycled by a later push. */
+    void
+    pop_front()
+    {
+        head_ = (head_ + 1) & mask_;
+        --size_;
+    }
+
+    /** Remove element i, preserving the order of the rest (shifts
+     *  the tail left; O(size - i) moves). */
+    void
+    erase(std::size_t i)
+    {
+        for (std::size_t k = i; k + 1 < size_; ++k)
+            (*this)[k] = std::move((*this)[k + 1]);
+        --size_;
+    }
+
+    /** Drop all elements; capacity (and slot-held storage) kept. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::size_t cap = buf_.empty() ? kInitialCapacity
+                                       : buf_.size() * 2;
+        std::vector<T> nb(cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            nb[i] = std::move((*this)[i]);
+        buf_ = std::move(nb);
+        head_ = 0;
+        mask_ = cap - 1;
+    }
+
+    static constexpr std::size_t kInitialCapacity = 16;
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::size_t mask_ = 0;
+};
+
+} // namespace gtsc::sim
+
+#endif // GTSC_SIM_RING_BUFFER_HH_

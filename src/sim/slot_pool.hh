@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Slot pool + pooled keyed table: the zero-alloc steady-state
+ * building blocks of the hot path.
+ *
+ * SlotPool hands out stable indices into a deque-backed arena with a
+ * freelist. It exists to shrink SmallFunction event captures: instead
+ * of capturing a fat Access/Packet/AccessResult by value (which
+ * overflows the 64-byte inline buffer and heap-allocates a closure
+ * per event), hot components park the payload in a pool slot and
+ * capture only [this, slot] — 16 bytes, always inlined.
+ *
+ * The deque backing is load-bearing: callbacks that reference a slot
+ * may reenter the owning component and acquire more slots (e.g. a
+ * load completion that immediately issues the next access), growing
+ * the pool mid-call. A vector would invalidate the outstanding
+ * reference on reallocation; deque growth never moves existing
+ * elements. Callers must release a slot only AFTER they are done
+ * with its contents, which also guarantees the slot cannot be
+ * recycled out from under a running callback.
+ *
+ * PooledKeyMap layers packed linear-scan keys over a SlotPool for
+ * the L2 miss tables: entries carry waiter vectors whose capacity
+ * must survive erase/re-insert cycles, so erase only returns the
+ * slot to the freelist — the value object (and its heap buffers)
+ * persists for the next emplace to reuse. emplace() therefore hands
+ * back a *stale* value; callers reset the fields they use.
+ */
+
+#ifndef GTSC_SIM_SLOT_POOL_HH_
+#define GTSC_SIM_SLOT_POOL_HH_
+
+#include <cstdint>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace gtsc::sim
+{
+
+template <typename T>
+class SlotPool
+{
+  public:
+    /** Acquire a slot index; the slot's previous contents persist. */
+    std::uint32_t
+    acquire()
+    {
+        if (free_.empty()) {
+            slots_.emplace_back();
+            return static_cast<std::uint32_t>(slots_.size() - 1);
+        }
+        std::uint32_t idx = free_.back();
+        free_.pop_back();
+        return idx;
+    }
+
+    T &operator[](std::uint32_t idx) { return slots_[idx]; }
+    const T &operator[](std::uint32_t idx) const { return slots_[idx]; }
+
+    /** Return a slot to the freelist. Only call once the slot's
+     *  contents are no longer referenced. */
+    void release(std::uint32_t idx) { free_.push_back(idx); }
+
+    std::size_t allocated() const { return slots_.size(); }
+    std::size_t live() const { return slots_.size() - free_.size(); }
+
+  private:
+    std::deque<T> slots_;
+    std::vector<std::uint32_t> free_;
+};
+
+/** Packed-key table over pooled values; see file comment. */
+template <typename K, typename V>
+class PooledKeyMap
+{
+  public:
+    bool empty() const { return keys_.empty(); }
+    std::size_t size() const { return keys_.size(); }
+
+    V *
+    find(const K &key)
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] == key)
+                return &pool_[slotOf_[i]];
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert a key (must not be present) and return its pooled
+     * value. The value's state is whatever the last user of the
+     * recycled slot left behind — reset before use.
+     */
+    V &
+    emplace(const K &key)
+    {
+        std::uint32_t slot = pool_.acquire();
+        keys_.push_back(key);
+        slotOf_.push_back(slot);
+        return pool_[slot];
+    }
+
+    /** Swap-pop the key; its slot returns to the pool with its
+     *  value (and any held capacity) intact. */
+    void
+    erase(const K &key)
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] == key) {
+                pool_.release(slotOf_[i]);
+                keys_[i] = keys_.back();
+                keys_.pop_back();
+                slotOf_[i] = slotOf_.back();
+                slotOf_.pop_back();
+                return;
+            }
+        }
+    }
+
+    void
+    clear()
+    {
+        for (std::uint32_t slot : slotOf_)
+            pool_.release(slot);
+        keys_.clear();
+        slotOf_.clear();
+    }
+
+  private:
+    std::vector<K> keys_;
+    std::vector<std::uint32_t> slotOf_;
+    SlotPool<V> pool_;
+};
+
+} // namespace gtsc::sim
+
+#endif // GTSC_SIM_SLOT_POOL_HH_

@@ -12,6 +12,11 @@ namespace gtsc::sim
 void
 Distribution::reservoirPush(double v)
 {
+    // One-time full reservation: the reservoir never reallocates
+    // afterwards (compaction halves in place), keeping sample() off
+    // the allocator in steady state.
+    if (reservoir_.capacity() < kReservoirCapacity)
+        reservoir_.reserve(kReservoirCapacity);
     if (reservoir_.size() >= kReservoirCapacity) {
         // Compact: keep every other retained sample (the ones whose
         // original index is an even multiple of the old stride) and
@@ -111,11 +116,28 @@ StatSet::getDistribution(const std::string &name) const
 std::uint64_t
 StatSet::sumPrefix(const std::string &prefix) const
 {
-    std::uint64_t total = 0;
-    for (auto it = counters_.lower_bound(prefix);
-         it != counters_.end() && it->first.rfind(prefix, 0) == 0; ++it) {
-        total += it->second;
+    // The matching keys form a contiguous range in the sorted map:
+    // [lower_bound(prefix), lower_bound(successor)) where the
+    // successor is the prefix with its last non-0xff byte
+    // incremented (trailing 0xff bytes dropped — such a prefix has
+    // no upper bound and the range runs to end()). Bounding the
+    // range up front replaces the per-element starts-with compare
+    // with two O(log n) lookups.
+    auto first = counters_.lower_bound(prefix);
+    auto last = counters_.end();
+    std::string succ = prefix;
+    while (!succ.empty() &&
+           static_cast<unsigned char>(succ.back()) == 0xff)
+        succ.pop_back();
+    if (!succ.empty()) {
+        succ.back() =
+            static_cast<char>(static_cast<unsigned char>(succ.back()) +
+                              1);
+        last = counters_.lower_bound(succ);
     }
+    std::uint64_t total = 0;
+    for (auto it = first; it != last; ++it)
+        total += it->second;
     return total;
 }
 

@@ -93,12 +93,11 @@ class CcWorkload : public TraceWorkload
         unsigned iters = params_.iters(14);
         for (unsigned i = 0; i < iters; ++i) {
             // Gather neighbour labels: random per-lane addresses.
-            WarpInstr ld;
-            ld.op = WarpInstr::Op::Load;
-            ld.activeMask = WarpInstr::laneMask(gpu.warpSize);
+            std::vector<Addr> lanes(gpu.warpSize);
             for (unsigned l = 0; l < gpu.warpSize; ++l)
-                ld.addr[l] = wordAt(kSharedBase, rng.below(label_words));
-            t.push_back(ld);
+                lanes[l] = wordAt(kSharedBase, rng.below(label_words));
+            t.push_back(WarpInstr::loadGather(
+                std::move(lanes), WarpInstr::laneMask(gpu.warpSize)));
             // Re-read own label (hot) before updating it.
             t.push_back(WarpInstr::loadScalar(wordAt(kSharedBase, self)));
             t.push_back(WarpInstr::compute(4));

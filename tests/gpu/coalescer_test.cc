@@ -14,6 +14,15 @@ struct CoalescerFixture : public ::testing::Test
 {
     StoreValueSource values;
     Coalescer coalescer{values};
+    std::vector<mem::Access> buf;
+
+    std::vector<mem::Access> &
+    coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
+             WarpId warp)
+    {
+        coalescer.coalesce(instr, warp_size, sm, warp, buf);
+        return buf;
+    }
 };
 
 } // namespace
@@ -21,7 +30,7 @@ struct CoalescerFixture : public ::testing::Test
 TEST_F(CoalescerFixture, ContiguousLoadCoalescesToOneLine)
 {
     auto instr = WarpInstr::loadStrided(0x1000, 32, 4);
-    auto accesses = coalescer.coalesce(instr, 32, 0, 0);
+    auto &accesses = coalesce(instr, 32, 0, 0);
     ASSERT_EQ(accesses.size(), 1u);
     EXPECT_EQ(accesses[0].lineAddr, 0x1000u);
     EXPECT_EQ(accesses[0].wordMask, 0xffffffffu);
@@ -32,7 +41,7 @@ TEST_F(CoalescerFixture, StridedLoadSplitsAcrossLines)
 {
     // Stride 8B: 32 lanes span 256B = 2 lines, 16 words each.
     auto instr = WarpInstr::loadStrided(0x1000, 32, 8);
-    auto accesses = coalescer.coalesce(instr, 32, 0, 0);
+    auto &accesses = coalesce(instr, 32, 0, 0);
     ASSERT_EQ(accesses.size(), 2u);
     EXPECT_EQ(accesses[0].lineAddr, 0x1000u);
     EXPECT_EQ(accesses[1].lineAddr, 0x1080u);
@@ -42,26 +51,25 @@ TEST_F(CoalescerFixture, StridedLoadSplitsAcrossLines)
 TEST_F(CoalescerFixture, InactiveLanesIgnored)
 {
     auto instr = WarpInstr::loadStrided(0x1000, 32, 4, 0x1);
-    auto accesses = coalescer.coalesce(instr, 32, 0, 0);
+    auto &accesses = coalesce(instr, 32, 0, 0);
     ASSERT_EQ(accesses.size(), 1u);
     EXPECT_EQ(accesses[0].wordMask, 0x1u);
 }
 
 TEST_F(CoalescerFixture, ScatteredAccessesOnePerLine)
 {
-    WarpInstr instr;
-    instr.op = WarpInstr::Op::Load;
-    instr.activeMask = 0xf;
+    std::vector<Addr> lanes(4);
     for (unsigned l = 0; l < 4; ++l)
-        instr.addr[l] = 0x10000 + l * 0x1000; // all different lines
-    auto accesses = coalescer.coalesce(instr, 32, 0, 0);
+        lanes[l] = 0x10000 + l * 0x1000; // all different lines
+    auto instr = WarpInstr::loadGather(std::move(lanes), 0xf);
+    auto &accesses = coalesce(instr, 32, 0, 0);
     EXPECT_EQ(accesses.size(), 4u);
 }
 
 TEST_F(CoalescerFixture, StoreValuesUniquePerWord)
 {
     auto instr = WarpInstr::storeStrided(0x2000, 32, 4);
-    auto accesses = coalescer.coalesce(instr, 32, 1, 2);
+    auto &accesses = coalesce(instr, 32, 1, 2);
     ASSERT_EQ(accesses.size(), 1u);
     EXPECT_TRUE(accesses[0].isStore);
     std::set<std::uint32_t> seen;
@@ -73,7 +81,7 @@ TEST_F(CoalescerFixture, StoreValuesUniquePerWord)
 TEST_F(CoalescerFixture, ExplicitStoreValuePassedThrough)
 {
     auto instr = WarpInstr::storeScalar(0x3000, 77);
-    auto accesses = coalescer.coalesce(instr, 32, 0, 0);
+    auto &accesses = coalesce(instr, 32, 0, 0);
     ASSERT_EQ(accesses.size(), 1u);
     EXPECT_EQ(accesses[0].wordMask, 0x1u);
     EXPECT_EQ(accesses[0].storeData.word(0), 77u);
@@ -82,7 +90,7 @@ TEST_F(CoalescerFixture, ExplicitStoreValuePassedThrough)
 TEST_F(CoalescerFixture, SmWarpStamped)
 {
     auto instr = WarpInstr::loadStrided(0x1000, 32);
-    auto accesses = coalescer.coalesce(instr, 32, 5, 9);
+    auto &accesses = coalesce(instr, 32, 5, 9);
     ASSERT_EQ(accesses.size(), 1u);
     EXPECT_EQ(accesses[0].sm, 5);
     EXPECT_EQ(accesses[0].warp, 9);

@@ -1,0 +1,182 @@
+/**
+ * Hot-path equivalence: the data-oriented per-cycle core must be
+ * provably behavior-preserving. Every run of the pinned
+ * configurations below — across fast_forward off/on and shards 1/2 —
+ * must reproduce, bit for bit, the artifacts the pre-refactor seed
+ * produced: the full stat dump, trace.json, timeline.csv and
+ * transcript.txt.
+ *
+ * The small artifacts (stats, timeline) are stored verbatim under
+ * tests/integration/goldens/ so a mismatch shows a readable diff;
+ * the multi-megabyte ones (trace, transcript) are pinned by size +
+ * FNV-1a-64 hash in goldens/MANIFEST.txt.
+ *
+ * If you intentionally change the timing model, regenerate with the
+ * commands in goldens/MANIFEST.txt's sibling files, i.e.:
+ *
+ *   ./build/examples/gtsc-sim run gtsc rc <wl> gpu.num_sms=4 \
+ *     gpu.warps_per_sm=4 gpu.num_partitions=2 wl.scale=0.5 \
+ *     obs.trace=true obs.sample_interval=200 obs.trace_dir=DIR --stats
+ *
+ * for wl in {bh, cc}, then refresh the stored files and manifest
+ * hashes, explaining the change in your commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "harness/runner.hh"
+
+using namespace gtsc;
+
+#ifndef GTSC_GOLDEN_DIR
+#error "GTSC_GOLDEN_DIR must point at tests/integration/goldens"
+#endif
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot open " << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+std::uint64_t
+fnv64(const std::string &bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+struct GoldenEntry
+{
+    std::uint64_t size = 0;
+    std::uint64_t hash = 0;
+};
+
+/** MANIFEST.txt rows: "<workload> <kind> <size> <fnv64-hex>". */
+std::map<std::string, GoldenEntry>
+loadManifest()
+{
+    std::map<std::string, GoldenEntry> out;
+    std::ifstream in(fs::path(GTSC_GOLDEN_DIR) / "MANIFEST.txt");
+    EXPECT_TRUE(in) << "missing goldens/MANIFEST.txt";
+    std::string wl, kind, hashHex;
+    std::uint64_t size;
+    while (in >> wl >> kind >> size >> hashHex) {
+        GoldenEntry e;
+        e.size = size;
+        e.hash = std::stoull(hashHex, nullptr, 16);
+        out[wl + "/" + kind] = e;
+    }
+    return out;
+}
+
+struct Setting
+{
+    bool fastForward;
+    int shards;
+};
+
+class HotPathEquivalence
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+TEST_P(HotPathEquivalence, BitIdenticalToSeed)
+{
+    const std::string wl = GetParam();
+    const auto manifest = loadManifest();
+
+    const std::string goldStats =
+        slurp(fs::path(GTSC_GOLDEN_DIR) / (wl + ".stats.txt"));
+    const std::string goldTimeline =
+        slurp(fs::path(GTSC_GOLDEN_DIR) / (wl + ".timeline.csv"));
+
+    const Setting kSettings[] = {
+        {false, 1}, {true, 1}, {false, 2}, {true, 2}};
+
+    for (const Setting &s : kSettings) {
+        SCOPED_TRACE(std::string("fast_forward=") +
+                     (s.fastForward ? "on" : "off") +
+                     " shards=" + std::to_string(s.shards));
+
+        fs::path dir = fs::temp_directory_path() /
+                       ("gtsc_hot_path_eq_" + wl + "_" +
+                        std::to_string(s.fastForward) + "_" +
+                        std::to_string(s.shards));
+        fs::remove_all(dir);
+
+        sim::Config cfg;
+        cfg.setInt("gpu.num_sms", 4);
+        cfg.setInt("gpu.warps_per_sm", 4);
+        cfg.setInt("gpu.num_partitions", 2);
+        cfg.setDouble("wl.scale", 0.5);
+        cfg.setBool("gpu.fast_forward", s.fastForward);
+        cfg.setInt("gpu.shards", s.shards);
+        cfg.setBool("obs.trace", true);
+        cfg.setInt("obs.sample_interval", 200);
+        cfg.set("obs.trace_dir", dir.string());
+
+        harness::RunResult r = harness::runOne(cfg, "gtsc", "rc", wl);
+
+        // Full stat dump, byte for byte.
+        EXPECT_EQ(r.stats.toString(), goldStats);
+
+        std::string trace, timeline, transcript;
+        for (const std::string &f : r.obsFiles) {
+            if (f.size() > 11 &&
+                f.compare(f.size() - 11, 11, ".trace.json") == 0)
+                trace = slurp(f);
+            else if (f.size() > 13 &&
+                     f.compare(f.size() - 13, 13, ".timeline.csv") == 0)
+                timeline = slurp(f);
+            else if (f.size() > 15 &&
+                     f.compare(f.size() - 15, 15,
+                               ".transcript.txt") == 0)
+                transcript = slurp(f);
+        }
+        ASSERT_FALSE(trace.empty());
+        ASSERT_FALSE(timeline.empty());
+        ASSERT_FALSE(transcript.empty());
+
+        EXPECT_EQ(timeline, goldTimeline);
+
+        auto check = [&](const char *kind, const std::string &bytes) {
+            auto it = manifest.find(wl + "/" + kind);
+            ASSERT_NE(it, manifest.end()) << kind;
+            EXPECT_EQ(bytes.size(), it->second.size) << kind;
+            EXPECT_EQ(fnv64(bytes), it->second.hash) << kind;
+        };
+        check("stats", r.stats.toString() );
+        check("trace", trace);
+        check("timeline", timeline);
+        check("transcript", transcript);
+
+        fs::remove_all(dir);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, HotPathEquivalence,
+                         ::testing::Values("bh", "cc"),
+                         [](const ::testing::TestParamInfo<std::string>
+                                &info) { return info.param; });

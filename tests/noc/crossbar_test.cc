@@ -57,6 +57,7 @@ TEST_F(XbarFixture, AccountsBytesPerType)
     x.inject(0, 0, packet(140), 0);
     x.inject(0, 0, packet(12), 0);
     EXPECT_EQ(x.totalBytes(), 152u);
+    x.flushStatWindow(); // batch the windowed per-type counters in
     EXPECT_EQ(stats.get("noc.t.packets"), 2u);
     EXPECT_EQ(stats.get("noc.t.bytes.BusRd"), 152u);
 }

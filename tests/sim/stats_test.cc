@@ -26,6 +26,36 @@ TEST(StatSet, SumPrefix)
     EXPECT_EQ(s.sumPrefix("nothing"), 0u);
 }
 
+TEST(StatSet, SumPrefixEdgeCases)
+{
+    StatSet s;
+    s.counter("a") = 1;
+    s.counter("a.b") = 2;
+    s.counter("a.b.c") = 4;
+    s.counter("ab") = 8;
+    s.counter("b") = 16;
+
+    // The empty prefix matches every counter.
+    EXPECT_EQ(s.sumPrefix(""), 31u);
+    // A prefix that is itself a counter name includes that counter
+    // and everything under it, but not siblings like "ab".
+    EXPECT_EQ(s.sumPrefix("a.b"), 6u);
+    EXPECT_EQ(s.sumPrefix("a"), 15u);
+    // An exact leaf name sums just that counter.
+    EXPECT_EQ(s.sumPrefix("a.b.c"), 4u);
+    // A superstring of an existing name matches nothing.
+    EXPECT_EQ(s.sumPrefix("a.b.c.d"), 0u);
+    EXPECT_EQ(s.sumPrefix("b.x"), 0u);
+    // A prefix sorting after every key matches nothing.
+    EXPECT_EQ(s.sumPrefix("zzz"), 0u);
+    // 0xff bytes in the prefix have no in-band successor: the scan
+    // must still stop at the first non-matching key.
+    s.counter("q\xff.x") = 32;
+    s.counter("r") = 64;
+    EXPECT_EQ(s.sumPrefix("q\xff"), 32u);
+    EXPECT_EQ(s.sumPrefix("\xff"), 0u);
+}
+
 TEST(StatSet, MergeAddsCounters)
 {
     StatSet a;

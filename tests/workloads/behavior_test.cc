@@ -57,14 +57,14 @@ characterize(const std::string &name, SmId sm, WarpId warp,
             ++st.loads;
             for (unsigned l = 0; l < 32; ++l) {
                 if (instr.activeMask & (1u << l))
-                    st.loadLines.insert(mem::lineAlign(instr.addr[l]));
+                    st.loadLines.insert(mem::lineAlign(instr.laneAddr(l)));
             }
             break;
           case WarpInstr::Op::Store:
             ++st.stores;
             for (unsigned l = 0; l < 32; ++l) {
                 if (instr.activeMask & (1u << l)) {
-                    Addr line = mem::lineAlign(instr.addr[l]);
+                    Addr line = mem::lineAlign(instr.laneAddr(l));
                     st.storeLines.insert(line);
                     if (line < workloads::kPrivateBase)
                         st.sharedStoreLines.insert(line);

@@ -85,7 +85,7 @@ TEST(Registry, ProgramsTerminateAndAreDeterministic)
             ASSERT_EQ(t1.size(), t2.size()) << name;
             for (std::size_t i = 0; i < t1.size(); ++i) {
                 EXPECT_EQ(t1[i].op, t2[i].op) << name << " @" << i;
-                EXPECT_EQ(t1[i].addr[0], t2[i].addr[0])
+                EXPECT_EQ(t1[i].laneAddr(0), t2[i].laneAddr(0))
                     << name << " @" << i;
             }
         }
@@ -101,7 +101,7 @@ TEST(Registry, DifferentWarpsGetDifferentStreams)
     auto b = drain(*wl->makeProgram(0, 1, 0, gpu_params));
     bool differ = a.size() != b.size();
     for (std::size_t i = 0; !differ && i < a.size(); ++i)
-        differ = a[i].addr[0] != b[i].addr[0];
+        differ = a[i].laneAddr(0) != b[i].laneAddr(0);
     EXPECT_TRUE(differ);
 }
 
@@ -121,7 +121,7 @@ TEST(Registry, PrivateSetHasNoSharedStores)
                 for (unsigned l = 0; l < gpu_params.warpSize; ++l) {
                     if (!(instr.activeMask & (1u << l)))
                         continue;
-                    EXPECT_GE(instr.addr[l], workloads::kPrivateBase)
+                    EXPECT_GE(instr.laneAddr(l), workloads::kPrivateBase)
                         << name;
                 }
             }

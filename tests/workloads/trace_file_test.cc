@@ -52,7 +52,7 @@ TEST(TraceFile, ParsesDirectives)
     auto p0 = wl->makeProgram(0, 0, 0, smallGpu());
     gpu::WarpInstr i = p0->next();
     EXPECT_EQ(i.op, gpu::WarpInstr::Op::Store);
-    EXPECT_EQ(i.addr[0], 0x2000u);
+    EXPECT_EQ(i.laneAddr(0), 0x2000u);
     EXPECT_TRUE(i.hasValue);
     EXPECT_EQ(i.value, 42u);
     EXPECT_EQ(p0->next().op, gpu::WarpInstr::Op::Fence);

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate the single-thread hot-path bench output for CI's perf-smoke job.
+
+Usage:
+    tools/check_single_thread_perf.py BENCH_sweep_scaling.json \
+        [--min-geomean MCYC] [--min-speedup X]
+
+Reads the "single_thread" section emitted by `bench/sweep_scaling
+--only single` and fails (exit 1) when:
+
+  * the section is missing or has no cells,
+  * any cell simulated zero cycles (a run silently did nothing),
+  * the geomean throughput is below --min-geomean simulated
+    megacycles per wall-clock second (default 0.25), or
+  * a baseline geomean was embedded (--baseline-mcyc at bench time)
+    and the speedup against it is below --min-speedup (default 0.8).
+
+The default floors are deliberately conservative: hosted CI runners
+are slow and noisy (±20% run-to-run observed even on one machine),
+so this guards against the hot path falling off a cliff — an
+accidental debug build, a quadratic scan reintroduced into the
+per-cycle loop — not against single-digit regressions. Track the
+trajectory across pushes through the uploaded BENCH artifacts
+instead.
+
+Stdlib only, no third-party deps.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="BENCH_sweep_scaling.json")
+    parser.add_argument("--min-geomean", type=float, default=0.25,
+                        help="geomean Mcycles/sec floor (default 0.25)")
+    parser.add_argument("--min-speedup", type=float, default=0.8,
+                        help="floor on speedup_vs_baseline when a "
+                             "baseline is embedded (default 0.8)")
+    args = parser.parse_args()
+
+    with open(args.bench_json, encoding="utf-8") as f:
+        blob = json.load(f)
+
+    section = blob.get("single_thread")
+    if not section or not section.get("cells"):
+        print(f"FAIL: no single_thread cells in {args.bench_json}")
+        return 1
+
+    failed = False
+    for cell in section["cells"]:
+        status = "ok"
+        if cell.get("cycles", 0) <= 0:
+            status = "FAIL (zero cycles simulated)"
+            failed = True
+        print(f"{cell['cell']}: {cell['seconds']:.3f}s "
+              f"{cell['mcyc_per_sec']:.3f} Mcyc/s {status}")
+
+    geomean = float(section.get("geomean_mcyc_per_sec", 0.0))
+    line = f"geomean: {geomean:.3f} Mcyc/s"
+    if geomean < args.min_geomean:
+        line += f" FAIL (< floor {args.min_geomean:g})"
+        failed = True
+    print(line)
+
+    baseline = float(section.get("baseline_geomean_mcyc_per_sec", 0.0))
+    if baseline > 0.0:
+        speedup = float(section.get("speedup_vs_baseline", 0.0))
+        line = (f"speedup vs baseline {baseline:g} Mcyc/s: "
+                f"{speedup:.2f}x")
+        if speedup < args.min_speedup:
+            line += f" FAIL (< floor {args.min_speedup:g}x)"
+            failed = True
+        print(line)
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
