@@ -20,6 +20,7 @@
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
+#include "serve/result_store.hh"
 #include "workloads/registry.hh"
 
 namespace gtsc::bench
@@ -177,6 +178,12 @@ class Sweep
         harness::SweepOptions opts;
         opts.jobs = jobsFlag();
         opts.progress = true;
+        // sweep.store=1 routes every cell through the persistent
+        // content-addressed result store: warm reruns of a figure
+        // skip simulation entirely (see docs/SERVING.md).
+        if (!store_)
+            store_ = serve::storeFromConfig(base_);
+        opts.cache = store_.get();
         harness::SweepRunner runner(opts);
         std::vector<harness::RunResult> out = runner.run(pending_);
         for (std::size_t i = 0; i < out.size(); ++i)
@@ -196,6 +203,7 @@ class Sweep
     }
 
     sim::Config base_;
+    std::shared_ptr<serve::ResultStore> store_;
     std::vector<harness::RunSpec> pending_;
     std::vector<std::string> pendingKeys_;
     std::set<std::string> planned_;

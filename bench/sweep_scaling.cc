@@ -24,8 +24,16 @@
  * data-oriented hot-path work optimizes; --baseline-mcyc G embeds a
  * previously recorded geomean so the JSON carries the speedup.
  *
- * Section selection for CI: --only sweep|ff|shards|single runs a
- * single section (the others are emitted as empty arrays), and
+ * A fifth section measures the persistent result store: the fig12
+ * matrix is run twice through a fresh ResultStore — cold (every cell
+ * simulates and populates the store) and warm (every cell is served
+ * from disk, zero runOne calls) — recording both wall times, the
+ * hit/miss counts, and whether the warm results are bit-identical
+ * (report CSV rows + full stat dumps) to the cold ones.
+ * tools/check_store_perf.py gates this section in CI.
+ *
+ * Section selection for CI: --only sweep|ff|shards|single|store runs
+ * a single section (the others are emitted as empty arrays), and
  * --max-shards N truncates the shard list so a 2-core perf-smoke
  * runner is not asked to oversubscribe.
  */
@@ -33,6 +41,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -41,6 +51,8 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "harness/report.hh"
+#include "serve/result_store.hh"
 #include "sim/thread_pool.hh"
 
 using namespace gtsc;
@@ -131,6 +143,18 @@ struct SingleRow
     }
 };
 
+struct StoreSection
+{
+    bool ran = false;
+    double coldSecs = 0.0;
+    double warmSecs = 0.0;
+    std::uint64_t coldPuts = 0;
+    std::uint64_t warmHits = 0;
+    std::uint64_t warmMisses = 0;
+    std::uint64_t warmRunOneCalls = 0;
+    bool identical = false;
+};
+
 } // namespace
 
 int
@@ -175,6 +199,7 @@ main(int argc, char **argv)
     const bool doFf = only.empty() || only == "ff";
     const bool doShards = only.empty() || only == "shards";
     const bool doSingle = only.empty() || only == "single";
+    const bool doStore = only.empty() || only == "store";
 
     const std::vector<std::string> workloads = {"bh", "cc", "vpr",
                                                 "bfs"};
@@ -362,6 +387,95 @@ main(int argc, char **argv)
                         baselineMcyc, singleGeomean / baselineMcyc);
     }
 
+    // Result-store section: the same fig12 matrix through a fresh
+    // on-disk ResultStore, cold then warm. The warm pass must hit on
+    // every cell (zero simulations) and reproduce the cold results
+    // bit-for-bit — that is the property that makes figure
+    // regeneration free on a warm store.
+    StoreSection st;
+    if (doStore) {
+        namespace fs = std::filesystem;
+        std::string tmpl =
+            (fs::temp_directory_path() / "gtsc-store-bench-XXXXXX")
+                .string();
+        std::vector<char> dirBuf(tmpl.begin(), tmpl.end());
+        dirBuf.push_back('\0');
+        if (::mkdtemp(dirBuf.data()) == nullptr) {
+            std::fprintf(stderr,
+                         "warning: mkdtemp failed, skipping store "
+                         "section\n");
+        } else {
+            const std::string dir = dirBuf.data();
+            serve::ResultStore::Options ro;
+            ro.root = dir;
+            harness::SweepOptions so;
+            so.jobs = 1;
+            so.progress = true;
+            std::vector<harness::RunResult> coldRes, warmRes;
+            std::printf("\nResult store (fig12 matrix, %zu cells):"
+                        "\n\n",
+                        specs.size());
+            {
+                serve::ResultStore store(ro);
+                so.cache = &store;
+                harness::SweepRunner runner(so);
+                auto t0 = std::chrono::steady_clock::now();
+                coldRes = runner.run(specs);
+                auto t1 = std::chrono::steady_clock::now();
+                st.coldSecs =
+                    std::chrono::duration<double>(t1 - t0).count();
+                st.coldPuts = store.stats().puts;
+            }
+            {
+                serve::ResultStore store(ro);
+                so.cache = &store;
+                harness::SweepRunner runner(so);
+                std::uint64_t before = harness::runOneCallCount();
+                auto t0 = std::chrono::steady_clock::now();
+                warmRes = runner.run(specs);
+                auto t1 = std::chrono::steady_clock::now();
+                st.warmSecs =
+                    std::chrono::duration<double>(t1 - t0).count();
+                st.warmRunOneCalls =
+                    harness::runOneCallCount() - before;
+                st.warmHits = store.stats().hits;
+                st.warmMisses = store.stats().misses;
+            }
+            st.identical = coldRes.size() == warmRes.size();
+            for (std::size_t i = 0;
+                 st.identical && i < coldRes.size(); ++i) {
+                st.identical =
+                    harness::csvRow(coldRes[i]) ==
+                        harness::csvRow(warmRes[i]) &&
+                    coldRes[i].stats.toString() ==
+                        warmRes[i].stats.toString();
+            }
+            st.ran = true;
+            fs::remove_all(dir);
+            std::printf("%-18s %12s %10s %8s %8s\n", "pass",
+                        "seconds", "run_ones", "hits", "misses");
+            std::printf("%-18s %12.3f %10llu %8u %8llu\n", "cold",
+                        st.coldSecs,
+                        static_cast<unsigned long long>(st.coldPuts),
+                        0u,
+                        static_cast<unsigned long long>(
+                            st.coldPuts));
+            std::printf("%-18s %12.3f %10llu %8llu %8llu\n", "warm",
+                        st.warmSecs,
+                        static_cast<unsigned long long>(
+                            st.warmRunOneCalls),
+                        static_cast<unsigned long long>(st.warmHits),
+                        static_cast<unsigned long long>(
+                            st.warmMisses));
+            std::printf("warm speedup: %.1fx, bit-identical: %s\n",
+                        st.warmSecs > 0.0
+                            ? st.coldSecs / st.warmSecs
+                            : 0.0,
+                        st.identical ? "yes" : "NO");
+            std::fflush(stdout);
+        }
+    }
+
     std::ostringstream json;
     json << "{\"bench\": \"sweep_scaling\", \"cells\": "
          << specs.size() << ", \"hw_threads\": "
@@ -423,9 +537,33 @@ main(int argc, char **argv)
             buf, sizeof(buf),
             "], \"geomean_mcyc_per_sec\": %.3f, "
             "\"baseline_geomean_mcyc_per_sec\": %.3f, "
-            "\"speedup_vs_baseline\": %.3f}}",
+            "\"speedup_vs_baseline\": %.3f}",
             singleGeomean, baselineMcyc,
             baselineMcyc > 0.0 ? singleGeomean / baselineMcyc : 0.0);
+        json << buf;
+    }
+    {
+        char buf[384];
+        if (st.ran) {
+            std::snprintf(
+                buf, sizeof(buf),
+                ", \"result_store\": {\"cells\": %zu, "
+                "\"cold_seconds\": %.4f, \"warm_seconds\": %.4f, "
+                "\"speedup\": %.3f, \"cold_puts\": %llu, "
+                "\"warm_hits\": %llu, \"warm_misses\": %llu, "
+                "\"warm_run_one_calls\": %llu, "
+                "\"identical\": %s}}",
+                specs.size(), st.coldSecs, st.warmSecs,
+                st.warmSecs > 0.0 ? st.coldSecs / st.warmSecs : 0.0,
+                static_cast<unsigned long long>(st.coldPuts),
+                static_cast<unsigned long long>(st.warmHits),
+                static_cast<unsigned long long>(st.warmMisses),
+                static_cast<unsigned long long>(st.warmRunOneCalls),
+                st.identical ? "true" : "false");
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          ", \"result_store\": {\"cells\": 0}}");
+        }
         json << buf;
     }
 

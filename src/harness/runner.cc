@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include <atomic>
 #include <cmath>
 
 #include "gpu/gpu_system.hh"
@@ -11,10 +12,22 @@
 namespace gtsc::harness
 {
 
+namespace
+{
+std::atomic<std::uint64_t> gRunOneCalls{0};
+} // namespace
+
+std::uint64_t
+runOneCallCount()
+{
+    return gRunOneCalls.load(std::memory_order_relaxed);
+}
+
 RunResult
 runOne(const sim::Config &base, const std::string &protocol,
        const std::string &consistency, const std::string &workload)
 {
+    gRunOneCalls.fetch_add(1, std::memory_order_relaxed);
     sim::Config cfg = base;
     cfg.set("gpu.consistency", consistency);
 

@@ -98,6 +98,13 @@ RunResult runOne(const sim::Config &base, const std::string &protocol,
                  const std::string &workload);
 
 /**
+ * Process-wide count of runOne() invocations. The result-store
+ * tests and the warm-cache CI job read this around a sweep to prove
+ * a warm run performed zero simulations.
+ */
+std::uint64_t runOneCallCount();
+
+/**
  * Laptop-scale default configuration used by tests and benches:
  * a shrunken version of the paper machine (same structure, fewer
  * warps) so a full experiment matrix runs in seconds.

@@ -58,13 +58,36 @@ SweepRunner::run(const std::vector<RunSpec> &specs)
         std::fflush(opts_.progressStream);
     };
 
-    auto runSpec = [](const RunSpec &spec) {
-        return runOne(spec.config, spec.protocol, spec.consistency,
-                      spec.workload);
+    // Cache pass: cells already present in the attached SweepCache
+    // (the persistent result store) are filled in up front and never
+    // reach runOne(); only the misses are fanned out below.
+    std::vector<std::size_t> misses;
+    misses.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (opts_.cache &&
+            opts_.cache->lookup(specs[i], &results[i])) {
+            if (opts_.onResult)
+                opts_.onResult(i, results[i], true);
+            report(specs[i]);
+        } else {
+            misses.push_back(i);
+        }
+    }
+    if (misses.empty())
+        return results;
+
+    auto runSpec = [&](std::size_t i) {
+        const RunSpec &spec = specs[i];
+        results[i] = runOne(spec.config, spec.protocol,
+                            spec.consistency, spec.workload);
+        if (opts_.cache)
+            opts_.cache->insert(spec, results[i]);
+        if (opts_.onResult)
+            opts_.onResult(i, results[i], false);
     };
 
-    unsigned jobs =
-        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
+    unsigned jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, misses.size()));
     // Intra-run shards multiply each cell's thread use: when the job
     // count was auto-detected (no --jobs, no GTSC_JOBS), divide the
     // outer fan-out by the largest shard count in the plan so outer
@@ -83,8 +106,8 @@ SweepRunner::run(const std::vector<RunSpec> &specs)
             jobs = std::max(1u, jobs / max_shards);
     }
     if (jobs <= 1) {
-        for (std::size_t i = 0; i < n; ++i) {
-            results[i] = runSpec(specs[i]);
+        for (std::size_t i : misses) {
+            runSpec(i);
             report(specs[i]);
         }
         return results;
@@ -96,10 +119,10 @@ SweepRunner::run(const std::vector<RunSpec> &specs)
     std::vector<std::exception_ptr> errors(n);
     {
         sim::ThreadPool pool(jobs);
-        for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t i : misses) {
             pool.submit([&, i] {
                 try {
-                    results[i] = runSpec(specs[i]);
+                    runSpec(i);
                 } catch (...) {
                     errors[i] = std::current_exception();
                 }

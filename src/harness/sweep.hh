@@ -16,6 +16,7 @@
 #define GTSC_HARNESS_SWEEP_HH_
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,26 @@ struct RunSpec
     std::string displayLabel() const;
 };
 
+/**
+ * Pluggable result cache consulted by SweepRunner before it
+ * simulates a cell. The persistent, content-addressed on-disk store
+ * (serve::ResultStore) implements this; the interface lives here so
+ * the harness stays free of serving-layer dependencies. Both methods
+ * must be thread-safe — workers insert concurrently.
+ */
+class SweepCache
+{
+  public:
+    virtual ~SweepCache() = default;
+
+    /** Fill *out and return true on a hit (the cell is not run). */
+    virtual bool lookup(const RunSpec &spec, RunResult *out) = 0;
+
+    /** Record a freshly simulated result. */
+    virtual void insert(const RunSpec &spec,
+                        const RunResult &result) = 0;
+};
+
 struct SweepOptions
 {
     /**
@@ -49,6 +70,22 @@ struct SweepOptions
     /** Emit "[k/n]" progress lines to `progressStream`. */
     bool progress = false;
     std::FILE *progressStream = stderr;
+
+    /**
+     * Optional result cache: cells that hit skip runOne() entirely
+     * and are returned bit-identical to a fresh simulation; misses
+     * run and are inserted. Not owned; must outlive run().
+     */
+    SweepCache *cache = nullptr;
+
+    /**
+     * Optional streaming callback, invoked once per cell as it
+     * completes (cache hits fire before any simulation starts) with
+     * the spec index, the result, and whether it came from the
+     * cache. Called from worker threads when jobs > 1 — the callee
+     * serializes; results are still returned in submission order.
+     */
+    std::function<void(std::size_t, const RunResult &, bool)> onResult;
 };
 
 class SweepRunner

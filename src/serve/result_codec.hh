@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Exact text serialization of harness::RunResult for the persistent
+ * result store. Doubles are encoded as the hex of their IEEE-754
+ * bits, so a decoded result is bit-identical to the one that was
+ * encoded: same CSV/JSON report rows, same stats.toString(), same
+ * percentile estimates (the full Distribution state — reservoir and
+ * stride included — round-trips). The obs::Session pointer is not
+ * serialized (a decoded result has obs == nullptr); the artifact
+ * paths the original run wrote are.
+ */
+
+#ifndef GTSC_SERVE_RESULT_CODEC_HH_
+#define GTSC_SERVE_RESULT_CODEC_HH_
+
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace gtsc::serve
+{
+
+/** Serialize `r` as line-oriented text (ends with a newline). */
+std::string encodeResult(const harness::RunResult &r);
+
+/**
+ * Parse text produced by encodeResult().
+ * @return false (with *error set) on any malformed line; *out is
+ *         unspecified then. Unknown tags are an error — the store
+ *         versions its entries, so a format change means a miss,
+ *         never a guess.
+ */
+bool decodeResult(const std::string &text, harness::RunResult *out,
+                  std::string *error);
+
+} // namespace gtsc::serve
+
+#endif // GTSC_SERVE_RESULT_CODEC_HH_

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Transport-independent request handler for the gtscd daemon: one
+ * line-delimited JSON request in, a stream of line-delimited JSON
+ * responses out. The daemon feeds it socket lines; tests feed it
+ * strings directly (tests/serve/service_test.cc) — the protocol is
+ * fully exercised without a socket.
+ *
+ * Protocol (one JSON object per line; see docs/SERVING.md):
+ *
+ *   {"op":"ping"}                      -> pong + version stamps
+ *   {"op":"stats"}                     -> store hit/miss/put counts
+ *   {"op":"shutdown"}                  -> ack; handler returns false
+ *   {"op":"run","id":...,"jobs":N,
+ *    "config":{...base overrides...},
+ *    "cells":[{"workload":"bh","protocol":"gtsc",
+ *              "consistency":"rc","config":{...}}, ...]}
+ *
+ * A run request streams one "result" line per cell as it completes
+ * (cache hits first, then misses in completion order), each carrying
+ * the cell index, whether it was served from the store, the store
+ * key, the flat result JSON, and the exact report CSV row; a final
+ * "done" line carries hit/miss totals.
+ */
+
+#ifndef GTSC_SERVE_SERVICE_HH_
+#define GTSC_SERVE_SERVICE_HH_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/jsonl.hh"
+#include "serve/result_store.hh"
+#include "sim/config.hh"
+
+namespace gtsc::serve
+{
+
+struct ServiceOptions
+{
+    /** Result store; null = every cell simulates (no caching). */
+    std::shared_ptr<ResultStore> store;
+
+    /** Default sweep worker count (requests may override). */
+    unsigned jobs = 0;
+
+    /** Base configuration every request starts from. */
+    sim::Config baseConfig;
+};
+
+class Service
+{
+  public:
+    /** Receives one response line (no trailing newline). */
+    using LineSink = std::function<void(const std::string &)>;
+
+    explicit Service(ServiceOptions opts);
+
+    /**
+     * Handle one request line, emitting responses through `sink`
+     * (serialized internally — sweep workers complete cells
+     * concurrently). Blank lines are ignored. Returns false when
+     * the request asked the server to shut down.
+     */
+    bool handleLine(const std::string &line, const LineSink &sink);
+
+  private:
+    void handleRun(const json::Value &req, const std::string &id,
+                   const LineSink &sink);
+
+    ServiceOptions opts_;
+    std::mutex sinkMu_;
+};
+
+} // namespace gtsc::serve
+
+#endif // GTSC_SERVE_SERVICE_HH_

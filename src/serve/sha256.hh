@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Self-contained SHA-256 (FIPS 180-4) for content-addressed store
+ * keys. Written against the spec rather than pulled in as a
+ * dependency — the container has no crypto library and the store
+ * only needs a stable, collision-resistant fingerprint, not a
+ * hardware-accelerated one.
+ */
+
+#ifndef GTSC_SERVE_SHA256_HH_
+#define GTSC_SERVE_SHA256_HH_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gtsc::serve
+{
+
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb `len` bytes; callable any number of times. */
+    void update(const void *data, std::size_t len);
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+    /** Finalize and return the 32-byte digest (object is spent). */
+    std::array<std::uint8_t, 32> digest();
+
+    /** One-shot convenience: lowercase hex digest of `data`. */
+    static std::string hexDigest(std::string_view data);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::uint64_t totalBytes_ = 0;
+    std::array<std::uint8_t, 64> buf_{};
+    std::size_t bufLen_ = 0;
+};
+
+} // namespace gtsc::serve
+
+#endif // GTSC_SERVE_SHA256_HH_

@@ -1,6 +1,7 @@
 #include "sim/config.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -191,6 +192,39 @@ Config::explicitString() const
     std::ostringstream oss;
     for (const auto &kv : values_)
         oss << kv.first << "=" << kv.second << "\n";
+    return oss.str();
+}
+
+std::string
+Config::canonicalValue(const std::string &value)
+{
+    // Boolean spellings getBool() accepts collapse to "1"/"0" (both
+    // of which getBool() also accepts, so the meaning is preserved).
+    if (value == "true" || value == "yes" || value == "on")
+        return "1";
+    if (value == "false" || value == "no" || value == "off")
+        return "0";
+    // Integer spellings collapse to canonical decimal using the same
+    // parse getInt()/getUint() apply (strtoll, base 0): "0x10", "020"
+    // and "16" all mean the same knob value to the simulator. A
+    // partial parse ("1.5", "2x") or out-of-range value is kept
+    // verbatim — normalization must never change what a getter sees.
+    if (!value.empty()) {
+        errno = 0;
+        char *end = nullptr;
+        long long v = std::strtoll(value.c_str(), &end, 0);
+        if (end != value.c_str() && *end == '\0' && errno != ERANGE)
+            return std::to_string(v);
+    }
+    return value;
+}
+
+std::string
+Config::canonicalString() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : values_)
+        oss << kv.first << "=" << canonicalValue(kv.second) << "\n";
     return oss.str();
 }
 

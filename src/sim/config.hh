@@ -84,6 +84,21 @@ class Config
      */
     std::string explicitString() const;
 
+    /**
+     * Like explicitString(), but with every value normalized so
+     * semantically identical configs hash to the same fingerprint
+     * regardless of how their values were spelled: boolean tokens
+     * (true/yes/on and false/no/off) become "1"/"0", and anything
+     * that fully parses as an integer the way getInt/getUint would
+     * (strtoll base 0, so "0x10" and "010" included) is rendered in
+     * canonical decimal. Values that are neither are kept verbatim.
+     * The persistent result store keys on this.
+     */
+    std::string canonicalString() const;
+
+    /** The value normalization canonicalString() applies per value. */
+    static std::string canonicalValue(const std::string &value);
+
   private:
     std::map<std::string, std::string> values_;
     /** Defaults that were consulted; mutable bookkeeping only. */

@@ -86,6 +86,23 @@ Distribution::merge(const Distribution &o)
     }
 }
 
+Distribution
+Distribution::restore(std::uint64_t count, double sum, double sum_sq,
+                      double max, double min,
+                      std::uint64_t stride_mask,
+                      std::vector<double> reservoir)
+{
+    Distribution d;
+    d.count_ = count;
+    d.sum_ = sum;
+    d.sumSq_ = sum_sq;
+    d.max_ = max;
+    d.min_ = min;
+    d.strideMask_ = stride_mask;
+    d.reservoir_ = std::move(reservoir);
+    return d;
+}
+
 std::uint64_t &
 StatSet::counter(const std::string &name)
 {

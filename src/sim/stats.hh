@@ -72,6 +72,23 @@ class Distribution
 
     void merge(const Distribution &o);
 
+    /**
+     * Raw-state accessors plus an exact rebuild, for the persistent
+     * result store: restore() with the values read back from a live
+     * distribution yields a bit-identical one (same mean/stddev and
+     * the same reservoir, hence the same percentile estimates).
+     */
+    double sumSquares() const { return sumSq_; }
+    std::uint64_t strideMask() const { return strideMask_; }
+    const std::vector<double> &reservoirSamples() const
+    {
+        return reservoir_;
+    }
+    static Distribution restore(std::uint64_t count, double sum,
+                                double sum_sq, double max, double min,
+                                std::uint64_t stride_mask,
+                                std::vector<double> reservoir);
+
   private:
     void reservoirPush(double v);
 

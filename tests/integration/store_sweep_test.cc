@@ -1,0 +1,148 @@
+/**
+ * @file
+ * End-to-end contract of the persistent result store: a warm rerun
+ * of a figure-12-style experiment matrix through SweepRunner
+ * performs ZERO simulations (runOne is never called) and returns
+ * results bit-identical to the cold pass — same CSV report rows,
+ * same JSON, same full stat dumps. This is the acceptance gate for
+ * `sweep.store`; CI additionally runs the real bench matrix twice
+ * (see .github/workflows/ci.yml, store-serving job).
+ */
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "serve/result_store.hh"
+
+namespace fs = std::filesystem;
+using namespace gtsc;
+
+namespace
+{
+
+struct TempDir
+{
+    TempDir()
+    {
+        std::string tmpl =
+            (fs::temp_directory_path() / "gtsc-store-sweep-XXXXXX")
+                .string();
+        path = mkdtemp(tmpl.data());
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string path;
+};
+
+std::vector<harness::RunSpec>
+matrix()
+{
+    sim::Config cfg;
+    cfg.setInt("gpu.num_sms", 2);
+    cfg.setInt("gpu.warps_per_sm", 2);
+    cfg.setInt("gpu.num_partitions", 2);
+    cfg.setDouble("wl.scale", 0.25);
+    cfg.setBool("check.enabled", false);
+
+    std::vector<harness::RunSpec> specs;
+    for (const char *wl : {"bh", "cc", "vpr", "bfs"})
+        for (const char *proto : {"tc", "gtsc"})
+            for (const char *cons : {"sc", "rc"})
+                specs.push_back(
+                    harness::RunSpec{cfg, proto, cons, wl, ""});
+    return specs;
+}
+
+serve::ResultStore
+storeAt(const std::string &root)
+{
+    serve::ResultStore::Options opts;
+    opts.root = root;
+    return serve::ResultStore(opts);
+}
+
+} // namespace
+
+TEST(StoreSweep, WarmRerunSkipsEverySimulationBitIdentically)
+{
+    TempDir td;
+    std::vector<harness::RunSpec> specs = matrix();
+
+    // Cold pass: everything misses, simulates, and is inserted.
+    serve::ResultStore cold = storeAt(td.path);
+    harness::SweepOptions coldOpts;
+    coldOpts.jobs = 1;
+    coldOpts.cache = &cold;
+    std::uint64_t before = harness::runOneCallCount();
+    std::vector<harness::RunResult> coldRes =
+        harness::SweepRunner(coldOpts).run(specs);
+    EXPECT_EQ(harness::runOneCallCount() - before, specs.size());
+    EXPECT_EQ(cold.stats().hits, 0u);
+    EXPECT_EQ(cold.stats().puts, specs.size());
+
+    // Warm pass through a fresh store instance on the same root —
+    // exactly what a rerun of the bench binary does.
+    serve::ResultStore warm = storeAt(td.path);
+    harness::SweepOptions warmOpts;
+    warmOpts.jobs = 1;
+    warmOpts.cache = &warm;
+    before = harness::runOneCallCount();
+    std::vector<harness::RunResult> warmRes =
+        harness::SweepRunner(warmOpts).run(specs);
+
+    EXPECT_EQ(harness::runOneCallCount() - before, 0u)
+        << "warm rerun must not simulate anything";
+    EXPECT_EQ(warm.stats().hits, specs.size());
+    EXPECT_EQ(warm.stats().misses, 0u);
+    EXPECT_EQ(warm.stats().repaired, 0u);
+
+    ASSERT_EQ(warmRes.size(), coldRes.size());
+    for (std::size_t i = 0; i < coldRes.size(); ++i) {
+        EXPECT_EQ(harness::csvRow(warmRes[i]),
+                  harness::csvRow(coldRes[i]))
+            << specs[i].displayLabel();
+        EXPECT_EQ(harness::toJson(warmRes[i]),
+                  harness::toJson(coldRes[i]))
+            << specs[i].displayLabel();
+        EXPECT_EQ(warmRes[i].stats.toString(),
+                  coldRes[i].stats.toString())
+            << specs[i].displayLabel();
+    }
+}
+
+TEST(StoreSweep, ParallelWarmPassStaysBitIdentical)
+{
+    TempDir td;
+    std::vector<harness::RunSpec> specs = matrix();
+
+    serve::ResultStore cold = storeAt(td.path);
+    harness::SweepOptions coldOpts;
+    coldOpts.jobs = 2; // concurrent inserts into one store
+    coldOpts.cache = &cold;
+    std::vector<harness::RunResult> coldRes =
+        harness::SweepRunner(coldOpts).run(specs);
+    EXPECT_EQ(cold.stats().puts, specs.size());
+
+    serve::ResultStore warm = storeAt(td.path);
+    harness::SweepOptions warmOpts;
+    warmOpts.jobs = 2;
+    warmOpts.cache = &warm;
+    std::uint64_t before = harness::runOneCallCount();
+    std::vector<harness::RunResult> warmRes =
+        harness::SweepRunner(warmOpts).run(specs);
+    EXPECT_EQ(harness::runOneCallCount() - before, 0u);
+
+    ASSERT_EQ(warmRes.size(), coldRes.size());
+    for (std::size_t i = 0; i < coldRes.size(); ++i)
+        EXPECT_EQ(harness::csvRow(warmRes[i]),
+                  harness::csvRow(coldRes[i]));
+}

@@ -115,3 +115,50 @@ TEST(Config, LoadFileErrors)
     EXPECT_THROW(cfg.loadFile(path), std::runtime_error);
     std::remove(path.c_str());
 }
+
+TEST(Config, CanonicalValueNormalizesSpellings)
+{
+    // Booleans: every spelling getBool() accepts collapses to 1/0.
+    EXPECT_EQ(Config::canonicalValue("true"), "1");
+    EXPECT_EQ(Config::canonicalValue("yes"), "1");
+    EXPECT_EQ(Config::canonicalValue("on"), "1");
+    EXPECT_EQ(Config::canonicalValue("false"), "0");
+    EXPECT_EQ(Config::canonicalValue("no"), "0");
+    EXPECT_EQ(Config::canonicalValue("off"), "0");
+    // Integers: same base-0 parse the getters use, so hex/octal
+    // spellings of one knob value canonicalize identically.
+    EXPECT_EQ(Config::canonicalValue("16"), "16");
+    EXPECT_EQ(Config::canonicalValue("0x10"), "16");
+    EXPECT_EQ(Config::canonicalValue("020"), "16");
+    EXPECT_EQ(Config::canonicalValue("-5"), "-5");
+    // Non-integer values must pass through verbatim — changing what
+    // a getter would see is worse than missing a dedup.
+    EXPECT_EQ(Config::canonicalValue("1.5"), "1.5");
+    EXPECT_EQ(Config::canonicalValue("2x"), "2x");
+    EXPECT_EQ(Config::canonicalValue(""), "");
+    EXPECT_EQ(Config::canonicalValue("rr"), "rr");
+    EXPECT_EQ(Config::canonicalValue("999999999999999999999999"),
+              "999999999999999999999999");
+}
+
+TEST(Config, CanonicalStringInvariantUnderOrderAndSpelling)
+{
+    Config a;
+    a.set("gpu.num_sms", "0x10");
+    a.set("check.enabled", "true");
+    a.set("wl.name", "bh");
+
+    Config b; // reversed insertion order, different spellings
+    b.set("wl.name", "bh");
+    b.set("check.enabled", "1");
+    b.setInt("gpu.num_sms", 16);
+
+    EXPECT_EQ(a.canonicalString(), b.canonicalString());
+    EXPECT_EQ(a.canonicalString(),
+              "check.enabled=1\ngpu.num_sms=16\nwl.name=bh\n");
+
+    // Different knob *values* must stay distinguishable.
+    Config c = a;
+    c.setInt("gpu.num_sms", 8);
+    EXPECT_NE(a.canonicalString(), c.canonicalString());
+}

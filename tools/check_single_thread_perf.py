@@ -11,7 +11,7 @@ Reads the "single_thread" section emitted by `bench/sweep_scaling
   * the section is missing or has no cells,
   * any cell simulated zero cycles (a run silently did nothing),
   * the geomean throughput is below --min-geomean simulated
-    megacycles per wall-clock second (default 0.25), or
+    megacycles per wall-clock second (default 0.45), or
   * a baseline geomean was embedded (--baseline-mcyc at bench time)
     and the speedup against it is below --min-speedup (default 0.8).
 
@@ -19,9 +19,11 @@ The default floors are deliberately conservative: hosted CI runners
 are slow and noisy (±20% run-to-run observed even on one machine),
 so this guards against the hot path falling off a cliff — an
 accidental debug build, a quadratic scan reintroduced into the
-per-cycle loop — not against single-digit regressions. Track the
-trajectory across pushes through the uploaded BENCH artifacts
-instead.
+per-cycle loop — not against single-digit regressions. The geomean
+floor tracks the measured post-overhaul baseline (0.68 Mcyc/s
+geomean on the reference runner, see BENCH_sweep_scaling.json) with
+~35% headroom for runner noise. Track the trajectory across pushes
+through the uploaded BENCH artifacts instead.
 
 Stdlib only, no third-party deps.
 """
@@ -34,8 +36,8 @@ import sys
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", help="BENCH_sweep_scaling.json")
-    parser.add_argument("--min-geomean", type=float, default=0.25,
-                        help="geomean Mcycles/sec floor (default 0.25)")
+    parser.add_argument("--min-geomean", type=float, default=0.45,
+                        help="geomean Mcycles/sec floor (default 0.45)")
     parser.add_argument("--min-speedup", type=float, default=0.8,
                         help="floor on speedup_vs_baseline when a "
                              "baseline is embedded (default 0.8)")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate the result-store bench section for CI's store-serving job.
+
+Usage:
+    tools/check_store_perf.py BENCH_sweep_scaling.json \
+        [--min-speedup X]
+
+Reads the "result_store" section emitted by `bench/sweep_scaling
+--only store` and fails (exit 1) when:
+
+  * the section is missing or ran zero cells,
+  * the warm pass hit fewer than all cells, missed any cell, or
+    called runOne() at all (a warm rerun must come entirely from the
+    content-addressed store),
+  * any warm result differed bit-for-bit from its cold twin
+    ("identical": false), or
+  * the cold/warm wall-clock speedup is below --min-speedup
+    (default 1.5 — intentionally far under the ~100x a healthy
+    store delivers, so slow CI filesystems don't flap the gate).
+
+Stdlib only, no third-party deps.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="BENCH_sweep_scaling.json")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="floor on cold/warm wall-clock speedup "
+                             "(default 1.5)")
+    args = parser.parse_args()
+
+    with open(args.bench_json, encoding="utf-8") as f:
+        blob = json.load(f)
+
+    section = blob.get("result_store")
+    if not section or not section.get("cells"):
+        print(f"FAIL: no result_store section in {args.bench_json} "
+              f"(run bench/sweep_scaling --only store)")
+        return 1
+
+    cells = int(section["cells"])
+    hits = int(section.get("warm_hits", -1))
+    misses = int(section.get("warm_misses", -1))
+    run_ones = int(section.get("warm_run_one_calls", -1))
+    identical = bool(section.get("identical", False))
+    cold = float(section.get("cold_seconds", 0.0))
+    warm = float(section.get("warm_seconds", 0.0))
+    speedup = float(section.get("speedup", 0.0))
+
+    print(f"cells: {cells}")
+    print(f"cold: {cold:.4f}s  warm: {warm:.4f}s  "
+          f"speedup: {speedup:.1f}x")
+    print(f"warm pass: {hits} hits, {misses} misses, "
+          f"{run_ones} runOne() calls")
+
+    failed = False
+    if hits != cells:
+        print(f"FAIL: warm pass hit {hits}/{cells} cells")
+        failed = True
+    if misses != 0:
+        print(f"FAIL: warm pass missed {misses} cells")
+        failed = True
+    if run_ones != 0:
+        print(f"FAIL: warm pass simulated {run_ones} cells "
+              f"(expected zero runOne() calls)")
+        failed = True
+    if not identical:
+        print("FAIL: warm results not bit-identical to cold results")
+        failed = True
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below floor "
+              f"{args.min_speedup:g}x")
+        failed = True
+
+    if not failed:
+        print("OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
