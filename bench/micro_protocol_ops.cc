@@ -17,6 +17,7 @@
 #include "obs/tracer.hh"
 #include "sim/rng.hh"
 #include "sim/slot_pool.hh"
+#include "sim/time_wheel.hh"
 
 using namespace gtsc;
 
@@ -386,6 +387,29 @@ BM_CheckerTsLoad(benchmark::State &state)
         state.SkipWithError("checker reported violations");
 }
 BENCHMARK(BM_CheckerTsLoad);
+
+void
+BM_TimeWheelParkWake(benchmark::State &state)
+{
+    // Steady-state cost of the active-set scheduler's park/wake
+    // round trip (DESIGN.md §10): one member re-arms a few cycles
+    // out, pops due, repeat — the per-tick overhead every scheduled
+    // component pays. Stays on the preallocated bucket ring; the
+    // loop must never touch the allocator.
+    sim::TimeWheel wheel(16);
+    std::vector<std::uint32_t> due;
+    due.reserve(16);
+    Cycle now = 0;
+    sim::Rng rng(5);
+    for (auto _ : state) {
+        wheel.arm(static_cast<std::uint32_t>(rng.below(16)),
+                  now + 1 + rng.below(8));
+        ++now;
+        wheel.popDue(now, due);
+        benchmark::DoNotOptimize(due.data());
+    }
+}
+BENCHMARK(BM_TimeWheelParkWake);
 
 } // namespace
 

@@ -133,6 +133,9 @@ struct SingleRow
     std::string label;
     double secs = 0.0;
     std::uint64_t cycles = 0;
+    /** Per-component-type active-cycle fractions (RunResult). */
+    double actSm = 0.0, actL1 = 0.0, actL2 = 0.0, actNoc = 0.0,
+           actDram = 0.0;
 
     double
     mcycPerSec() const
@@ -350,8 +353,8 @@ main(int argc, char **argv)
         std::printf("\nSingle-thread throughput, fig12 matrix "
                     "(%zu cells):\n\n",
                     specs.size());
-        std::printf("%-16s %12s %14s %12s\n", "cell", "seconds",
-                    "cycles", "Mcyc/s");
+        std::printf("%-16s %12s %14s %12s %12s\n", "cell", "seconds",
+                    "cycles", "Mcyc/s", "act sm/l1");
         double logSum = 0.0;
         for (const harness::RunSpec &spec : specs) {
             // Best-of-3: cells are tens of milliseconds, so take the
@@ -369,11 +372,16 @@ main(int argc, char **argv)
                 if (rep == 0 || secs < row.secs)
                     row.secs = secs;
                 row.cycles = r.cycles;
+                row.actSm = r.activitySm;
+                row.actL1 = r.activityL1;
+                row.actL2 = r.activityL2;
+                row.actNoc = r.activityNoc;
+                row.actDram = r.activityDram;
             }
-            std::printf("%-16s %12.3f %14llu %12.2f\n",
+            std::printf("%-16s %12.3f %14llu %12.2f  %.2f/%.2f\n",
                         row.label.c_str(), row.secs,
                         static_cast<unsigned long long>(row.cycles),
-                        row.mcycPerSec());
+                        row.mcycPerSec(), row.actSm, row.actL1);
             std::fflush(stdout);
             logSum += std::log(row.mcycPerSec());
             singleRows.push_back(std::move(row));
@@ -522,13 +530,16 @@ main(int argc, char **argv)
     json << "]}, \"single_thread\": {\"cells\": [";
     for (std::size_t i = 0; i < singleRows.size(); ++i) {
         const SingleRow &r = singleRows[i];
-        char buf[224];
+        char buf[384];
         std::snprintf(buf, sizeof(buf),
                       "%s{\"cell\": \"%s\", \"seconds\": %.4f, "
-                      "\"cycles\": %llu, \"mcyc_per_sec\": %.3f}",
+                      "\"cycles\": %llu, \"mcyc_per_sec\": %.3f, "
+                      "\"activity\": {\"sm\": %.4f, \"l1\": %.4f, "
+                      "\"l2\": %.4f, \"noc\": %.4f, \"dram\": %.4f}}",
                       i ? ", " : "", r.label.c_str(), r.secs,
                       static_cast<unsigned long long>(r.cycles),
-                      r.mcycPerSec());
+                      r.mcycPerSec(), r.actSm, r.actL1, r.actL2,
+                      r.actNoc, r.actDram);
         json << buf;
     }
     {

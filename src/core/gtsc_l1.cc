@@ -431,6 +431,10 @@ GtscL1::receiveResponse(mem::Packet &&pkt, Cycle now)
       default:
         GTSC_PANIC("L1 received request-type packet ", pkt.toString());
     }
+    // Resolving an MSHR entry may queue replays — the only way this
+    // controller acquires tick() work (wake contract).
+    if (!replayQueue_.empty())
+        wake(now);
 }
 
 void

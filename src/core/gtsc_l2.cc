@@ -87,8 +87,10 @@ GtscL2::flushAll(Cycle now)
 void
 GtscL2::receiveRequest(mem::Packet &&pkt, Cycle now)
 {
-    (void)now;
     queue_.push_back(std::move(pkt));
+    // The service queue is this controller's only source of tick()
+    // work; DRAM fills serve waiters directly (wake contract).
+    wake(now);
 }
 
 void

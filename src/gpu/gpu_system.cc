@@ -118,6 +118,61 @@ struct GpuSystem::Devirt
         return next;
     }
 
+    // Single-component variants: the active-set loops tick only the
+    // ids their wheel popped, so the fan-out loop lives in the caller
+    // and the per-id body devirtualizes here.
+    template <typename T>
+    static void
+    tickOneL1(GpuSystem &g, unsigned i, Cycle c)
+    {
+        static_cast<T &>(*g.l1s_[i]).tick(c);
+    }
+
+    static void
+    tickOneL1Generic(GpuSystem &g, unsigned i, Cycle c)
+    {
+        g.l1s_[i]->tick(c);
+    }
+
+    template <typename T>
+    static void
+    tickOneL2(GpuSystem &g, unsigned i, Cycle c)
+    {
+        static_cast<T &>(*g.l2s_[i]).tick(c);
+    }
+
+    static void
+    tickOneL2Generic(GpuSystem &g, unsigned i, Cycle c)
+    {
+        g.l2s_[i]->tick(c);
+    }
+
+    template <typename T>
+    static Cycle
+    horizonOneL1(const GpuSystem &g, unsigned i, Cycle now)
+    {
+        return static_cast<const T &>(*g.l1s_[i]).nextWorkCycle(now);
+    }
+
+    static Cycle
+    horizonOneL1Generic(const GpuSystem &g, unsigned i, Cycle now)
+    {
+        return g.l1s_[i]->nextWorkCycle(now);
+    }
+
+    template <typename T>
+    static Cycle
+    horizonOneL2(const GpuSystem &g, unsigned i, Cycle now)
+    {
+        return static_cast<const T &>(*g.l2s_[i]).nextWorkCycle(now);
+    }
+
+    static Cycle
+    horizonOneL2Generic(const GpuSystem &g, unsigned i, Cycle now)
+    {
+        return g.l2s_[i]->nextWorkCycle(now);
+    }
+
     template <typename T>
     static bool
     bindL1(GpuSystem &g)
@@ -126,6 +181,8 @@ struct GpuSystem::Devirt
             return false;
         g.tickL1s_ = &Devirt::tickL1<T>;
         g.l1Horizon_ = &Devirt::horizonL1<T>;
+        g.tickOneL1_ = &Devirt::tickOneL1<T>;
+        g.oneL1Horizon_ = &Devirt::horizonOneL1<T>;
         return true;
     }
 
@@ -137,6 +194,8 @@ struct GpuSystem::Devirt
             return false;
         g.tickL2s_ = &Devirt::tickL2<T>;
         g.l2Horizon_ = &Devirt::horizonL2<T>;
+        g.tickOneL2_ = &Devirt::tickOneL2<T>;
+        g.oneL2Horizon_ = &Devirt::horizonOneL2<T>;
         return true;
     }
 };
@@ -148,6 +207,10 @@ GpuSystem::bindTypedLoops()
     l1Horizon_ = &Devirt::horizonL1Generic;
     tickL2s_ = &Devirt::tickL2Generic;
     l2Horizon_ = &Devirt::horizonL2Generic;
+    tickOneL1_ = &Devirt::tickOneL1Generic;
+    oneL1Horizon_ = &Devirt::horizonOneL1Generic;
+    tickOneL2_ = &Devirt::tickOneL2Generic;
+    oneL2Horizon_ = &Devirt::horizonOneL2Generic;
     Devirt::bindL1<core::GtscL1>(*this) ||
         Devirt::bindL1<protocols::TcL1>(*this) ||
         Devirt::bindL1<protocols::NonCohL1>(*this) ||
@@ -167,6 +230,7 @@ GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
     maxCycles_ = cfg_.getUint("gpu.max_cycles", 500000000ULL);
     watchdogWindow_ = cfg_.getUint("gpu.watchdog_cycles", 400000ULL);
     fastForward_ = cfg_.getBool("gpu.fast_forward", true);
+    activeSet_ = cfg_.getBool("gpu.active_set", true);
     flushL2BetweenKernels_ =
         cfg_.getBool("gpu.flush_l2_between_kernels", true);
 
@@ -253,10 +317,68 @@ GpuSystem::GpuSystem(const sim::Config &cfg, ProtocolBuilder &builder,
             // sweep reaches that cycle, preserving per-L1 order.
             pendingResp_[dst].push_back(
                 StagedPkt{cycle_, std::move(pkt)});
+            // Wake the owning L1 at the delivery cycle so the shard's
+            // active-set sweep replays the packet exactly then (phase
+            // A runs strictly before phase B, so this cross-wheel arm
+            // never races the shard's own pops).
+            if (activeSet_)
+                shards_[shardOf_[dst]]->l1Wheel.arm(dst, cycle_);
         } else {
             l1s_[dst]->receiveResponse(std::move(pkt), cycle_);
         }
     });
+
+    if (activeSet_) {
+        l2Wheel_.reset(params_.numPartitions);
+        dramWheel_.reset(params_.numPartitions);
+        due_.reserve(std::max<std::size_t>(params_.numSms,
+                                           params_.numPartitions));
+        if (parallel_) {
+            for (auto &sh : shards_) {
+                sh->smWheel.reset(params_.numSms);
+                sh->l1Wheel.reset(params_.numSms);
+                sh->dueSm.reserve(params_.numSms);
+                sh->dueL1.reserve(params_.numSms);
+            }
+        } else {
+            smWheel_.reset(params_.numSms);
+            l1Wheel_.reset(params_.numSms);
+        }
+        for (unsigned p = 0; p < params_.numPartitions; ++p) {
+            l2s_[p]->setWakeHook(
+                [this, p](Cycle at) { l2Wheel_.arm(p, at); });
+            drams_[p]->setWakeHook(
+                [this, p](Cycle at) { dramWheel_.arm(p, at); });
+        }
+        for (unsigned s = 0; s < params_.numSms; ++s) {
+            if (parallel_) {
+                Shard *sh = shards_[shardOf_[s]].get();
+                l1s_[s]->setWakeHook(
+                    [sh, s](Cycle at) { sh->l1Wheel.arm(s, at); });
+                sms_[s]->setWakeHook(
+                    [sh, s] { sh->smWheel.arm(s, sh->now); });
+            } else {
+                l1s_[s]->setWakeHook(
+                    [this, s](Cycle at) { l1Wheel_.arm(s, at); });
+                sms_[s]->setWakeHook(
+                    [this, s] { smWheel_.arm(s, cycle_); });
+            }
+        }
+        reqNet_->setWakeHook([this](Cycle at) {
+            reqWake_ = std::min(reqWake_, at);
+        });
+        respNet_->setWakeHook([this](Cycle at) {
+            respWake_ = std::min(respWake_, at);
+        });
+    }
+    // Deferred-idle accounting clock: in the always-tick loops the
+    // guard in the SM's completion callbacks is provably dead (now_
+    // never lags), so installing it unconditionally keeps one code
+    // path.
+    for (unsigned s = 0; s < params_.numSms; ++s) {
+        sms_[s]->setSchedNow(parallel_ ? &shards_[shardOf_[s]]->now
+                                       : &cycle_);
+    }
 
     // The networks registered their packet counters above; cache the
     // references so progressToken() avoids two string-hashed lookups
@@ -383,6 +505,86 @@ GpuSystem::workHorizon() const
             return next;
     }
     return next;
+}
+
+Cycle
+GpuSystem::activeWorkHorizon() const
+{
+    // Unlike workHorizon(), no per-component nextWorkCycle() probing:
+    // every parked component already deposited its wake cycle in a
+    // wheel (or the scalar net wakes) when it parked, so the horizon
+    // is a handful of mins plus one slot scan per wheel. Exactness of
+    // TimeWheel::nextWake() is what licenses the jump: no armed cycle
+    // can lie inside the skipped span.
+    Cycle next = events_.nextEventCycle();
+    next = std::min(next, respWake_);
+    next = std::min(next, reqWake_);
+    next = std::min(next, l2Wheel_.nextWake());
+    next = std::min(next, dramWheel_.nextWake());
+    if (parallel_) {
+        for (const auto &sh : shards_) {
+            next = std::min(next, sh->events.nextEventCycle());
+            next = std::min(next, sh->smWheel.nextWake());
+            next = std::min(next, sh->l1Wheel.nextWake());
+        }
+    } else {
+        next = std::min(next, smWheel_.nextWake());
+        next = std::min(next, l1Wheel_.nextWake());
+    }
+    return std::max(next, cycle_ + 1);
+}
+
+void
+GpuSystem::armActiveSet(Cycle at)
+{
+    // Loop entry: park nothing, assume everything has work at `at`.
+    // Idle components cost one no-op tick and park themselves via
+    // their re-arm horizon, so this mirrors the always-tick loops'
+    // first cycle exactly. Min-merge also retires any stale arms a
+    // previous kernel left behind.
+    if (parallel_) {
+        for (auto &sh : shards_) {
+            for (unsigned s : sh->sms) {
+                sh->smWheel.arm(s, at);
+                sh->l1Wheel.arm(s, at);
+            }
+        }
+    } else {
+        for (unsigned s = 0; s < params_.numSms; ++s) {
+            smWheel_.arm(s, at);
+            l1Wheel_.arm(s, at);
+        }
+    }
+    for (unsigned p = 0; p < params_.numPartitions; ++p) {
+        l2Wheel_.arm(p, at);
+        dramWheel_.arm(p, at);
+    }
+    respWake_ = std::min(respWake_, at);
+    reqWake_ = std::min(reqWake_, at);
+}
+
+void
+GpuSystem::accountSmsThrough(Cycle upto)
+{
+    for (auto &sm : sms_)
+        sm->accountThrough(upto);
+}
+
+GpuSystem::ActivityFractions
+GpuSystem::activity() const
+{
+    ActivityFractions f;
+    if (cycle_ == 0)
+        return f;
+    const double cyc = static_cast<double>(cycle_);
+    f.sm = static_cast<double>(smTickCount_) / (cyc * params_.numSms);
+    f.l1 = static_cast<double>(l1TickCount_) / (cyc * params_.numSms);
+    f.l2 = static_cast<double>(l2TickCount_) /
+           (cyc * params_.numPartitions);
+    f.noc = static_cast<double>(nocTickCount_) / (cyc * 2.0);
+    f.dram = static_cast<double>(dramTickCount_) /
+             (cyc * params_.numPartitions);
+    return f;
 }
 
 Cycle
@@ -538,6 +740,10 @@ GpuSystem::drainShardStats()
         sh->stats.drainCountersInto(stats_);
         fastForwarded_ += sh->fastForwarded;
         sh->fastForwarded = 0;
+        smTickCount_ += sh->smTicks;
+        sh->smTicks = 0;
+        l1TickCount_ += sh->l1Ticks;
+        sh->l1Ticks = 0;
     }
 }
 
@@ -563,6 +769,8 @@ GpuSystem::runShardSpan(Shard &sh, Cycle from, Cycle to)
             l1s_[s]->tick(c);
         for (unsigned s : sh.sms)
             sms_[s]->tick(c);
+        sh.l1Ticks += sh.sms.size();
+        sh.smTicks += sh.sms.size();
 
         if (!shardQuiet(sh))
             sh.quietFrom = kCycleNever;
@@ -604,6 +812,16 @@ GpuSystem::runSerialLoop(unsigned kernel)
     Cycle last_progress_cycle = cycle_;
     ffProbeBackoff_ = 1;
     ffNextProbeAt_ = 0;
+    // Probe skip-rate tracking: when a whole window of recent probes
+    // produced zero jumps (dense no-progress traffic — BFS frontier
+    // expansion, GE back-substitution), raise the backoff cap so the
+    // loop effectively stops re-probing the horizon until either a
+    // probe succeeds or the workload's character changes. Skipped
+    // probes only tick cycles normally; no observable state differs.
+    constexpr unsigned kProbeWindow = 32;
+    Cycle probeCap = 64;
+    unsigned probeAttempts = 0;
+    unsigned probeJumps = 0;
 
     auto all_done = [this]() {
         for (const auto &sm : sms_) {
@@ -637,6 +855,12 @@ GpuSystem::runSerialLoop(unsigned kernel)
             flushStagedRequests();
         for (auto &dram : drams_)
             dram->tick(cycle_);
+
+        smTickCount_ += params_.numSms;
+        l1TickCount_ += params_.numSms;
+        l2TickCount_ += params_.numPartitions;
+        nocTickCount_ += 2;
+        dramTickCount_ += params_.numPartitions;
 
         if (timeline_) {
             // A due sample reads counters by name: batch the
@@ -692,6 +916,7 @@ GpuSystem::runSerialLoop(unsigned kernel)
         // the same cycles with fast-forward on or off.
         if (timeline_)
             next = std::min(next, timeline_->nextSampleAt());
+        ++probeAttempts;
         if (next > cycle_ + 1) {
             Cycle span = next - cycle_ - 1;
             for (auto &sm : sms_) {
@@ -703,9 +928,19 @@ GpuSystem::runSerialLoop(unsigned kernel)
             fastForwarded_ += span;
             cycle_ = next - 1;
             ffProbeBackoff_ = 1;
+            ++probeJumps;
+            probeCap = 64;
         } else {
             ffNextProbeAt_ = cycle_ + 1 + ffProbeBackoff_;
-            ffProbeBackoff_ = std::min<Cycle>(ffProbeBackoff_ * 2, 64);
+            ffProbeBackoff_ =
+                std::min<Cycle>(ffProbeBackoff_ * 2, probeCap);
+        }
+        if (probeAttempts >= kProbeWindow) {
+            // Zero jumps over a whole probe window: this busy span
+            // cannot be skipped; stop paying for the scans.
+            probeCap = probeJumps == 0 ? 4096 : 64;
+            probeAttempts = 0;
+            probeJumps = 0;
         }
     }
 }
@@ -783,6 +1018,9 @@ GpuSystem::runParallelLoop(unsigned kernel)
                 reqNet_->tick(c);
             for (auto &dram : drams_)
                 dram->tick(c);
+            l2TickCount_ += params_.numPartitions;
+            nocTickCount_ += 2;
+            dramTickCount_ += params_.numPartitions;
 
             if (!coordQuiet())
                 coordQuietFrom_ = kCycleNever;
@@ -858,6 +1096,371 @@ GpuSystem::runParallelLoop(unsigned kernel)
 }
 
 void
+GpuSystem::runActiveSerialLoop(unsigned kernel)
+{
+    std::uint64_t last_progress = progressToken();
+    Cycle last_progress_cycle = cycle_;
+    ffProbeBackoff_ = 1;
+    ffNextProbeAt_ = 0;
+
+    auto all_done = [this]() {
+        for (const auto &sm : sms_) {
+            if (!sm->allWarpsDone())
+                return false;
+        }
+        return true;
+    };
+
+    armActiveSet(cycle_ + 1);
+
+    bool done = all_done() && quiescent();
+    while (!done) {
+        ++cycle_;
+        if (cycle_ > maxCycles_)
+            GTSC_FATAL("simulation exceeded gpu.max_cycles=", maxCycles_,
+                       " for workload ", workload_.name());
+
+        // Same phase order as runSerialLoop, but each family only
+        // ticks the ids its wheel popped. Wakes that land on the
+        // current cycle after a family's pop are clamped to the next
+        // cycle by the wheel — exactly when the always-tick loop
+        // would first observe the new state.
+        std::size_t nDue = 0;
+        events_.runUntil(cycle_);
+        l2Wheel_.popDue(cycle_, due_);
+        for (unsigned p : due_) {
+            tickOneL2_(*this, p, cycle_);
+            l2Wheel_.arm(p, oneL2Horizon_(*this, p, cycle_));
+        }
+        l2TickCount_ += due_.size();
+        nDue += due_.size();
+        if (respWake_ <= cycle_) {
+            respWake_ = kCycleNever;
+            if (respXbar_)
+                respXbar_->tick(cycle_);
+            else
+                respNet_->tick(cycle_);
+            respWake_ = std::min(respWake_,
+                                 respNet_->nextWorkCycle(cycle_));
+            ++nocTickCount_;
+            ++nDue;
+        }
+        if (reqWake_ <= cycle_) {
+            reqWake_ = kCycleNever;
+            if (reqXbar_)
+                reqXbar_->tick(cycle_);
+            else
+                reqNet_->tick(cycle_);
+            reqWake_ = std::min(reqWake_,
+                                reqNet_->nextWorkCycle(cycle_));
+            ++nocTickCount_;
+            ++nDue;
+        }
+        l1Wheel_.popDue(cycle_, due_);
+        for (unsigned s : due_) {
+            tickOneL1_(*this, s, cycle_);
+            l1Wheel_.arm(s, oneL1Horizon_(*this, s, cycle_));
+        }
+        l1TickCount_ += due_.size();
+        nDue += due_.size();
+        smWheel_.popDue(cycle_, due_);
+        for (unsigned s : due_) {
+            // Parked SMs defer their per-cycle idle accounting;
+            // materialize it up to the lagging-callback timestamp
+            // before the real tick.
+            sms_[s]->accountThrough(cycle_ - 1);
+            sms_[s]->tick(cycle_);
+            smWheel_.arm(s, sms_[s]->nextWorkCycle(cycle_));
+        }
+        smTickCount_ += due_.size();
+        nDue += due_.size();
+        if (stagedCount_ != 0)
+            flushStagedRequests();
+        dramWheel_.popDue(cycle_, due_);
+        for (unsigned p : due_) {
+            drams_[p]->tick(cycle_);
+            dramWheel_.arm(p, drams_[p]->nextWorkCycle(cycle_));
+        }
+        dramTickCount_ += due_.size();
+        nDue += due_.size();
+
+        if (timeline_) {
+            if (cycle_ >= timeline_->nextSampleAt()) {
+                accountSmsThrough(cycle_);
+                flushStatWindows();
+            }
+            timeline_->sample(cycle_);
+        }
+
+        std::uint64_t token = progressToken();
+        bool progressed = token != last_progress;
+        if (progressed) {
+            last_progress = token;
+            last_progress_cycle = cycle_;
+            ffProbeBackoff_ = 1;
+            ffNextProbeAt_ = 0;
+        } else if (cycle_ - last_progress_cycle > watchdogWindow_) {
+            GTSC_PANIC("no forward progress for ", watchdogWindow_,
+                       " cycles at cycle ", cycle_, " in workload ",
+                       workload_.name(), " kernel ", kernel);
+        }
+
+        done = all_done() && quiescent();
+        if (done || progressed || !fastForward_)
+            continue;
+        // A cycle that ticked anything is almost always followed by
+        // another one with due work, and the fast-forward jump is the
+        // degenerate "nothing due" case here — so only probe the
+        // horizon on completely dead cycles (this is what removes the
+        // always-tick loop's BFS/GE probing regression structurally).
+        if (nDue != 0 || cycle_ < ffNextProbeAt_)
+            continue;
+
+        Cycle next = activeWorkHorizon();
+        Cycle deadline = last_progress_cycle + watchdogWindow_ + 1;
+        next = std::min(next, deadline);
+        next = std::min(next, maxCycles_ + 1);
+        if (timeline_)
+            next = std::min(next, timeline_->nextSampleAt());
+        if (next > cycle_ + 1) {
+            // No per-SM stat work here: parked SMs account the
+            // skipped span lazily (accountThrough) when they next
+            // tick, sample, or the kernel ends.
+            fastForwarded_ += next - cycle_ - 1;
+            cycle_ = next - 1;
+            ffProbeBackoff_ = 1;
+        } else {
+            ffNextProbeAt_ = cycle_ + 1 + ffProbeBackoff_;
+            ffProbeBackoff_ = std::min<Cycle>(ffProbeBackoff_ * 2, 64);
+        }
+    }
+    accountSmsThrough(cycle_);
+}
+
+void
+GpuSystem::runActiveShardSpan(Shard &sh, Cycle from, Cycle to)
+{
+    sh.quietFrom = shardQuiet(sh) ? from - 1 : kCycleNever;
+    for (Cycle c = from; c <= to;) {
+        sh.now = c;
+        sh.events.runUntil(c);
+        sh.l1Wheel.popDue(c, sh.dueL1);
+        // Replay parked responses for the due L1s first (the deliver
+        // hook armed each destination at its delivery cycle), then
+        // tick them — same order as the always-tick span.
+        for (unsigned s : sh.dueL1) {
+            auto &q = pendingResp_[s];
+            while (!q.empty() && q.front().cycle <= c) {
+                mem::Packet pkt = std::move(q.front().pkt);
+                q.pop_front();
+                l1s_[s]->receiveResponse(std::move(pkt), c);
+            }
+        }
+        for (unsigned s : sh.dueL1) {
+            tickOneL1_(*this, s, c);
+            Cycle next = oneL1Horizon_(*this, s, c);
+            const auto &q = pendingResp_[s];
+            if (!q.empty())
+                next = std::min(next, std::max(q.front().cycle, c + 1));
+            sh.l1Wheel.arm(s, next);
+        }
+        sh.l1Ticks += sh.dueL1.size();
+        sh.smWheel.popDue(c, sh.dueSm);
+        for (unsigned s : sh.dueSm) {
+            sms_[s]->accountThrough(c - 1);
+            sms_[s]->tick(c);
+            sh.smWheel.arm(s, sms_[s]->nextWorkCycle(c));
+        }
+        sh.smTicks += sh.dueSm.size();
+
+        if (!shardQuiet(sh))
+            sh.quietFrom = kCycleNever;
+        else if (sh.quietFrom == kCycleNever)
+            sh.quietFrom = c;
+
+        if (!fastForward_ || c == to ||
+            !sh.dueSm.empty() || !sh.dueL1.empty()) {
+            ++c;
+            continue;
+        }
+        Cycle next = sh.events.nextEventCycle();
+        next = std::min(next, sh.smWheel.nextWake());
+        next = std::min(next, sh.l1Wheel.nextWake());
+        next = std::max(next, c + 1);
+        next = std::min(next, to + 1);
+        if (next > c + 1) {
+            sh.fastForwarded += next - c - 1;
+            c = next;
+        } else {
+            ++c;
+        }
+    }
+    // The barrier is about to read this shard's stats, and the done
+    // rollback assumes every SM counted its idle cycles through the
+    // window end — materialize the deferred accounting (O(1) per
+    // parked SM) before flushing the windowed blocks.
+    for (unsigned s : sh.sms) {
+        sms_[s]->accountThrough(to);
+        sms_[s]->flushStatWindow();
+    }
+}
+
+void
+GpuSystem::runActiveParallelLoop(unsigned kernel)
+{
+    std::uint64_t last_progress = progressToken();
+    Cycle last_progress_cycle = cycle_;
+
+    auto all_done = [this]() {
+        for (const auto &sm : sms_) {
+            if (!sm->allWarpsDone())
+                return false;
+        }
+        return true;
+    };
+
+    armActiveSet(cycle_ + 1);
+
+    bool done = all_done() && quiescent();
+    while (!done) {
+        if (cycle_ >= maxCycles_)
+            GTSC_FATAL("simulation exceeded gpu.max_cycles=", maxCycles_,
+                       " for workload ", workload_.name());
+
+        Cycle deadline = last_progress_cycle + watchdogWindow_ + 1;
+
+        // Whole-machine jump at the barrier: every wheel, scalar net
+        // wake and event queue is visible here (staged and parked
+        // packets are drained), so the active horizon covers every
+        // work source.
+        if (fastForward_) {
+            Cycle next = activeWorkHorizon();
+            next = std::min(next, deadline);
+            next = std::min(next, maxCycles_ + 1);
+            if (timeline_)
+                next = std::min(next, timeline_->nextSampleAt());
+            if (next > cycle_ + 1) {
+                fastForwarded_ += next - cycle_ - 1;
+                cycle_ = next - 1;
+            }
+        }
+
+        const Cycle winStart = cycle_ + 1;
+        Cycle winEnd = std::min(cycle_ + window_, maxCycles_);
+        winEnd = std::min(winEnd, deadline);
+        if (timeline_)
+            winEnd = std::min(winEnd, timeline_->nextSampleAt());
+        GTSC_ASSERT(winEnd >= winStart, "empty shard window");
+
+        coordQuietFrom_ = coordQuiet() ? winStart - 1 : kCycleNever;
+        for (Cycle c = winStart; c <= winEnd;) {
+            cycle_ = c;
+            std::size_t nDue = 0;
+            events_.runUntil(c);
+            l2Wheel_.popDue(c, due_);
+            for (unsigned p : due_) {
+                tickOneL2_(*this, p, c);
+                l2Wheel_.arm(p, oneL2Horizon_(*this, p, c));
+            }
+            l2TickCount_ += due_.size();
+            nDue += due_.size();
+            if (respWake_ <= c) {
+                respWake_ = kCycleNever;
+                if (respXbar_)
+                    respXbar_->tick(c);
+                else
+                    respNet_->tick(c);
+                respWake_ =
+                    std::min(respWake_, respNet_->nextWorkCycle(c));
+                ++nocTickCount_;
+                ++nDue;
+            }
+            if (reqWake_ <= c) {
+                reqWake_ = kCycleNever;
+                if (reqXbar_)
+                    reqXbar_->tick(c);
+                else
+                    reqNet_->tick(c);
+                reqWake_ =
+                    std::min(reqWake_, reqNet_->nextWorkCycle(c));
+                ++nocTickCount_;
+                ++nDue;
+            }
+            dramWheel_.popDue(c, due_);
+            for (unsigned p : due_) {
+                drams_[p]->tick(c);
+                dramWheel_.arm(p, drams_[p]->nextWorkCycle(c));
+            }
+            dramTickCount_ += due_.size();
+            nDue += due_.size();
+
+            if (!coordQuiet())
+                coordQuietFrom_ = kCycleNever;
+            else if (coordQuietFrom_ == kCycleNever)
+                coordQuietFrom_ = c;
+
+            if (!fastForward_ || c == winEnd || nDue != 0) {
+                ++c;
+                continue;
+            }
+            Cycle next = events_.nextEventCycle();
+            next = std::min(next, respWake_);
+            next = std::min(next, reqWake_);
+            next = std::min(next, l2Wheel_.nextWake());
+            next = std::min(next, dramWheel_.nextWake());
+            next = std::max(next, c + 1);
+            next = std::min(next, winEnd + 1);
+            c = next;
+        }
+        cycle_ = winEnd;
+
+        for (unsigned k = 1; k < numShards_; ++k) {
+            Shard *sh = shards_[k].get();
+            pool_->submit([this, sh, winStart, winEnd] {
+                runActiveShardSpan(*sh, winStart, winEnd);
+            });
+        }
+        runActiveShardSpan(*shards_[0], winStart, winEnd);
+        pool_->wait();
+
+        drainShardStats();
+        flushStagedRequests();
+
+        done = all_done() && quiescent();
+        if (done) {
+            Cycle quiet = coordQuietFrom_;
+            for (const auto &sh : shards_)
+                quiet = std::max(quiet, sh->quietFrom);
+            GTSC_ASSERT(quiet != kCycleNever && quiet >= winStart - 1 &&
+                            quiet <= winEnd,
+                        "inconsistent quiet span at completion");
+            if (quiet < winEnd) {
+                stats_.counter("sm.idle_cycles") -=
+                    static_cast<std::uint64_t>(params_.numSms) *
+                    (winEnd - quiet);
+                cycle_ = quiet;
+            }
+        }
+
+        if (timeline_) {
+            if (cycle_ >= timeline_->nextSampleAt())
+                flushStatWindows();
+            timeline_->sample(cycle_);
+        }
+
+        std::uint64_t token = progressToken();
+        if (token != last_progress) {
+            last_progress = token;
+            last_progress_cycle = cycle_;
+        } else if (cycle_ - last_progress_cycle > watchdogWindow_) {
+            GTSC_PANIC("no forward progress for ", watchdogWindow_,
+                       " cycles at cycle ", cycle_, " in workload ",
+                       workload_.name(), " kernel ", kernel);
+        }
+    }
+}
+
+void
 GpuSystem::runKernel(unsigned kernel)
 {
     workload_.initMemory(memory_, kernel);
@@ -877,10 +1480,17 @@ GpuSystem::runKernel(unsigned kernel)
         sms_[s]->launchKernel(std::move(programScratch_));
     }
 
-    if (parallel_)
-        runParallelLoop(kernel);
-    else
-        runSerialLoop(kernel);
+    if (parallel_) {
+        if (activeSet_)
+            runActiveParallelLoop(kernel);
+        else
+            runParallelLoop(kernel);
+    } else {
+        if (activeSet_)
+            runActiveSerialLoop(kernel);
+        else
+            runSerialLoop(kernel);
+    }
 
     // Kernel boundary: GPUs flush private caches (Section V-D).
     for (auto &l1 : l1s_)

@@ -36,6 +36,7 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/thread_pool.hh"
+#include "sim/time_wheel.hh"
 
 namespace gtsc::noc
 {
@@ -75,6 +76,26 @@ class GpuSystem
      * though every stat does not.
      */
     std::uint64_t fastForwardedCycles() const { return fastForwarded_; }
+
+    /**
+     * Fraction of component-cycles actually ticked, per component
+     * type: ticked / (total cycles * number of components). Under
+     * active-set scheduling these drop below 1.0 as components park;
+     * with gpu.active_set=0 they measure how much of the run the
+     * always-tick loops executed rather than fast-forwarded. Like
+     * fastForwardedCycles(), diagnostics only — deliberately not
+     * StatSet entries, so stat dumps stay bit-identical across
+     * scheduler modes.
+     */
+    struct ActivityFractions
+    {
+        double sm = 0.0;
+        double l1 = 0.0;
+        double l2 = 0.0;
+        double noc = 0.0;
+        double dram = 0.0;
+    };
+    ActivityFractions activity() const;
 
     /**
      * Wire an observability session into every component: tracer
@@ -126,6 +147,12 @@ class GpuSystem
          */
         Cycle quietFrom = 0;
         std::uint64_t fastForwarded = 0;
+        // --- active-set scheduling state (gpu.active_set) ---
+        /** Park/wake wheels over the shard's SMs and L1s, indexed by
+         * global SM id (sparse outside sms is fine: never armed). */
+        sim::TimeWheel smWheel, l1Wheel;
+        std::vector<std::uint32_t> dueSm, dueL1; ///< popDue scratch
+        std::uint64_t smTicks = 0, l1Ticks = 0;  ///< activity counters
     };
 
     /**
@@ -140,6 +167,10 @@ class GpuSystem
     struct Devirt;
     using TickLoopFn = void (*)(GpuSystem &, Cycle);
     using HorizonLoopFn = Cycle (*)(const GpuSystem &, Cycle, Cycle);
+    /** Single-component variants for the active-set loops, which tick
+     * only the ids a wheel popped instead of sweeping the array. */
+    using TickOneFn = void (*)(GpuSystem &, unsigned, Cycle);
+    using HorizonOneFn = Cycle (*)(const GpuSystem &, unsigned, Cycle);
     void bindTypedLoops();
 
     bool quiescent() const;
@@ -147,6 +178,22 @@ class GpuSystem
     void runSerialLoop(unsigned kernel);
     void runParallelLoop(unsigned kernel);
     void runShardSpan(Shard &sh, Cycle from, Cycle to);
+    // Active-set twins (gpu.active_set=1, the default): identical
+    // per-cycle phase order, but each component family is driven off
+    // a TimeWheel and only due ids are ticked. See DESIGN.md §10.
+    void runActiveSerialLoop(unsigned kernel);
+    void runActiveParallelLoop(unsigned kernel);
+    void runActiveShardSpan(Shard &sh, Cycle from, Cycle to);
+    /** Arm every component at `at` (loop entry: nothing is parked
+     * yet; idle components park themselves on their first tick). */
+    void armActiveSet(Cycle at);
+    /** Earliest armed/queued work across all wheels, scalar net
+     * wakes and event queues; > cycle_. Exact (wheels track the min
+     * over their slots), so jumping to it never skips armed work. */
+    Cycle activeWorkHorizon() const;
+    /** Catch every SM's deferred idle accounting up to `upto`
+     * (parked SMs lag; see Sm::accountThrough). */
+    void accountSmsThrough(Cycle upto);
     std::uint64_t progressToken() const;
 
     /** Drain per-SM staged request packets into the request network
@@ -210,6 +257,10 @@ class GpuSystem
     TickLoopFn tickL2s_ = nullptr;
     HorizonLoopFn l1Horizon_ = nullptr;
     HorizonLoopFn l2Horizon_ = nullptr;
+    TickOneFn tickOneL1_ = nullptr;
+    TickOneFn tickOneL2_ = nullptr;
+    HorizonOneFn oneL1Horizon_ = nullptr;
+    HorizonOneFn oneL2Horizon_ = nullptr;
     /** Non-null when the nets are Crossbars (the default topology);
      * lets the cycle loop call their O(1) tick/horizon directly. */
     noc::Crossbar *reqXbar_ = nullptr;
@@ -258,6 +309,25 @@ class GpuSystem
      */
     Cycle ffProbeBackoff_ = 1;
     Cycle ffNextProbeAt_ = 0;
+
+    // --- active-set scheduling state (gpu.active_set) ---
+    bool activeSet_;
+    /** Serial-loop wheels (SM/L1 wheels live shard-side when
+     * gpu.shards>1; L2/DRAM wheels are always coordinator-side). */
+    sim::TimeWheel smWheel_, l1Wheel_;
+    sim::TimeWheel l2Wheel_, dramWheel_;
+    std::vector<std::uint32_t> due_; ///< popDue scratch
+    /** Scalar wake cycles for the two networks (single component
+     * each): min-merged by the wake hook, kCycleNever when parked. */
+    Cycle reqWake_ = kCycleNever;
+    Cycle respWake_ = kCycleNever;
+    /** Activity counters (see activity()); shard SM/L1 ticks are
+     * drained into these at the barrier alongside the stats. */
+    std::uint64_t smTickCount_ = 0;
+    std::uint64_t l1TickCount_ = 0;
+    std::uint64_t l2TickCount_ = 0;
+    std::uint64_t nocTickCount_ = 0;
+    std::uint64_t dramTickCount_ = 0;
     /** noc.{req,resp}.packets, cached off the progress-token path. */
     const std::uint64_t *nocReqPackets_;
     const std::uint64_t *nocRespPackets_;

@@ -45,12 +45,25 @@ Sm::Sm(SmId id, const GpuParams &params, const sim::Config &cfg,
     spinGiveups_ = &stats_.counter("sm.spin_giveups");
     fenceStallCycles_ = &stats_.counter("sm.fence_stall_warp_cycles");
 
+    // Callbacks must observe a now_ lagging the loop cycle by one.
+    // Under active-set scheduling a parked SM's now_ can lag further;
+    // catch up the skipped (provably idle) cycles first, using the
+    // pre-callback stall classification, then re-arm so the tick
+    // phase of the current cycle processes the new warp state.
     l1_.setLoadDone(
         [this](const mem::Access &a, const mem::AccessResult &r) {
+            if (schedNow_ && now_ + 1 < *schedNow_)
+                accountThrough(*schedNow_ - 1);
             onLoadDone(a, r, now_);
+            if (wake_)
+                wake_();
         });
     l1_.setStoreDone([this](const mem::Access &a, Cycle gwct) {
+        if (schedNow_ && now_ + 1 < *schedNow_)
+            accountThrough(*schedNow_ - 1);
         onStoreDone(a, gwct, now_);
+        if (wake_)
+            wake_();
     });
 }
 
@@ -341,12 +354,24 @@ Sm::computeNextWork(Cycle now) const
 void
 Sm::fastForwardStats(Cycle span)
 {
+    // Fast path: the cached no-issue classification (same validity
+    // as tick()'s O(1) path — warp state untouched since it was
+    // computed) already names the bucket and the fence count, so a
+    // bulk span is two additions. This is what keeps the active-set
+    // scheduler's deferred catch-up O(1) per parked SM.
+    if (idleTickValid_) {
+        win_.fenceStallCycles +=
+            static_cast<std::uint64_t>(cachedWaitFence_) * span;
+        *cachedStallBucket_ += span;
+        return;
+    }
     // Mirrors the issued == 0 classification at the end of tick();
     // warp states cannot change inside a skipped range, so each
     // skipped cycle lands in the same bucket.
     bool any_live = false;
     bool any_compute = false;
     bool any_mem = false;
+    unsigned wait_fence = 0;
     for (WarpState st : warpState_) {
         switch (st) {
           case WarpState::WaitCompute:
@@ -354,7 +379,7 @@ Sm::fastForwardStats(Cycle span)
             any_compute = true;
             break;
           case WarpState::WaitFence:
-            win_.fenceStallCycles += span;
+            ++wait_fence;
             [[fallthrough]];
           case WarpState::WaitMem:
             any_live = true;
@@ -367,14 +392,25 @@ Sm::fastForwardStats(Cycle span)
             break;
         }
     }
+    win_.fenceStallCycles +=
+        static_cast<std::uint64_t>(wait_fence) * span;
+    std::uint64_t *bucket;
     if (!any_live)
-        win_.idleCycles += span;
+        bucket = &win_.idleCycles;
     else if (any_compute)
-        win_.computeStallCycles += span;
+        bucket = &win_.computeStallCycles;
     else if (any_mem)
-        win_.memStallCycles += span;
+        bucket = &win_.memStallCycles;
     else
-        win_.idleCycles += span;
+        bucket = &win_.idleCycles;
+    *bucket += span;
+    // Re-establish the classification cache so the rest of the
+    // parked stretch takes the fast path. Only safe when the cached
+    // horizon is also valid (tick()'s fast path reads it).
+    cachedStallBucket_ = bucket;
+    cachedWaitFence_ = wait_fence;
+    if (horizonValid_)
+        idleTickValid_ = true;
 }
 
 bool

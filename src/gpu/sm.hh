@@ -26,6 +26,7 @@
 #include "obs/events.hh"
 #include "sim/config.hh"
 #include "sim/ring_buffer.hh"
+#include "sim/small_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -97,6 +98,44 @@ class Sm
      * retry earlier than the pure cycle-driven loop.
      */
     void syncTo(Cycle now) { now_ = now; }
+
+    /**
+     * Deferred catch-up for the active-set scheduler: account every
+     * skipped parked cycle in (now_, upto] as fastForwardStats()
+     * would and advance now_ to upto. Valid exactly when the SM was
+     * parked through that range — the scheduler never jumps past an
+     * armed cycle, so a parked SM's horizon always exceeds it. Called
+     * before a due tick, before anything samples this SM's counters
+     * (timeline, span end, loop exit), and from the L1 completion
+     * callbacks so they observe a now_ lagging the loop by one cycle.
+     */
+    void
+    accountThrough(Cycle upto)
+    {
+        if (now_ >= upto)
+            return;
+        fastForwardStats(upto - now_);
+        now_ = upto;
+    }
+
+    /**
+     * Point this SM at its scheduler's current-cycle counter
+     * (GpuSystem::cycle_ serially, the owning Shard's `now` when
+     * sharded). The completion callbacks catch up skipped parked
+     * cycles against it before processing; with the always-tick
+     * loops now_ never lags, so the catch-up is a dead branch.
+     */
+    void setSchedNow(const Cycle *sched) { schedNow_ = sched; }
+
+    /**
+     * Re-arm hook (wake contract, mem/controllers.hh): fired after
+     * every L1 completion callback, the only external path that
+     * hands a parked SM work before its horizon.
+     */
+    void setWakeHook(sim::SmallFunction<void()> fn)
+    {
+        wake_ = std::move(fn);
+    }
 
     /**
      * Opt into warp issue/stall/resume event tracing. Events are
@@ -262,6 +301,11 @@ class Sm
     std::uint64_t nextAccessId_ = 1;
     std::uint64_t retiredTotal_ = 0;
     Cycle now_ = 0; ///< updated at tick entry; callbacks use it
+    /** Scheduler's current cycle (setSchedNow); callbacks catch
+     *  now_ up to lag it by one before running. */
+    const Cycle *schedNow_ = nullptr;
+    /** Active-set re-arm hook; empty under the always-tick loops. */
+    sim::SmallFunction<void()> wake_;
 
     /** Warps not yet Done/Idle (O(1) allWarpsDone). */
     unsigned liveWarps_ = 0;

@@ -70,6 +70,20 @@ struct RunResult
      */
     unsigned shards = 1;
 
+    /**
+     * Per-component-type active-cycle fractions: ticked
+     * component-cycles / (simulated cycles * components of that
+     * type). Below 1.0 wherever the active-set scheduler
+     * (gpu.active_set) parked components; with the always-tick loops
+     * they measure the executed (non-fast-forwarded) share of the
+     * run. Diagnostics like fastForwarded — never part of `stats`.
+     */
+    double activitySm = 0.0;
+    double activityL1 = 0.0;
+    double activityL2 = 0.0;
+    double activityNoc = 0.0;
+    double activityDram = 0.0;
+
     /** Full raw statistics of the run. */
     sim::StatSet stats;
 

@@ -39,6 +39,31 @@
 // Work that completes through the shared EventQueue does not need to
 // be reported: the main loop folds events_.nextEventCycle() into the
 // same minimum.
+//
+// Wake contract (active-set scheduling, DESIGN.md §10)
+// ----------------------------------------------------
+// With gpu.active_set=1 the main loop goes further: a component is
+// ticked *only* on cycles where it has work. After each tick it is
+// parked and re-armed at its nextWorkCycle() horizon; between those
+// cycles it is never ticked at all. A parked component can acquire
+// work earlier than its horizon only through an external entry point
+// — receiveRequest/receiveResponse/access, a network inject, a DRAM
+// push — or through one of its own event-queue callbacks. Every such
+// path that can create tick() work must call the wake hook with the
+// current cycle:
+//
+//  - Waking is min-merged: waking an already-armed component at a
+//    later cycle is a no-op, so wake sites may fire eagerly and
+//    redundantly. An unnecessary wake costs one no-op tick; a missed
+//    wake silently diverges from the always-tick loop (the
+//    equivalence goldens catch it).
+//  - A wake at the current cycle ticks the component this cycle if
+//    its phase has not run yet, else next cycle — exactly when the
+//    always-tick loop would next tick it with the new state visible.
+//  - Entry points that only schedule event-queue callbacks (and
+//    create no tick() work) need no wake; the loop runs the event
+//    queues every cycle it executes and folds nextEventCycle() into
+//    its jump horizon.
 
 namespace gtsc::obs
 {
@@ -70,12 +95,15 @@ class L1Controller
         sim::SmallFunction<void(const Access &, Cycle gwct)>;
     /** Inject a request packet into the request network. */
     using SendFn = sim::SmallFunction<void(Packet &&)>;
+    /** Re-arm this parked component (wake contract above). */
+    using WakeFn = sim::SmallFunction<void(Cycle)>;
 
     virtual ~L1Controller() = default;
 
     void setLoadDone(LoadDoneFn f) { loadDone_ = std::move(f); }
     void setStoreDone(StoreDoneFn f) { storeDone_ = std::move(f); }
     void setSend(SendFn f) { send_ = std::move(f); }
+    void setWakeHook(WakeFn f) { wake_ = std::move(f); }
 
     /** Accept a coalesced access; false = structural stall, retry. */
     virtual bool access(const Access &access, Cycle now) = 0;
@@ -118,9 +146,19 @@ class L1Controller
     virtual void attachTracer(obs::Tracer &tracer) { (void)tracer; }
 
   protected:
+    /** Notify the scheduler this component has tick() work at `now`
+     *  (no-op when unhooked — the always-tick loops install none). */
+    void
+    wake(Cycle now)
+    {
+        if (wake_)
+            wake_(now);
+    }
+
     LoadDoneFn loadDone_;
     StoreDoneFn storeDone_;
     SendFn send_;
+    WakeFn wake_;
 };
 
 /**
@@ -131,10 +169,13 @@ class L2Controller
   public:
     /** Inject a response packet into the response network. */
     using SendFn = sim::SmallFunction<void(Packet &&)>;
+    /** Re-arm this parked component (wake contract above). */
+    using WakeFn = sim::SmallFunction<void(Cycle)>;
 
     virtual ~L2Controller() = default;
 
     void setSend(SendFn f) { send_ = std::move(f); }
+    void setWakeHook(WakeFn f) { wake_ = std::move(f); }
 
     /** A request packet arrived from the interconnect. */
     virtual void receiveRequest(Packet &&pkt, Cycle now) = 0;
@@ -163,7 +204,16 @@ class L2Controller
     virtual void attachTracer(obs::Tracer &tracer) { (void)tracer; }
 
   protected:
+    /** Notify the scheduler this component has tick() work at `now`. */
+    void
+    wake(Cycle now)
+    {
+        if (wake_)
+            wake_(now);
+    }
+
     SendFn send_;
+    WakeFn wake_;
 };
 
 } // namespace gtsc::mem

@@ -63,6 +63,10 @@ DramChannel::pushRead(Addr line_addr, ReadCallback cb)
     queue_.push_back(Request{line_addr, false, LineData{}, 0,
                              std::move(cb)});
     ++(*reads_);
+    // Earliest cycle the new request could start service; the
+    // scheduler clamps past cycles to "due now".
+    if (wake_)
+        wake_(busBusyUntil_);
 }
 
 void
@@ -71,6 +75,8 @@ DramChannel::pushWrite(Addr line_addr, const LineData &data,
 {
     queue_.push_back(Request{line_addr, true, data, word_mask, nullptr});
     ++(*writes_);
+    if (wake_)
+        wake_(busBusyUntil_);
 }
 
 void

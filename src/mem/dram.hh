@@ -24,6 +24,7 @@
 #include "sim/event_queue.hh"
 #include "sim/ring_buffer.hh"
 #include "sim/slot_pool.hh"
+#include "sim/small_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -34,10 +35,16 @@ class DramChannel
 {
   public:
     using ReadCallback = std::function<void(const LineData &)>;
+    /** Re-arm this parked channel (wake contract,
+     *  mem/controllers.hh). The L2s push requests directly, so the
+     *  channel carries its own hook; both push paths fire it. */
+    using WakeFn = sim::SmallFunction<void(Cycle)>;
 
     DramChannel(const sim::Config &cfg, sim::StatSet &stats,
                 sim::EventQueue &events, MainMemory &memory,
                 const std::string &name);
+
+    void setWakeHook(WakeFn f) { wake_ = std::move(f); }
 
     /** Enqueue a line read; cb fires when data returns. */
     void pushRead(Addr line_addr, ReadCallback cb);
@@ -115,6 +122,7 @@ class DramChannel
     bool frfcfs_ = false;
     std::size_t schedWindow_ = 16;
 
+    WakeFn wake_;
     sim::RingBuffer<Request> queue_;
     sim::SlotPool<ReadReturn> returns_;
     std::vector<Addr> openRow_;   ///< per-bank open row (kCycleNever=closed)

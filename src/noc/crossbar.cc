@@ -98,6 +98,7 @@ Crossbar::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
     portBound_[dst] = bound;
     if (bound < earliestEject_)
         earliestEject_ = bound;
+    wake(earliestEject_);
 }
 
 void

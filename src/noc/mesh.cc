@@ -140,6 +140,7 @@ Mesh::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
     }
     ++inFlight_;
     arrivals_.push(InFlight{t, seq_++, dst, std::move(pkt)});
+    wake(arrivals_.top().arrive);
 }
 
 Cycle

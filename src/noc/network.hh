@@ -32,10 +32,17 @@ class Network
   public:
     using DeliverFn =
         sim::SmallFunction<void(unsigned dst, mem::Packet &&)>;
+    /** Re-arm this parked network (wake contract,
+     *  mem/controllers.hh). Implementations call it from inject()
+     *  with their post-inject nextWorkCycle(), the only point a
+     *  quiescent network acquires tick() work. */
+    using WakeFn = sim::SmallFunction<void(Cycle)>;
 
     virtual ~Network() = default;
 
     virtual void setDeliver(DeliverFn fn) = 0;
+
+    void setWakeHook(WakeFn fn) { wake_ = std::move(fn); }
 
     /** Inject a packet at source port `src` bound for `dst`. */
     virtual void inject(unsigned src, unsigned dst, mem::Packet &&pkt,
@@ -91,6 +98,17 @@ class Network
         (void)transcript;
         (void)response;
     }
+
+  protected:
+    /** Notify the scheduler this network has tick() work at `when`. */
+    void
+    wake(Cycle when)
+    {
+        if (wake_)
+            wake_(when);
+    }
+
+    WakeFn wake_;
 };
 
 /**

@@ -30,7 +30,9 @@ class NoL1 final : public mem::L1Controller
     void receiveResponse(mem::Packet &&pkt, Cycle now) override;
     void tick(Cycle now) override { (void)now; }
 
-    /** tick() is a no-op: all completions are response-driven. */
+    /** tick() is a no-op: all completions are response-driven, so
+     *  under active-set scheduling this controller is never armed
+     *  and calls no wake hook (wake contract, mem/controllers.hh). */
     Cycle
     nextWorkCycle(Cycle now) const override
     {

@@ -61,8 +61,10 @@ SimpleL2::flushAll(Cycle now)
 void
 SimpleL2::receiveRequest(mem::Packet &&pkt, Cycle now)
 {
-    (void)now;
     queue_.push_back(std::move(pkt));
+    // The service queue is this controller's only source of tick()
+    // work; misses complete through events (wake contract).
+    wake(now);
 }
 
 void

@@ -42,7 +42,10 @@ class TcL1 final : public mem::L1Controller
 
     /**
      * tick() is a no-op: lease expiry is checked lazily at access
-     * time and completions are response-driven.
+     * time and completions are response-driven. Under active-set
+     * scheduling this controller is therefore never armed — it calls
+     * no wake hook, and load/store completions reach the SM through
+     * its own callbacks (wake contract, mem/controllers.hh).
      */
     Cycle
     nextWorkCycle(Cycle now) const override

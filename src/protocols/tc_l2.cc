@@ -67,8 +67,8 @@ TcL2::flushAll(Cycle now)
 void
 TcL2::receiveRequest(mem::Packet &&pkt, Cycle now)
 {
-    (void)now;
     queue_.push_back(std::move(pkt));
+    wake(now);
 }
 
 void
@@ -243,6 +243,11 @@ TcL2::onDramFill(Addr line, const mem::LineData &data, Cycle now)
 {
     if (!tryInsert(line, data, now))
         pendingInserts_.push_back(PendingInsert{line, data});
+    // An event-queue callback that creates tick() work: a deferred
+    // insert, or waiters replayed by tryInsert() landing in the
+    // stall table (wake contract — per-cycle stall counters included).
+    if (!pendingInserts_.empty() || !stalled_.empty())
+        wake(now);
 }
 
 void

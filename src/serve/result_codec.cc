@@ -96,6 +96,11 @@ encodeResult(const harness::RunResult &r)
     u("verified", r.verified ? 1 : 0);
     u("fast_forwarded", r.fastForwarded);
     u("shards", r.shards);
+    f("activity_sm", r.activitySm);
+    f("activity_l1", r.activityL1);
+    f("activity_l2", r.activityL2);
+    f("activity_noc", r.activityNoc);
+    f("activity_dram", r.activityDram);
 
     for (const auto &kv : r.stats.counters())
         oss << "c " << kv.first << ' ' << kv.second << '\n';
@@ -219,6 +224,16 @@ decodeResult(const std::string &text, harness::RunResult *out,
                 out->energy.noc = v;
             else if (name == "energy_dram")
                 out->energy.dram = v;
+            else if (name == "activity_sm")
+                out->activitySm = v;
+            else if (name == "activity_l1")
+                out->activityL1 = v;
+            else if (name == "activity_l2")
+                out->activityL2 = v;
+            else if (name == "activity_noc")
+                out->activityNoc = v;
+            else if (name == "activity_dram")
+                out->activityDram = v;
             else
                 return fail("unknown double field '" + name + "'");
         } else if (tag == 'c') {

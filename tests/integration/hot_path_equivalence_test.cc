@@ -1,10 +1,10 @@
 /**
  * Hot-path equivalence: the data-oriented per-cycle core must be
  * provably behavior-preserving. Every run of the pinned
- * configurations below — across fast_forward off/on and shards 1/2 —
- * must reproduce, bit for bit, the artifacts the pre-refactor seed
- * produced: the full stat dump, trace.json, timeline.csv and
- * transcript.txt.
+ * configurations below — across fast_forward off/on, shards 1/2 and
+ * the active-set scheduler on/off (8 combinations) — must reproduce,
+ * bit for bit, the artifacts the pre-refactor seed produced: the
+ * full stat dump, trace.json, timeline.csv and transcript.txt.
  *
  * The small artifacts (stats, timeline) are stored verbatim under
  * tests/integration/goldens/ so a mismatch shows a readable diff;
@@ -93,6 +93,7 @@ struct Setting
 {
     bool fastForward;
     int shards;
+    bool activeSet;
 };
 
 class HotPathEquivalence
@@ -113,17 +114,22 @@ TEST_P(HotPathEquivalence, BitIdenticalToSeed)
         slurp(fs::path(GTSC_GOLDEN_DIR) / (wl + ".timeline.csv"));
 
     const Setting kSettings[] = {
-        {false, 1}, {true, 1}, {false, 2}, {true, 2}};
+        {false, 1, false}, {true, 1, false},
+        {false, 2, false}, {true, 2, false},
+        {false, 1, true},  {true, 1, true},
+        {false, 2, true},  {true, 2, true}};
 
     for (const Setting &s : kSettings) {
         SCOPED_TRACE(std::string("fast_forward=") +
                      (s.fastForward ? "on" : "off") +
-                     " shards=" + std::to_string(s.shards));
+                     " shards=" + std::to_string(s.shards) +
+                     " active_set=" + (s.activeSet ? "on" : "off"));
 
         fs::path dir = fs::temp_directory_path() /
                        ("gtsc_hot_path_eq_" + wl + "_" +
                         std::to_string(s.fastForward) + "_" +
-                        std::to_string(s.shards));
+                        std::to_string(s.shards) + "_" +
+                        std::to_string(s.activeSet));
         fs::remove_all(dir);
 
         sim::Config cfg;
@@ -133,6 +139,7 @@ TEST_P(HotPathEquivalence, BitIdenticalToSeed)
         cfg.setDouble("wl.scale", 0.5);
         cfg.setBool("gpu.fast_forward", s.fastForward);
         cfg.setInt("gpu.shards", s.shards);
+        cfg.setBool("gpu.active_set", s.activeSet);
         cfg.setBool("obs.trace", true);
         cfg.setInt("obs.sample_interval", 200);
         cfg.set("obs.trace_dir", dir.string());
