@@ -32,10 +32,17 @@
  * (report CSV rows + full stat dumps) to the cold ones.
  * tools/check_store_perf.py gates this section in CI.
  *
- * Section selection for CI: --only sweep|ff|shards|single|store runs
- * a single section (the others are emitted as empty arrays), and
- * --max-shards N truncates the shard list so a 2-core perf-smoke
- * runner is not asked to oversubscribe.
+ * A sixth section measures the verification lab's explorer: the
+ * default small-state model (2 SMs x 2 lines, SC) is exhaustively
+ * enumerated and the unique-state count, transition count and
+ * states/second throughput are recorded. tools/check_verify.py gates
+ * correctness in CI; this section tracks the checking *rate* the
+ * capture/restore/canonicalize machinery sustains.
+ *
+ * Section selection for CI: --only sweep|ff|shards|single|store|
+ * verify runs a single section (the others are emitted as empty
+ * arrays), and --max-shards N truncates the shard list so a 2-core
+ * perf-smoke runner is not asked to oversubscribe.
  */
 
 #include <chrono>
@@ -54,6 +61,7 @@
 #include "harness/report.hh"
 #include "serve/result_store.hh"
 #include "sim/thread_pool.hh"
+#include "verify/explorer.hh"
 
 using namespace gtsc;
 
@@ -158,6 +166,13 @@ struct StoreSection
     bool identical = false;
 };
 
+struct VerifySection
+{
+    bool ran = false;
+    verify::ExploreStats stats;
+    std::size_t violations = 0;
+};
+
 } // namespace
 
 int
@@ -203,6 +218,7 @@ main(int argc, char **argv)
     const bool doShards = only.empty() || only == "shards";
     const bool doSingle = only.empty() || only == "single";
     const bool doStore = only.empty() || only == "store";
+    const bool doVerify = only.empty() || only == "verify";
 
     const std::vector<std::string> workloads = {"bh", "cc", "vpr",
                                                 "bfs"};
@@ -484,6 +500,38 @@ main(int argc, char **argv)
         }
     }
 
+    // Verify section: exhaust the torture lab's default small-state
+    // model (2 SMs x 2 lines x 2 ops, SC) and record the checking
+    // throughput the capture/restore/canonicalize machinery sustains.
+    // Correctness (complete enumeration, zero violations) is gated by
+    // tools/check_verify.py in CI; the number tracked here is the
+    // rate.
+    VerifySection vf;
+    if (doVerify) {
+        std::printf("\nVerify explorer (2 SMs x 2 lines x 2 ops, "
+                    "SC):\n\n");
+        std::fflush(stdout);
+        verify::ExploreResult vres = verify::explore(cfg);
+        vf.stats = vres.stats;
+        vf.violations = vres.witnesses.size();
+        vf.ran = true;
+        std::printf("%-12s %12s %10s %12s %10s\n", "states",
+                    "transitions", "seconds", "states/s",
+                    "complete");
+        std::printf("%-12llu %12llu %10.2f %12.0f %10s\n",
+                    static_cast<unsigned long long>(
+                        vf.stats.statesVisited),
+                    static_cast<unsigned long long>(
+                        vf.stats.transitions),
+                    vf.stats.seconds, vf.stats.statesPerSec,
+                    vf.stats.complete ? "yes" : "NO");
+        if (vf.violations != 0)
+            std::printf("VIOLATIONS: %zu (run gtsc_verify --explore "
+                        "for witnesses)\n",
+                        vf.violations);
+        std::fflush(stdout);
+    }
+
     std::ostringstream json;
     json << "{\"bench\": \"sweep_scaling\", \"cells\": "
          << specs.size() << ", \"hw_threads\": "
@@ -563,7 +611,7 @@ main(int argc, char **argv)
                 "\"speedup\": %.3f, \"cold_puts\": %llu, "
                 "\"warm_hits\": %llu, \"warm_misses\": %llu, "
                 "\"warm_run_one_calls\": %llu, "
-                "\"identical\": %s}}",
+                "\"identical\": %s}",
                 specs.size(), st.coldSecs, st.warmSecs,
                 st.warmSecs > 0.0 ? st.coldSecs / st.warmSecs : 0.0,
                 static_cast<unsigned long long>(st.coldPuts),
@@ -573,7 +621,33 @@ main(int argc, char **argv)
                 st.identical ? "true" : "false");
         } else {
             std::snprintf(buf, sizeof(buf),
-                          ", \"result_store\": {\"cells\": 0}}");
+                          ", \"result_store\": {\"cells\": 0}");
+        }
+        json << buf;
+    }
+    {
+        char buf[384];
+        if (vf.ran) {
+            std::snprintf(
+                buf, sizeof(buf),
+                ", \"verify\": {\"states\": %llu, "
+                "\"transitions\": %llu, \"deduped\": %llu, "
+                "\"terminals\": %llu, \"max_depth\": %llu, "
+                "\"seconds\": %.4f, \"states_per_sec\": %.1f, "
+                "\"complete\": %s, \"violations\": %zu}}",
+                static_cast<unsigned long long>(
+                    vf.stats.statesVisited),
+                static_cast<unsigned long long>(
+                    vf.stats.transitions),
+                static_cast<unsigned long long>(vf.stats.deduped),
+                static_cast<unsigned long long>(vf.stats.terminals),
+                static_cast<unsigned long long>(vf.stats.maxDepth),
+                vf.stats.seconds, vf.stats.statesPerSec,
+                vf.stats.complete ? "true" : "false",
+                vf.violations);
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          ", \"verify\": {\"states\": 0}}");
         }
         json << buf;
     }

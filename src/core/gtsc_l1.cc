@@ -109,6 +109,106 @@ GtscL1::flush(Cycle now)
     std::fill(warpTs_.begin(), warpTs_.end(), Ts{1});
 }
 
+L1VerifyState
+GtscL1::captureVerifyState()
+{
+    L1VerifyState s;
+    array_.forEachValid([this, &s](mem::CacheBlock &blk) {
+        VerifyLineState l;
+        l.lineAddr = blk.lineAddr;
+        l.dirty = blk.dirty;
+        l.meta = blk.meta;
+        l.data = array_.dataOf(blk);
+        s.lines.push_back(std::move(l));
+    });
+    std::sort(s.lines.begin(), s.lines.end(),
+              [](const VerifyLineState &a, const VerifyLineState &b) {
+                  return a.lineAddr < b.lineAddr;
+              });
+    s.warpTs = warpTs_;
+    s.epoch = epoch_;
+    pendingStores_.forEach(
+        [&s](std::uint64_t id, const PendingStore &ps) {
+            s.pendingStores.push_back({id, ps.access, ps.baseWts,
+                                       ps.hadBlock});
+        });
+    std::sort(s.pendingStores.begin(), s.pendingStores.end(),
+              [](const auto &a, const auto &b) { return a.id < b.id; });
+    storeByLine_.forEach([&s](Addr line, std::uint64_t id) {
+        s.storeByLine.emplace_back(line, id);
+    });
+    std::sort(s.storeByLine.begin(), s.storeByLine.end());
+    mshr_.forEach([&s](const mem::MshrEntry &e) {
+        L1VerifyState::MshrEntryState m;
+        m.lineAddr = e.lineAddr;
+        m.requestSent = e.requestSent;
+        m.outstanding = e.outstanding;
+        m.lockWait = e.lockWait;
+        m.requestWts = e.requestWts;
+        m.waiters = e.waiters;
+        s.mshr.push_back(std::move(m));
+    });
+    std::sort(s.mshr.begin(), s.mshr.end(),
+              [](const auto &a, const auto &b) {
+                  return a.lineAddr < b.lineAddr;
+              });
+    for (std::size_t i = 0; i < replayQueue_.size(); ++i)
+        s.replayQueue.push_back(replayQueue_[i]);
+    return s;
+}
+
+void
+GtscL1::restoreVerifyState(const L1VerifyState &s)
+{
+    array_.invalidateAll();
+    for (const VerifyLineState &l : s.lines) {
+        mem::CacheBlock *blk = array_.victim(l.lineAddr);
+        GTSC_ASSERT(blk && !blk->valid,
+                    "verify restore must never capacity-evict");
+        array_.insert(*blk, l.lineAddr);
+        blk->dirty = l.dirty;
+        blk->meta = l.meta;
+        array_.dataOf(*blk) = l.data;
+    }
+    warpTs_ = s.warpTs;
+    epoch_ = s.epoch;
+    pendingStores_.clear();
+    for (const auto &ps : s.pendingStores) {
+        PendingStore &p = pendingStores_[ps.id];
+        p.access = ps.access;
+        p.baseWts = ps.baseWts;
+        p.hadBlock = ps.hadBlock;
+    }
+    storeByLine_.clear();
+    for (const auto &[line, id] : s.storeByLine)
+        storeByLine_[line] = id;
+    mshr_.clear();
+    for (const auto &m : s.mshr) {
+        mem::MshrEntry *e = mshr_.alloc(m.lineAddr);
+        GTSC_ASSERT(e, "verify restore exceeded MSHR capacity");
+        e->requestSent = m.requestSent;
+        e->outstanding = m.outstanding;
+        e->lockWait = m.lockWait;
+        e->requestWts = m.requestWts;
+        e->waiters = m.waiters;
+    }
+    replayQueue_.clear();
+    for (const mem::Access &a : s.replayQueue)
+        replayQueue_.push_back(a);
+}
+
+bool
+GtscL1::verifyEvictLine(Addr line_addr)
+{
+    if (storeByLine_.contains(line_addr))
+        return false;
+    mem::CacheBlock *blk = array_.lookup(line_addr);
+    if (!blk)
+        return false;
+    array_.invalidate(*blk);
+    return true;
+}
+
 bool
 GtscL1::access(const mem::Access &acc, Cycle now)
 {

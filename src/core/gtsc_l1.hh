@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "core/gtsc_state.hh"
 #include "core/ts_domain.hh"
 #include "mem/cache_array.hh"
 #include "mem/coherence_probe.hh"
@@ -74,6 +75,30 @@ class GtscL1 final : public mem::L1Controller
 
     /** Current timestamp of a warp (tests/diagnostics). */
     Ts warpTs(WarpId w) const { return warpTs_[w]; }
+
+    /**
+     * Snapshot the complete protocol-visible state (verification
+     * lab). Only meaningful at settled points: no event-queue
+     * callbacks of this controller may be pending (in-flight load
+     * completions hold state outside these structs).
+     */
+    L1VerifyState captureVerifyState();
+
+    /**
+     * Restore a captured snapshot. Requires that capacity evictions
+     * cannot occur for the restored line set (enough ways per set);
+     * LRU stamps are not part of the snapshot.
+     */
+    void restoreVerifyState(const L1VerifyState &s);
+
+    /**
+     * Force-drop a resident clean copy (model-checking action: L1 is
+     * write-through, so dropping a line is always legal). Refuses
+     * lines owned by an in-flight store — matching the evictable
+     * predicate the fill path uses. Returns true if a line was
+     * dropped.
+     */
+    bool verifyEvictLine(Addr line_addr);
 
   private:
     struct PendingStore

@@ -23,6 +23,12 @@ GtscL2::GtscL2(PartitionId part, const sim::Config &cfg,
     accessLatency_ = cfg.getUint("l2.access_latency", 20);
     mshrCapacity_ = cfg.getUint("l2.mshr_entries", 32);
     adaptiveLease_ = cfg.getBool("gtsc.adaptive_lease", false);
+    std::string mutation = cfg.getString("verify.mutation", "");
+    mutWriteIgnoresLease_ = mutation == "write_ignores_lease";
+    mutRenewMismatch_ = mutation == "renew_mismatched_wts";
+    if (!mutation.empty() && !mutWriteIgnoresLease_ &&
+        !mutRenewMismatch_)
+        GTSC_FATAL("unknown verify.mutation '", mutation, "'");
     maxLease_ = cfg.getUint("gtsc.max_lease", domain_.lease() * 32);
     if (maxLease_ > domain_.tsMax() / 4)
         maxLease_ = domain_.tsMax() / 4;
@@ -174,6 +180,8 @@ void
 GtscL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
 {
     bool is_renewal = (pkt.wts != 0 && pkt.wts == blk.meta.wts);
+    if (mutRenewMismatch_)
+        is_renewal = (pkt.wts != 0); // broken: renew stale copies too
 
     // Adaptive lease (Tardis-2.0-style prediction): blocks that keep
     // getting renewed without intervening stores earn exponentially
@@ -197,6 +205,9 @@ GtscL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
         domain_.triggerReset(now);
         normalizeEpoch(pkt);
         pkt.tsReset = true;
+        // The requester's wts is void in the new epoch: never a
+        // renewal (normalizeEpoch zeroed pkt.wts).
+        is_renewal = false;
         new_rts = std::max(blk.meta.rts, pkt.warpTs + lease);
     }
     if (trace_ && new_rts > blk.meta.rts) {
@@ -218,7 +229,7 @@ GtscL2::serveRead(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
     resp.tsReset = pkt.tsReset;
     resp.reqId = pkt.reqId;
 
-    if (pkt.wts != 0 && pkt.wts == blk.meta.wts) {
+    if (is_renewal) {
         // Data unchanged since the requester's copy: renew only.
         resp.type = mem::MsgType::BusRnw;
         resp.sizeBytes = gtscMessageBytes(mem::MsgType::BusRnw,
@@ -239,13 +250,22 @@ void
 GtscL2::serveWrite(mem::CacheBlock &blk, mem::Packet &pkt, Cycle now)
 {
     Ts prev_wts = blk.meta.wts;
-    Ts new_wts = std::max(blk.meta.rts + 1, pkt.warpTs);
+    // The paper's write rule: the new version is logically ordered
+    // after every outstanding lease (wts' = max(rts+1, warp_ts)).
+    // The write_ignores_lease mutation orders it only after the
+    // current version — the classic timestamp-protocol bug the
+    // verification lab must catch.
+    Ts write_floor =
+        mutWriteIgnoresLease_ ? blk.meta.wts + 1 : blk.meta.rts + 1;
+    Ts new_wts = std::max(write_floor, pkt.warpTs);
     Ts new_rts = new_wts + domain_.lease();
     if (new_rts > domain_.tsMax()) {
         domain_.triggerReset(now);
         normalizeEpoch(pkt);
         pkt.tsReset = true;
-        new_wts = std::max(blk.meta.rts + 1, pkt.warpTs);
+        write_floor = mutWriteIgnoresLease_ ? blk.meta.wts + 1
+                                            : blk.meta.rts + 1;
+        new_wts = std::max(write_floor, pkt.warpTs);
         new_rts = new_wts + domain_.lease();
     }
 
@@ -330,6 +350,54 @@ GtscL2::onDramFill(Addr line, const mem::LineData &data, Cycle now)
     misses_.erase(line);
     for (auto &w : waitersScratch_)
         serveHit(*victim, w, now);
+}
+
+L2VerifyState
+GtscL2::captureVerifyState()
+{
+    GTSC_ASSERT(quiescent(), "L2 verify capture while busy");
+    L2VerifyState s;
+    array_.forEachValid([this, &s](mem::CacheBlock &blk) {
+        VerifyLineState l;
+        l.lineAddr = blk.lineAddr;
+        l.dirty = blk.dirty;
+        l.meta = blk.meta;
+        l.data = array_.dataOf(blk);
+        s.lines.push_back(std::move(l));
+    });
+    std::sort(s.lines.begin(), s.lines.end(),
+              [](const VerifyLineState &a, const VerifyLineState &b) {
+                  return a.lineAddr < b.lineAddr;
+              });
+    s.memTs = memTs_;
+    return s;
+}
+
+void
+GtscL2::restoreVerifyState(const L2VerifyState &s)
+{
+    GTSC_ASSERT(quiescent(), "L2 verify restore while busy");
+    array_.invalidateAll();
+    for (const VerifyLineState &l : s.lines) {
+        mem::CacheBlock *blk = array_.victim(l.lineAddr);
+        GTSC_ASSERT(blk && !blk->valid,
+                    "verify restore must never capacity-evict");
+        array_.insert(*blk, l.lineAddr);
+        blk->dirty = l.dirty;
+        blk->meta = l.meta;
+        array_.dataOf(*blk) = l.data;
+    }
+    memTs_ = s.memTs;
+}
+
+bool
+GtscL2::verifyEvictLine(Addr line_addr)
+{
+    mem::CacheBlock *blk = array_.lookup(line_addr);
+    if (!blk)
+        return false;
+    evict(*blk);
+    return true;
 }
 
 void

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "core/gtsc_state.hh"
 #include "core/ts_domain.hh"
 #include "mem/cache_array.hh"
 #include "mem/coherence_probe.hh"
@@ -62,6 +63,24 @@ class GtscL2 final : public mem::L2Controller
     void attachTracer(obs::Tracer &tracer) override;
 
     Ts memTs() const { return memTs_; }
+
+    /**
+     * Snapshot the complete protocol-visible state (verification
+     * lab). Requires a fully settled controller: service queue and
+     * miss table empty (the harness delivers requests one at a time
+     * and drains them before snapshotting).
+     */
+    L2VerifyState captureVerifyState();
+
+    /** Restore a captured snapshot (see captureVerifyState). */
+    void restoreVerifyState(const L2VerifyState &s);
+
+    /**
+     * Force-evict a resident line (model-checking action): folds the
+     * lease into mem_ts and writes back if dirty, exactly like a
+     * capacity eviction. Returns true if a line was evicted.
+     */
+    bool verifyEvictLine(Addr line_addr);
 
   private:
     struct MissEntry
@@ -115,6 +134,19 @@ class GtscL2 final : public mem::L2Controller
     /** Adaptive lease prediction (gtsc.adaptive_lease). */
     bool adaptiveLease_;
     Ts maxLease_;
+
+    /**
+     * Test-only FSM mutations (verify.mutation) the verification lab
+     * uses to prove it catches protocol bugs:
+     *  - "write_ignores_lease": writes are ordered after the current
+     *    version instead of after every outstanding lease
+     *    (wts' = max(wts+1, warp_ts)), breaking write serialization;
+     *  - "renew_mismatched_wts": renewal requests are granted without
+     *    the wts match, extending leases on stale copies.
+     * Empty (the default) is the faithful protocol.
+     */
+    bool mutWriteIgnoresLease_ = false;
+    bool mutRenewMismatch_ = false;
 
     std::uint64_t *accesses_;
     std::uint64_t *hits_;

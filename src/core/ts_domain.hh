@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/gtsc_state.hh"
 #include "sim/config.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
@@ -94,6 +95,31 @@ class TsDomain
         resetCycles_.push_back(now);
         for (auto &fn : listeners_)
             fn();
+    }
+
+    /**
+     * Snapshot the domain (verification lab). At a settled snapshot
+     * every recorded reset is in the past, so the epoch alone fully
+     * describes the domain's future behaviour.
+     */
+    TsDomainVerifyState
+    captureVerifyState() const
+    {
+        return TsDomainVerifyState{epoch_};
+    }
+
+    /**
+     * Restore a snapshot. Discards the recorded reset cycles:
+     * epochAt(c) then returns the restored epoch for every c, which
+     * is exactly the settled snapshot's behaviour (all resets were
+     * already visible). Listeners are NOT fired — the caller
+     * restores every component's state explicitly.
+     */
+    void
+    restoreVerifyState(const TsDomainVerifyState &s)
+    {
+        epoch_ = s.epoch;
+        resetCycles_.clear();
     }
 
   private:

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The invariant library shared by both verification engines.
+ *
+ * State invariants are checked on every settled snapshot the
+ * explorer visits; transition invariants compare consecutive
+ * snapshots. Each check maps to a lemma of the Tardis correctness
+ * argument (Yu et al., "Tardis: Time Traveling Coherence Algorithm
+ * for Distributed Shared Memory" and the accompanying proof) adapted
+ * to G-TSC's GPU setting — docs/VERIFICATION.md spells out the
+ * mapping and how to add new checks.
+ *
+ * Violation messages are prefixed with the invariant name
+ * ("Name: detail"), which tools/check_verify.py and the tests key on.
+ */
+
+#ifndef GTSC_VERIFY_INVARIANTS_HH_
+#define GTSC_VERIFY_INVARIANTS_HH_
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "verify/state.hh"
+
+namespace gtsc::verify
+{
+
+struct InvariantParams
+{
+    Ts tsMax = 0;
+    Ts lease = 0;
+};
+
+/**
+ * Single-state invariants:
+ *  - WtsRtsOrder: wts <= rts on every cached line (a version's lease
+ *    cannot end before the version exists).
+ *  - TsBound: every wts/rts/mem_ts/warp_ts fits the timestamp width
+ *    (overflow must trigger a reset, never wrap).
+ *  - L1LineEpoch: resident L1 lines carry exactly the L1's adopted
+ *    epoch (lazy reset adoption flushes before mixing epochs).
+ *  - L1L2Containment (lease containment): an up-to-date L1's copy is
+ *    never newer than the L2's (l1.wts <= l2.wts); same version =>
+ *    its lease is contained (l1.rts <= l2.rts); older version => its
+ *    lease ends by the time the newer version was created
+ *    (l1.rts <= l2.wts — equality only for the identical-data
+ *    DRAM-refill case).
+ *  - MemTsDominance: if the L2 evicted the line, every surviving L1
+ *    lease was folded into mem_ts (l1.rts <= mem_ts).
+ *  - SameVersionSameData: equal (line, wts) in the same epoch =>
+ *    identical data everywhere (exclusive-ownership analogue for a
+ *    timestamped write-through hierarchy); lines with an in-flight
+ *    store are exempt (locally merged words precede the ack).
+ *  - StoreLockConsistency: the in-flight-store index and table agree
+ *    (at most one store owns a line, every lock has its store).
+ *  - MshrLive: a non-lock MSHR entry still expects a response
+ *    (outstanding >= 1) — an orphaned entry is a lost message and a
+ *    future deadlock.
+ */
+std::vector<std::string> checkStateInvariants(const WorldState &w,
+                                              const InvariantParams &p);
+
+/**
+ * Two-state invariants over one transition:
+ *  - EpochMonotone: the domain epoch never rewinds.
+ *  - MemTsMonotone / L2WtsMonotone / WarpTsMonotone: within an
+ *    epoch, logical time only moves forward (physiological time,
+ *    Tardis Lemma 1).
+ */
+std::vector<std::string>
+checkTransitionInvariants(const WorldState &before,
+                          const WorldState &after);
+
+} // namespace gtsc::verify
+
+#endif // GTSC_VERIFY_INVARIANTS_HH_

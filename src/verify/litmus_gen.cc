@@ -1,0 +1,506 @@
+#include "verify/litmus_gen.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "harness/runner.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+#include "verify/shrink.hh"
+
+namespace gtsc::verify
+{
+
+using workloads::LitmusSpec;
+using Op = LitmusSpec::Op;
+using Term = LitmusSpec::Term;
+
+namespace
+{
+
+Op
+store(std::uint8_t loc, std::uint32_t val)
+{
+    Op op;
+    op.kind = Op::Kind::Store;
+    op.loc = loc;
+    op.value = val;
+    return op;
+}
+
+Op
+load(std::uint8_t loc, std::uint8_t reg)
+{
+    Op op;
+    op.kind = Op::Kind::Load;
+    op.loc = loc;
+    op.reg = reg;
+    return op;
+}
+
+Op
+fence()
+{
+    Op op;
+    op.kind = Op::Kind::Fence;
+    return op;
+}
+
+Op
+delay(std::uint16_t cycles)
+{
+    Op op;
+    op.kind = Op::Kind::Delay;
+    op.cycles = cycles;
+    return op;
+}
+
+/** `n` distinct locations. Small line/word ranges keep contention
+ *  high; same-line different-word pairs exercise false sharing. */
+std::vector<LitmusSpec::Loc>
+pickLocs(sim::Rng &rng, unsigned n)
+{
+    std::set<std::pair<std::uint8_t, std::uint8_t>> used;
+    std::vector<LitmusSpec::Loc> locs;
+    while (locs.size() < n)
+    {
+        auto line = static_cast<std::uint8_t>(rng.below(2));
+        auto word = static_cast<std::uint8_t>(rng.below(4));
+        if (used.emplace(line, word).second)
+            locs.push_back(LitmusSpec::Loc{line, word});
+    }
+    return locs;
+}
+
+/** Randomly jitter thread timing with Delay ops (never changes the
+ *  outcome oracle, only which interleavings the run lands on). */
+void
+sprinkleDelays(sim::Rng &rng, std::vector<std::vector<Op>> &threads)
+{
+    for (auto &ops : threads)
+    {
+        std::vector<Op> out;
+        for (const Op &op : ops)
+        {
+            if (rng.chance(0.3))
+                out.push_back(delay(static_cast<std::uint16_t>(
+                    1 + rng.below(30))));
+            out.push_back(op);
+        }
+        ops = std::move(out);
+    }
+}
+
+Term
+term(std::uint8_t thread, std::uint8_t reg, std::uint32_t value)
+{
+    return Term{thread, reg, value};
+}
+
+LitmusSpec
+makeRandmix(sim::Rng &rng)
+{
+    LitmusSpec spec;
+    const unsigned threads = 2 + static_cast<unsigned>(rng.below(2));
+    spec.locs = pickLocs(rng, 2);
+    std::uint32_t nextVal = 1;
+    bool anyLoad = false;
+    for (unsigned t = 0; t < threads; ++t)
+    {
+        std::vector<Op> ops;
+        std::uint8_t nextReg = 0;
+        const unsigned n = 2 + static_cast<unsigned>(rng.below(2));
+        for (unsigned i = 0; i < n; ++i)
+        {
+            auto loc = static_cast<std::uint8_t>(rng.below(2));
+            if (rng.chance(0.5) && nextReg < workloads::kLitmusMaxRegs)
+            {
+                ops.push_back(load(loc, nextReg++));
+                anyLoad = true;
+            }
+            else
+            {
+                ops.push_back(store(loc, nextVal++));
+            }
+            // Fully fenced: program order holds under RC too, so the
+            // SC interleaving enumeration is the complete outcome set.
+            ops.push_back(fence());
+        }
+        spec.threads.push_back(std::move(ops));
+    }
+    if (!anyLoad)
+    {
+        spec.threads[0].push_back(load(0, 0));
+        spec.threads[0].push_back(fence());
+    }
+    spec.forbid = scForbiddenClauses(spec);
+    return spec;
+}
+
+/** Last load into each (thread, reg), program order. */
+std::vector<std::tuple<std::uint8_t, std::uint8_t, std::uint8_t>>
+loadedRegs(const LitmusSpec &spec)
+{
+    std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint8_t> last;
+    for (std::size_t t = 0; t < spec.threads.size(); ++t)
+    {
+        for (const Op &op : spec.threads[t])
+        {
+            if (op.kind == Op::Kind::Load)
+                last[{static_cast<std::uint8_t>(t), op.reg}] = op.loc;
+        }
+    }
+    std::vector<std::tuple<std::uint8_t, std::uint8_t, std::uint8_t>>
+        out;
+    for (const auto &[key, loc] : last)
+        out.emplace_back(key.first, key.second, loc);
+    return out;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+litmusShapes()
+{
+    static const std::vector<std::string> kShapes = {
+        "mp", "sb", "lb", "corr", "coww", "iriw", "randmix"};
+    return kShapes;
+}
+
+LitmusSpec
+makeLitmusSpec(const std::string &shape, std::uint64_t seed)
+{
+    sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    LitmusSpec spec;
+    const auto a = static_cast<std::uint32_t>(1 + rng.below(9));
+    const auto b = static_cast<std::uint32_t>(a + 1 + rng.below(9));
+
+    if (shape == "mp")
+    {
+        // data = a, then flag = b; reader sees the flag => the data.
+        spec.locs = pickLocs(rng, 2);
+        spec.threads = {{store(0, a), fence(), store(1, b)},
+                        {load(1, 0), fence(), load(0, 1)}};
+        spec.forbid = {{term(1, 0, b), term(1, 1, 0)}};
+    }
+    else if (shape == "sb")
+    {
+        // Dekker: both stores buffered past the opposite load.
+        spec.locs = pickLocs(rng, 2);
+        spec.threads = {{store(0, a), fence(), load(1, 0)},
+                        {store(1, b), fence(), load(0, 0)}};
+        spec.forbid = {{term(0, 0, 0), term(1, 0, 0)}};
+    }
+    else if (shape == "lb")
+    {
+        // Values out of thin air: each load sees the other's store.
+        spec.locs = pickLocs(rng, 2);
+        spec.threads = {{load(0, 0), fence(), store(1, b)},
+                        {load(1, 0), fence(), store(0, a)}};
+        spec.forbid = {{term(0, 0, a), term(1, 0, b)}};
+    }
+    else if (shape == "corr")
+    {
+        // Read-read coherence: no fences — the protocol alone must
+        // keep same-location reads from going back in time.
+        spec.locs = pickLocs(rng, 1);
+        spec.threads = {{store(0, a)}, {load(0, 0), load(0, 1)}};
+        spec.forbid = {{term(1, 0, a), term(1, 1, 0)}};
+    }
+    else if (shape == "coww")
+    {
+        // Write serialization: nobody observes a, b as b-then-a.
+        spec.locs = pickLocs(rng, 1);
+        spec.threads = {{store(0, a), store(0, b)},
+                        {load(0, 0), load(0, 1)}};
+        spec.forbid = {{term(1, 0, b), term(1, 1, a)}};
+    }
+    else if (shape == "iriw")
+    {
+        // Independent reads of independent writes: the two readers
+        // must agree on the write order. Needs store atomicity on
+        // top of program order, so it runs under SC only.
+        spec.scOnly = true;
+        spec.locs = pickLocs(rng, 2);
+        spec.threads = {{store(0, a)},
+                        {store(1, b)},
+                        {load(0, 0), load(1, 1)},
+                        {load(1, 0), load(0, 1)}};
+        spec.forbid = {{term(2, 0, a), term(2, 1, 0), term(3, 0, b),
+                        term(3, 1, 0)}};
+    }
+    else if (shape == "randmix")
+    {
+        spec = makeRandmix(rng);
+    }
+    else
+    {
+        GTSC_FATAL("unknown litmus shape '", shape, "'");
+    }
+
+    sprinkleDelays(rng, spec.threads);
+    spec.shape = shape;
+    spec.seed = seed;
+    return spec;
+}
+
+std::vector<std::vector<std::uint32_t>>
+enumerateScOutcomes(const LitmusSpec &spec)
+{
+    const auto regs = loadedRegs(spec);
+    const std::size_t nThreads = spec.threads.size();
+
+    // Interleaving DFS with memoized (pcs, mem, regs) states: the
+    // state space is tiny (pc product x few values) even when the
+    // raw interleaving count is not.
+    struct State
+    {
+        std::vector<std::size_t> pc;
+        std::map<std::uint8_t, std::uint32_t> mem;
+        std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint32_t>
+            reg;
+    };
+    auto encode = [](const State &s) {
+        std::ostringstream oss;
+        for (auto p : s.pc)
+            oss << p << ",";
+        oss << ";";
+        for (const auto &[l, v] : s.mem)
+            oss << int(l) << "=" << v << ",";
+        oss << ";";
+        for (const auto &[k, v] : s.reg)
+            oss << int(k.first) << "." << int(k.second) << "=" << v
+                << ",";
+        return std::move(oss).str();
+    };
+
+    std::set<std::string> visited;
+    std::set<std::vector<std::uint32_t>> outcomes;
+    std::vector<State> work;
+    work.push_back(State{std::vector<std::size_t>(nThreads, 0), {}, {}});
+    visited.insert(encode(work.back()));
+
+    while (!work.empty())
+    {
+        State s = std::move(work.back());
+        work.pop_back();
+        bool done = true;
+        for (std::size_t t = 0; t < nThreads; ++t)
+        {
+            if (s.pc[t] >= spec.threads[t].size())
+                continue;
+            done = false;
+            State n = s;
+            const Op &op = spec.threads[t][n.pc[t]++];
+            if (op.kind == Op::Kind::Store)
+            {
+                n.mem[op.loc] = op.value;
+            }
+            else if (op.kind == Op::Kind::Load)
+            {
+                auto it = n.mem.find(op.loc);
+                n.reg[{static_cast<std::uint8_t>(t), op.reg}] =
+                    it == n.mem.end() ? 0 : it->second;
+            }
+            if (visited.insert(encode(n)).second)
+                work.push_back(std::move(n));
+        }
+        if (done)
+        {
+            std::vector<std::uint32_t> outcome;
+            for (const auto &[t, r, loc] : regs)
+            {
+                (void)loc;
+                auto it = s.reg.find({t, r});
+                outcome.push_back(it == s.reg.end() ? 0 : it->second);
+            }
+            outcomes.insert(std::move(outcome));
+        }
+    }
+    return {outcomes.begin(), outcomes.end()};
+}
+
+std::vector<std::vector<Term>>
+scForbiddenClauses(const LitmusSpec &spec, std::size_t maxClauses)
+{
+    const auto regs = loadedRegs(spec);
+    if (regs.empty())
+        return {};
+
+    // Value domain of each loaded register: initial 0 plus every
+    // value some thread stores to that register's location.
+    std::vector<std::vector<std::uint32_t>> domains;
+    for (const auto &[t, r, loc] : regs)
+    {
+        (void)t;
+        (void)r;
+        std::set<std::uint32_t> dom = {0};
+        for (const auto &ops : spec.threads)
+            for (const Op &op : ops)
+                if (op.kind == Op::Kind::Store && op.loc == loc)
+                    dom.insert(op.value);
+        domains.emplace_back(dom.begin(), dom.end());
+    }
+
+    std::set<std::vector<std::uint32_t>> reachable;
+    for (auto &o : enumerateScOutcomes(spec))
+        reachable.insert(std::move(o));
+
+    std::vector<std::vector<Term>> clauses;
+    std::vector<std::size_t> idx(regs.size(), 0);
+    while (true)
+    {
+        std::vector<std::uint32_t> outcome;
+        for (std::size_t i = 0; i < regs.size(); ++i)
+            outcome.push_back(domains[i][idx[i]]);
+        if (!reachable.count(outcome))
+        {
+            std::vector<Term> clause;
+            for (std::size_t i = 0; i < regs.size(); ++i)
+                clause.push_back(term(std::get<0>(regs[i]),
+                                      std::get<1>(regs[i]),
+                                      outcome[i]));
+            clauses.push_back(std::move(clause));
+            if (clauses.size() >= maxClauses)
+                break;
+        }
+        std::size_t i = 0;
+        for (; i < idx.size(); ++i)
+        {
+            if (++idx[i] < domains[i].size())
+                break;
+            idx[i] = 0;
+        }
+        if (i == idx.size())
+            break;
+    }
+    return clauses;
+}
+
+std::vector<std::pair<std::string, std::string>>
+litmusMatrix(const LitmusSpec &spec)
+{
+    static const char *kProtocols[] = {"gtsc", "tc", "nol1"};
+    std::vector<std::pair<std::string, std::string>> cells;
+    for (const char *p : kProtocols)
+    {
+        cells.emplace_back(p, "sc");
+        if (!spec.scOnly)
+            cells.emplace_back(p, "rc");
+    }
+    return cells;
+}
+
+bool
+runLitmusCell(const sim::Config &base, const LitmusSpec &spec,
+              const std::string &protocol,
+              const std::string &consistency)
+{
+    sim::Config cfg = base;
+    cfg.set("verify.litmus_spec", spec.format());
+    cfg.setInt("gpu.num_sms",
+               std::max<std::int64_t>(
+                   static_cast<std::int64_t>(spec.threads.size()), 2));
+    cfg.setInt("gpu.warps_per_sm", 1);
+    auto r = harness::runOne(cfg, protocol, consistency, "litmusgen");
+    return r.verified && r.checkerViolations == 0;
+}
+
+LitmusSpec
+shrinkLitmus(const sim::Config &base, const LitmusSpec &spec,
+             const std::string &protocol,
+             const std::string &consistency)
+{
+    // Flattened (thread, op index) list; threads themselves survive
+    // (an empty thread still runs and writes nothing).
+    std::vector<std::pair<std::size_t, std::size_t>> all;
+    for (std::size_t t = 0; t < spec.threads.size(); ++t)
+        for (std::size_t i = 0; i < spec.threads[t].size(); ++i)
+            all.emplace_back(t, i);
+
+    auto build = [&](const std::vector<std::pair<std::size_t,
+                                                 std::size_t>> &keep) {
+        LitmusSpec out = spec;
+        std::set<std::pair<std::size_t, std::size_t>> kept(
+            keep.begin(), keep.end());
+        for (std::size_t t = 0; t < out.threads.size(); ++t)
+        {
+            std::vector<Op> ops;
+            for (std::size_t i = 0; i < spec.threads[t].size(); ++i)
+                if (kept.count({t, i}))
+                    ops.push_back(spec.threads[t][i]);
+            out.threads[t] = std::move(ops);
+        }
+        // Clauses naming a register whose load was removed can never
+        // fire (the slot keeps its sentinel): drop them.
+        std::set<std::pair<std::uint8_t, std::uint8_t>> stillLoaded;
+        for (const auto &[t, r, loc] : loadedRegs(out))
+        {
+            (void)loc;
+            stillLoaded.emplace(t, r);
+        }
+        std::vector<std::vector<Term>> forbid;
+        for (const auto &clause : out.forbid)
+        {
+            bool live = true;
+            for (const Term &tm : clause)
+                live &= stillLoaded.count({tm.thread, tm.reg}) > 0;
+            if (live)
+                forbid.push_back(clause);
+        }
+        out.forbid = std::move(forbid);
+        return out;
+    };
+
+    auto minimal = ddmin(
+        std::move(all),
+        [&](const std::vector<std::pair<std::size_t, std::size_t>> &c) {
+            return !runLitmusCell(base, build(c), protocol,
+                                  consistency);
+        });
+    return build(minimal);
+}
+
+LitmusBatchResult
+runLitmusBatch(const sim::Config &base, std::uint64_t seed,
+               unsigned count)
+{
+    LitmusBatchResult result;
+    const auto &shapes = litmusShapes();
+    for (unsigned i = 0; i < count; ++i)
+    {
+        const std::string &shape = shapes[i % shapes.size()];
+        const std::uint64_t testSeed = seed + i;
+        LitmusSpec spec = makeLitmusSpec(shape, testSeed);
+        ++result.tests;
+        for (const auto &[protocol, consistency] : litmusMatrix(spec))
+        {
+            ++result.runs;
+            if (runLitmusCell(base, spec, protocol, consistency))
+                continue;
+            LitmusFailure f;
+            f.protocol = protocol;
+            f.consistency = consistency;
+            f.seed = testSeed;
+            f.spec = shrinkLitmus(base, spec, protocol, consistency);
+            std::ostringstream oss;
+            oss << "=== litmus failure ===\n"
+                << "shape=" << shape << " seed=" << testSeed
+                << " cell=" << protocol << "/" << consistency << "\n"
+                << "original: " << spec.format() << "\n"
+                << "shrunk:   " << f.spec.format() << "\n"
+                << "replay: gtsc_verify --litmus-replay '"
+                << f.spec.format() << "' protocol=" << protocol
+                << " gpu.consistency=" << consistency << "\n";
+            f.report = std::move(oss).str();
+            result.failures.push_back(std::move(f));
+        }
+    }
+    return result;
+}
+
+} // namespace gtsc::verify

@@ -1,0 +1,101 @@
+#include "verify/oracle.hh"
+
+#include <sstream>
+
+namespace gtsc::verify
+{
+
+namespace
+{
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream oss;
+    oss << "0x" << std::hex << a;
+    return oss.str();
+}
+
+} // namespace
+
+void
+VersionOracle::onStoreTs(Addr word_addr, std::uint32_t epoch, Ts wts,
+                         std::uint32_t value, SmId sm, WarpId warp)
+{
+    (void)warp;
+    auto &hist = state_.words[word_addr];
+    if (!hist.empty() && hist.back().epoch == epoch &&
+        wts <= hist.back().wts)
+    {
+        std::ostringstream oss;
+        oss << "StoreWtsMonotone: store by sm" << sm << " at word "
+            << hex(word_addr) << " epoch " << epoch << " wts " << wts
+            << " value " << value << " not after previous version wts "
+            << hist.back().wts << " value " << hist.back().value;
+        violations_.push_back(oss.str());
+    }
+    hist.push_back(Version{epoch, wts, value});
+}
+
+void
+VersionOracle::onLoadTs(Addr word_addr, std::uint32_t epoch, Ts ts,
+                        std::uint32_t value, SmId sm, WarpId warp)
+{
+    (void)warp;
+    // A load from an epoch older than the oracle's is a completion
+    // that raced a reset inside the same settle window; its history
+    // was collapsed, so it cannot be validated here. (The pre-reset
+    // history already validated everything visible at that time.)
+    if (epoch < state_.epoch)
+        return;
+
+    auto it = state_.words.find(word_addr);
+    if (it == state_.words.end() || it->second.empty())
+    {
+        // Never stored: the load must see the initial value the
+        // model wrote to backing memory, which the oracle does not
+        // track — nothing to check.
+        return;
+    }
+    const auto &hist = it->second;
+    // The version in force at logical time ts: the last one with
+    // wts <= ts. Everything before the first version is the initial
+    // memory value, which the oracle does not track.
+    const Version *current = nullptr;
+    for (const Version &v : hist)
+    {
+        if (v.epoch == epoch && v.wts <= ts)
+            current = &v;
+        if (v.epoch == epoch && v.wts > ts)
+            break;
+    }
+    if (!current)
+        return; // load logically before the first tracked store
+    if (value != current->value)
+    {
+        std::ostringstream oss;
+        oss << "LoadSerializability: load by sm" << sm << " at word "
+            << hex(word_addr) << " epoch " << epoch << " ts " << ts
+            << " observed " << value << " but version wts "
+            << current->wts << " holds " << current->value;
+        violations_.push_back(oss.str());
+    }
+}
+
+void
+VersionOracle::onEpochReset(std::uint32_t new_epoch)
+{
+    state_.epoch = new_epoch;
+    for (auto &[addr, hist] : state_.words)
+    {
+        if (hist.empty())
+            continue;
+        Version last = hist.back();
+        hist.clear();
+        // The surviving value re-enters the new epoch as the base
+        // version: L2 rewinds the line to wts=1 keeping its data.
+        hist.push_back(Version{new_epoch, 0, last.value});
+    }
+}
+
+} // namespace gtsc::verify

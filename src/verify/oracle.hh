@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Value-serializability oracle for the verification lab.
+ *
+ * A snapshottable mem::CoherenceProbe that keeps, per word, the full
+ * ordered version history {epoch, wts, value} of committed stores and
+ * eagerly validates every G-TSC load against it: a load at logical
+ * time ts must observe the value of the version with the largest
+ * wts <= ts in its epoch (the Tardis serializability argument,
+ * Lemma 2 of the proof paper — see docs/VERIFICATION.md). Store
+ * commits are checked for per-word wts monotonicity (physiological
+ * time only moves forward, Lemma 1).
+ *
+ * Unlike harness::CoherenceChecker this oracle's whole state is a
+ * value type, so the model checker can capture/restore it alongside
+ * the controller snapshots when exploring interleavings.
+ */
+
+#ifndef GTSC_VERIFY_ORACLE_HH_
+#define GTSC_VERIFY_ORACLE_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/coherence_probe.hh"
+#include "sim/types.hh"
+
+namespace gtsc::verify
+{
+
+class VersionOracle final : public mem::CoherenceProbe
+{
+  public:
+    struct Version
+    {
+        std::uint32_t epoch = 0;
+        Ts wts = 0;
+        std::uint32_t value = 0;
+
+        bool
+        operator==(const Version &o) const
+        {
+            return epoch == o.epoch && wts == o.wts && value == o.value;
+        }
+    };
+
+    /** Whole-oracle snapshot (a value: copyable, comparable). */
+    struct State
+    {
+        std::uint32_t epoch = 0;
+        /** Per-word append-ordered version history. */
+        std::map<Addr, std::vector<Version>> words;
+
+        bool
+        operator==(const State &o) const
+        {
+            return epoch == o.epoch && words == o.words;
+        }
+    };
+
+    // --- CoherenceProbe ---
+    void onStoreTs(Addr word_addr, std::uint32_t epoch, Ts wts,
+                   std::uint32_t value, SmId sm, WarpId warp) override;
+    void onLoadTs(Addr word_addr, std::uint32_t epoch, Ts ts,
+                  std::uint32_t value, SmId sm, WarpId warp) override;
+
+    /** Physical-time hooks unused: the lab checks G-TSC only. */
+    void
+    onStorePhys(Addr, Cycle, std::uint32_t, SmId, WarpId) override
+    {}
+    void
+    onLoadPhys(Addr, Cycle, Cycle, std::uint32_t, SmId, WarpId) override
+    {}
+
+    /**
+     * Timestamp reset: all old-epoch versions become unreachable
+     * (every L1 flushes, L2 rewinds to wts=1 keeping its data), so
+     * the history collapses to one version per word — the final
+     * pre-reset value at {new_epoch, wts=0}.
+     */
+    void onEpochReset(std::uint32_t new_epoch) override;
+
+    State capture() const { return state_; }
+    void restore(const State &s) { state_ = s; }
+
+    /** Violations recorded since the last drain (messages). */
+    std::vector<std::string>
+    drainViolations()
+    {
+        std::vector<std::string> out;
+        out.swap(violations_);
+        return out;
+    }
+
+    bool hasViolations() const { return !violations_.empty(); }
+
+  private:
+    State state_;
+    std::vector<std::string> violations_;
+};
+
+} // namespace gtsc::verify
+
+#endif // GTSC_VERIFY_ORACLE_HH_

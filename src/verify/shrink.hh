@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Generic delta-debugging minimization (Zeller's ddmin), shared by
+ * the explorer's witness minimizer and the litmus shrinker.
+ *
+ * Given a failing sequence and a predicate that re-runs a candidate
+ * subsequence, returns a 1-minimal subsequence: removing any single
+ * remaining chunk at the finest granularity no longer fails. The
+ * predicate must be deterministic (replay from a seed/snapshot).
+ */
+
+#ifndef GTSC_VERIFY_SHRINK_HH_
+#define GTSC_VERIFY_SHRINK_HH_
+
+#include <cstddef>
+#include <vector>
+
+namespace gtsc::verify
+{
+
+/**
+ * @param input a sequence for which fails(input) is true
+ * @param fails re-runs a candidate; true = still reproduces
+ * @return a minimal subsequence (original order) that still fails
+ */
+template <typename T, typename FailsFn>
+std::vector<T>
+ddmin(std::vector<T> input, FailsFn &&fails)
+{
+    std::size_t granularity = 2;
+    while (input.size() >= 2)
+    {
+        std::size_t chunk = (input.size() + granularity - 1) / granularity;
+        bool reduced = false;
+        // Try removing each chunk (complement test only: testing the
+        // chunks themselves rarely helps for ordered event traces).
+        for (std::size_t start = 0; start < input.size(); start += chunk)
+        {
+            std::vector<T> candidate;
+            candidate.reserve(input.size());
+            for (std::size_t i = 0; i < input.size(); ++i)
+            {
+                if (i < start || i >= start + chunk)
+                    candidate.push_back(input[i]);
+            }
+            if (candidate.size() < input.size() && fails(candidate))
+            {
+                input = std::move(candidate);
+                granularity = granularity > 2 ? granularity - 1 : 2;
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced)
+        {
+            if (granularity >= input.size())
+                break; // 1-minimal
+            granularity = granularity * 2 < input.size()
+                              ? granularity * 2
+                              : input.size();
+        }
+    }
+    return input;
+}
+
+} // namespace gtsc::verify
+
+#endif // GTSC_VERIFY_SHRINK_HH_

@@ -1,0 +1,300 @@
+#include "verify/state.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace gtsc::verify
+{
+
+std::string
+Action::describe() const
+{
+    std::ostringstream oss;
+    switch (kind)
+    {
+    case Kind::IssueLoad:
+        oss << "sm" << sm << ": load line" << line;
+        break;
+    case Kind::IssueStore:
+        oss << "sm" << sm << ": store line" << line;
+        break;
+    case Kind::DeliverReq:
+        oss << "deliver request of sm" << sm;
+        break;
+    case Kind::DeliverResp:
+        oss << "deliver response to sm" << sm;
+        break;
+    case Kind::EvictL1:
+        oss << "sm" << sm << ": evict L1 line" << line;
+        break;
+    case Kind::EvictL2:
+        oss << "evict L2 line" << line;
+        break;
+    case Kind::Boost:
+        oss << "sm" << sm << ": spin ts boost";
+        break;
+    }
+    return oss.str();
+}
+
+namespace
+{
+
+/** Byte-appending serializer. */
+struct Sink
+{
+    std::string out;
+
+    void
+    u8(std::uint8_t v)
+    {
+        out.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+};
+
+/**
+ * Order-preserving dense renumbering of request ids. Relative id
+ * order is behaviour (ack matching, replay sequencing); absolute
+ * values are history.
+ */
+struct IdMap
+{
+    std::map<std::uint64_t, std::uint64_t> map;
+
+    void
+    note(std::uint64_t id)
+    {
+        if (id)
+            map.emplace(id, 0);
+    }
+
+    void
+    seal()
+    {
+        std::uint64_t next = 1;
+        for (auto &[id, dense] : map)
+            dense = next++;
+    }
+
+    std::uint64_t
+    operator[](std::uint64_t id) const
+    {
+        if (!id)
+            return 0;
+        auto it = map.find(id);
+        return it == map.end() ? id : it->second;
+    }
+};
+
+void
+putLine(Sink &s, const core::VerifyLineState &l)
+{
+    s.u64(l.lineAddr);
+    s.u8(l.dirty ? 1 : 0);
+    s.u64(l.meta.wts);
+    s.u64(l.meta.rts);
+    s.u32(l.meta.epoch);
+    s.u8(l.meta.renewStreak);
+    for (unsigned w = 0; w < mem::kWordsPerLine; ++w)
+        s.u32(l.data.word(w));
+}
+
+void
+putAccess(Sink &s, const mem::Access &a, const IdMap &ids)
+{
+    s.u8(a.isStore ? 1 : 0);
+    s.u64(a.lineAddr);
+    s.u32(a.wordMask);
+    for (unsigned w = 0; w < mem::kWordsPerLine; ++w)
+    {
+        if (a.wordMask & (1u << w))
+            s.u32(a.storeData.word(w));
+    }
+    s.u32(a.sm);
+    s.u32(a.warp);
+    s.u64(ids[a.id]);
+    s.u8(a.replayed ? 1 : 0);
+}
+
+void
+putPacket(Sink &s, const mem::Packet &p, const IdMap &ids)
+{
+    s.u8(static_cast<std::uint8_t>(p.type));
+    s.u64(p.lineAddr);
+    s.u32(p.src);
+    s.u32(p.part);
+    s.u32(p.warp);
+    s.u64(p.wts);
+    s.u64(p.rts);
+    s.u64(p.warpTs);
+    s.u64(p.prevWts);
+    s.u32(p.epoch);
+    s.u8(p.tsReset ? 1 : 0);
+    s.u32(p.wordMask);
+    if (mem::carriesData(p.type))
+    {
+        for (unsigned w = 0; w < mem::kWordsPerLine; ++w)
+            s.u32(p.data.word(w));
+    }
+    s.u64(ids[p.reqId]);
+}
+
+/** Stable sort of held messages by source SM (see file comment). */
+std::vector<const mem::Packet *>
+canonicalOrder(const std::vector<mem::Packet> &pkts)
+{
+    std::vector<const mem::Packet *> order;
+    order.reserve(pkts.size());
+    for (const auto &p : pkts)
+        order.push_back(&p);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const mem::Packet *a, const mem::Packet *b) {
+                         return a->src < b->src;
+                     });
+    return order;
+}
+
+} // namespace
+
+std::string
+canonicalKey(const WorldState &w)
+{
+    IdMap ids;
+    for (const auto &l1 : w.l1)
+    {
+        for (const auto &ps : l1.pendingStores)
+        {
+            ids.note(ps.id);
+            ids.note(ps.access.id);
+        }
+        for (const auto &[line, id] : l1.storeByLine)
+            ids.note(id);
+        for (const auto &m : l1.mshr)
+            for (const auto &a : m.waiters)
+                ids.note(a.id);
+        for (const auto &a : l1.replayQueue)
+            ids.note(a.id);
+    }
+    for (const auto &p : w.reqs)
+        ids.note(p.reqId);
+    for (const auto &p : w.resps)
+        ids.note(p.reqId);
+    ids.seal();
+
+    Sink s;
+    s.u32(static_cast<std::uint32_t>(w.l1.size()));
+    for (const auto &l1 : w.l1)
+    {
+        s.u32(static_cast<std::uint32_t>(l1.lines.size()));
+        for (const auto &l : l1.lines)
+            putLine(s, l);
+        s.u32(static_cast<std::uint32_t>(l1.warpTs.size()));
+        for (Ts t : l1.warpTs)
+            s.u64(t);
+        s.u32(l1.epoch);
+        s.u32(static_cast<std::uint32_t>(l1.pendingStores.size()));
+        for (const auto &ps : l1.pendingStores)
+        {
+            s.u64(ids[ps.id]);
+            putAccess(s, ps.access, ids);
+            s.u64(ps.baseWts);
+            s.u8(ps.hadBlock ? 1 : 0);
+        }
+        s.u32(static_cast<std::uint32_t>(l1.storeByLine.size()));
+        for (const auto &[line, id] : l1.storeByLine)
+        {
+            s.u64(line);
+            s.u64(ids[id]);
+        }
+        s.u32(static_cast<std::uint32_t>(l1.mshr.size()));
+        for (const auto &m : l1.mshr)
+        {
+            s.u64(m.lineAddr);
+            s.u8(m.requestSent ? 1 : 0);
+            s.u32(m.outstanding);
+            s.u8(m.lockWait ? 1 : 0);
+            s.u64(m.requestWts);
+            s.u32(static_cast<std::uint32_t>(m.waiters.size()));
+            for (const auto &a : m.waiters)
+                putAccess(s, a, ids);
+        }
+        s.u32(static_cast<std::uint32_t>(l1.replayQueue.size()));
+        for (const auto &a : l1.replayQueue)
+            putAccess(s, a, ids);
+    }
+
+    s.u32(static_cast<std::uint32_t>(w.l2.lines.size()));
+    for (const auto &l : w.l2.lines)
+        putLine(s, l);
+    s.u64(w.l2.memTs);
+    s.u32(w.domain.epoch);
+
+    s.u32(static_cast<std::uint32_t>(w.reqs.size()));
+    for (const mem::Packet *p : canonicalOrder(w.reqs))
+        putPacket(s, *p, ids);
+    s.u32(static_cast<std::uint32_t>(w.resps.size()));
+    for (const mem::Packet *p : canonicalOrder(w.resps))
+        putPacket(s, *p, ids);
+
+    s.u32(static_cast<std::uint32_t>(w.threads.size()));
+    for (const auto &t : w.threads)
+    {
+        s.u32(t.issued);
+        s.u32(t.outstanding);
+        s.u32(t.boosts);
+    }
+
+    s.u32(static_cast<std::uint32_t>(w.memLines.size()));
+    for (const auto &d : w.memLines)
+        for (unsigned i = 0; i < mem::kWordsPerLine; ++i)
+            s.u32(d.word(i));
+
+    s.u32(w.oracle.epoch);
+    s.u32(static_cast<std::uint32_t>(w.oracle.words.size()));
+    for (const auto &[addr, hist] : w.oracle.words)
+    {
+        s.u64(addr);
+        s.u32(static_cast<std::uint32_t>(hist.size()));
+        for (const auto &v : hist)
+        {
+            s.u32(v.epoch);
+            s.u64(v.wts);
+            s.u32(v.value);
+        }
+    }
+    return std::move(s.out);
+}
+
+Hash128
+hashKey(const std::string &key)
+{
+    // Two independent mixes of the same byte stream: FNV-1a and a
+    // rotate-multiply accumulator. 128 bits keeps the visited set
+    // collision-free in practice without storing full keys.
+    std::uint64_t fnv = 0xcbf29ce484222325ULL;
+    std::uint64_t acc = 0x6a09e667f3bcc909ULL;
+    for (unsigned char c : key)
+    {
+        fnv = (fnv ^ c) * 0x100000001b3ULL;
+        acc ^= c;
+        acc = ((acc << 31) | (acc >> 33)) * 0x9e3779b97f4a7c15ULL;
+    }
+    return Hash128{fnv, acc};
+}
+
+} // namespace gtsc::verify

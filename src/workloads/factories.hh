@@ -38,6 +38,9 @@ std::unique_ptr<gpu::Workload> makePingPong(const sim::Config &cfg);
 std::unique_ptr<gpu::Workload> makeCorr(const sim::Config &cfg);
 std::unique_ptr<gpu::Workload> makeIriw(const sim::Config &cfg);
 
+// generated litmus programs (litmus_program.hh)
+std::unique_ptr<gpu::Workload> makeLitmusGen(const sim::Config &cfg);
+
 } // namespace gtsc::workloads
 
 #endif // GTSC_WORKLOADS_FACTORIES_HH_

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Generated litmus programs: a tiny declarative spec for classic
+ * consistency litmus shapes (message passing, store buffering, load
+ * buffering, coRR/coWW, IRIW and randomized mixes) compiled into
+ * workload programs the harness can run like any other benchmark.
+ *
+ * The spec round-trips through a compact single-line string so a
+ * failing test is fully reproducible from a CI log: the verification
+ * lab prints `spec.format()` plus the generator seed, and
+ * `gtsc_verify --litmus-replay '<spec>'` (or the "litmusgen"
+ * workload with verify.litmus_spec set) re-executes it exactly.
+ *
+ * Grammar (fields ';'-separated, threads in order of appearance):
+ *
+ *   v1;shape=mp;seed=42;sc_only=1;locs=0.0,1.0;
+ *     t=W0=1,F,W1=1;t=R1:r0,F,R0:r1;forbid=t1.r0=1&t1.r1=0
+ *
+ *   locs    loc K is `<line>.<word>` of the shared region
+ *   ops     W<loc>=<val> | R<loc>:r<reg> | F (fence) | D<cycles>
+ *   forbid  '|'-separated clauses of '&'-separated `t<i>.r<k>=<val>`
+ *           terms; the outcome is forbidden if ANY clause holds
+ *   sc_only the spec relies on SC ordering (fences removed); run it
+ *           only under sequential consistency
+ */
+
+#ifndef GTSC_WORKLOADS_LITMUS_PROGRAM_HH_
+#define GTSC_WORKLOADS_LITMUS_PROGRAM_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace gtsc::workloads
+{
+
+/** Result slots per thread (register file size of a litmus thread). */
+inline constexpr unsigned kLitmusMaxRegs = 8;
+
+/** Result-slot value meaning "this register was never written back"
+ *  (thread did not complete). */
+inline constexpr std::uint32_t kLitmusUnwritten = 0xdeadbeefu;
+
+struct LitmusSpec
+{
+    struct Loc
+    {
+        std::uint8_t line = 0; ///< line index within the shared region
+        std::uint8_t word = 0; ///< word index within the line
+    };
+
+    struct Op
+    {
+        enum class Kind : std::uint8_t
+        {
+            Store,
+            Load,
+            Fence,
+            Delay,
+        };
+        Kind kind = Kind::Fence;
+        std::uint8_t loc = 0;       ///< index into locs (Store/Load)
+        std::uint32_t value = 0;    ///< Store payload
+        std::uint8_t reg = 0;       ///< Load destination register
+        std::uint16_t cycles = 0;   ///< Delay length
+    };
+
+    /** One conjunct of a forbidden outcome. */
+    struct Term
+    {
+        std::uint8_t thread = 0;
+        std::uint8_t reg = 0;
+        std::uint32_t value = 0;
+    };
+
+    std::string shape = "custom";
+    std::uint64_t seed = 0; ///< generator seed (reproducibility)
+    bool scOnly = false;
+    std::vector<Loc> locs;
+    std::vector<std::vector<Op>> threads;
+    /** Outcome forbidden iff any clause (conjunction) is satisfied. */
+    std::vector<std::vector<Term>> forbid;
+
+    /** Byte address of location `loc` in the shared region. */
+    Addr locAddr(unsigned loc) const;
+
+    /** Byte address of thread `t`'s result slot for register `reg`. */
+    static Addr resultAddr(unsigned thread, unsigned reg);
+
+    /** Registers thread `t` loads into, ascending, deduplicated. */
+    std::vector<std::uint8_t> usedRegs(unsigned thread) const;
+
+    /** Single-line canonical form (see file comment). */
+    std::string format() const;
+
+    /** Parse `format()` output; false (and *err) on malformed input. */
+    static bool parse(const std::string &s, LitmusSpec &out,
+                      std::string *err = nullptr);
+};
+
+/**
+ * Workload factory for a parsed spec. The machine must have at least
+ * `spec.threads.size()` SMs; thread i runs on (sm=i, warp=0), every
+ * other warp exits immediately.
+ */
+std::unique_ptr<gpu::Workload> makeLitmusWorkload(LitmusSpec spec);
+
+/** Registry factory: parses cfg "verify.litmus_spec" (fatal if
+ *  missing/malformed). Registered as workload name "litmusgen". */
+std::unique_ptr<gpu::Workload> makeLitmusGen(const sim::Config &cfg);
+
+} // namespace gtsc::workloads
+
+#endif // GTSC_WORKLOADS_LITMUS_PROGRAM_HH_

@@ -46,6 +46,8 @@ makeWorkload(const std::string &name, const sim::Config &cfg)
         return makeCorr(cfg);
     if (name == "iriw")
         return makeIriw(cfg);
+    if (name == "litmusgen")
+        return makeLitmusGen(cfg);
     if (name.rfind("trace:", 0) == 0)
         return std::make_unique<TraceFileWorkload>(name.substr(6));
     GTSC_FATAL("unknown workload '", name, "'");

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Canonicalization and hashing: states that differ only in history
+ * (absolute request ids, held-message arrival order across SMs) must
+ * key identically; states that differ in behaviour must not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/model.hh"
+#include "verify/shrink.hh"
+#include "verify/state.hh"
+
+using namespace gtsc;
+using namespace gtsc::verify;
+
+namespace
+{
+
+WorldState
+smallState()
+{
+    sim::Config cfg;
+    ModelSim model(cfg);
+    return model.init().state;
+}
+
+} // namespace
+
+TEST(VerifyState, CanonicalKeyIsDeterministic)
+{
+    WorldState a = smallState();
+    WorldState b = smallState();
+    EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+    EXPECT_TRUE(hashKey(canonicalKey(a)) == hashKey(canonicalKey(b)));
+}
+
+TEST(VerifyState, NextAccessIdIsHistoryNotBehaviour)
+{
+    WorldState a = smallState();
+    WorldState b = a;
+    b.nextAccessId += 1000;
+    EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+}
+
+TEST(VerifyState, PendingPacketOrderAcrossSmsIsCanonicalized)
+{
+    WorldState a = smallState();
+    mem::Packet p0;
+    p0.type = mem::MsgType::BusRd;
+    p0.lineAddr = kVerifyBase;
+    p0.src = 0;
+    mem::Packet p1 = p0;
+    p1.src = 1;
+
+    WorldState b = a;
+    a.reqs.push_back(p0);
+    a.reqs.push_back(p1);
+    b.reqs.push_back(p1);
+    b.reqs.push_back(p0);
+    EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+
+    // Same-SM order is FIFO delivery order: NOT canonicalized.
+    mem::Packet p0b = p0;
+    p0b.type = mem::MsgType::BusWr;
+    WorldState c = smallState();
+    WorldState d = c;
+    c.reqs = {p0, p0b};
+    d.reqs = {p0b, p0};
+    EXPECT_NE(canonicalKey(c), canonicalKey(d));
+}
+
+TEST(VerifyState, RequestIdsAreRenumberedOrderPreserving)
+{
+    WorldState a = smallState();
+    WorldState b = a;
+    auto mk = [](std::uint64_t id) {
+        mem::Packet p;
+        p.type = mem::MsgType::BusWr;
+        p.lineAddr = kVerifyBase;
+        p.reqId = id;
+        return p;
+    };
+    // (3, 7) and (13, 27): same relative order, different absolutes.
+    a.reqs = {mk(3), mk(7)};
+    b.reqs = {mk(13), mk(27)};
+    EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+
+    // Inverted relative order is different behaviour.
+    WorldState c = a;
+    c.reqs = {mk(7), mk(3)};
+    EXPECT_NE(canonicalKey(a), canonicalKey(c));
+}
+
+TEST(VerifyState, BehaviourDifferencesChangeTheKey)
+{
+    WorldState a = smallState();
+
+    WorldState b = a;
+    b.threads[0].issued++;
+    EXPECT_NE(canonicalKey(a), canonicalKey(b));
+
+    WorldState c = a;
+    c.domain.epoch++;
+    EXPECT_NE(canonicalKey(a), canonicalKey(c));
+
+    WorldState d = a;
+    d.l2.memTs++;
+    EXPECT_NE(canonicalKey(a), canonicalKey(d));
+
+    WorldState e = a;
+    e.memLines[0].setWord(0, 0x1234);
+    EXPECT_NE(canonicalKey(a), canonicalKey(e));
+}
+
+TEST(VerifyState, HashSplitsDifferentKeys)
+{
+    Hash128 h1 = hashKey("abc");
+    Hash128 h2 = hashKey("abd");
+    Hash128 h3 = hashKey("abc");
+    EXPECT_FALSE(h1 == h2);
+    EXPECT_TRUE(h1 == h3);
+}
+
+TEST(VerifyShrink, DdminIsOneMinimal)
+{
+    // Fails iff the sequence contains both 3 and 7.
+    auto fails = [](const std::vector<int> &v) {
+        bool has3 = false, has7 = false;
+        for (int x : v)
+        {
+            has3 |= x == 3;
+            has7 |= x == 7;
+        }
+        return has3 && has7;
+    };
+    std::vector<int> input = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto out = ddmin(input, fails);
+    EXPECT_EQ(out, (std::vector<int>{3, 7}));
+}
+
+TEST(VerifyShrink, DdminKeepsOrder)
+{
+    // Fails iff 7 appears before 3 somewhere.
+    auto fails = [](const std::vector<int> &v) {
+        int seen7 = 0;
+        for (int x : v)
+        {
+            if (x == 7)
+                seen7 = 1;
+            if (x == 3 && seen7)
+                return true;
+        }
+        return false;
+    };
+    std::vector<int> input = {9, 7, 1, 3, 7, 2};
+    auto out = ddmin(input, fails);
+    EXPECT_EQ(out, (std::vector<int>{7, 3}));
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate the protocol verification lab's results for CI's verify job.
+
+Usage:
+    tools/check_verify.py RESULT.json [RESULT2.json ...]
+
+Each file is the --out JSON of one `gtsc_verify` invocation. Fails
+(exit 1) when any file:
+
+  * is missing, unreadable, or not a gtsc_verify result,
+  * reports violations != 0 (an invariant witness or a forbidden
+    litmus outcome — the report was already printed by gtsc_verify),
+  * is an --explore result that did not fully enumerate its state
+    space ("complete": false — a truncated run proves nothing), or
+  * is a --litmus result that executed zero runs.
+
+Stdlib only, no third-party deps.
+"""
+
+import json
+import sys
+
+
+def check(path: str) -> bool:
+    try:
+        with open(path, encoding="utf-8") as f:
+            blob = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {path}: {e}")
+        return False
+
+    mode = blob.get("mode")
+    if mode not in ("explore", "litmus"):
+        print(f"FAIL: {path}: not a gtsc_verify result (mode={mode!r})")
+        return False
+
+    ok = True
+    violations = int(blob.get("violations", -1))
+    if violations != 0:
+        print(f"FAIL: {path}: {violations} violation(s)")
+        for w in blob.get("witnesses", []):
+            for v in w.get("violations", []):
+                print(f"  witness: {v}")
+        for fail in blob.get("failures", []):
+            print(f"  litmus: seed={fail.get('seed')} "
+                  f"cell={fail.get('cell')} spec={fail.get('spec')}")
+        ok = False
+
+    if mode == "explore":
+        if not blob.get("complete", False):
+            print(f"FAIL: {path}: exploration incomplete "
+                  f"(states_visited={blob.get('states_visited')}, "
+                  f"truncated={blob.get('truncated')})")
+            ok = False
+        if ok:
+            print(f"OK: {path}: {blob.get('states_visited')} states, "
+                  f"{blob.get('transitions')} transitions, complete, "
+                  f"0 violations "
+                  f"({float(blob.get('states_per_sec', 0)):.0f} "
+                  f"states/s)")
+    else:
+        runs = int(blob.get("runs", 0))
+        if runs == 0:
+            print(f"FAIL: {path}: litmus batch executed zero runs")
+            ok = False
+        if ok:
+            print(f"OK: {path}: {blob.get('tests')} litmus tests, "
+                  f"{runs} runs, 0 forbidden outcomes "
+                  f"(seed {blob.get('seed')})")
+    return ok
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    results = [check(p) for p in sys.argv[1:]]
+    return 0 if all(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
