@@ -7,14 +7,20 @@
  * the figure harnesses.
  */
 
+#include <queue>
+
 #include <benchmark/benchmark.h>
 
 #include "core/gtsc_builder.hh"
+#include "gpu/coalescer.hh"
+#include "gpu/kernel.hh"
 #include "harness/checker.hh"
 #include "mem/cache_array.hh"
 #include "mem/mshr.hh"
+#include "noc/arrival_ring.hh"
 #include "noc/crossbar.hh"
 #include "obs/tracer.hh"
+#include "sim/bitmask.hh"
 #include "sim/rng.hh"
 #include "sim/slot_pool.hh"
 #include "sim/time_wheel.hh"
@@ -410,6 +416,164 @@ BM_TimeWheelParkWake(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TimeWheelParkWake);
+
+constexpr unsigned kPickWarps = 48; ///< gpu.warps_per_sm default
+
+void
+BM_ReadyMaskPick(benchmark::State &state)
+{
+    // The SM issue picker after the bitmask refactor: round-robin
+    // selection is one findNextWrapOr over the ready|retry words —
+    // no per-warp state reads at all. Occupancy mirrors a busy
+    // workload (1/4 of warps ready).
+    sim::BitMask ready;
+    sim::BitMask retry;
+    ready.resize(kPickWarps);
+    retry.resize(kPickWarps);
+    for (unsigned w = 0; w < kPickWarps; w += 4)
+        ready.set(w);
+    retry.set(kPickWarps - 3);
+    unsigned last = 0;
+    for (auto _ : state) {
+        unsigned start = (last + 1 == kPickWarps) ? 0 : last + 1;
+        unsigned pick = sim::findNextWrapOr(ready, retry, start);
+        benchmark::DoNotOptimize(pick);
+        last = (pick == sim::BitMask::kNpos) ? 0 : pick;
+    }
+}
+BENCHMARK(BM_ReadyMaskPick);
+
+void
+BM_ReadyVectorPick(benchmark::State &state)
+{
+    // The pre-refactor shape: a wrapped linear walk over the per-warp
+    // state byte array testing each candidate. The delta against
+    // BM_ReadyMaskPick is the payoff of the packed ready masks.
+    std::vector<std::uint8_t> stateOf(kPickWarps, 0);
+    std::vector<std::uint8_t> memRetry(kPickWarps, 0);
+    for (unsigned w = 0; w < kPickWarps; w += 4)
+        stateOf[w] = 1; // "Ready"
+    memRetry[kPickWarps - 3] = 1;
+    unsigned last = 0;
+    for (auto _ : state) {
+        unsigned pick = kPickWarps;
+        for (unsigned i = 1; i <= kPickWarps; ++i) {
+            unsigned w = (last + i) % kPickWarps;
+            if (stateOf[w] == 1 || memRetry[w]) {
+                pick = w;
+                break;
+            }
+        }
+        benchmark::DoNotOptimize(pick);
+        last = (pick == kPickWarps) ? 0 : pick;
+    }
+}
+BENCHMARK(BM_ReadyVectorPick);
+
+void
+BM_CoalescerFastPath(benchmark::State &state)
+{
+    // Plan decoded once at fetch (outside the loop, as the SM does),
+    // then each issue takes the O(1) strided path: two beginLine
+    // calls and two mask stores, no per-lane loop.
+    gpu::StoreValueSource values;
+    gpu::Coalescer coalescer(values);
+    auto instr = gpu::WarpInstr::loadStrided(0x1010, 32, 4);
+    gpu::CoalescePlan plan = gpu::Coalescer::plan(instr, 32);
+    std::vector<mem::Access> out;
+    for (auto _ : state) {
+        coalescer.coalesce(instr, plan, 32, 0, 0, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_CoalescerFastPath);
+
+void
+BM_CoalescerSlowPath(benchmark::State &state)
+{
+    // The same instruction through the per-lane merge loop (a forced
+    // Slow plan — what every issue paid before pre-decoded cursors).
+    gpu::StoreValueSource values;
+    gpu::Coalescer coalescer(values);
+    auto instr = gpu::WarpInstr::loadStrided(0x1010, 32, 4);
+    gpu::CoalescePlan slow; // kind == Slow
+    std::vector<mem::Access> out;
+    for (auto _ : state) {
+        coalescer.coalesce(instr, slow, 32, 0, 0, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_CoalescerSlowPath);
+
+void
+BM_NocRingPopDue(benchmark::State &state)
+{
+    // Steady-state crossbar routing round trip after the ring
+    // refactor: one bucket append at inject, one drainDue pop when
+    // the cycle comes due — flat vectors, no heap sift.
+    struct Entry
+    {
+        std::uint32_t slot;
+        std::uint32_t dst;
+    };
+    noc::ArrivalRing<Entry> ring;
+    ring.init(noc::kArrivalRingSpan, 8);
+    sim::Rng rng(6);
+    Cycle now = 0;
+    std::uint64_t delivered = 0;
+    for (auto _ : state) {
+        ring.push(now, now + 1 + rng.below(16),
+                  Entry{static_cast<std::uint32_t>(now & 0xff),
+                        static_cast<std::uint32_t>(rng.below(8))});
+        ++now;
+        ring.drainDue(now, [&](Cycle, const Entry &e) {
+            delivered += e.dst;
+        });
+        benchmark::DoNotOptimize(delivered);
+    }
+}
+BENCHMARK(BM_NocRingPopDue);
+
+void
+BM_NocPqPopDue(benchmark::State &state)
+{
+    // The pre-refactor shape: a binary heap ordered by (arrive, seq)
+    // pays a log-factor sift on every push and pop. The delta against
+    // BM_NocRingPopDue is the payoff of due-cycle bucketing.
+    struct Entry
+    {
+        Cycle arrive;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t dst;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a.arrive != b.arrive ? a.arrive > b.arrive
+                                        : a.seq > b.seq;
+        }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, Later> pq;
+    sim::Rng rng(6);
+    Cycle now = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t delivered = 0;
+    for (auto _ : state) {
+        pq.push(Entry{now + 1 + rng.below(16), seq++,
+                      static_cast<std::uint32_t>(now & 0xff),
+                      static_cast<std::uint32_t>(rng.below(8))});
+        ++now;
+        while (!pq.empty() && pq.top().arrive <= now) {
+            delivered += pq.top().dst;
+            pq.pop();
+        }
+        benchmark::DoNotOptimize(delivered);
+    }
+}
+BENCHMARK(BM_NocPqPopDue);
 
 } // namespace
 

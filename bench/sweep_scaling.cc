@@ -144,6 +144,11 @@ struct SingleRow
     /** Per-component-type active-cycle fractions (RunResult). */
     double actSm = 0.0, actL1 = 0.0, actL2 = 0.0, actNoc = 0.0,
            actDram = 0.0;
+    /** Issue-path fast-lane diagnostics (RunResult counters). */
+    std::uint64_t issueSlotsUsed = 0;
+    std::uint64_t smTicks = 0;
+    std::uint64_t nocTicks = 0;
+    std::uint64_t nocPackets = 0;
 
     double
     mcycPerSec() const
@@ -151,6 +156,24 @@ struct SingleRow
         return secs > 0.0
                    ? static_cast<double>(cycles) / 1e6 / secs
                    : 0.0;
+    }
+
+    /** Issue slots filled per executed SM-tick (issue width 1). */
+    double
+    issueUtil() const
+    {
+        return smTicks ? static_cast<double>(issueSlotsUsed) /
+                             static_cast<double>(smTicks)
+                       : 0.0;
+    }
+
+    /** Packets popped off the arrival rings per executed NoC tick. */
+    double
+    nocPopsPerTick() const
+    {
+        return nocTicks ? static_cast<double>(nocPackets) /
+                              static_cast<double>(nocTicks)
+                        : 0.0;
     }
 };
 
@@ -369,8 +392,9 @@ main(int argc, char **argv)
         std::printf("\nSingle-thread throughput, fig12 matrix "
                     "(%zu cells):\n\n",
                     specs.size());
-        std::printf("%-16s %12s %14s %12s %12s\n", "cell", "seconds",
-                    "cycles", "Mcyc/s", "act sm/l1");
+        std::printf("%-16s %12s %14s %12s %12s %10s %9s\n", "cell",
+                    "seconds", "cycles", "Mcyc/s", "act sm/l1",
+                    "issue", "noc pops");
         double logSum = 0.0;
         for (const harness::RunSpec &spec : specs) {
             // Best-of-3: cells are tens of milliseconds, so take the
@@ -393,11 +417,17 @@ main(int argc, char **argv)
                 row.actL2 = r.activityL2;
                 row.actNoc = r.activityNoc;
                 row.actDram = r.activityDram;
+                row.issueSlotsUsed = r.issueSlotsUsed;
+                row.smTicks = r.smTicksExecuted;
+                row.nocTicks = r.nocTicksExecuted;
+                row.nocPackets = r.nocPackets;
             }
-            std::printf("%-16s %12.3f %14llu %12.2f  %.2f/%.2f\n",
-                        row.label.c_str(), row.secs,
-                        static_cast<unsigned long long>(row.cycles),
-                        row.mcycPerSec(), row.actSm, row.actL1);
+            std::printf(
+                "%-16s %12.3f %14llu %12.2f  %.2f/%.2f %10.3f %9.3f\n",
+                row.label.c_str(), row.secs,
+                static_cast<unsigned long long>(row.cycles),
+                row.mcycPerSec(), row.actSm, row.actL1,
+                row.issueUtil(), row.nocPopsPerTick());
             std::fflush(stdout);
             logSum += std::log(row.mcycPerSec());
             singleRows.push_back(std::move(row));
@@ -578,16 +608,19 @@ main(int argc, char **argv)
     json << "]}, \"single_thread\": {\"cells\": [";
     for (std::size_t i = 0; i < singleRows.size(); ++i) {
         const SingleRow &r = singleRows[i];
-        char buf[384];
+        char buf[512];
         std::snprintf(buf, sizeof(buf),
                       "%s{\"cell\": \"%s\", \"seconds\": %.4f, "
                       "\"cycles\": %llu, \"mcyc_per_sec\": %.3f, "
                       "\"activity\": {\"sm\": %.4f, \"l1\": %.4f, "
-                      "\"l2\": %.4f, \"noc\": %.4f, \"dram\": %.4f}}",
+                      "\"l2\": %.4f, \"noc\": %.4f, \"dram\": %.4f}, "
+                      "\"issue_utilization\": %.4f, "
+                      "\"noc_pops_per_tick\": %.4f}",
                       i ? ", " : "", r.label.c_str(), r.secs,
                       static_cast<unsigned long long>(r.cycles),
                       r.mcycPerSec(), r.actSm, r.actL1, r.actL2,
-                      r.actNoc, r.actDram);
+                      r.actNoc, r.actDram, r.issueUtil(),
+                      r.nocPopsPerTick());
         json << buf;
     }
     {

@@ -1,20 +1,146 @@
 #include "gpu/coalescer.hh"
 
+#include <bit>
+
 #include "sim/log.hh"
 
 namespace gtsc::gpu
 {
 
+namespace
+{
+
+/** Contiguous word mask: `count` bits starting at `first`. */
+std::uint32_t
+contigMask(unsigned first, unsigned count)
+{
+    std::uint32_t bits =
+        (count >= 32) ? 0xffffffffu : ((std::uint32_t{1} << count) - 1u);
+    return bits << first;
+}
+
+} // namespace
+
+CoalescePlan
+Coalescer::plan(const WarpInstr &instr, unsigned warp_size)
+{
+    CoalescePlan p;
+    if (!instr.gather.empty() || warp_size == 0 || warp_size > 32)
+        return p;
+
+    if (instr.stride == 0 && instr.activeMask != 0) {
+        p.kind = CoalescePlan::Kind::Broadcast;
+        p.segs = 1;
+        p.firstWord = static_cast<std::uint8_t>(mem::wordInLine(instr.base));
+        p.line[0] = mem::lineAlign(instr.base);
+        p.mask[0] = std::uint32_t{1} << p.firstWord;
+        return p;
+    }
+
+    // The fully-coalesced family: one word per lane, consecutive
+    // words, every lane active. Lane l's word index is
+    // floor(base/4) + l regardless of base alignment, so the access
+    // set is one or two lines with contiguous masks. Guard against
+    // address wraparound near 2^64, where the line[1] = line[0]+128
+    // assumption breaks.
+    if (instr.stride == 4 &&
+        instr.activeMask == WarpInstr::laneMask(warp_size) &&
+        instr.base + std::uint64_t{4} * warp_size > instr.base) {
+        unsigned w0 = mem::wordInLine(instr.base);
+        unsigned cnt0 = warp_size < 32u - w0 ? warp_size : 32u - w0;
+        p.kind = CoalescePlan::Kind::Strided;
+        p.firstWord = static_cast<std::uint8_t>(w0);
+        p.lanesInSeg0 = static_cast<std::uint8_t>(cnt0);
+        p.line[0] = mem::lineAlign(instr.base);
+        p.mask[0] = contigMask(w0, cnt0);
+        if (cnt0 < warp_size) {
+            p.segs = 2;
+            p.line[1] = p.line[0] + mem::kLineBytes;
+            p.mask[1] = contigMask(0, warp_size - cnt0);
+        } else {
+            p.segs = 1;
+        }
+        return p;
+    }
+
+    return p;
+}
+
+mem::Access &
+Coalescer::slot(std::vector<mem::Access> &out, unsigned idx)
+{
+    if (idx < out.size())
+        return out[idx];
+    out.emplace_back();
+    return out.back();
+}
+
 void
-Coalescer::coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
-                    WarpId warp, std::vector<mem::Access> &out)
+Coalescer::coalesce(const WarpInstr &instr, const CoalescePlan &plan,
+                    unsigned warp_size, SmId sm, WarpId warp,
+                    std::vector<mem::Access> &out)
 {
     bool is_store = (instr.op == WarpInstr::Op::Store);
     GTSC_ASSERT(is_store || instr.op == WarpInstr::Op::Load ||
                     instr.op == WarpInstr::Op::SpinLoad,
                 "coalesce of non-memory instruction");
 
-    out.clear();
+    switch (plan.kind) {
+    case CoalescePlan::Kind::Broadcast: {
+        mem::Access &acc = slot(out, 0);
+        acc.beginLine(is_store, plan.line[0], sm, warp);
+        acc.wordMask = plan.mask[0];
+        if (is_store) {
+            // The slow path writes the same word once per active
+            // lane; the last draw wins, but the draws themselves are
+            // observable through later stores' values, so consume
+            // exactly popcount(activeMask) of them.
+            std::uint32_t v = instr.value;
+            if (!instr.hasValue) {
+                unsigned n = static_cast<unsigned>(
+                    std::popcount(instr.activeMask));
+                for (unsigned i = 0; i < n; ++i)
+                    v = values_.next();
+            }
+            acc.storeData.setWord(plan.firstWord, v);
+        }
+        out.resize(1);
+        return;
+    }
+    case CoalescePlan::Kind::Strided: {
+        for (unsigned s = 0; s < plan.segs; ++s) {
+            mem::Access &acc = slot(out, s);
+            acc.beginLine(is_store, plan.line[s], sm, warp);
+            acc.wordMask = plan.mask[s];
+        }
+        if (is_store) {
+            unsigned cnt0 = plan.lanesInSeg0;
+            for (unsigned l = 0; l < cnt0; ++l)
+                out[0].storeData.setWord(
+                    plan.firstWord + l,
+                    instr.hasValue ? instr.value : values_.next());
+            for (unsigned l = cnt0; l < warp_size; ++l)
+                out[1].storeData.setWord(
+                    l - cnt0,
+                    instr.hasValue ? instr.value : values_.next());
+        }
+        out.resize(plan.segs);
+        return;
+    }
+    case CoalescePlan::Kind::Slow:
+        break;
+    }
+
+    coalesceSlow(instr, warp_size, sm, warp, out);
+}
+
+void
+Coalescer::coalesceSlow(const WarpInstr &instr, unsigned warp_size,
+                        SmId sm, WarpId warp,
+                        std::vector<mem::Access> &out)
+{
+    bool is_store = (instr.op == WarpInstr::Op::Store);
+    unsigned used = 0;
     for (unsigned lane = 0; lane < warp_size; ++lane) {
         if (!(instr.activeMask & (1u << lane)))
             continue;
@@ -23,19 +149,15 @@ Coalescer::coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
         unsigned word = mem::wordInLine(a);
 
         mem::Access *acc = nullptr;
-        for (auto &a : out) {
-            if (a.lineAddr == line) {
-                acc = &a;
+        for (unsigned i = 0; i < used; ++i) {
+            if (out[i].lineAddr == line) {
+                acc = &out[i];
                 break;
             }
         }
         if (!acc) {
-            out.emplace_back();
-            acc = &out.back();
-            acc->isStore = is_store;
-            acc->lineAddr = line;
-            acc->sm = sm;
-            acc->warp = warp;
+            acc = &slot(out, used++);
+            acc->beginLine(is_store, line, sm, warp);
         }
         acc->wordMask |= (1u << word);
         if (is_store) {
@@ -44,6 +166,7 @@ Coalescer::coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
                                              : values_.next());
         }
     }
+    out.resize(used);
 }
 
 } // namespace gtsc::gpu

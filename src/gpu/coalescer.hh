@@ -54,23 +54,87 @@ class StoreValueSource
     std::uint32_t stride_ = 1;
 };
 
+/**
+ * Pre-decoded coalescing plan for one memory WarpInstr: the target
+ * line set and per-line word masks, computed once when the SM
+ * fetches the instruction into a warp's cursor instead of re-derived
+ * per issue. Two fast families cover nearly every instruction the
+ * workload generators emit:
+ *
+ *  - Strided: stride == 4 with a full contiguous active mask. Lane
+ *    word indices are wordInLine(base) + lane, so the access set is
+ *    one or two lines with contiguous word masks — O(1) to compute,
+ *    no per-lane loop at all for loads.
+ *  - Broadcast: stride == 0. Every active lane hits one word of one
+ *    line.
+ *
+ * Everything else (gathers, partial masks, odd strides) keeps
+ * kind == Slow and takes the per-lane merge loop; the two paths are
+ * equivalent by construction and pinned by randomized tests
+ * (tests/gpu/coalescer_test.cc).
+ */
+struct CoalescePlan
+{
+    enum class Kind : std::uint8_t
+    {
+        Slow,      ///< per-lane merge loop
+        Strided,   ///< 1-2 contiguous segments (stride == 4, full mask)
+        Broadcast, ///< single word (stride == 0)
+    };
+
+    Kind kind = Kind::Slow;
+    std::uint8_t segs = 0;
+    /** Strided: word index of lane 0 within line[0]. */
+    std::uint8_t firstWord = 0;
+    /** Strided: lanes mapping into line[0] (the rest hit line[1]). */
+    std::uint8_t lanesInSeg0 = 0;
+    Addr line[2] = {0, 0};
+    std::uint32_t mask[2] = {0, 0};
+};
+
 class Coalescer
 {
   public:
     explicit Coalescer(StoreValueSource &values) : values_(values) {}
 
     /**
+     * Decode `instr`'s access pattern into a plan (see CoalescePlan).
+     * Pure: any plan produced here makes coalesce() emit exactly what
+     * the slow path would, including store-value draw order.
+     */
+    static CoalescePlan plan(const WarpInstr &instr, unsigned warp_size);
+
+    /**
      * Split a Load/Store instruction into line accesses, replacing
-     * the contents of `out` (cleared first; capacity is reused so a
-     * recycled buffer never reallocates in steady state). Lane i
+     * the contents of `out` (live elements are recycled in place via
+     * Access::beginLine and the vector resized, so a steady-state
+     * buffer never reallocates or re-zeroes load payloads). Lane i
      * participates when activeMask bit i is set; warp_size bounds
      * the lanes examined. Access ids are left 0 (the SM assigns
-     * them).
+     * them). `plan` must have been built from the same instr and
+     * warp_size.
      */
-    void coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
-                  WarpId warp, std::vector<mem::Access> &out);
+    void coalesce(const WarpInstr &instr, const CoalescePlan &plan,
+                  unsigned warp_size, SmId sm, WarpId warp,
+                  std::vector<mem::Access> &out);
+
+    /** Convenience overload: decode and split in one call (tests,
+     *  cold paths). */
+    void
+    coalesce(const WarpInstr &instr, unsigned warp_size, SmId sm,
+             WarpId warp, std::vector<mem::Access> &out)
+    {
+        coalesce(instr, plan(instr, warp_size), warp_size, sm, warp,
+                 out);
+    }
 
   private:
+    mem::Access &slot(std::vector<mem::Access> &out, unsigned idx);
+
+    void coalesceSlow(const WarpInstr &instr, unsigned warp_size,
+                      SmId sm, WarpId warp,
+                      std::vector<mem::Access> &out);
+
     StoreValueSource &values_;
 };
 

@@ -570,6 +570,15 @@ GpuSystem::accountSmsThrough(Cycle upto)
         sm->accountThrough(upto);
 }
 
+std::uint64_t
+GpuSystem::issueSlotsUsed() const
+{
+    std::uint64_t used = 0;
+    for (const auto &sm : sms_)
+        used += sm->issueSlotsUsed();
+    return used;
+}
+
 GpuSystem::ActivityFractions
 GpuSystem::activity() const
 {

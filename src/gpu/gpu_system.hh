@@ -98,6 +98,19 @@ class GpuSystem
     ActivityFractions activity() const;
 
     /**
+     * Issue-path utilization counters, diagnostics like activity():
+     * issue slots actually used across all SMs, the SM-ticks that
+     * offered them, and the NoC ticks executed (both networks).
+     * issueSlotsUsed / (smTicksExecuted * issue width) is the issue
+     * utilization the single-thread bench records; packets /
+     * nocTicksExecuted is its pops-per-tick figure. Never StatSet
+     * entries — stat dumps stay identical across scheduler modes.
+     */
+    std::uint64_t issueSlotsUsed() const;
+    std::uint64_t smTicksExecuted() const { return smTickCount_; }
+    std::uint64_t nocTicksExecuted() const { return nocTickCount_; }
+
+    /**
      * Wire an observability session into every component: tracer
      * tracks for SMs, L1s, L2s, NoCs and DRAM channels, the protocol
      * transcript at the two network delivery points, and the stat

@@ -19,6 +19,12 @@ Sm::Sm(SmId id, const GpuParams &params, const sim::Config &cfg,
     warpState_.assign(params_.warpsPerSm, WarpState::Idle);
     warpReadyAt_.assign(params_.warpsPerSm, 0);
     memRetry_.assign(params_.warpsPerSm, 0);
+    readyMask_.resize(params_.warpsPerSm);
+    waitComputeMask_.resize(params_.warpsPerSm);
+    waitMemMask_.resize(params_.warpsPerSm);
+    waitFenceMask_.resize(params_.warpsPerSm);
+    retryMask_.resize(params_.warpsPerSm);
+    storeFifoMask_.resize(params_.warpsPerSm);
     issueWidth_ =
         static_cast<unsigned>(cfg.getUint("gpu.issue_width", 1));
     spinBackoff_ = cfg.getUint("gpu.spin_backoff_cycles", 16);
@@ -106,6 +112,13 @@ Sm::launchKernel(std::vector<std::unique_ptr<WarpProgram>> &&programs)
     GTSC_ASSERT(programs.size() == warps_.size(),
                 "program count != warp count");
     liveWarps_ = 0;
+    readyMask_.clearAll();
+    waitComputeMask_.clearAll();
+    waitMemMask_.clearAll();
+    waitFenceMask_.clearAll();
+    retryMask_.clearAll();
+    GTSC_ASSERT(!storeFifoMask_.any(),
+                "kernel launch with buffered stores");
     for (unsigned w = 0; w < warps_.size(); ++w) {
         WarpCtx &warp = warps_[w];
         GTSC_ASSERT(!warp.submitsPending() && warp.inFlight == 0,
@@ -116,8 +129,10 @@ Sm::launchKernel(std::vector<std::unique_ptr<WarpProgram>> &&programs)
         warp.program = std::move(programs[w]);
         warpState_[w] =
             warp.program ? WarpState::Ready : WarpState::Idle;
-        if (warp.program)
+        if (warp.program) {
             ++liveWarps_;
+            readyMask_.set(w);
+        }
         warp.hasCur = false;
         warpReadyAt_[w] = 0;
         memRetry_[w] = 0;
@@ -153,7 +168,7 @@ Sm::retire(unsigned w)
     warp.hasCur = false;
     warp.spinIters = 0;
     if (warpState_[w] != WarpState::Done)
-        warpState_[w] = WarpState::Ready;
+        setWarpState(w, WarpState::Ready);
     ++retiredTotal_;
     ++win_.instrs;
 }
@@ -162,114 +177,92 @@ void
 Sm::tickFull(Cycle now)
 {
     // Wake timed and fence-blocked warps; retry store-buffer drains
-    // that were structurally rejected. The scans read only the
-    // compact SoA arrays; the fat WarpCtx is touched for the rare
-    // states that need it (fences, non-empty store buffers).
-    unsigned n_warps = static_cast<unsigned>(warps_.size());
-    if (storeFifoWarps_ != 0) {
-        for (unsigned w = 0; w < n_warps; ++w) {
-            if (!warps_[w].storeFifo.empty())
-                drainStoreFifo(w, now);
-        }
+    // that were structurally rejected. Both passes walk only the set
+    // bits of the packed masks; the fat WarpCtx is touched for the
+    // rare states that need it (fences, non-empty store buffers).
+    if (storeFifoMask_.any()) {
+        storeFifoMask_.forEachSet(
+            [&](unsigned w) { drainStoreFifo(w, now); });
     }
-    for (unsigned w = 0; w < n_warps; ++w) {
-        switch (warpState_[w]) {
-          case WarpState::WaitCompute:
-            if (now >= warpReadyAt_[w]) {
-                warpState_[w] = WarpState::Ready;
-                if (trace_)
-                    traceWarp(obs::EventKind::WarpResume, now, w, 0, 0);
-            }
-            break;
-          case WarpState::WaitFence:
-            ++win_.fenceStallCycles;
-            if (fenceSatisfied(warps_[w], now)) {
-                warpState_[w] = WarpState::Ready;
-                // The fence instruction retires when it unblocks.
-                ++retiredTotal_;
-                ++win_.instrs;
-                if (trace_)
-                    traceWarp(obs::EventKind::WarpResume, now, w, 0, 0);
-            }
-            break;
-          default:
-            break;
-        }
+    if (waitComputeMask_.any() || waitFenceMask_.any()) {
+        // One merged ascending pass over both wait states: the
+        // WarpResume events of compute- and fence-wakes on the same
+        // cycle must interleave in warp order (the tracer keeps
+        // insertion order within a cycle).
+        win_.fenceStallCycles += waitFenceMask_.count();
+        sim::forEachSetOr(
+            waitComputeMask_, waitFenceMask_, [&](unsigned w) {
+                if (warpState_[w] == WarpState::WaitCompute) {
+                    if (now >= warpReadyAt_[w]) {
+                        setWarpState(w, WarpState::Ready);
+                        if (trace_)
+                            traceWarp(obs::EventKind::WarpResume, now,
+                                      w, 0, 0);
+                    }
+                } else if (fenceSatisfied(warps_[w], now)) {
+                    setWarpState(w, WarpState::Ready);
+                    // The fence instruction retires when it unblocks.
+                    ++retiredTotal_;
+                    ++win_.instrs;
+                    if (trace_)
+                        traceWarp(obs::EventKind::WarpResume, now, w,
+                                  0, 0);
+                }
+            });
     }
 
-    // Issue according to the configured scheduling policy.
+    // Issue according to the configured scheduling policy. A warp
+    // consumes a slot iff it has a structural retry pending or is
+    // Ready (issueWarp on such a warp always returns true), so the
+    // pickers are ctz scans over readyMask_|retryMask_.
     unsigned issued = 0;
     unsigned n = static_cast<unsigned>(warps_.size());
     for (unsigned slot = 0; slot < issueWidth_; ++slot) {
-        bool progress = false;
+        unsigned pick = sim::BitMask::kNpos;
         switch (scheduler_) {
           case Scheduler::Gto:
             // Greedy: stick with the last issued warp, then oldest.
-            if (issueWarp(lastIssued_, now)) {
-                progress = true;
+            if (readyMask_.test(lastIssued_) ||
+                retryMask_.test(lastIssued_)) {
+                pick = lastIssued_;
                 break;
             }
             [[fallthrough]];
           case Scheduler::Oldest:
-            for (unsigned w = 0; w < n; ++w) {
-                if (scheduler_ == Scheduler::Gto && w == lastIssued_)
-                    continue;
-                if (issueWarp(w, now)) {
-                    lastIssued_ = w;
-                    progress = true;
-                    break;
-                }
-            }
+            pick = sim::findFirstOr(readyMask_, retryMask_);
+            if (pick != sim::BitMask::kNpos)
+                lastIssued_ = pick;
             break;
-          case Scheduler::Rr:
+          case Scheduler::Rr: {
             // Loose round-robin: start after the last issued warp.
-            for (unsigned k = 1; k <= n; ++k) {
-                unsigned w = (lastIssued_ + k) % n;
-                if (issueWarp(w, now)) {
-                    lastIssued_ = w;
-                    progress = true;
-                    break;
-                }
-            }
+            unsigned start =
+                (lastIssued_ + 1 == n) ? 0 : lastIssued_ + 1;
+            pick = sim::findNextWrapOr(readyMask_, retryMask_, start);
+            if (pick != sim::BitMask::kNpos)
+                lastIssued_ = pick;
             break;
+          }
         }
-        if (!progress)
+        if (pick == sim::BitMask::kNpos)
             break;
+        bool progress = issueWarp(pick, now);
+        GTSC_ASSERT(progress, "picked warp did not use its slot");
         ++issued;
     }
 
     // Cycle accounting for the stall breakdown (Figure 13).
     if (issued > 0) {
         ++win_.activeCycles;
+        issueSlotsUsed_ += issued;
         // Issue changed warp state; the cached classification and
         // horizon no longer describe it.
         invalidateTickCache();
         return;
     }
-    bool any_live = false;
-    bool any_compute = false;
-    bool any_mem = false;
-    unsigned wait_fence = 0;
-    for (WarpState st : warpState_) {
-        switch (st) {
-          case WarpState::WaitCompute:
-            any_live = true;
-            any_compute = true;
-            break;
-          case WarpState::WaitFence:
-            ++wait_fence;
-            [[fallthrough]];
-          case WarpState::WaitMem:
-            any_live = true;
-            any_mem = true;
-            break;
-          case WarpState::Ready:
-            any_live = true;
-            break;
-          default:
-            break;
-        }
-    }
+    bool any_compute = waitComputeMask_.any();
+    unsigned wait_fence = waitFenceMask_.count();
+    bool any_mem = wait_fence != 0 || waitMemMask_.any();
+    bool any_live = any_compute || any_mem || readyMask_.any();
     std::uint64_t *bucket;
     if (!any_live)
         bucket = &win_.idleCycles;
@@ -312,42 +305,33 @@ Cycle
 Sm::computeNextWork(Cycle now) const
 {
     Cycle next = kCycleNever;
-    unsigned n = static_cast<unsigned>(warps_.size());
-    if (storeFifoWarps_ != 0) {
-        // Store-buffer drains retry l1_.access() every tick while
-        // nothing is outstanding — that attempt can reject and count
-        // stats, so it pins the horizon to the next cycle.
-        for (unsigned w = 0; w < n; ++w) {
-            const WarpCtx &warp = warps_[w];
-            if (!warp.storeFifo.empty() && warp.storesSubmitted == 0)
+    // Store-buffer drains retry l1_.access() every tick while
+    // nothing is outstanding — that attempt can reject and count
+    // stats, so it pins the horizon to the next cycle.
+    for (unsigned k = 0; k < storeFifoMask_.numWords(); ++k) {
+        std::uint64_t m = storeFifoMask_.word(k);
+        while (m) {
+            unsigned w = k * 64u +
+                         static_cast<unsigned>(std::countr_zero(m));
+            m &= m - 1;
+            if (warps_[w].storesSubmitted == 0)
                 return now + 1;
         }
     }
-    for (unsigned w = 0; w < n; ++w) {
-        switch (warpState_[w]) {
-          case WarpState::Ready:
-            return now + 1;
-          case WarpState::WaitCompute:
-            next = std::min(next, std::max(warpReadyAt_[w], now + 1));
-            break;
-          case WarpState::WaitMem:
-            // Structural retries re-submit every issue slot; a warp
-            // waiting only on completions wakes via the L1 callback.
-            if (memRetry_[w])
-                return now + 1;
-            break;
-          case WarpState::WaitFence:
-            // With no stores outstanding the fence clears once the
-            // GWCT passes; otherwise the store ack drives the wake.
-            if (warps_[w].outstandingStores == 0) {
-                next = std::min(next,
-                                std::max(warps_[w].gwct, now + 1));
-            }
-            break;
-          default:
-            break;
-        }
-    }
+    // Ready warps issue next cycle; structural retries re-submit
+    // every issue slot (a warp waiting only on completions wakes via
+    // the L1 callback instead).
+    if (readyMask_.any() || retryMask_.any())
+        return now + 1;
+    waitComputeMask_.forEachSet([&](unsigned w) {
+        next = std::min(next, std::max(warpReadyAt_[w], now + 1));
+    });
+    // With no stores outstanding a fence clears once the GWCT
+    // passes; otherwise the store ack drives the wake.
+    waitFenceMask_.forEachSet([&](unsigned w) {
+        if (warps_[w].outstandingStores == 0)
+            next = std::min(next, std::max(warps_[w].gwct, now + 1));
+    });
     return next;
 }
 
@@ -368,30 +352,10 @@ Sm::fastForwardStats(Cycle span)
     // Mirrors the issued == 0 classification at the end of tick();
     // warp states cannot change inside a skipped range, so each
     // skipped cycle lands in the same bucket.
-    bool any_live = false;
-    bool any_compute = false;
-    bool any_mem = false;
-    unsigned wait_fence = 0;
-    for (WarpState st : warpState_) {
-        switch (st) {
-          case WarpState::WaitCompute:
-            any_live = true;
-            any_compute = true;
-            break;
-          case WarpState::WaitFence:
-            ++wait_fence;
-            [[fallthrough]];
-          case WarpState::WaitMem:
-            any_live = true;
-            any_mem = true;
-            break;
-          case WarpState::Ready:
-            any_live = true;
-            break;
-          default:
-            break;
-        }
-    }
+    bool any_compute = waitComputeMask_.any();
+    unsigned wait_fence = waitFenceMask_.count();
+    bool any_mem = wait_fence != 0 || waitMemMask_.any();
+    bool any_live = any_compute || any_mem || readyMask_.any();
     win_.fenceStallCycles +=
         static_cast<std::uint64_t>(wait_fence) * span;
     std::uint64_t *bucket;
@@ -434,6 +398,13 @@ Sm::issueWarp(unsigned w, Cycle now)
     if (!warp.hasCur) {
         warp.cur = warp.program->next();
         warp.hasCur = true;
+        // Decode the memory cursor once per fetch: the coalescing
+        // plan survives spin-load retries of the same instruction.
+        if (warp.cur.op == WarpInstr::Op::Load ||
+            warp.cur.op == WarpInstr::Op::SpinLoad ||
+            warp.cur.op == WarpInstr::Op::Store) {
+            warp.plan = Coalescer::plan(warp.cur, params_.warpSize);
+        }
     }
     return beginInstr(w, now);
 }
@@ -455,7 +426,7 @@ Sm::beginInstr(unsigned w, Cycle now)
 
     switch (instr.op) {
       case WarpInstr::Op::Exit:
-        warpState_[w] = WarpState::Done;
+        setWarpState(w, WarpState::Done);
         warp.hasCur = false;
         GTSC_ASSERT(liveWarps_ > 0, "Exit with no live warps");
         --liveWarps_;
@@ -466,7 +437,7 @@ Sm::beginInstr(unsigned w, Cycle now)
         warpReadyAt_[w] = now + cycles;
         retire(w);
         if (cycles > 0)
-            warpState_[w] = WarpState::WaitCompute;
+            setWarpState(w, WarpState::WaitCompute);
         return true;
       }
 
@@ -475,7 +446,7 @@ Sm::beginInstr(unsigned w, Cycle now)
         if (fenceSatisfied(warp, now)) {
             retire(w);
         } else {
-            warpState_[w] = WarpState::WaitFence;
+            setWarpState(w, WarpState::WaitFence);
             warp.hasCur = false; // retires on wake
             if (trace_) {
                 traceWarp(obs::EventKind::WarpStall, now, w,
@@ -491,7 +462,7 @@ Sm::beginInstr(unsigned w, Cycle now)
       case WarpInstr::Op::Store: {
         bool is_store = instr.op == WarpInstr::Op::Store;
         std::vector<mem::Access> &accesses = coalesceBuf_;
-        coalescer_.coalesce(instr, params_.warpSize, id_,
+        coalescer_.coalesce(instr, warp.plan, params_.warpSize, id_,
                             static_cast<WarpId>(w), accesses);
         GTSC_ASSERT(!accesses.empty(), "memory instr with no active lanes");
         if (is_store)
@@ -514,7 +485,7 @@ Sm::beginInstr(unsigned w, Cycle now)
             // TSO: the store retires into the per-warp store buffer
             // and drains in order, one outstanding at a time.
             if (warp.storeFifo.empty())
-                ++storeFifoWarps_;
+                storeFifoMask_.set(w);
             for (auto &acc : accesses)
                 warp.storeFifo.push_back(std::move(acc));
             retire(w);
@@ -533,9 +504,9 @@ Sm::beginInstr(unsigned w, Cycle now)
             if (alias) {
                 warp.toSubmit.swap(accesses);
                 warp.submitHead = 0;
-                warpState_[w] = WarpState::WaitMem;
+                setWarpState(w, WarpState::WaitMem);
                 warp.loadWaitsStores = true;
-                memRetry_[w] = 0; // alias-blocked: no retry until drain
+                setMemRetry(w, false); // alias-blocked: no retry until drain
                 if (trace_) {
                     traceWarp(obs::EventKind::WarpStall, now, w,
                               static_cast<std::uint16_t>(
@@ -548,7 +519,7 @@ Sm::beginInstr(unsigned w, Cycle now)
 
         warp.toSubmit.swap(accesses);
         warp.submitHead = 0;
-        warpState_[w] = WarpState::WaitMem;
+        setWarpState(w, WarpState::WaitMem);
         bool drained = drainSubmits(w, now);
         if (drained && warp.inFlight == 0)
             finishMemInstr(w, now);
@@ -577,10 +548,8 @@ Sm::drainStoreFifo(unsigned w, Cycle now)
         warp.storeFifo.pop_front();
         ++warp.storesSubmitted;
     }
-    if (warp.storeFifo.empty()) {
-        GTSC_ASSERT(storeFifoWarps_ > 0, "storeFifoWarps underflow");
-        --storeFifoWarps_;
-    }
+    if (warp.storeFifo.empty())
+        storeFifoMask_.clear(w);
 }
 
 bool
@@ -589,14 +558,16 @@ Sm::drainSubmits(unsigned w, Cycle now)
     WarpCtx &warp = warps_[w];
     while (warp.submitHead < warp.toSubmit.size()) {
         if (!l1_.access(warp.toSubmit[warp.submitHead], now)) {
-            memRetry_[w] = 1;
+            setMemRetry(w, true);
             return false;
         }
         ++warp.submitHead;
     }
-    warp.toSubmit.clear();
-    warp.submitHead = 0;
-    memRetry_[w] = 0;
+    // Leave the drained elements in place (submitHead == size means
+    // fully drained): the next coalesce into this buffer recycles
+    // them via Access::beginLine instead of re-constructing, so load
+    // payload bytes are never re-zeroed on the hot path.
+    setMemRetry(w, false);
     return true;
 }
 
@@ -619,7 +590,7 @@ Sm::finishMemInstr(unsigned w, Cycle now)
             l1_.noteSpinRetry(static_cast<WarpId>(w),
                               mem::lineAlign(warp.cur.laneAddr(0)));
             warpReadyAt_[w] = now + spinBackoff_;
-            warpState_[w] = WarpState::WaitCompute;
+            setWarpState(w, WarpState::WaitCompute);
             if (trace_) {
                 traceWarp(obs::EventKind::WarpStall, now, w,
                           static_cast<std::uint16_t>(
@@ -682,7 +653,7 @@ Sm::onStoreDone(const mem::Access &acc, Cycle gwct, Cycle now)
             // Aliased load may proceed; its submits resume on the
             // warp's next issue slot.
             warp.loadWaitsStores = false;
-            memRetry_[acc.warp] = warp.submitsPending() ? 1 : 0;
+            setMemRetry(acc.warp, warp.submitsPending());
         }
     }
     if (params_.consistency == Consistency::SC) {

@@ -24,6 +24,7 @@
 #include "gpu/params.hh"
 #include "mem/controllers.hh"
 #include "obs/events.hh"
+#include "sim/bitmask.hh"
 #include "sim/config.hh"
 #include "sim/ring_buffer.hh"
 #include "sim/small_function.hh"
@@ -164,6 +165,11 @@ class Sm
 
     std::uint64_t instructionsRetired() const { return retiredTotal_; }
 
+    /** Issue slots consumed across all full ticks (diagnostic for
+     *  the issue-utilization ratio in bench/sweep_scaling; never a
+     *  StatSet counter, so golden stat dumps are unaffected). */
+    std::uint64_t issueSlotsUsed() const { return issueSlotsUsed_; }
+
     SmId id() const { return id_; }
 
   private:
@@ -190,6 +196,11 @@ class Sm
     {
         std::unique_ptr<WarpProgram> program;
         WarpInstr cur;
+        /** Pre-decoded cursor for `cur` when it is a memory
+         *  instruction: the coalescing plan (target line set, word
+         *  masks) computed once at fetch, so issue slots and spin
+         *  retries never re-derive lane addresses. */
+        CoalescePlan plan;
         bool hasCur = false;
         /** Accesses accepted-pending submission (structural retries).
          *  Drained by cursor (submitHead) instead of front-erase so
@@ -235,6 +246,51 @@ class Sm
     {
         horizonValid_ = false;
         idleTickValid_ = false;
+    }
+
+    /** Mask holding warps in state `s` (nullptr for Idle/Done —
+     *  those are the complement of the four tracked masks). */
+    sim::BitMask *
+    maskFor(WarpState s)
+    {
+        switch (s) {
+          case WarpState::Ready:
+            return &readyMask_;
+          case WarpState::WaitCompute:
+            return &waitComputeMask_;
+          case WarpState::WaitMem:
+            return &waitMemMask_;
+          case WarpState::WaitFence:
+            return &waitFenceMask_;
+          default:
+            return nullptr;
+        }
+    }
+
+    /** The single warp-state transition point: updates the byte
+     *  array and the packed masks together. */
+    void
+    setWarpState(unsigned w, WarpState s)
+    {
+        WarpState old = warpState_[w];
+        if (old == s)
+            return;
+        if (sim::BitMask *m = maskFor(old))
+            m->clear(w);
+        if (sim::BitMask *m = maskFor(s))
+            m->set(w);
+        warpState_[w] = s;
+    }
+
+    /** The single memRetry_ transition point (byte + mask bit). */
+    void
+    setMemRetry(unsigned w, bool v)
+    {
+        memRetry_[w] = v ? 1 : 0;
+        if (v)
+            retryMask_.set(w);
+        else
+            retryMask_.clear(w);
     }
 
     /** Try to make progress for warp w; true if an issue slot used. */
@@ -290,9 +346,25 @@ class Sm
      * loadWaitsStores transition points.
      */
     std::vector<std::uint8_t> memRetry_;
-    /** Warps whose storeFifo is non-empty (0 outside TSO, letting
-     *  the per-cycle drain scan be skipped entirely). */
-    unsigned storeFifoWarps_ = 0;
+
+    // --- packed scheduling masks (one uint64 word per 64 warps) ---
+    // Derived views of warpState_/memRetry_/storeFifo occupancy kept
+    // exactly in sync at every transition (setWarpState /
+    // setMemRetry / the storeFifo push-drain points): the wake pass
+    // walks only waitComputeMask_|waitFenceMask_, the issue pickers
+    // are ctz scans over readyMask_|retryMask_, and the no-issue
+    // classification is four popcount/any queries. The byte arrays
+    // stay authoritative for everything cold (mask↔vector
+    // equivalence invariant, DESIGN.md §11).
+    sim::BitMask readyMask_;
+    sim::BitMask waitComputeMask_;
+    sim::BitMask waitMemMask_;
+    sim::BitMask waitFenceMask_;
+    /** Mirror of memRetry_ (set bits ⊆ waitMemMask_). */
+    sim::BitMask retryMask_;
+    /** Warps whose storeFifo is non-empty (empty outside TSO,
+     *  letting the per-cycle drain pass be skipped entirely). */
+    sim::BitMask storeFifoMask_;
     /** Coalescer output scratch; swapped into warp.toSubmit so both
      *  buffers recycle their capacity (zero-alloc steady state). */
     std::vector<mem::Access> coalesceBuf_;
@@ -300,6 +372,8 @@ class Sm
     unsigned lastIssued_ = 0;
     std::uint64_t nextAccessId_ = 1;
     std::uint64_t retiredTotal_ = 0;
+    /** Issue slots consumed (diagnostic; see issueSlotsUsed()). */
+    std::uint64_t issueSlotsUsed_ = 0;
     Cycle now_ = 0; ///< updated at tick entry; callbacks use it
     /** Scheduler's current cycle (setSchedNow); callbacks catch
      *  now_ up to lag it by one before running. */

@@ -104,6 +104,9 @@ runOne(const sim::Config &base, const std::string &protocol,
     r.activityL2 = act.l2;
     r.activityNoc = act.noc;
     r.activityDram = act.dram;
+    r.issueSlotsUsed = system.issueSlotsUsed();
+    r.smTicksExecuted = system.smTicksExecuted();
+    r.nocTicksExecuted = system.nocTicksExecuted();
     r.stats = system.stats();
     r.obs = obs;
     std::string trace_dir = cfg.getString("obs.trace_dir", "");

@@ -84,6 +84,19 @@ struct RunResult
     double activityNoc = 0.0;
     double activityDram = 0.0;
 
+    /**
+     * Issue-path utilization counters (diagnostics like the activity
+     * fractions — never part of `stats`): issue slots the SMs
+     * actually filled, the executed SM-ticks that offered them, and
+     * the executed NoC ticks across both networks. The single-thread
+     * bench derives issue utilization (issueSlotsUsed /
+     * smTicksExecuted, per-slot) and NoC pops-per-tick (nocPackets /
+     * nocTicksExecuted) from these.
+     */
+    std::uint64_t issueSlotsUsed = 0;
+    std::uint64_t smTicksExecuted = 0;
+    std::uint64_t nocTicksExecuted = 0;
+
     /** Full raw statistics of the run. */
     sim::StatSet stats;
 

@@ -35,6 +35,28 @@ struct Access
      * so fill-then-hit is not double-counted.
      */
     bool replayed = false;
+
+    /**
+     * Re-initialize a recycled Access for one coalesced line. The
+     * coalescer reuses live elements of its output buffer instead of
+     * clear()+emplace (which would re-run the value-initializing
+     * constructor): loads skip re-zeroing the 128-byte storeData they
+     * never read, stores get a clean payload before the masked words
+     * are set. Everything an Access consumer reads is reset here.
+     */
+    void
+    beginLine(bool is_store, Addr line, SmId sm_id, WarpId warp_id)
+    {
+        isStore = is_store;
+        lineAddr = line;
+        wordMask = 0;
+        sm = sm_id;
+        warp = warp_id;
+        id = 0;
+        replayed = false;
+        if (is_store)
+            storeData = LineData{};
+    }
 };
 
 /**

@@ -19,8 +19,12 @@ Crossbar::Crossbar(unsigned num_src, unsigned num_dst,
         GTSC_FATAL("noc.bytes_per_cycle must be > 0");
     srcFree_.assign(numSrc_, 0);
     dstFree_.assign(numDst_, 0);
-    portBound_.assign(numDst_, kCycleNever);
-    dstQueue_.resize(numDst_);
+    // One packet per source per cycle can arrive (injection links
+    // serialize), so span buckets reserved to the source count never
+    // grow — zero-alloc steady state by construction.
+    ring_.init(kArrivalRingSpan, numSrc_);
+    portFifo_.resize(numDst_);
+    pending_.resize(numDst_);
     bytesTotal_ = &stats_.counter(name_ + ".bytes");
     packetsTotal_ = &stats_.counter(name_ + ".packets");
     for (unsigned t = 0; t < mem::kNumMsgTypes; ++t) {
@@ -90,57 +94,64 @@ Crossbar::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
     ++inFlight_;
     std::uint32_t slot = pool_.acquire();
     pool_[slot] = std::move(pkt);
-    auto &q = dstQueue_[dst];
-    q.push(InFlight{arrive, seq_++, slot});
-    // The new packet can only move the port's head earlier, so the
-    // recomputed head bound never loosens.
-    Cycle bound = std::max(q.top().arrive, dstFree_[dst]);
-    portBound_[dst] = bound;
-    if (bound < earliestEject_)
-        earliestEject_ = bound;
+    ring_.push(now, arrive, InFlight{slot, dst});
+    // Conservative bound: the fabric arrival ignores the ejection
+    // link's serialization window, so it is never later than the
+    // true ejection; the sweep at that cycle re-tightens it exactly
+    // (an early sweep only moves due entries to their port FIFO —
+    // no observable side effects).
+    if (arrive < earliestEject_)
+        earliestEject_ = arrive;
     wake(earliestEject_);
 }
 
 void
 Crossbar::tickSweep(Cycle now)
 {
-    for (unsigned dst = 0; dst < numDst_; ++dst) {
-        if (portBound_[dst] > now)
-            continue;
-        auto &q = dstQueue_[dst];
-        // Ejection link: one packet every txCycles per port.
-        while (!q.empty() && q.top().arrive <= now &&
-               dstFree_[dst] <= now) {
-            std::uint32_t slot = q.top().slot;
-            mem::Packet pkt = std::move(pool_[slot]);
-            pool_.release(slot);
-            q.pop();
-            --inFlight_;
-            dstFree_[dst] = now + txCycles(pkt.sizeBytes);
-            latency_->sample(static_cast<double>(now - pkt.injectedAt));
-            if (trace_) {
-                recordNocEvent(*trace_, track_,
-                               obs::EventKind::NocDeliver, pkt,
-                               pkt.src, dst, now,
-                               now - pkt.injectedAt);
-            }
-            if (transcript_) {
-                logTranscript(*transcript_, pkt, dst,
-                              transcriptResponse_, now);
-            }
-            deliver_(dst, std::move(pkt));
+    // Phase 1: pop exactly the due packets off the arrival ring into
+    // their port FIFOs, in (arrive, inject) order — so each FIFO is
+    // in delivery order by construction.
+    ring_.drainDue(now, [&](Cycle, const InFlight &e) {
+        portFifo_[e.dst].push_back(e.slot);
+        pending_.set(e.dst);
+    });
+
+    // Phase 2: eject at most one packet per pending port (the
+    // ejection link serializes for txCycles >= 1), ascending port
+    // order like the old per-port sweep.
+    pending_.forEachSet([&](unsigned dst) {
+        if (dstFree_[dst] > now)
+            return;
+        auto &fifo = portFifo_[dst];
+        std::uint32_t slot = fifo.front();
+        fifo.pop_front();
+        if (fifo.empty())
+            pending_.clear(dst);
+        mem::Packet pkt = std::move(pool_[slot]);
+        pool_.release(slot);
+        --inFlight_;
+        dstFree_[dst] = now + txCycles(pkt.sizeBytes);
+        latency_->sample(static_cast<double>(now - pkt.injectedAt));
+        if (trace_) {
+            recordNocEvent(*trace_, track_, obs::EventKind::NocDeliver,
+                           pkt, pkt.src, dst, now, now - pkt.injectedAt);
         }
-        portBound_[dst] =
-            q.empty() ? kCycleNever
-                      : std::max(q.top().arrive, dstFree_[dst]);
-    }
-    // Re-tighten the global bound in a second pass: deliveries can
-    // re-enter inject() on this crossbar (which refreshes its port's
-    // bound), so the flat bound array is only final once the sweep
-    // above is done.
-    Cycle earliest = kCycleNever;
-    for (Cycle b : portBound_)
-        earliest = std::min(earliest, b);
+        if (transcript_) {
+            logTranscript(*transcript_, pkt, dst, transcriptResponse_,
+                          now);
+        }
+        deliver_(dst, std::move(pkt));
+    });
+
+    // Re-tighten the global bound after both phases: deliveries can
+    // re-enter inject() on this crossbar (new ring arrivals), and a
+    // port that just ejected is busy until its link frees. Waiting
+    // FIFO heads have already arrived, so their port's bound is its
+    // link-free cycle exactly.
+    Cycle earliest = ring_.nextArrival();
+    pending_.forEachSet([&](unsigned dst) {
+        earliest = std::min(earliest, std::max(dstFree_[dst], now + 1));
+    });
     earliestEject_ = earliest;
 }
 

@@ -15,13 +15,15 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "mem/packet.hh"
+#include "noc/arrival_ring.hh"
 #include "noc/network.hh"
+#include "sim/bitmask.hh"
 #include "sim/config.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/slot_pool.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -95,30 +97,22 @@ class Crossbar final : public Network
 
   private:
     /**
-     * Heap entry: 16 bytes of ordering key plus a slot index into
-     * the packet pool. Keeping the ~216-byte Packet out of the
-     * priority queue turns every sift during push/pop from a fat
-     * memcpy into a 3-word move — the queues were the single
-     * hottest site in profiles.
+     * Ring entry: a slot index into the packet pool plus the
+     * destination port. No ordering key is stored — (arrive, inject
+     * order) is preserved by the ring's bucket structure, so the old
+     * per-dst priority queues (the single hottest site in profiles
+     * before PR 8, and still a log-factor sift per packet after the
+     * slot-pool split) collapse into flat appends and pops.
      */
     struct InFlight
     {
-        Cycle arrive;
-        std::uint64_t seq;
         std::uint32_t slot;
-
-        bool
-        operator>(const InFlight &o) const
-        {
-            if (arrive != o.arrive)
-                return arrive > o.arrive;
-            return seq > o.seq;
-        }
+        std::uint32_t dst;
     };
 
     Cycle txCycles(std::uint32_t bytes) const;
 
-    /** Full per-port ejection sweep; recomputes earliestEject_. */
+    /** Full drain-and-eject sweep; recomputes earliestEject_. */
     void tickSweep(Cycle now);
 
     sim::StatSet &stats_;
@@ -131,27 +125,28 @@ class Crossbar final : public Network
     std::vector<Cycle> srcFree_;
     std::vector<Cycle> dstFree_;
     /**
-     * Per-port earliest possible ejection: max(head arrival, port
-     * serialization window), kCycleNever when the port queue is
-     * empty. Exact for the head packet, so it is a valid lower
-     * bound for the whole port. The sweep scans this flat array and
-     * only touches a port's priority queue when its bound is due;
-     * earliestEject_ is the min over it.
+     * In-flight packets that have not yet crossed the fabric, dense
+     * ring indexed by arrival cycle. A tick pops exactly the due
+     * entries in (arrive, inject) order and appends them to their
+     * port FIFO; packets never move until they are due.
      */
-    std::vector<Cycle> portBound_;
-    std::vector<std::priority_queue<InFlight, std::vector<InFlight>,
-                                    std::greater<>>>
-        dstQueue_;
+    ArrivalRing<InFlight> ring_;
+    /** Arrived packets awaiting a free ejection link, per port, in
+     *  exact delivery order by construction. */
+    std::vector<sim::RingBuffer<std::uint32_t>> portFifo_;
+    /** Ports whose FIFO is non-empty (the ejection pass walks only
+     *  set bits, in ascending port order like the old sweep). */
+    sim::BitMask pending_;
     /** In-flight packet payloads, indexed by InFlight::slot. */
     sim::SlotPool<mem::Packet> pool_;
     DeliverFn deliver_;
-    std::uint64_t seq_ = 0;
     std::uint64_t inFlight_ = 0;
     /**
      * Lower bound on the earliest cycle any queued packet can eject
      * (kCycleNever when idle). Inject lowers it to the packet's
      * fabric arrival (which ignores ejection-link serialization, so
-     * it is conservative); tickSweep() recomputes it exactly.
+     * it is conservative); tickSweep() recomputes it exactly from
+     * the ring's next arrival and the pending ports' link windows.
      */
     Cycle earliestEject_ = kCycleNever;
 

@@ -30,6 +30,13 @@ Mesh::Mesh(unsigned num_src, unsigned num_dst, bool src_are_sms,
 
     dstFree_.assign(numDst_, 0);
     linkFree_.assign(static_cast<std::size_t>(width_) * height_ * 4, 0);
+    // Unlike the crossbar there is no per-source one-arrival-per-
+    // cycle bound (routes of different lengths can land together),
+    // so the reservation is a heuristic; buckets grow if exceeded.
+    ring_.init(kArrivalRingSpan, numSrc_);
+    waiting_.reserve(16);
+    nextWaiting_.reserve(16);
+    dueBuf_.reserve(16);
     bytesTotal_ = &stats_.counter(name_ + ".bytes");
     packetsTotal_ = &stats_.counter(name_ + ".packets");
     for (unsigned t = 0; t < mem::kNumMsgTypes; ++t) {
@@ -76,6 +83,17 @@ Mesh::txCycles(std::uint32_t bytes) const
 }
 
 void
+Mesh::flushStatWindow()
+{
+    *bytesTotal_ += win_.bytes;
+    for (unsigned t = 0; t < mem::kNumMsgTypes; ++t) {
+        *bytesByType_[t] += win_.bytesByType[t];
+        *packetsByType_[t] += win_.packetsByType[t];
+    }
+    win_ = StatWindow{};
+}
+
+void
 Mesh::attachTracer(obs::Tracer &tracer)
 {
     trace_ = &tracer;
@@ -97,10 +115,10 @@ Mesh::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
     GTSC_ASSERT(pkt.sizeBytes > 0, "packet injected with zero size");
 
     pkt.injectedAt = now;
-    *bytesTotal_ += pkt.sizeBytes;
-    *packetsTotal_ += 1;
-    *bytesByType_[static_cast<unsigned>(pkt.type)] += pkt.sizeBytes;
-    *packetsByType_[static_cast<unsigned>(pkt.type)] += 1;
+    win_.bytes += pkt.sizeBytes;
+    *packetsTotal_ += 1; // live: the progress token reads it per cycle
+    win_.bytesByType[static_cast<unsigned>(pkt.type)] += pkt.sizeBytes;
+    win_.packetsByType[static_cast<unsigned>(pkt.type)] += 1;
 
     // XY route: walk X first, then Y, serializing on each link.
     unsigned node = srcNode(src);
@@ -139,53 +157,88 @@ Mesh::inject(unsigned src, unsigned dst, mem::Packet &&pkt, Cycle now)
                        src, dst, now, pkt.sizeBytes);
     }
     ++inFlight_;
-    arrivals_.push(InFlight{t, seq_++, dst, std::move(pkt)});
-    wake(arrivals_.top().arrive);
+    std::uint32_t slot = pool_.acquire();
+    pool_[slot] = std::move(pkt);
+    ring_.push(now, t, InFlight{seq_++, slot, dst});
+    wake(waiting_.empty() ? ring_.nextArrival() : now + 1);
 }
 
 Cycle
 Mesh::nextWorkCycle(Cycle now) const
 {
     // Arrival times are final at inject; a packet that finds its
-    // ejection port busy is re-queued for the next cycle by tick(),
+    // ejection port busy waits in waiting_ and retries every cycle,
     // which keeps this horizon exact during port back-pressure.
-    if (arrivals_.empty())
+    if (inFlight_ == 0)
         return kCycleNever;
-    return std::max(arrivals_.top().arrive, now + 1);
+    if (!waiting_.empty())
+        return now + 1;
+    return std::max(ring_.nextArrival(), now + 1);
 }
 
 void
 Mesh::tick(Cycle now)
 {
     // Deliver every arrived packet whose ejection port is free; a
-    // busy port only defers its own packets (re-queued for the next
-    // cycle), not other destinations'.
-    std::vector<InFlight> deferred;
-    while (!arrivals_.empty() && arrivals_.top().arrive <= now) {
-        InFlight item = std::move(const_cast<InFlight &>(arrivals_.top()));
-        arrivals_.pop();
+    // busy port only defers its own packets (retried next cycle),
+    // not other destinations'.
+    if (inFlight_ == 0)
+        return;
+    if (waiting_.empty() && ring_.nextArrival() > now)
+        return;
+
+    // Newly due arrivals, in (arrive, seq) order. While anything
+    // waits the horizon pins to now+1, so drains are never late and
+    // this buffer is seq-sorted whenever waiting_ is non-empty (all
+    // due entries share one arrival cycle).
+    dueBuf_.clear();
+    ring_.drainDue(now, [&](Cycle, const InFlight &e) {
+        dueBuf_.push_back(e);
+    });
+
+    // Merge deferred and newly due candidates in global injection
+    // order — same-cycle candidates compete purely on seq, exactly
+    // like the old priority queue after its arrive-rewriting
+    // deferral.
+    nextWaiting_.clear();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < waiting_.size() || j < dueBuf_.size()) {
+        bool take_waiting =
+            j >= dueBuf_.size() ||
+            (i < waiting_.size() && waiting_[i].seq < dueBuf_[j].seq);
+        InFlight item = take_waiting ? waiting_[i++] : dueBuf_[j++];
         if (dstFree_[item.dst] > now) {
-            item.arrive = now + 1;
-            deferred.push_back(std::move(item));
+            // Keep nextWaiting_ seq-sorted. Candidates already come
+            // in seq order on every reachable path (see above), so
+            // the insertion scan terminates immediately; it exists
+            // for the defensive multi-cycle-drain case only.
+            std::size_t pos = nextWaiting_.size();
+            nextWaiting_.push_back(item);
+            while (pos > 0 &&
+                   nextWaiting_[pos - 1].seq > nextWaiting_[pos].seq) {
+                std::swap(nextWaiting_[pos - 1], nextWaiting_[pos]);
+                --pos;
+            }
             continue;
         }
         --inFlight_;
-        dstFree_[item.dst] = now + txCycles(item.pkt.sizeBytes);
-        latency_->sample(
-            static_cast<double>(now - item.pkt.injectedAt));
+        mem::Packet pkt = std::move(pool_[item.slot]);
+        pool_.release(item.slot);
+        dstFree_[item.dst] = now + txCycles(pkt.sizeBytes);
+        latency_->sample(static_cast<double>(now - pkt.injectedAt));
         if (trace_) {
             recordNocEvent(*trace_, track_, obs::EventKind::NocDeliver,
-                           item.pkt, item.pkt.src, item.dst, now,
-                           now - item.pkt.injectedAt);
+                           pkt, pkt.src, item.dst, now,
+                           now - pkt.injectedAt);
         }
         if (transcript_) {
-            logTranscript(*transcript_, item.pkt, item.dst,
+            logTranscript(*transcript_, pkt, item.dst,
                           transcriptResponse_, now);
         }
-        deliver_(item.dst, std::move(item.pkt));
+        deliver_(item.dst, std::move(pkt));
     }
-    for (auto &item : deferred)
-        arrivals_.push(std::move(item));
+    waiting_.swap(nextWaiting_);
 }
 
 std::unique_ptr<Network>

@@ -14,10 +14,11 @@
 #ifndef GTSC_NOC_MESH_HH_
 #define GTSC_NOC_MESH_HH_
 
-#include <queue>
 #include <vector>
 
+#include "noc/arrival_ring.hh"
 #include "noc/network.hh"
+#include "sim/slot_pool.hh"
 
 namespace gtsc::noc
 {
@@ -49,7 +50,14 @@ class Mesh final : public Network
     Cycle minTraversalLatency() const override { return 1 + hopLatency_; }
 
     bool quiescent() const override { return inFlight_ == 0; }
-    std::uint64_t totalBytes() const override { return *bytesTotal_; }
+
+    std::uint64_t
+    totalBytes() const override
+    {
+        return *bytesTotal_ + win_.bytes;
+    }
+
+    void flushStatWindow() override;
 
     /** Grid geometry (tests). */
     unsigned gridWidth() const { return width_; }
@@ -60,20 +68,19 @@ class Mesh final : public Network
                           bool response) override;
 
   private:
+    /**
+     * Ring/waiting entry: packet-pool slot plus its ordering key.
+     * Unlike the crossbar, the sequence number is kept: a packet
+     * deferred by a busy ejection port must merge with newly due
+     * arrivals in global injection order (the old priority queue's
+     * (arrive, seq) order, where deferral rewrote arrive to the next
+     * cycle — so same-cycle candidates compete purely on seq).
+     */
     struct InFlight
     {
-        Cycle arrive;
         std::uint64_t seq;
-        unsigned dst;
-        mem::Packet pkt;
-
-        bool
-        operator>(const InFlight &o) const
-        {
-            if (arrive != o.arrive)
-                return arrive > o.arrive;
-            return seq > o.seq;
-        }
+        std::uint32_t slot;
+        std::uint32_t dst;
     };
 
     /** Grid node id of a source/destination port. */
@@ -115,15 +122,43 @@ class Mesh final : public Network
 
     /** Busy-until cycle per directed link, indexed by linkIndex(). */
     std::vector<Cycle> linkFree_;
-    std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
-        arrivals_;
+    /** Not-yet-arrived packets, dense ring indexed by the arrival
+     *  cycle finalized at inject (route and link serialization are
+     *  resolved there). Bucket order is injection order, so a drain
+     *  yields candidates already seq-sorted per cycle. */
+    ArrivalRing<InFlight> ring_;
+    /** Arrived packets deferred by a busy ejection port, seq-sorted.
+     *  While non-empty the horizon pins to now+1, exactly like the
+     *  old re-queue at arrive = now+1. */
+    std::vector<InFlight> waiting_;
+    /** Next tick's waiting_ (swap buffers; capacity persists). */
+    std::vector<InFlight> nextWaiting_;
+    /** Per-tick scratch for newly due arrivals (capacity persists). */
+    std::vector<InFlight> dueBuf_;
+    /** In-flight packet payloads, indexed by InFlight::slot. */
+    sim::SlotPool<mem::Packet> pool_;
     std::vector<Cycle> dstFree_;
     DeliverFn deliver_;
     std::uint64_t seq_ = 0;
     std::uint64_t inFlight_ = 0;
 
+    /**
+     * Windowed counter block (same batching as the crossbar's):
+     * inject accumulates bytes and per-type tallies here and
+     * flushStatWindow() folds them into the StatSet map nodes. The
+     * total packet counter stays live — the main loop's progress
+     * token reads it every simulated cycle.
+     */
+    struct StatWindow
+    {
+        std::uint64_t bytes = 0;
+        std::uint64_t bytesByType[mem::kNumMsgTypes] = {};
+        std::uint64_t packetsByType[mem::kNumMsgTypes] = {};
+    };
+    StatWindow win_;
+
     std::uint64_t *bytesTotal_;
-    std::uint64_t *packetsTotal_;
+    std::uint64_t *packetsTotal_; ///< live (progress token), not windowed
     /** Per-MsgType byte/packet counters, cached at construction so
      * the inject hot path never rebuilds stat-name strings. */
     std::uint64_t *bytesByType_[mem::kNumMsgTypes];

@@ -96,6 +96,9 @@ encodeResult(const harness::RunResult &r)
     u("verified", r.verified ? 1 : 0);
     u("fast_forwarded", r.fastForwarded);
     u("shards", r.shards);
+    u("issue_slots_used", r.issueSlotsUsed);
+    u("sm_ticks_executed", r.smTicksExecuted);
+    u("noc_ticks_executed", r.nocTicksExecuted);
     f("activity_sm", r.activitySm);
     f("activity_l1", r.activityL1);
     f("activity_l2", r.activityL2);
@@ -200,6 +203,12 @@ decodeResult(const std::string &text, harness::RunResult *out,
                 out->fastForwarded = v;
             else if (name == "shards")
                 out->shards = static_cast<unsigned>(v);
+            else if (name == "issue_slots_used")
+                out->issueSlotsUsed = v;
+            else if (name == "sm_ticks_executed")
+                out->smTicksExecuted = v;
+            else if (name == "noc_ticks_executed")
+                out->nocTicksExecuted = v;
             else
                 return fail("unknown integer field '" + name + "'");
         } else if (tag == 'f') {

@@ -1,8 +1,11 @@
 #include "gpu/coalescer.hh"
 
+#include <random>
+
 #include <gtest/gtest.h>
 
 using namespace gtsc;
+using gpu::CoalescePlan;
 using gpu::Coalescer;
 using gpu::StoreValueSource;
 using gpu::WarpInstr;
@@ -94,4 +97,170 @@ TEST_F(CoalescerFixture, SmWarpStamped)
     ASSERT_EQ(accesses.size(), 1u);
     EXPECT_EQ(accesses[0].sm, 5);
     EXPECT_EQ(accesses[0].warp, 9);
+}
+
+TEST_F(CoalescerFixture, BroadcastLoadHitsOneWord)
+{
+    // Stride 0: all 32 lanes read the same (unaligned-in-line) word.
+    auto instr = WarpInstr::loadStrided(0x1234, 32, 0);
+    EXPECT_EQ(Coalescer::plan(instr, 32).kind,
+              CoalescePlan::Kind::Broadcast);
+    auto &accesses = coalesce(instr, 32, 0, 0);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_EQ(accesses[0].lineAddr, 0x1200u);
+    EXPECT_EQ(accesses[0].wordMask, 1u << ((0x1234u % 128u) / 4u));
+}
+
+TEST_F(CoalescerFixture, BroadcastStoreKeepsLastLaneValue)
+{
+    // All active lanes write the same word; the per-lane merge keeps
+    // the last lane's drawn value, and the fast path must draw the
+    // same count so later instructions see an identical source state.
+    StoreValueSource vals_fast(100, 1);
+    StoreValueSource vals_slow(100, 1);
+    Coalescer fast(vals_fast);
+    Coalescer slow(vals_slow);
+    auto instr = WarpInstr::storeStrided(0x2000, 32, 0, 0x0000ffffu);
+
+    std::vector<mem::Access> out_fast;
+    fast.coalesce(instr, Coalescer::plan(instr, 32), 32, 0, 0, out_fast);
+    std::vector<mem::Access> out_slow;
+    slow.coalesce(instr, CoalescePlan{}, 32, 0, 0, out_slow);
+
+    ASSERT_EQ(out_fast.size(), 1u);
+    EXPECT_EQ(out_fast[0].storeData.word(0), 115u); // lane 15's draw
+    ASSERT_EQ(out_slow.size(), 1u);
+    EXPECT_EQ(out_slow[0].storeData.word(0), 115u);
+    // Both sources advanced by popcount(activeMask) = 16 draws.
+    EXPECT_EQ(vals_fast.next(), vals_slow.next());
+}
+
+TEST_F(CoalescerFixture, NegativeStrideTakesSlowPathDescending)
+{
+    // A "negative" stride is a huge unsigned stride that wraps:
+    // lane l at base - 4*l. Must classify Slow and still coalesce
+    // into the two descending lines the lanes actually touch.
+    auto instr =
+        WarpInstr::loadStrided(0x1080, 32, static_cast<std::uint64_t>(-4));
+    EXPECT_EQ(Coalescer::plan(instr, 32).kind, CoalescePlan::Kind::Slow);
+    auto &accesses = coalesce(instr, 32, 0, 0);
+    ASSERT_EQ(accesses.size(), 2u);
+    EXPECT_EQ(accesses[0].lineAddr, 0x1080u); // lane 0 first
+    EXPECT_EQ(accesses[0].wordMask, 0x1u);
+    EXPECT_EQ(accesses[1].lineAddr, 0x1000u); // lanes 1..31, words 1..31
+    EXPECT_EQ(accesses[1].wordMask, 0xfffffffeu);
+}
+
+TEST_F(CoalescerFixture, UnalignedStridedStraddlesTwoLines)
+{
+    // Base at word 4 of its line: lanes 0..27 fill words 4..31,
+    // lanes 28..31 wrap into words 0..3 of the next line.
+    auto instr = WarpInstr::loadStrided(0x1010, 32, 4);
+    auto plan = Coalescer::plan(instr, 32);
+    EXPECT_EQ(plan.kind, CoalescePlan::Kind::Strided);
+    EXPECT_EQ(plan.segs, 2u);
+    auto &accesses = coalesce(instr, 32, 0, 0);
+    ASSERT_EQ(accesses.size(), 2u);
+    EXPECT_EQ(accesses[0].lineAddr, 0x1000u);
+    EXPECT_EQ(accesses[0].wordMask, 0xfffffff0u);
+    EXPECT_EQ(accesses[1].lineAddr, 0x1080u);
+    EXPECT_EQ(accesses[1].wordMask, 0x0000000fu);
+}
+
+TEST_F(CoalescerFixture, FullScatterOneAccessPerLane)
+{
+    // 32 lanes, 32 distinct lines — worst case fan-out.
+    std::vector<Addr> lanes(32);
+    for (unsigned l = 0; l < 32; ++l)
+        lanes[l] = 0x40000 + static_cast<Addr>(l) * 0x1000;
+    auto instr = WarpInstr::loadGather(std::move(lanes), 0xffffffffu);
+    EXPECT_EQ(Coalescer::plan(instr, 32).kind, CoalescePlan::Kind::Slow);
+    auto &accesses = coalesce(instr, 32, 0, 0);
+    ASSERT_EQ(accesses.size(), 32u);
+    for (unsigned l = 0; l < 32; ++l) {
+        EXPECT_EQ(accesses[l].lineAddr,
+                  0x40000u + static_cast<Addr>(l) * 0x1000);
+        EXPECT_EQ(accesses[l].wordMask, 0x1u);
+    }
+}
+
+namespace
+{
+
+/** Fast path (real plan) vs forced-slow on the same instruction:
+ *  identical access lists and identical store-value draw state. */
+void
+expectFastSlowEquivalent(const WarpInstr &instr, unsigned warp_size)
+{
+    StoreValueSource vals_fast(7, 3);
+    StoreValueSource vals_slow(7, 3);
+    Coalescer fast(vals_fast);
+    Coalescer slow(vals_slow);
+
+    std::vector<mem::Access> out_fast;
+    fast.coalesce(instr, Coalescer::plan(instr, warp_size), warp_size, 2,
+                  5, out_fast);
+    std::vector<mem::Access> out_slow;
+    slow.coalesce(instr, CoalescePlan{}, warp_size, 2, 5, out_slow);
+
+    ASSERT_EQ(out_fast.size(), out_slow.size());
+    for (std::size_t i = 0; i < out_fast.size(); ++i) {
+        const auto &a = out_fast[i];
+        const auto &b = out_slow[i];
+        EXPECT_EQ(a.lineAddr, b.lineAddr) << "access " << i;
+        EXPECT_EQ(a.wordMask, b.wordMask) << "access " << i;
+        EXPECT_EQ(a.isStore, b.isStore) << "access " << i;
+        EXPECT_EQ(a.sm, b.sm);
+        EXPECT_EQ(a.warp, b.warp);
+        if (a.isStore) {
+            for (unsigned w = 0; w < mem::kWordsPerLine; ++w)
+                EXPECT_EQ(a.storeData.word(w), b.storeData.word(w))
+                    << "access " << i << " word " << w;
+        }
+    }
+    EXPECT_EQ(vals_fast.next(), vals_slow.next());
+}
+
+} // namespace
+
+TEST_F(CoalescerFixture, RandomizedFastSlowEquivalence)
+{
+    // Randomized sweep over the planner's whole input space: base
+    // alignment, stride (including the fast-path 0 and 4), active
+    // mask shape, warp size, load vs store.
+    std::mt19937 rng(0xc0a1e5ce);
+    std::uniform_int_distribution<unsigned> word_off(0, 63);
+    std::uniform_int_distribution<unsigned> stride_pick(0, 5);
+    std::uniform_int_distribution<std::uint32_t> mask_bits;
+    std::uniform_int_distribution<unsigned> mask_kind(0, 2);
+    std::uniform_int_distribution<unsigned> ws_pick(0, 2);
+    std::uniform_int_distribution<unsigned> coin(0, 1);
+
+    static const std::uint64_t kStrides[] = {0, 4, 8, 12, 64,
+                                             static_cast<std::uint64_t>(-4)};
+    static const unsigned kWarpSizes[] = {32, 16, 8};
+
+    for (int iter = 0; iter < 500; ++iter) {
+        unsigned ws = kWarpSizes[ws_pick(rng)];
+        Addr base = 0x8000 + static_cast<Addr>(word_off(rng)) * 4;
+        std::uint64_t stride = kStrides[stride_pick(rng)];
+        std::uint32_t mask;
+        switch (mask_kind(rng)) {
+        case 0:
+            mask = 0xffffffffu; // full (fast-path eligible)
+            break;
+        case 1:
+            mask = mask_bits(rng) | 1u; // random, lane 0 active
+            break;
+        default:
+            mask = mask_bits(rng) & mask_bits(rng); // sparse
+            break;
+        }
+        if ((mask & WarpInstr::laneMask(ws)) == 0)
+            mask = 1u;
+        WarpInstr instr =
+            coin(rng) ? WarpInstr::storeStrided(base, ws, stride, mask)
+                      : WarpInstr::loadStrided(base, ws, stride, mask);
+        expectFastSlowEquivalent(instr, ws);
+    }
 }

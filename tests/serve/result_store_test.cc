@@ -97,6 +97,9 @@ sampleResult()
     r.activityL2 = 0.5;
     r.activityNoc = 0.75;
     r.activityDram = 0.0625;
+    r.issueSlotsUsed = 777;
+    r.smTicksExecuted = 888;
+    r.nocTicksExecuted = 99;
     r.stats.counter("l1.hits") = 10;
     r.stats.counter("noc.packets") = 44;
     // Enough samples to engage the reservoir stride logic, plus

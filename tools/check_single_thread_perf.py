@@ -11,22 +11,24 @@ Reads the "single_thread" section emitted by `bench/sweep_scaling
   * the section is missing or has no cells,
   * any cell simulated zero cycles (a run silently did nothing),
   * the geomean throughput is below --min-geomean simulated
-    megacycles per wall-clock second (default 0.45), or
+    megacycles per wall-clock second (default 0.50), or
   * a baseline geomean was embedded (--baseline-mcyc at bench time)
     and the speedup against it is below --min-speedup (default 0.8).
+
+On a geomean failure the report lists every cell's signed delta
+against the floor, slowest first, so the offending cells are visible
+in the CI log without downloading the artifact.
 
 The default floors are deliberately conservative: hosted CI runners
 are slow and noisy (±20% run-to-run observed even on one machine),
 so this guards against the hot path falling off a cliff — an
 accidental debug build, a quadratic scan reintroduced into the
 per-cycle loop — not against single-digit regressions. The geomean
-floor tracks the measured baseline (0.6-0.8 Mcyc/s geomean across
-recent runs on the reference runner, see BENCH_sweep_scaling.json;
-the active-set scheduler of DESIGN.md §10 holds this on the busy
-fig12 matrix — its throughput wins land on sparse workloads via the
-fast_forward section's per-workload speedups) with ~30% headroom
-for runner noise. Track the trajectory across pushes through the
-uploaded BENCH artifacts instead.
+floor tracks the measured baseline (0.69-0.71 Mcyc/s geomean across
+recent runs on the reference runner after the issue-path/NoC
+fast-lane refactor, see BENCH_sweep_scaling.json) with ~30%
+headroom for runner noise. Track the trajectory across pushes
+through the uploaded BENCH artifacts instead.
 
 Stdlib only, no third-party deps.
 """
@@ -39,8 +41,8 @@ import sys
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", help="BENCH_sweep_scaling.json")
-    parser.add_argument("--min-geomean", type=float, default=0.45,
-                        help="geomean Mcycles/sec floor (default 0.45)")
+    parser.add_argument("--min-geomean", type=float, default=0.50,
+                        help="geomean Mcycles/sec floor (default 0.50)")
     parser.add_argument("--min-speedup", type=float, default=0.8,
                         help="floor on speedup_vs_baseline when a "
                              "baseline is embedded (default 0.8)")
@@ -68,7 +70,17 @@ def main() -> int:
     if geomean < args.min_geomean:
         line += f" FAIL (< floor {args.min_geomean:g})"
         failed = True
-    print(line)
+        print(line)
+        print(f"per-cell delta vs floor {args.min_geomean:g} Mcyc/s, "
+              "slowest first:")
+        ranked = sorted(section["cells"],
+                        key=lambda c: c["mcyc_per_sec"])
+        for cell in ranked:
+            delta = cell["mcyc_per_sec"] - args.min_geomean
+            print(f"  {cell['cell']}: {cell['mcyc_per_sec']:.3f} "
+                  f"({delta:+.3f})")
+    else:
+        print(line)
 
     baseline = float(section.get("baseline_geomean_mcyc_per_sec", 0.0))
     if baseline > 0.0:
